@@ -1,0 +1,204 @@
+//! Criterion benches: one group per table/figure of the paper's
+//! evaluation. Each bench measures the *simulation* that regenerates the
+//! corresponding data series, so `cargo bench` both exercises the full
+//! stack under the measurement harness and reports how expensive each
+//! reproduction is.
+//!
+//! The actual figure data (the paper's rows/series) is printed by the
+//! matching `src/bin/*` regeneration binaries.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use kernels::{run_point, Alignment, Kernel, SystemKind};
+use pva_core::{IndirectVector, Vector};
+use pva_sim::{run_indirect_gather, unit_complexity, HostRequest, PvaConfig, PvaUnit};
+
+/// Table 1: the complexity-proxy computation (PLA generation dominates).
+fn table1(c: &mut Criterion) {
+    c.bench_function("table1/unit_complexity", |b| {
+        b.iter(|| unit_complexity(&PvaConfig::default()))
+    });
+    c.bench_function("table1/pla_scaling_sweep", |b| {
+        b.iter(|| pva_core::scaling_sweep(8))
+    });
+}
+
+/// Table 2: kernel trace generation.
+fn table2(c: &mut Criterion) {
+    c.bench_function("table2/trace_generation", |b| {
+        let bases = [0u64, 1 << 22, 2 << 22];
+        b.iter(|| {
+            Kernel::ALL
+                .iter()
+                .map(|k| k.trace(&bases[..k.array_count()], 4, 1024, 32).len())
+                .sum::<usize>()
+        })
+    });
+}
+
+/// Figures 7/8: one representative (kernel, stride, system) cell each.
+fn fig7_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_8");
+    for (kernel, stride) in [
+        (Kernel::Copy, 1u64),
+        (Kernel::Saxpy, 4),
+        (Kernel::Scale, 19),
+        (Kernel::Swap, 8),
+        (Kernel::Tridiag, 16),
+        (Kernel::Vaxpy, 19),
+    ] {
+        g.bench_function(format!("{}_s{}_pva_sdram", kernel.name(), stride), |b| {
+            b.iter(|| run_point(kernel, stride, Alignment::BankStagger, SystemKind::PvaSdram))
+        });
+    }
+    g.bench_function("copy_s16_cacheline", |b| {
+        b.iter(|| {
+            run_point(
+                Kernel::Copy,
+                16,
+                Alignment::BankStagger,
+                SystemKind::CachelineSerial,
+            )
+        })
+    });
+    g.finish();
+}
+
+/// Figures 9/10: the all-kernel fixed-stride comparisons at the two
+/// extreme strides.
+fn fig9_fig10(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_10");
+    g.sample_size(10);
+    for stride in [1u64, 19] {
+        g.bench_function(format!("all_kernels_s{stride}"), |b| {
+            b.iter(|| {
+                Kernel::ALL
+                    .iter()
+                    .map(|&k| run_point(k, stride, Alignment::Coincident, SystemKind::PvaSdram))
+                    .sum::<u64>()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figure 11: vaxpy across alignments on both PVA back ends.
+fn fig11(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    for sys in [SystemKind::PvaSdram, SystemKind::PvaSram] {
+        g.bench_function(format!("vaxpy_alignments_{}", sys.name()), |b| {
+            b.iter(|| {
+                Alignment::ALL
+                    .iter()
+                    .map(|&a| run_point(Kernel::Vaxpy, 8, a, sys))
+                    .sum::<u64>()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Single-command latency of the PVA unit itself (the microscopic view
+/// behind every figure).
+fn unit_micro(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pva_unit");
+    for stride in [1u64, 16, 19] {
+        g.bench_function(format!("single_gather_s{stride}"), |b| {
+            b.iter_batched(
+                || PvaUnit::new(PvaConfig::default()).expect("valid config"),
+                |mut unit| {
+                    let v = Vector::new(0, stride, 32).expect("valid vector");
+                    unit.run(vec![HostRequest::Read { vector: v }])
+                        .expect("runs")
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// §7 extensions: indirect gather.
+fn extensions(c: &mut Criterion) {
+    c.bench_function("ext/indirect_gather_64", |b| {
+        let iv = IndirectVector::new(0, (0..64).map(|i| i * 7 % 4096).collect()).expect("nonempty");
+        b.iter(|| run_indirect_gather(PvaConfig::default(), &iv, 0).expect("gathers"))
+    });
+}
+
+/// Related-work comparators: CVMS-like subcommand generation and the
+/// SMC-like serial stream controller.
+fn related_work(c: &mut Criterion) {
+    let mut g = c.benchmark_group("related");
+    g.bench_function("cvms_like_s19", |b| {
+        b.iter_batched(
+            || PvaUnit::new(PvaConfig::cvms_like()).expect("valid config"),
+            |mut unit| {
+                let v = Vector::new(0, 19, 32).expect("valid vector");
+                unit.run(vec![HostRequest::Read { vector: v }])
+                    .expect("runs")
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("smc_like_copy_s4", |b| {
+        use memsys::MemorySystem;
+        let bases = Alignment::BankStagger.bases(2, 1 << 22);
+        let trace = Kernel::Copy.trace(&bases, 4, 256, 32);
+        b.iter(|| memsys::SmcLike::default().run_trace(&trace))
+    });
+    g.finish();
+}
+
+/// Scheduler ablations and the DRAM technology sweep.
+fn ablations_and_tech(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("row_conflict_probe", |b| {
+        use memsys::MemorySystem;
+        let bases = Alignment::Coincident.bases(3, 1 << 22);
+        let trace = Kernel::Vaxpy.trace(&bases, 16, 256, 32);
+        b.iter(|| memsys::PvaSystem::sdram().run_trace(&trace))
+    });
+    g.bench_function("tech_edo_like_s16", |b| {
+        b.iter_batched(
+            || {
+                PvaUnit::new(PvaConfig {
+                    sdram: sdram::SdramConfig::edo_like(),
+                    ..PvaConfig::default()
+                })
+                .expect("valid config")
+            },
+            |mut unit| {
+                let v = Vector::new(0, 16, 32).expect("valid vector");
+                unit.run(vec![HostRequest::Read { vector: v }])
+                    .expect("runs")
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+/// STREAM bandwidth measurement.
+fn stream(c: &mut Criterion) {
+    use kernels::StreamKernel;
+    c.bench_function("stream/triad_pva", |b| {
+        b.iter(|| StreamKernel::Triad.bandwidth(&mut memsys::PvaSystem::sdram(), 1024))
+    });
+}
+
+criterion_group!(
+    benches,
+    table1,
+    table2,
+    fig7_fig8,
+    fig9_fig10,
+    fig11,
+    unit_micro,
+    extensions,
+    related_work,
+    ablations_and_tech,
+    stream
+);
+criterion_main!(benches);

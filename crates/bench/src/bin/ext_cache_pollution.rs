@@ -1,0 +1,125 @@
+//! Quantifying §1's motivation: strided access through a cache wastes
+//! cache capacity and bus bandwidth; the PVA's gathered lines fix both.
+//!
+//! Scenario: a loop combines a *strided* walk over a large array `x`
+//! (stride S words) with a *dense* walk over a small array `y` that
+//! fits comfortably in the L2.
+//!
+//! * **cached path** — every reference goes through the L2; each
+//!   strided `x` touch fills a whole 32-word line (31 wasted words at
+//!   S >= 32) and evicts `y`.
+//! * **PVA path** — the strided `x` accesses bypass the cache as
+//!   gathered vector reads (the Impulse shadow-space usage); `y` stays
+//!   resident.
+//!
+//! Reported per stride: `y`'s hit rate, words moved across the bus, and
+//! total memory cycles (both paths charge the PVA-SDRAM system, so the
+//! difference is purely the access discipline).
+
+use cache::{run_reference_stream, CacheConfig, CacheSim, Reference};
+use memsys::{MemorySystem, PvaSystem, TraceOp};
+use pva_bench::report::Table;
+use pva_core::Vector;
+
+const ITERS: u64 = 1024;
+const X_BASE: u64 = 1 << 22;
+const Y_BASE: u64 = 0;
+const Y_WORDS: u64 = 4096; // half the 8192-word L2
+
+/// The interleaved reference stream: `x[i*S]` and `y[i % Y_WORDS]` per
+/// iteration.
+fn mixed_refs(stride: u64) -> Vec<Reference> {
+    let mut refs = Vec::new();
+    for i in 0..ITERS {
+        refs.push(Reference::Load(X_BASE + i * stride));
+        refs.push(Reference::Load(Y_BASE + (i % Y_WORDS)));
+    }
+    refs
+}
+
+/// Cached path: everything through the L2.
+fn cached_path(stride: u64) -> (f64, u64, u64) {
+    let mut l2 = CacheSim::new(CacheConfig::default());
+    // Warm y.
+    for w in 0..Y_WORDS {
+        l2.access(Reference::Load(Y_BASE + w));
+    }
+    let mut mem = PvaSystem::sdram();
+    let r = run_reference_stream(&mut l2, &mut mem, &mixed_refs(stride), false);
+    // y hit rate: measure with a separate pass over y only.
+    let y_hits = {
+        let before = *l2.stats();
+        for w in 0..Y_WORDS {
+            l2.access(Reference::Load(Y_BASE + w));
+        }
+        let after = *l2.stats();
+        (after.hits - before.hits) as f64 / Y_WORDS as f64
+    };
+    let words_moved = (r.fills + r.writebacks) * 32;
+    (y_hits, words_moved, r.memory_cycles)
+}
+
+/// PVA path: x bypasses the cache as gathered vectors; y cached.
+fn pva_path(stride: u64) -> (f64, u64, u64) {
+    let mut l2 = CacheSim::new(CacheConfig::default());
+    for w in 0..Y_WORDS {
+        l2.access(Reference::Load(Y_BASE + w));
+    }
+    let mut mem = PvaSystem::sdram();
+    // x as gathered vector commands (32 elements each).
+    let mut trace: Vec<TraceOp> = Vec::new();
+    let x = Vector::new(X_BASE, stride, ITERS).expect("valid vector");
+    for chunk in x.chunks(32) {
+        trace.push(TraceOp::read(chunk));
+    }
+    // y through the cache: all hits after warmup, so no line traffic.
+    let r = run_reference_stream(
+        &mut l2,
+        &mut mem,
+        &(0..ITERS)
+            .map(|i| Reference::Load(Y_BASE + (i % Y_WORDS)))
+            .collect::<Vec<_>>(),
+        false,
+    );
+    let gather_cycles = mem.run_trace(&trace);
+    let y_hits = {
+        let before = *l2.stats();
+        for w in 0..Y_WORDS {
+            l2.access(Reference::Load(Y_BASE + w));
+        }
+        let after = *l2.stats();
+        (after.hits - before.hits) as f64 / Y_WORDS as f64
+    };
+    let words_moved = (r.fills + r.writebacks) * 32 + ITERS; // gathers move only useful words
+    (y_hits, words_moved, r.memory_cycles + gather_cycles)
+}
+
+fn main() {
+    println!("Cache pollution by strided access (1024 iterations; x strided, y dense/cached)\n");
+    let mut t = Table::new(vec![
+        "stride",
+        "cached: y hits",
+        "cached: bus words",
+        "cached: cycles",
+        "pva: y hits",
+        "pva: bus words",
+        "pva: cycles",
+    ]);
+    for stride in [2u64, 4, 8, 16, 32, 64] {
+        let (ch, cw, cc) = cached_path(stride);
+        let (ph, pw, pc) = pva_path(stride);
+        t.row(vec![
+            stride.to_string(),
+            format!("{:.0}%", ch * 100.0),
+            cw.to_string(),
+            cc.to_string(),
+            format!("{:.0}%", ph * 100.0),
+            pw.to_string(),
+            pc.to_string(),
+        ]);
+    }
+    println!("{t}");
+    println!("the cached path moves a whole line per strided element and evicts the dense");
+    println!("working set; the PVA path moves only the used words and leaves y resident —");
+    println!("the two bullet points of the paper's introduction, measured");
+}

@@ -1,0 +1,37 @@
+//! Figure 10: comparative performance of all kernels at fixed strides
+//! 8, 16 and 19, continued from figure 9 (same format).
+//!
+//! Stride 19 is the paper's prime-stride showcase: the PVA runs at
+//! near-unit-stride speed while the cache-line system fetches a whole
+//! line per few elements (2878%–3278% of PVA time in the paper).
+
+use pva_bench::fixed_stride;
+use pva_bench::report::Table;
+
+fn main() {
+    for stride in [8u64, 16, 19] {
+        let rows = fixed_stride(stride);
+        let mut t = Table::new(vec![
+            "kernel",
+            "pva-sdram",
+            "pva-sram",
+            "cacheline",
+            "cl % of pva",
+            "serial-gather",
+            "sg % of pva",
+        ]);
+        for r in &rows {
+            t.row(vec![
+                r.kernel.to_string(),
+                r.cells[0].1.min.to_string(),
+                r.cells[1].1.min.to_string(),
+                r.cells[2].1.min.to_string(),
+                format!("{:.0}%", r.cells[2].2),
+                r.cells[3].1.min.to_string(),
+                format!("{:.0}%", r.cells[3].2),
+            ]);
+        }
+        println!("Figure 10 — all kernels at stride {stride} (cycles, min over alignments)\n");
+        println!("{t}");
+    }
+}

@@ -1,0 +1,39 @@
+//! Figure 7: comparative performance of copy, saxpy and scale with
+//! varying stride (1, 2, 4, 8, 16, 19) on the four memory systems.
+//!
+//! Columns are total cycles for the 1024-element kernel; PVA systems
+//! report min/max over the five relative alignments. The paper's bars
+//! are these numbers; who wins and by what factor is the reproduction
+//! target (absolute cycles differ from the gate-level testbed).
+
+use kernels::Kernel;
+use pva_bench::report::Table;
+use pva_bench::stride_sweep;
+
+fn main() {
+    let rows = stride_sweep(&[Kernel::Copy, Kernel::Saxpy, Kernel::Scale]);
+    let mut t = Table::new(vec![
+        "kernel",
+        "stride",
+        "pva-sdram min",
+        "pva-sdram max",
+        "pva-sram min",
+        "pva-sram max",
+        "cacheline",
+        "serial-gather",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.kernel.to_string(),
+            r.stride.to_string(),
+            r.cells[0].1.min.to_string(),
+            r.cells[0].1.max.to_string(),
+            r.cells[1].1.min.to_string(),
+            r.cells[1].1.max.to_string(),
+            r.cells[2].1.min.to_string(),
+            r.cells[3].1.min.to_string(),
+        ]);
+    }
+    println!("Figure 7 — cycles per 1024-element kernel, varying stride\n");
+    println!("{t}");
+}

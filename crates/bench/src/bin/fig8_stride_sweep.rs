@@ -1,0 +1,34 @@
+//! Figure 8: comparative performance with varying stride, continued —
+//! swap, tridiag and vaxpy (see `fig7_stride_sweep` for the format).
+
+use kernels::Kernel;
+use pva_bench::report::Table;
+use pva_bench::stride_sweep;
+
+fn main() {
+    let rows = stride_sweep(&[Kernel::Swap, Kernel::Tridiag, Kernel::Vaxpy]);
+    let mut t = Table::new(vec![
+        "kernel",
+        "stride",
+        "pva-sdram min",
+        "pva-sdram max",
+        "pva-sram min",
+        "pva-sram max",
+        "cacheline",
+        "serial-gather",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.kernel.to_string(),
+            r.stride.to_string(),
+            r.cells[0].1.min.to_string(),
+            r.cells[0].1.max.to_string(),
+            r.cells[1].1.min.to_string(),
+            r.cells[1].1.max.to_string(),
+            r.cells[2].1.min.to_string(),
+            r.cells[3].1.min.to_string(),
+        ]);
+    }
+    println!("Figure 8 — cycles per 1024-element kernel, varying stride (continued)\n");
+    println!("{t}");
+}

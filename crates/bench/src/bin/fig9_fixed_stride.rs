@@ -1,0 +1,38 @@
+//! Figure 9: comparative performance of all kernels (including the
+//! unrolled copy2/scale2) at fixed strides 1 and 4.
+//!
+//! The `% of pva` column is each system's best time normalized to the
+//! PVA-SDRAM minimum — the annotation above each bar in the paper
+//! (e.g. 100%–109% for the cache-line system at unit stride, 307%–408%
+//! at stride 4).
+
+use pva_bench::fixed_stride;
+use pva_bench::report::Table;
+
+fn main() {
+    for stride in [1u64, 4] {
+        let rows = fixed_stride(stride);
+        let mut t = Table::new(vec![
+            "kernel",
+            "pva-sdram",
+            "pva-sram",
+            "cacheline",
+            "cl % of pva",
+            "serial-gather",
+            "sg % of pva",
+        ]);
+        for r in &rows {
+            t.row(vec![
+                r.kernel.to_string(),
+                r.cells[0].1.min.to_string(),
+                r.cells[1].1.min.to_string(),
+                r.cells[2].1.min.to_string(),
+                format!("{:.0}%", r.cells[2].2),
+                r.cells[3].1.min.to_string(),
+                format!("{:.0}%", r.cells[3].2),
+            ]);
+        }
+        println!("Figure 9 — all kernels at stride {stride} (cycles, min over alignments)\n");
+        println!("{t}");
+    }
+}

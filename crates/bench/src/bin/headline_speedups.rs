@@ -1,0 +1,36 @@
+//! The abstract's headline numbers, recomputed over the full 240-point
+//! design space:
+//!
+//! * "the PVA is able to load elements up to **32.8 times faster** than
+//!   a conventional memory system" (vs. the cache-line serial system),
+//! * "and **3.3 times faster** than a pipelined vector unit" (vs. the
+//!   gathering serial system),
+//! * "**without hurting normal cache line fill performance**"
+//!   (unit-stride parity).
+
+use pva_bench::headline;
+
+fn main() {
+    let h = headline();
+    println!("Headline claims, recomputed on this reproduction\n");
+    println!(
+        "max speedup vs cache-line serial system : {:.1}x  (at {} stride {})",
+        h.vs_cacheline.0, h.vs_cacheline.1, h.vs_cacheline.2
+    );
+    println!("  paper claim                            : 32.8x");
+    println!(
+        "max speedup vs gathering serial system  : {:.1}x  (at {} stride {})",
+        h.vs_serial_gather.0, h.vs_serial_gather.1, h.vs_serial_gather.2
+    );
+    println!("  paper claim                            : 3.3x");
+    println!(
+        "worst unit-stride cacheline/pva ratio   : {:.2}  (>= ~0.9 means line fills unhurt)",
+        h.unit_stride_parity
+    );
+    println!("  paper claim                            : 1.00-1.09 (100%-109%)");
+    println!(
+        "worst-case SDRAM/SRAM gap (fig. 11)     : {:.3}",
+        h.sram_gap
+    );
+    println!("  paper claim                            : <= ~1.15");
+}

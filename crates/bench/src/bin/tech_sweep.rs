@@ -1,0 +1,77 @@
+//! DRAM-technology sweep (§2.3): the PVA front end over device models
+//! inspired by the technologies the paper surveys — conventional/EDO
+//! (one row buffer), SDRAM (4 internal banks), SLDRAM-like (8),
+//! Direct-Rambus-like (32) and idealized SRAM.
+//!
+//! The point the paper's background section makes: modern DRAM's value
+//! is *pipelined, overlappable* access, and a smart controller converts
+//! it into SRAM-like effective latency. This sweep measures how much of
+//! that the PVA achieves on each device class, and where the device
+//! still shows through (row-conflict-heavy access).
+
+use kernels::{Alignment, Kernel};
+use memsys::{MemorySystem, PvaSystem};
+use pva_bench::report::Table;
+use pva_core::Vector;
+use pva_sim::{HostRequest, PvaConfig, PvaUnit};
+use sdram::SdramConfig;
+
+fn run(sdram: SdramConfig, stride: u64) -> u64 {
+    let cfg = PvaConfig {
+        sdram,
+        ..PvaConfig::default()
+    };
+    let mut unit = PvaUnit::new(cfg).expect("valid config");
+    let reqs: Vec<HostRequest> = (0..16u64)
+        .map(|i| HostRequest::Read {
+            vector: Vector::new(i * 32 * stride, stride, 32).expect("valid vector"),
+        })
+        .collect();
+    unit.run(reqs).expect("runs").cycles
+}
+
+/// Row-conflict-heavy probe: vaxpy at stride 16, coincident alignment —
+/// three arrays fighting over the rows of one external bank.
+fn row_conflict(sdram: SdramConfig) -> u64 {
+    let cfg = PvaConfig {
+        sdram,
+        ..PvaConfig::default()
+    };
+    let k = Kernel::Vaxpy;
+    let bases = Alignment::Coincident.bases(k.array_count(), kernels::ARRAY_REGION);
+    let trace = k.trace(&bases, 16, kernels::ELEMENTS, kernels::LINE_WORDS);
+    PvaSystem::with_config("tech", cfg).run_trace(&trace)
+}
+
+fn main() {
+    println!("DRAM technology sweep — 16 gathered reads through the PVA (cycles)\n");
+    let techs: Vec<(&str, SdramConfig)> = vec![
+        ("edo-like (1 row buffer)", SdramConfig::edo_like()),
+        ("sdram (4 internal banks)", SdramConfig::default()),
+        ("sldram-like (8 banks)", SdramConfig::sldram_like()),
+        ("drdram-like (32 banks)", SdramConfig::drdram_like()),
+        ("ideal sram", SdramConfig::sram_like()),
+    ];
+    let mut t = Table::new(vec![
+        "device",
+        "stride 1",
+        "stride 16",
+        "stride 19",
+        "vaxpy s16 (row conflicts)",
+    ]);
+    for (name, cfg) in &techs {
+        t.row(vec![
+            name.to_string(),
+            run(*cfg, 1).to_string(),
+            run(*cfg, 16).to_string(),
+            run(*cfg, 19).to_string(),
+            row_conflict(*cfg).to_string(),
+        ]);
+    }
+    println!("{t}");
+    println!("on pure vector bursts (first three columns) the PVA's scheduling amortizes row");
+    println!("opens so thoroughly that even a single-row-buffer EDO-like device keeps pace —");
+    println!("the latency-hiding claim of the paper in its strongest form; device differences");
+    println!("surface only under row *conflicts* (last column), where internal-bank overlap");
+    println!("and the core timings separate the technologies, SRAM bounding them below");
+}

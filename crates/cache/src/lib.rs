@@ -1,0 +1,388 @@
+//! # cache — the L2 in front of the memory controller
+//!
+//! The paper's §1 argues that caches *amplify* the strided-access
+//! problem: "they might in fact exacerbate the problem by loading and
+//! storing entire cachelines even when the application uses only a few
+//! of the memory words in a cacheline", wasting both cache capacity and
+//! bus bandwidth. The PVA's fix is to satisfy vector accesses as
+//! gathered lines (dense, via shadow space) instead of polluting fills.
+//!
+//! This crate provides the missing piece for quantifying that argument:
+//! a write-back / write-allocate set-associative L2 model
+//! ([`CacheSim`]) that converts a processor *word* reference stream
+//! into the line fills and writebacks a memory system actually sees,
+//! and a driver ([`run_reference_stream`]) that charges those to any
+//! [`MemorySystem`]. The paper's §6.2 leaves "functional simulation of
+//! the whole memory system" as future work; this is a small version of
+//! that study (see the `ext_cache_pollution` bench).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use memsys::{MemorySystem, TraceOp};
+use pva_core::{Vector, WordAddr};
+
+/// One processor reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reference {
+    /// Word load.
+    Load(WordAddr),
+    /// Word store.
+    Store(WordAddr),
+}
+
+impl Reference {
+    /// The referenced word address.
+    pub const fn addr(&self) -> WordAddr {
+        match *self {
+            Reference::Load(a) | Reference::Store(a) => a,
+        }
+    }
+}
+
+/// Line traffic the cache generated for one reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineOp {
+    /// Fetch the line containing this word-aligned line address.
+    Fill(WordAddr),
+    /// Write back the dirty line at this line address.
+    WriteBack(WordAddr),
+}
+
+/// L2 configuration. Defaults model the paper's target: 128-byte lines
+/// (32 four-byte words), 4-way, 1 MiB-equivalent capacity scaled down
+/// for simulation (64 sets x 4 ways x 128 B = 32 KiB; set `sets` higher
+/// for larger caches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Words per line (32 = the prototype's 128-byte L2 line).
+    pub line_words: u64,
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            line_words: 32,
+            sets: 64,
+            ways: 4,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// Total capacity in words.
+    pub const fn capacity_words(&self) -> u64 {
+        self.line_words * (self.sets as u64) * (self.ways as u64)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    tag: u64,
+    dirty: bool,
+    /// LRU stamp.
+    used: u64,
+}
+
+/// Hit/miss/writeback counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// References that hit.
+    pub hits: u64,
+    /// References that missed (caused a fill).
+    pub misses: u64,
+    /// Dirty evictions (writebacks).
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `0.0..=1.0` (1.0 for an untouched cache).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A write-back, write-allocate, set-associative cache with LRU
+/// replacement.
+///
+/// # Examples
+///
+/// ```
+/// use cache::{CacheConfig, CacheSim, LineOp, Reference};
+///
+/// let mut l2 = CacheSim::new(CacheConfig::default());
+/// // First touch misses and fills the whole 32-word line...
+/// assert_eq!(l2.access(Reference::Load(5)), vec![LineOp::Fill(0)]);
+/// // ...then neighbouring words hit.
+/// assert!(l2.access(Reference::Load(6)).is_empty());
+/// assert_eq!(l2.stats().hits, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CacheSim {
+    config: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl CacheSim {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or any parameter is zero.
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(config.ways > 0 && config.line_words > 0);
+        CacheSim {
+            config,
+            sets: vec![Vec::new(); config.sets],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub const fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Counters so far.
+    pub const fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Performs one reference, returning the line traffic it caused
+    /// (empty on a hit; a fill and possibly a writeback on a miss).
+    pub fn access(&mut self, r: Reference) -> Vec<LineOp> {
+        self.clock += 1;
+        let line_addr = r.addr() / self.config.line_words * self.config.line_words;
+        let set_idx = (line_addr / self.config.line_words) as usize & (self.config.sets - 1);
+        let tag = line_addr / self.config.line_words / self.config.sets as u64;
+        let dirty = matches!(r, Reference::Store(_));
+        let clock = self.clock;
+        let set = &mut self.sets[set_idx];
+        if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
+            line.used = clock;
+            line.dirty |= dirty;
+            self.stats.hits += 1;
+            return Vec::new();
+        }
+        self.stats.misses += 1;
+        let mut ops = Vec::new();
+        if set.len() == self.config.ways {
+            let (victim_idx, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.used)
+                .expect("full set is nonempty");
+            let victim = set.remove(victim_idx);
+            if victim.dirty {
+                let victim_line = (victim.tag * self.config.sets as u64 + set_idx as u64)
+                    * self.config.line_words;
+                self.stats.writebacks += 1;
+                ops.push(LineOp::WriteBack(victim_line));
+            }
+        }
+        set.push(Line {
+            tag,
+            dirty,
+            used: clock,
+        });
+        ops.push(LineOp::Fill(line_addr));
+        ops
+    }
+
+    /// Flushes all dirty lines, returning their writebacks.
+    pub fn flush(&mut self) -> Vec<LineOp> {
+        let mut ops = Vec::new();
+        for (set_idx, set) in self.sets.iter_mut().enumerate() {
+            for line in set.drain(..) {
+                if line.dirty {
+                    let addr = (line.tag * self.config.sets as u64 + set_idx as u64)
+                        * self.config.line_words;
+                    self.stats.writebacks += 1;
+                    ops.push(LineOp::WriteBack(addr));
+                }
+            }
+        }
+        ops
+    }
+
+    /// Whether the line containing `addr` is currently resident.
+    pub fn contains(&self, addr: WordAddr) -> bool {
+        let line_addr = addr / self.config.line_words * self.config.line_words;
+        let set_idx = (line_addr / self.config.line_words) as usize & (self.config.sets - 1);
+        let tag = line_addr / self.config.line_words / self.config.sets as u64;
+        self.sets[set_idx].iter().any(|l| l.tag == tag)
+    }
+}
+
+/// Result of driving a reference stream through cache + memory system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamRunResult {
+    /// Cycles the memory system spent on the generated line traffic.
+    pub memory_cycles: u64,
+    /// Cache counters for the run.
+    pub cache: CacheStats,
+    /// Line fills issued.
+    pub fills: u64,
+    /// Writebacks issued.
+    pub writebacks: u64,
+}
+
+/// Drives a word-reference stream through `cache`; the produced line
+/// traffic is charged to `memory` in order (including a final dirty
+/// flush when `flush_at_end`).
+pub fn run_reference_stream(
+    cache: &mut CacheSim,
+    memory: &mut dyn MemorySystem,
+    refs: &[Reference],
+    flush_at_end: bool,
+) -> StreamRunResult {
+    let before = *cache.stats();
+    let mut trace: Vec<TraceOp> = Vec::new();
+    let line_words = cache.config().line_words;
+    let push = |op: LineOp, trace: &mut Vec<TraceOp>| {
+        let v = |addr| Vector::unit_stride(addr, line_words).expect("nonzero line");
+        match op {
+            LineOp::Fill(a) => trace.push(TraceOp::read(v(a))),
+            LineOp::WriteBack(a) => trace.push(TraceOp::write(v(a))),
+        }
+    };
+    for &r in refs {
+        for op in cache.access(r) {
+            push(op, &mut trace);
+        }
+    }
+    if flush_at_end {
+        for op in cache.flush() {
+            push(op, &mut trace);
+        }
+    }
+    let fills = trace
+        .iter()
+        .filter(|t| t.kind == memsys::OpKind::Read)
+        .count() as u64;
+    let writebacks = trace.len() as u64 - fills;
+    let memory_cycles = if trace.is_empty() {
+        0
+    } else {
+        memory.run_trace(&trace)
+    };
+    let after = *cache.stats();
+    StreamRunResult {
+        memory_cycles,
+        cache: CacheStats {
+            hits: after.hits - before.hits,
+            misses: after.misses - before.misses,
+            writebacks: after.writebacks - before.writebacks,
+        },
+        fills,
+        writebacks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CacheSim {
+        CacheSim::new(CacheConfig {
+            line_words: 4,
+            sets: 2,
+            ways: 2,
+        })
+    }
+
+    #[test]
+    fn fill_then_hit() {
+        let mut c = small();
+        assert_eq!(c.access(Reference::Load(0)), vec![LineOp::Fill(0)]);
+        assert_eq!(c.access(Reference::Load(3)), vec![]);
+        assert_eq!(c.access(Reference::Load(4)), vec![LineOp::Fill(4)]);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn store_allocates_and_dirties() {
+        let mut c = small();
+        assert_eq!(c.access(Reference::Store(1)), vec![LineOp::Fill(0)]);
+        let wb = c.flush();
+        assert_eq!(wb, vec![LineOp::WriteBack(0)]);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_and_writes_back_dirty() {
+        let mut c = small();
+        // Set 0 holds lines 0 and 8 (line_words=4, sets=2: line/4 % 2).
+        c.access(Reference::Store(0)); // line 0, dirty
+        c.access(Reference::Load(8)); // line 8
+                                      // Third line in set 0 evicts line 0 (LRU) -> writeback.
+        let ops = c.access(Reference::Load(16));
+        assert_eq!(ops, vec![LineOp::WriteBack(0), LineOp::Fill(16)]);
+    }
+
+    #[test]
+    fn contains_tracks_residency() {
+        let mut c = small();
+        c.access(Reference::Load(0));
+        assert!(c.contains(2));
+        assert!(!c.contains(8));
+    }
+
+    #[test]
+    fn strided_walk_pollutes_capacity() {
+        // The §1 argument, measured: a stride-32 walk (1 useful word per
+        // 4-word line here with stride 8) touches `n` lines but uses few
+        // words; a following re-walk of a dense array misses because the
+        // strided lines consumed the capacity.
+        let cfg = CacheConfig {
+            line_words: 4,
+            sets: 8,
+            ways: 2,
+        };
+        let mut c = CacheSim::new(cfg);
+        // Dense array resident first: 8 lines = half the capacity.
+        for w in 0..32u64 {
+            c.access(Reference::Load(w));
+        }
+        // Strided sweep over a big footprint (one useful word per line,
+        // touching every set) evicts it all.
+        for i in 0..64u64 {
+            c.access(Reference::Load(1024 + i * 4));
+        }
+        // Dense array re-walk: all misses.
+        let before = c.stats().misses;
+        for w in 0..32u64 {
+            c.access(Reference::Load(w));
+        }
+        let dense_misses = c.stats().misses - before;
+        assert_eq!(dense_misses, 8, "every dense line was evicted");
+    }
+
+    #[test]
+    fn reference_stream_charges_memory() {
+        use memsys::CachelineSerial;
+        let mut c = CacheSim::new(CacheConfig::default());
+        let refs: Vec<Reference> = (0..64).map(Reference::Load).collect();
+        let mut mem = CachelineSerial::default();
+        let r = run_reference_stream(&mut c, &mut mem, &refs, true);
+        // 64 words = 2 lines = 2 fills x 20 cycles; no writebacks.
+        assert_eq!(r.fills, 2);
+        assert_eq!(r.writebacks, 0);
+        assert_eq!(r.memory_cycles, 40);
+        assert_eq!(r.cache.misses, 2);
+        assert_eq!(r.cache.hits, 62);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the L2 model: conservation laws that must hold
+//! for any reference stream.
+
+use proptest::prelude::*;
+
+use cache::{CacheConfig, CacheSim, LineOp, Reference};
+
+fn config() -> impl Strategy<Value = CacheConfig> {
+    (2u64..=32, 0u32..=5, 1usize..=4).prop_map(|(line, sets_log, ways)| CacheConfig {
+        line_words: line.next_power_of_two(),
+        sets: 1 << sets_log,
+        ways,
+    })
+}
+
+fn refs() -> impl Strategy<Value = Vec<Reference>> {
+    prop::collection::vec(
+        (0u64..4096, any::<bool>()).prop_map(|(a, w)| {
+            if w {
+                Reference::Store(a)
+            } else {
+                Reference::Load(a)
+            }
+        }),
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Hits + misses always equals references observed.
+    #[test]
+    fn hit_miss_conservation(cfg in config(), stream in refs()) {
+        let mut c = CacheSim::new(cfg);
+        for &r in &stream {
+            c.access(r);
+        }
+        prop_assert_eq!(
+            c.stats().hits + c.stats().misses,
+            stream.len() as u64
+        );
+    }
+
+    /// Every fill is for the line of the reference that caused it, and
+    /// a reference is always resident immediately afterwards.
+    #[test]
+    fn fills_match_their_reference(cfg in config(), stream in refs()) {
+        let mut c = CacheSim::new(cfg);
+        for &r in &stream {
+            let line = r.addr() / cfg.line_words * cfg.line_words;
+            for op in c.access(r) {
+                if let LineOp::Fill(a) = op {
+                    prop_assert_eq!(a, line);
+                }
+            }
+            prop_assert!(c.contains(r.addr()));
+        }
+    }
+
+    /// Writebacks never exceed the number of store-dirtied lines, and a
+    /// final flush emits each dirty line exactly once.
+    #[test]
+    fn writeback_accounting(cfg in config(), stream in refs()) {
+        let mut c = CacheSim::new(cfg);
+        let mut dirtied = std::collections::HashSet::new();
+        for &r in &stream {
+            if let Reference::Store(a) = r {
+                dirtied.insert(a / cfg.line_words);
+            }
+            c.access(r);
+        }
+        let flushed = c.flush();
+        let mut seen = std::collections::HashSet::new();
+        for op in &flushed {
+            if let LineOp::WriteBack(a) = op {
+                prop_assert!(seen.insert(*a), "line flushed twice");
+                prop_assert!(dirtied.contains(&(a / cfg.line_words)),
+                    "flushed a never-dirtied line");
+            }
+        }
+        prop_assert!(c.stats().writebacks <= dirtied.len() as u64 * (stream.len() as u64));
+        // After a flush, nothing is resident.
+        for &r in &stream {
+            prop_assert!(!c.contains(r.addr()));
+        }
+    }
+
+    /// A cache big enough for the whole footprint never evicts: second
+    /// pass over the same stream is all hits.
+    #[test]
+    fn no_capacity_misses_when_footprint_fits(stream in refs()) {
+        let cfg = CacheConfig { line_words: 32, sets: 512, ways: 8 }; // 128Ki words
+        let mut c = CacheSim::new(cfg);
+        for &r in &stream {
+            c.access(r);
+        }
+        let before = c.stats().misses;
+        for &r in &stream {
+            c.access(r);
+        }
+        prop_assert_eq!(c.stats().misses, before, "second pass must be all hits");
+    }
+}

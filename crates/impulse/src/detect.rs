@@ -1,0 +1,244 @@
+//! Hardware vector/stream detection (§3.2).
+//!
+//! "At the other end of the spectrum lie hardware vector or stream
+//! detection schemes, which may be implemented via reference prediction
+//! tables" (citing Chen). This module implements a classic reference
+//! prediction table: one entry per instruction (PC), tracking the last
+//! address and observed stride through the Initial → Transient → Steady
+//! state machine. Once an entry is steady, its stream can be handed to
+//! the PVA as base-stride vector commands — vector access without
+//! compiler or programmer involvement.
+
+use pva_core::{Vector, WordAddr};
+
+/// Prediction state of one table entry (Chen-style FSM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RptState {
+    /// First sighting: no stride known yet.
+    Initial,
+    /// One stride observed; not yet confirmed.
+    Transient,
+    /// Stride confirmed by consecutive accesses: predictable stream.
+    Steady,
+    /// Two consecutive mispredictions: don't predict.
+    NoPrediction,
+}
+
+/// One reference-prediction-table entry.
+#[derive(Debug, Clone, Copy)]
+struct RptEntry {
+    pc: u64,
+    last_addr: WordAddr,
+    stride: i64,
+    state: RptState,
+    /// LRU stamp.
+    touched: u64,
+}
+
+/// A stream the table has locked onto.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetectedStream {
+    /// Instruction that generates the stream.
+    pub pc: u64,
+    /// Predicted next address.
+    pub next_addr: WordAddr,
+    /// Confirmed stride in words (may be negative).
+    pub stride: i64,
+}
+
+impl DetectedStream {
+    /// The vector command that prefetches the next `length` elements of
+    /// the stream, or `None` for non-positive strides (the PVA's
+    /// base-stride vectors are forward-going; descending streams would
+    /// be issued from their far end by a smarter front end).
+    pub fn prefetch_vector(&self, length: u64) -> Option<Vector> {
+        if self.stride <= 0 {
+            return None;
+        }
+        Vector::new(self.next_addr, self.stride as u64, length).ok()
+    }
+}
+
+/// A direct-mapped-with-LRU reference prediction table.
+///
+/// # Examples
+///
+/// ```
+/// use impulse::ReferencePredictionTable;
+///
+/// let mut rpt = ReferencePredictionTable::new(16);
+/// // A load at PC 0x40 walking stride 19:
+/// assert!(rpt.observe(0x40, 1000).is_none());   // initial
+/// assert!(rpt.observe(0x40, 1019).is_none());   // transient
+/// let s = rpt.observe(0x40, 1038).expect("steady after confirmation");
+/// assert_eq!(s.stride, 19);
+/// assert_eq!(s.next_addr, 1057);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReferencePredictionTable {
+    entries: Vec<Option<RptEntry>>,
+    clock: u64,
+}
+
+impl ReferencePredictionTable {
+    /// Creates a table with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "table needs at least one entry");
+        ReferencePredictionTable {
+            entries: vec![None; capacity],
+            clock: 0,
+        }
+    }
+
+    /// Records a reference by instruction `pc` to word `addr`; returns
+    /// the detected stream when the entry is (still) steady.
+    pub fn observe(&mut self, pc: u64, addr: WordAddr) -> Option<DetectedStream> {
+        self.clock += 1;
+        let clock = self.clock;
+        let slot = self.slot_for(pc);
+        let entry = &mut self.entries[slot];
+        match entry {
+            Some(e) if e.pc == pc => {
+                let observed = addr as i64 - e.last_addr as i64;
+                let correct = observed == e.stride;
+                e.state = match (e.state, correct) {
+                    (RptState::Initial, _) => RptState::Transient,
+                    (RptState::Transient, true) => RptState::Steady,
+                    (RptState::Transient, false) => RptState::NoPrediction,
+                    (RptState::Steady, true) => RptState::Steady,
+                    (RptState::Steady, false) => RptState::Transient,
+                    (RptState::NoPrediction, true) => RptState::Transient,
+                    (RptState::NoPrediction, false) => RptState::NoPrediction,
+                };
+                e.stride = observed;
+                e.last_addr = addr;
+                e.touched = clock;
+                if e.state == RptState::Steady {
+                    Some(DetectedStream {
+                        pc,
+                        next_addr: (addr as i64 + e.stride).max(0) as u64,
+                        stride: e.stride,
+                    })
+                } else {
+                    None
+                }
+            }
+            _ => {
+                // Allocate (evicting any conflicting entry).
+                self.entries[slot] = Some(RptEntry {
+                    pc,
+                    last_addr: addr,
+                    stride: 0,
+                    state: RptState::Initial,
+                    touched: clock,
+                });
+                None
+            }
+        }
+    }
+
+    /// The state of the entry for `pc`, if present.
+    pub fn state_of(&self, pc: u64) -> Option<RptState> {
+        let slot = pc as usize % self.entries.len();
+        self.entries[slot]
+            .as_ref()
+            .filter(|e| e.pc == pc)
+            .map(|e| e.state)
+    }
+
+    fn slot_for(&self, pc: u64) -> usize {
+        pc as usize % self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_constant_stride_after_three_refs() {
+        let mut rpt = ReferencePredictionTable::new(8);
+        assert!(rpt.observe(1, 100).is_none());
+        assert!(rpt.observe(1, 104).is_none());
+        let s = rpt.observe(1, 108).unwrap();
+        assert_eq!((s.stride, s.next_addr), (4, 112));
+        // Stays steady.
+        let s = rpt.observe(1, 112).unwrap();
+        assert_eq!(s.next_addr, 116);
+    }
+
+    #[test]
+    fn unit_stride_and_negative_stride() {
+        let mut rpt = ReferencePredictionTable::new(8);
+        rpt.observe(2, 50);
+        rpt.observe(2, 49);
+        let s = rpt.observe(2, 48).unwrap();
+        assert_eq!(s.stride, -1);
+        assert!(
+            s.prefetch_vector(32).is_none(),
+            "descending: no forward vector"
+        );
+        let up = DetectedStream {
+            pc: 0,
+            next_addr: 10,
+            stride: 3,
+        };
+        assert_eq!(
+            up.prefetch_vector(4).unwrap().addresses().next_back(),
+            Some(19)
+        );
+    }
+
+    #[test]
+    fn random_references_never_go_steady() {
+        let mut rpt = ReferencePredictionTable::new(8);
+        let addrs = [5u64, 900, 3, 77, 12_000, 42, 1_000_000, 7];
+        for &a in &addrs {
+            assert!(rpt.observe(3, a).is_none(), "no stream at {a}");
+        }
+        assert_ne!(rpt.state_of(3), Some(RptState::Steady));
+    }
+
+    #[test]
+    fn steady_recovers_after_a_blip() {
+        let mut rpt = ReferencePredictionTable::new(8);
+        rpt.observe(4, 0);
+        rpt.observe(4, 8);
+        assert!(rpt.observe(4, 16).is_some()); // steady
+                                               // Blip: the stride register now holds the bogus delta, so the
+                                               // table must see the new run's stride twice before re-locking.
+        assert!(rpt.observe(4, 999).is_none()); // steady -> transient
+        assert!(rpt.observe(4, 1007).is_none()); // transient -> no-pred
+        assert!(rpt.observe(4, 1015).is_none()); // no-pred -> transient
+        let s = rpt.observe(4, 1023).expect("transient -> steady");
+        assert_eq!(s.stride, 8);
+    }
+
+    #[test]
+    fn independent_pcs_track_independent_streams() {
+        let mut rpt = ReferencePredictionTable::new(16);
+        for i in 0..4u64 {
+            rpt.observe(5, 100 + i * 2);
+            rpt.observe(6, 9000 + i * 19);
+        }
+        let s5 = rpt.observe(5, 108).unwrap();
+        let s6 = rpt.observe(6, 9076).unwrap();
+        assert_eq!(s5.stride, 2);
+        assert_eq!(s6.stride, 19);
+    }
+
+    #[test]
+    fn conflicting_pcs_evict() {
+        let mut rpt = ReferencePredictionTable::new(1);
+        rpt.observe(1, 0);
+        rpt.observe(1, 4);
+        rpt.observe(2, 0); // evicts pc 1
+        assert!(rpt.state_of(1).is_none());
+        rpt.observe(1, 8); // reallocates from scratch
+        assert_eq!(rpt.state_of(1), Some(RptState::Initial));
+    }
+}

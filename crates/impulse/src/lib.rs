@@ -1,0 +1,39 @@
+//! # impulse — shadow address spaces over the PVA
+//!
+//! The PVA unit of the paper "was designed in the context of the
+//! Impulse memory controller" (§3.2), which remaps regions of the
+//! physical address space through *shadow* descriptors: a strided view
+//! lets the processor walk a dense shadow region while the controller
+//! scatter/gathers the strided real words and "compacts the strided
+//! data into dense cache lines".
+//!
+//! * [`StridedView`] / [`ShadowTable`] — the remapping descriptors.
+//! * [`ImpulseController`] — a front end that turns ordinary cache-line
+//!   fills into PVA vector commands.
+//! * [`ReferencePredictionTable`] — the §3.2 hardware alternative:
+//!   detect base-stride streams from the reference trace, no
+//!   compiler/programmer involvement.
+//!
+//! ```
+//! use impulse::{ImpulseController, StridedView};
+//!
+//! let mut ctl = ImpulseController::with_default_unit()?;
+//! // Column 0 of a 256-wide matrix at 0x10000, viewed densely.
+//! ctl.install(StridedView::new(1 << 40, 0x10000, 256, 1024)?)?;
+//! let cycles = ctl.stream_view(1 << 40)?;
+//! assert!(cycles > 0);
+//! # Ok::<(), pva_core::PvaError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod controller;
+mod detect;
+mod prefetch;
+mod shadow;
+
+pub use controller::{ImpulseController, LineResult};
+pub use detect::{DetectedStream, ReferencePredictionTable, RptState};
+pub use prefetch::{PrefetchEngine, PrefetchStats};
+pub use shadow::{ShadowTable, StridedView};

@@ -1,0 +1,213 @@
+//! Shadow address spaces (§3.2).
+//!
+//! Impulse "supports multiple views of the same data": a region of the
+//! physical address space that no real memory backs — a *shadow space* —
+//! is remapped by the memory controller. A **strided view** makes the
+//! dense shadow range `[shadow_base, shadow_base + length)` alias the
+//! strided real words `real_base + i * stride`: when the processor
+//! fills a cache line from the shadow region, the controller gathers
+//! the corresponding strided words and "compacts the strided data into
+//! dense cache lines". Descriptors are installed "either directly by
+//! the programmer or by a smart compiler".
+
+use pva_core::{PvaError, Vector, WordAddr};
+
+/// One strided-view descriptor: shadow word `shadow_base + i` aliases
+/// real word `real_base + i * stride` for `i` in `0..length`.
+///
+/// # Examples
+///
+/// ```
+/// use impulse::StridedView;
+///
+/// // A dense view of column 3 of a 256-wide row-major matrix at 0x1000.
+/// let view = StridedView::new(0x8000_0000, 0x1000 + 3, 256, 256)?;
+/// assert_eq!(view.translate(0x8000_0000), Some(0x1003));
+/// assert_eq!(view.translate(0x8000_0001), Some(0x1103));
+/// assert_eq!(view.translate(0x7fff_ffff), None); // outside the view
+/// # Ok::<(), pva_core::PvaError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StridedView {
+    shadow_base: WordAddr,
+    real_base: WordAddr,
+    stride: u64,
+    length: u64,
+}
+
+impl StridedView {
+    /// Creates a strided view.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PvaError::ZeroStride`] / [`PvaError::ZeroLength`] for
+    /// degenerate parameters.
+    pub fn new(
+        shadow_base: WordAddr,
+        real_base: WordAddr,
+        stride: u64,
+        length: u64,
+    ) -> Result<Self, PvaError> {
+        if stride == 0 {
+            return Err(PvaError::ZeroStride);
+        }
+        if length == 0 {
+            return Err(PvaError::ZeroLength);
+        }
+        Ok(StridedView {
+            shadow_base,
+            real_base,
+            stride,
+            length,
+        })
+    }
+
+    /// First shadow word of the view.
+    pub const fn shadow_base(&self) -> WordAddr {
+        self.shadow_base
+    }
+
+    /// One past the last shadow word.
+    pub const fn shadow_end(&self) -> WordAddr {
+        self.shadow_base + self.length
+    }
+
+    /// The view's element stride in the real region.
+    pub const fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// Number of shadow words.
+    pub const fn length(&self) -> u64 {
+        self.length
+    }
+
+    /// Whether `shadow_addr` falls inside this view.
+    pub const fn contains(&self, shadow_addr: WordAddr) -> bool {
+        shadow_addr >= self.shadow_base && shadow_addr < self.shadow_base + self.length
+    }
+
+    /// Translates one shadow word to its real word, or `None` if the
+    /// address is outside the view.
+    pub fn translate(&self, shadow_addr: WordAddr) -> Option<WordAddr> {
+        if !self.contains(shadow_addr) {
+            return None;
+        }
+        Some(self.real_base + (shadow_addr - self.shadow_base) * self.stride)
+    }
+
+    /// The real-space gather vector backing the dense shadow range
+    /// `[shadow_addr, shadow_addr + words)` — what the controller
+    /// broadcasts to the PVA on a shadow-space line fill.
+    ///
+    /// Returns `None` if any word of the range is outside the view.
+    pub fn backing_vector(&self, shadow_addr: WordAddr, words: u64) -> Option<Vector> {
+        if words == 0 || !self.contains(shadow_addr) || shadow_addr + words > self.shadow_end() {
+            return None;
+        }
+        let base = self.translate(shadow_addr).expect("contained");
+        Some(Vector::new(base, self.stride, words).expect("validated nonzero"))
+    }
+}
+
+/// The set of installed shadow views, with non-overlap enforcement —
+/// the remapping table of the Impulse controller.
+#[derive(Debug, Clone, Default)]
+pub struct ShadowTable {
+    views: Vec<StridedView>,
+}
+
+impl ShadowTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        ShadowTable::default()
+    }
+
+    /// Installs a view.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PvaError::ZeroParameter`] (parameter `overlap`) if the
+    /// view's shadow range overlaps an installed view.
+    pub fn install(&mut self, view: StridedView) -> Result<(), PvaError> {
+        let overlaps = self
+            .views
+            .iter()
+            .any(|v| view.shadow_base() < v.shadow_end() && v.shadow_base() < view.shadow_end());
+        if overlaps {
+            return Err(PvaError::ZeroParameter("overlap"));
+        }
+        self.views.push(view);
+        Ok(())
+    }
+
+    /// The view covering `shadow_addr`, if any.
+    pub fn lookup(&self, shadow_addr: WordAddr) -> Option<&StridedView> {
+        self.views.iter().find(|v| v.contains(shadow_addr))
+    }
+
+    /// Number of installed views.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Whether no views are installed.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn translate_round_trip() {
+        let v = StridedView::new(1 << 30, 0x100, 7, 64).unwrap();
+        for i in 0..64u64 {
+            assert_eq!(v.translate((1 << 30) + i), Some(0x100 + 7 * i));
+        }
+        assert_eq!(v.translate((1 << 30) + 64), None);
+        assert_eq!(v.translate(0), None);
+    }
+
+    #[test]
+    fn backing_vector_matches_translation() {
+        let v = StridedView::new(1 << 30, 0x100, 7, 64).unwrap();
+        let gather = v.backing_vector((1 << 30) + 8, 32).unwrap();
+        let addrs: Vec<u64> = gather.addresses().collect();
+        let want: Vec<u64> = (8..40)
+            .map(|i| v.translate((1 << 30) + i).unwrap())
+            .collect();
+        assert_eq!(addrs, want);
+    }
+
+    #[test]
+    fn backing_vector_rejects_partial_coverage() {
+        let v = StridedView::new(1 << 30, 0x100, 7, 40).unwrap();
+        assert!(v.backing_vector((1 << 30) + 16, 32).is_none()); // runs past end
+        assert!(v.backing_vector((1 << 30) + 8, 0).is_none());
+    }
+
+    #[test]
+    fn table_rejects_overlap() {
+        let mut t = ShadowTable::new();
+        t.install(StridedView::new(1000, 0, 4, 100).unwrap())
+            .unwrap();
+        assert!(t
+            .install(StridedView::new(1050, 0, 2, 100).unwrap())
+            .is_err());
+        t.install(StridedView::new(1100, 0, 2, 100).unwrap())
+            .unwrap();
+        assert_eq!(t.len(), 2);
+        assert!(t.lookup(1050).is_some());
+        assert!(t.lookup(1199).is_some());
+        assert!(t.lookup(1200).is_none(), "past the last view");
+    }
+
+    #[test]
+    fn degenerate_views_rejected() {
+        assert!(StridedView::new(0, 0, 0, 4).is_err());
+        assert!(StridedView::new(0, 0, 4, 0).is_err());
+    }
+}

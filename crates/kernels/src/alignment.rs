@@ -1,0 +1,144 @@
+//! Relative vector alignments (§6.2).
+//!
+//! The paper sweeps five relative alignments of the kernel arrays:
+//! "placement of the base addresses within memory banks, within internal
+//! banks for a given SDRAM, and within rows or pages for a given
+//! internal bank". Arrays live in disjoint 4 Mi-word regions; an
+//! alignment adds a per-array offset that steers where array `k` starts
+//! relative to array 0 at each of those three granularities.
+
+/// One of the five relative-alignment presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Alignment {
+    /// Every array starts at bank 0, internal bank 0, row offset 0 —
+    /// maximal conflict between vectors.
+    Coincident,
+    /// Array `k` starts `k` words later: consecutive starting banks.
+    BankStagger,
+    /// Array `k` starts `4k` words later: quarter-way around the banks.
+    QuarterBankStagger,
+    /// Array `k` starts in a different *internal* SDRAM bank (same
+    /// external bank).
+    InternalBankStagger,
+    /// Array `k` starts in a different *row* of the same internal bank —
+    /// the row-conflict worst case.
+    RowStagger,
+}
+
+impl Alignment {
+    /// All five presets, in sweep order.
+    pub const ALL: [Alignment; 5] = [
+        Alignment::Coincident,
+        Alignment::BankStagger,
+        Alignment::QuarterBankStagger,
+        Alignment::InternalBankStagger,
+        Alignment::RowStagger,
+    ];
+
+    /// Short name for reports.
+    pub const fn name(&self) -> &'static str {
+        match self {
+            Alignment::Coincident => "coincident",
+            Alignment::BankStagger => "bank+1",
+            Alignment::QuarterBankStagger => "bank+4",
+            Alignment::InternalBankStagger => "ibank+1",
+            Alignment::RowStagger => "row+1",
+        }
+    }
+
+    /// Word offset applied to array `k`'s base.
+    ///
+    /// Derived for the prototype geometry (16 banks, 4 internal banks,
+    /// 512-word device pages): `8192` words flips the internal-bank
+    /// field of the device-local address, `32768` flips the row field
+    /// while preserving bank and internal bank.
+    pub const fn offset(&self, k: u64) -> u64 {
+        match self {
+            Alignment::Coincident => 0,
+            Alignment::BankStagger => k,
+            Alignment::QuarterBankStagger => 4 * k,
+            Alignment::InternalBankStagger => 8192 * k,
+            Alignment::RowStagger => 32768 * k,
+        }
+    }
+
+    /// Base addresses for `n` arrays under this alignment, spacing the
+    /// arrays by `region` words.
+    pub fn bases(&self, n: usize, region: u64) -> Vec<u64> {
+        (0..n as u64).map(|k| k * region + self.offset(k)).collect()
+    }
+}
+
+impl core::fmt::Display for Alignment {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pva_core::Geometry;
+    use sdram::SdramConfig;
+
+    const REGION: u64 = 1 << 22;
+
+    #[test]
+    fn coincident_bases_share_all_fields() {
+        let g = Geometry::word_interleaved(16).unwrap();
+        let cfg = SdramConfig::default();
+        let bases = Alignment::Coincident.bases(3, REGION);
+        let m = g.log2_banks();
+        let first = cfg.map(bases[0] >> m);
+        for &b in &bases[1..] {
+            let ia = cfg.map(b >> m);
+            assert_eq!(g.decode_bank(b), g.decode_bank(bases[0]));
+            assert_eq!(ia.bank, first.bank);
+            assert_eq!(ia.col, first.col);
+        }
+    }
+
+    #[test]
+    fn bank_stagger_rotates_banks() {
+        let g = Geometry::word_interleaved(16).unwrap();
+        let bases = Alignment::BankStagger.bases(3, REGION);
+        let banks: Vec<usize> = bases.iter().map(|&b| g.decode_bank(b).index()).collect();
+        assert_eq!(banks, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn internal_bank_stagger_flips_internal_bank_only() {
+        let g = Geometry::word_interleaved(16).unwrap();
+        let cfg = SdramConfig::default();
+        let m = g.log2_banks();
+        let bases = Alignment::InternalBankStagger.bases(3, REGION);
+        for (k, &b) in bases.iter().enumerate() {
+            assert_eq!(g.decode_bank(b).index(), 0, "external bank preserved");
+            let ia = cfg.map((b % REGION) >> m);
+            assert_eq!(ia.bank as usize, k % 4, "internal bank rotates");
+            assert_eq!(ia.col, 0);
+        }
+    }
+
+    #[test]
+    fn row_stagger_flips_row_only() {
+        let g = Geometry::word_interleaved(16).unwrap();
+        let cfg = SdramConfig::default();
+        let m = g.log2_banks();
+        let bases = Alignment::RowStagger.bases(3, REGION);
+        for (k, &b) in bases.iter().enumerate() {
+            assert_eq!(g.decode_bank(b).index(), 0);
+            let ia = cfg.map((b % REGION) >> m);
+            assert_eq!(ia.bank, 0, "internal bank preserved");
+            assert_eq!(ia.row, k as u64, "row rotates");
+        }
+    }
+
+    #[test]
+    fn regions_do_not_overlap() {
+        // Largest footprint: 1024 elements at stride 19 < 20k words,
+        // plus the largest offset (2 * 32768) stays inside a region.
+        let max_off = Alignment::RowStagger.offset(2);
+        assert!(max_off + 1024 * 19 < REGION);
+    }
+}

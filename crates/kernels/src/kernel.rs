@@ -1,0 +1,351 @@
+//! The evaluation kernels of Table 2.
+//!
+//! Six vector-style loop kernels — *copy*, *saxpy* and *scale* from the
+//! BLAS, *swap*, *tridiag* (the fifth Livermore Loop) and *vaxpy*
+//! (vector axpy from matrix-vector multiplication by diagonals) — plus
+//! the unrolled *copy2* / *scale2* variants whose read and write
+//! commands are grouped (§6.3).
+//!
+//! A kernel is characterized by its per-iteration sequence of vector
+//! accesses; [`Kernel::trace`] expands it, for a given stride and set of
+//! array base addresses, into the cache-line-sized vector commands the
+//! memory controller sees. All application vectors are 1024 elements
+//! (32 commands of 32 elements) as in §6.2.
+
+use memsys::TraceOp;
+use pva_core::Vector;
+
+/// Which array of the kernel an access touches (up to three arrays:
+/// x, y, z / a).
+pub type ArrayIndex = usize;
+
+/// One vector access in a kernel iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Gathered read from the given array.
+    Read(ArrayIndex),
+    /// Scattered write to the given array.
+    Write(ArrayIndex),
+}
+
+/// One of the Table-2 kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Kernel {
+    Copy,
+    Copy2,
+    Saxpy,
+    Scale,
+    Scale2,
+    Swap,
+    Tridiag,
+    Vaxpy,
+}
+
+impl Kernel {
+    /// All kernels in the order the paper's figures present them.
+    pub const ALL: [Kernel; 8] = [
+        Kernel::Copy,
+        Kernel::Copy2,
+        Kernel::Saxpy,
+        Kernel::Scale,
+        Kernel::Scale2,
+        Kernel::Swap,
+        Kernel::Tridiag,
+        Kernel::Vaxpy,
+    ];
+
+    /// The six base kernels (no unrolled variants), as in figures 7–8.
+    pub const BASE: [Kernel; 6] = [
+        Kernel::Copy,
+        Kernel::Saxpy,
+        Kernel::Scale,
+        Kernel::Swap,
+        Kernel::Tridiag,
+        Kernel::Vaxpy,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub const fn name(&self) -> &'static str {
+        match self {
+            Kernel::Copy => "copy",
+            Kernel::Copy2 => "copy2",
+            Kernel::Saxpy => "saxpy",
+            Kernel::Scale => "scale",
+            Kernel::Scale2 => "scale2",
+            Kernel::Swap => "swap",
+            Kernel::Tridiag => "tridiag",
+            Kernel::Vaxpy => "vaxpy",
+        }
+    }
+
+    /// The source-level loop body, as listed in Table 2.
+    pub const fn source(&self) -> &'static str {
+        match self {
+            Kernel::Copy | Kernel::Copy2 => "for (i = 0; i < L*S; i += S) y[i] = x[i];",
+            Kernel::Saxpy => "for (i = 0; i < L*S; i += S) y[i] += a * x[i];",
+            Kernel::Scale | Kernel::Scale2 => "for (i = 0; i < L*S; i += S) x[i] = a * x[i];",
+            Kernel::Swap => "for (i = 0; i < L*S; i += S) { reg = x[i]; x[i] = y[i]; y[i] = reg; }",
+            Kernel::Tridiag => "for (i = 0; i < L*S; i += S) x[i] = z[i] * (y[i] - x[i-1]);",
+            Kernel::Vaxpy => "for (i = 0; i < L*S; i += S) y[i] += a[i] * x[i];",
+        }
+    }
+
+    /// Number of distinct arrays the kernel touches.
+    pub const fn array_count(&self) -> usize {
+        match self {
+            Kernel::Copy | Kernel::Copy2 | Kernel::Saxpy | Kernel::Swap => 2,
+            Kernel::Scale | Kernel::Scale2 => 1,
+            Kernel::Tridiag | Kernel::Vaxpy => 3,
+        }
+    }
+
+    /// The per-chunk vector accesses, in issue order. Array 0 is `x`,
+    /// array 1 is `y`, array 2 is `z`/`a`.
+    ///
+    /// The unrolled variants (`copy2`, `scale2`) group two consecutive
+    /// chunks' commands per vector, so their pattern spans two chunks —
+    /// see [`Kernel::unroll`].
+    pub fn accesses(&self) -> &'static [Access] {
+        match self {
+            Kernel::Copy | Kernel::Copy2 => &[Access::Read(0), Access::Write(1)],
+            Kernel::Saxpy => &[Access::Read(0), Access::Read(1), Access::Write(1)],
+            Kernel::Scale | Kernel::Scale2 => &[Access::Read(0), Access::Write(0)],
+            Kernel::Swap => &[
+                Access::Read(0),
+                Access::Read(1),
+                Access::Write(0),
+                Access::Write(1),
+            ],
+            Kernel::Tridiag => &[
+                Access::Read(2),
+                Access::Read(1),
+                Access::Read(0),
+                Access::Write(0),
+            ],
+            Kernel::Vaxpy => &[
+                Access::Read(2),
+                Access::Read(0),
+                Access::Read(1),
+                Access::Write(1),
+            ],
+        }
+    }
+
+    /// Unroll factor: how many consecutive chunks have their commands to
+    /// the same vector grouped (2 for `copy2`/`scale2`, 1 otherwise).
+    /// §6.2: the eight-transaction bus limit prevents deeper unrolling.
+    pub const fn unroll(&self) -> u64 {
+        match self {
+            Kernel::Copy2 | Kernel::Scale2 => 2,
+            _ => 1,
+        }
+    }
+
+    /// Expands the kernel into vector commands.
+    ///
+    /// * `bases[k]` — base word address of array `k` (see
+    ///   [`Kernel::array_count`]).
+    /// * `stride` — element stride `S` (equal for all vectors, §6.2).
+    /// * `elements` — application-vector length `L` (1024 in the paper).
+    /// * `line_words` — command length (32 in the prototype).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bases` is shorter than [`Kernel::array_count`] or if
+    /// `elements` is not a multiple of `line_words * unroll`.
+    pub fn trace(
+        &self,
+        bases: &[u64],
+        stride: u64,
+        elements: u64,
+        line_words: u64,
+    ) -> Vec<TraceOp> {
+        assert!(
+            bases.len() >= self.array_count(),
+            "{} needs {} arrays",
+            self.name(),
+            self.array_count()
+        );
+        let unroll = self.unroll();
+        assert_eq!(
+            elements % (line_words * unroll),
+            0,
+            "vector length must be whole unrolled chunks"
+        );
+        let chunks = elements / line_words;
+        let mut out = Vec::new();
+        let mut chunk = 0;
+        while chunk < chunks {
+            // With unrolling u, the commands of u consecutive chunks are
+            // grouped per access: R(x,c0), R(x,c1), W(y,c0), W(y,c1), ...
+            for access in self.accesses() {
+                for u in 0..unroll {
+                    let c = chunk + u;
+                    let (arr, is_write) = match *access {
+                        Access::Read(a) => (a, false),
+                        Access::Write(a) => (a, true),
+                    };
+                    let base = bases[arr] + c * line_words * stride;
+                    let v = Vector::new(base, stride, line_words)
+                        .expect("stride and line length are nonzero");
+                    out.push(if is_write {
+                        TraceOp::write(v)
+                    } else {
+                        TraceOp::read(v)
+                    });
+                }
+            }
+            chunk += unroll;
+        }
+        out
+    }
+}
+
+impl core::fmt::Display for Kernel {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pva_sim::OpKind;
+
+    #[test]
+    fn trace_lengths() {
+        // 1024 elements -> 32 chunks; per-chunk command counts from the
+        // access patterns.
+        let bases = [0u64, 1 << 20, 2 << 20];
+        for k in Kernel::ALL {
+            let t = k.trace(&bases, 1, 1024, 32);
+            let per_chunk = k.accesses().len() as u64;
+            assert_eq!(t.len() as u64, 32 * per_chunk, "{k}");
+        }
+    }
+
+    #[test]
+    fn copy_alternates_read_write() {
+        let t = Kernel::Copy.trace(&[0, 1 << 20], 4, 64, 32);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t[0].kind, OpKind::Read);
+        assert_eq!(t[1].kind, OpKind::Write);
+        assert_eq!(t[0].vector.base(), 0);
+        assert_eq!(t[1].vector.base(), 1 << 20);
+        // Second chunk starts 32 * stride further in.
+        assert_eq!(t[2].vector.base(), 128);
+    }
+
+    #[test]
+    fn copy2_groups_commands() {
+        let t = Kernel::Copy2.trace(&[0, 1 << 20], 4, 128, 32);
+        // Chunks (0,1) grouped: R x0, R x1, W y0, W y1, then (2,3).
+        assert_eq!(t.len(), 8);
+        assert_eq!(t[0].kind, OpKind::Read);
+        assert_eq!(t[1].kind, OpKind::Read);
+        assert_eq!(t[2].kind, OpKind::Write);
+        assert_eq!(t[3].kind, OpKind::Write);
+        assert_eq!(t[1].vector.base(), 128);
+    }
+
+    #[test]
+    fn tridiag_reads_three_arrays() {
+        let t = Kernel::Tridiag.trace(&[0, 1 << 20, 2 << 20], 2, 32, 32);
+        assert_eq!(t.len(), 4);
+        let reads = t.iter().filter(|op| op.kind == OpKind::Read).count();
+        assert_eq!(reads, 3);
+    }
+
+    #[test]
+    fn every_kernel_writes_something() {
+        for k in Kernel::ALL {
+            assert!(
+                k.accesses().iter().any(|a| matches!(a, Access::Write(_))),
+                "{k}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs")]
+    fn missing_bases_panic() {
+        Kernel::Tridiag.trace(&[0, 1], 1, 32, 32);
+    }
+
+    #[test]
+    fn table_2_sources_are_recorded() {
+        for k in Kernel::ALL {
+            assert!(k.source().contains("for"), "{k}");
+        }
+    }
+}
+
+impl Kernel {
+    /// The scalar (word-granularity) reference stream of the kernel's
+    /// loop, for driving a cache model: per iteration, one load/store
+    /// per Table-2 access, in program order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bases` is shorter than [`Kernel::array_count`].
+    pub fn references(&self, bases: &[u64], stride: u64, elements: u64) -> Vec<cache::Reference> {
+        assert!(
+            bases.len() >= self.array_count(),
+            "{} needs {} arrays",
+            self.name(),
+            self.array_count()
+        );
+        let mut out = Vec::with_capacity((elements as usize) * self.accesses().len());
+        for i in 0..elements {
+            for access in self.accesses() {
+                let (arr, write) = match *access {
+                    Access::Read(a) => (a, false),
+                    Access::Write(a) => (a, true),
+                };
+                let addr = bases[arr] + i * stride;
+                out.push(if write {
+                    cache::Reference::Store(addr)
+                } else {
+                    cache::Reference::Load(addr)
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod reference_tests {
+    use super::*;
+    use cache::Reference;
+
+    #[test]
+    fn reference_stream_matches_access_pattern() {
+        let refs = Kernel::Saxpy.references(&[0, 1 << 20], 4, 8);
+        assert_eq!(refs.len(), 24); // 8 iterations x 3 accesses
+                                    // First iteration: load x[0], load y[0], store y[0].
+        assert_eq!(refs[0], Reference::Load(0));
+        assert_eq!(refs[1], Reference::Load(1 << 20));
+        assert_eq!(refs[2], Reference::Store(1 << 20));
+        // Second iteration strides by 4.
+        assert_eq!(refs[3], Reference::Load(4));
+    }
+
+    #[test]
+    fn cached_kernel_traffic_matches_direct_trace_for_unit_stride() {
+        // At unit stride with a cold cache and no reuse, the line
+        // traffic the cache generates equals the kernel's line-fill
+        // trace (reads; writebacks arrive at flush).
+        use cache::{run_reference_stream, CacheConfig, CacheSim};
+        use memsys::CachelineSerial;
+        let bases = [0u64, 1 << 20];
+        let refs = Kernel::Copy.references(&bases, 1, 256);
+        let mut l2 = CacheSim::new(CacheConfig::default());
+        let mut mem = CachelineSerial::default();
+        let r = run_reference_stream(&mut l2, &mut mem, &refs, true);
+        // 256 words from x and 256 into y: 8 fills each, 8 writebacks.
+        assert_eq!(r.fills, 16);
+        assert_eq!(r.writebacks, 8);
+    }
+}

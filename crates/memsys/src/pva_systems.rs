@@ -1,0 +1,106 @@
+//! The PVA-based systems of §6.1, as [`MemorySystem`] adapters around
+//! the cycle-level [`PvaUnit`]:
+//!
+//! * **PVA SDRAM** — the paper's prototype;
+//! * **PVA SRAM** — the same parallel-access front end over an
+//!   idealized single-cycle memory ("min/max parallel vector access
+//!   SRAM"); comparing the two measures how well the scheduler hides
+//!   SDRAM's activate/precharge overheads (§6.3.1 / figure 11).
+
+use pva_sim::{HostRequest, OpKind, PvaConfig, PvaUnit};
+
+use crate::trace::{MemorySystem, TraceOp};
+
+/// A [`MemorySystem`] wrapping the cycle-level PVA unit.
+#[derive(Debug, Clone)]
+pub struct PvaSystem {
+    config: PvaConfig,
+    name: &'static str,
+}
+
+impl PvaSystem {
+    /// The prototype: PVA front end over SDRAM.
+    pub fn sdram() -> Self {
+        PvaSystem {
+            config: PvaConfig::default(),
+            name: "pva-sdram",
+        }
+    }
+
+    /// The idealized comparator: PVA front end over single-cycle SRAM.
+    pub fn sram() -> Self {
+        PvaSystem {
+            config: PvaConfig::sram_backend(),
+            name: "pva-sram",
+        }
+    }
+
+    /// A custom-configured PVA system (used by the ablation benches).
+    pub fn with_config(name: &'static str, config: PvaConfig) -> Self {
+        PvaSystem { config, name }
+    }
+
+    /// The underlying configuration.
+    pub const fn config(&self) -> &PvaConfig {
+        &self.config
+    }
+}
+
+impl MemorySystem for PvaSystem {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn run_trace(&mut self, trace: &[TraceOp]) -> u64 {
+        let mut unit = PvaUnit::new(self.config).expect("valid configuration");
+        let requests: Vec<HostRequest> = trace
+            .iter()
+            .map(|op| match op.kind {
+                OpKind::Read => HostRequest::Read { vector: op.vector },
+                OpKind::Write => HostRequest::Write {
+                    vector: op.vector,
+                    data: vec![0u64; op.vector.length() as usize],
+                },
+            })
+            .collect();
+        unit.run(requests)
+            .expect("trace ops fit the line length")
+            .cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pva_core::Vector;
+
+    #[test]
+    fn sdram_system_runs_a_trace() {
+        let mut sys = PvaSystem::sdram();
+        let t = [
+            TraceOp::read(Vector::new(0, 1, 32).unwrap()),
+            TraceOp::write(Vector::new(4096, 1, 32).unwrap()),
+        ];
+        assert!(sys.run_trace(&t) > 0);
+        assert_eq!(sys.name(), "pva-sdram");
+    }
+
+    #[test]
+    fn runs_are_independent() {
+        // run_trace resets state: same trace, same cycles.
+        let mut sys = PvaSystem::sdram();
+        let t = [TraceOp::read(Vector::new(0, 19, 32).unwrap())];
+        assert_eq!(sys.run_trace(&t), sys.run_trace(&t));
+    }
+
+    #[test]
+    fn sram_tracks_sdram_on_parallel_strides() {
+        let t: Vec<TraceOp> = (0..8)
+            .map(|i| TraceOp::read(Vector::new(i * 640, 19, 32).unwrap()))
+            .collect();
+        let sdram = PvaSystem::sdram().run_trace(&t);
+        let sram = PvaSystem::sram().run_trace(&t);
+        let (lo, hi) = (sdram.min(sram) as f64, sdram.max(sram) as f64);
+        assert!(hi <= lo * 1.2, "sdram {sdram} vs sram {sram}");
+    }
+}

@@ -1,0 +1,60 @@
+//! Memory-reference traces: the interface between workloads and memory
+//! systems.
+
+use pva_core::Vector;
+use pva_sim::OpKind;
+
+/// One vector-granularity memory operation in a workload trace (at most
+/// one cache line of elements — long application vectors are chunked by
+/// the front end before reaching any memory system).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceOp {
+    /// The elements accessed.
+    pub vector: Vector,
+    /// Direction.
+    pub kind: OpKind,
+}
+
+impl TraceOp {
+    /// A gathered read of `vector`.
+    pub fn read(vector: Vector) -> Self {
+        TraceOp {
+            vector,
+            kind: OpKind::Read,
+        }
+    }
+
+    /// A scattered write of `vector`.
+    pub fn write(vector: Vector) -> Self {
+        TraceOp {
+            vector,
+            kind: OpKind::Write,
+        }
+    }
+}
+
+/// A memory system under evaluation: consumes a trace, reports cycles.
+///
+/// Implementations are the four systems of §6.1. The trait is object
+/// safe so the experiment harness can sweep a heterogeneous list.
+pub trait MemorySystem {
+    /// Short display name for reports ("pva-sdram", "cacheline-serial",
+    /// ...).
+    fn name(&self) -> &'static str;
+
+    /// Executes the trace from an idle state and returns the total cycle
+    /// count. Each call is independent (state resets between runs).
+    fn run_trace(&mut self, trace: &[TraceOp]) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_direction() {
+        let v = Vector::new(0, 2, 8).unwrap();
+        assert_eq!(TraceOp::read(v).kind, OpKind::Read);
+        assert_eq!(TraceOp::write(v).kind, OpKind::Write);
+    }
+}

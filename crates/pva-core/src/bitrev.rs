@@ -1,0 +1,238 @@
+//! Bit-reversed application vectors (§7, future-work extension).
+//!
+//! The reorder ("bit reversal") phase of an FFT permutes element `i` to
+//! element `rev_k(i)` of a `2^k`-element array — a pattern with terrible
+//! cache locality for large data sets. The paper's conclusion sketches
+//! how a vector-aware memory controller handles it: reverse some low
+//! address bits, access, increment the original address, repeat until a
+//! cache line is filled. For word-interleaved memory the gather is
+//! inherently sequential; block-interleaved systems can parallelize it
+//! (each bank claims the reversed addresses that decode to it).
+
+use crate::error::PvaError;
+use crate::geometry::{BankId, Geometry, WordAddr};
+
+/// Reverses the low `bits` bits of `i`.
+///
+/// # Panics
+///
+/// Panics if `bits > 64` or if `i` has bits set above `bits`.
+///
+/// # Examples
+///
+/// ```
+/// use pva_core::bit_reverse;
+/// assert_eq!(bit_reverse(0b001, 3), 0b100);
+/// assert_eq!(bit_reverse(0b011, 3), 0b110);
+/// assert_eq!(bit_reverse(5, 3), 5); // 101 is a palindrome
+/// ```
+pub fn bit_reverse(i: u64, bits: u32) -> u64 {
+    assert!(bits <= 64, "cannot reverse more than 64 bits");
+    if bits == 0 {
+        assert_eq!(i, 0);
+        return 0;
+    }
+    assert!(
+        bits == 64 || i < (1u64 << bits),
+        "value {i} does not fit in {bits} bits"
+    );
+    i.reverse_bits() >> (64 - bits)
+}
+
+/// A bit-reversed application vector: element `i` lives at
+/// `base + rev_k(i)`.
+///
+/// # Examples
+///
+/// ```
+/// use pva_core::BitReversedVector;
+///
+/// let v = BitReversedVector::new(0x100, 3)?;
+/// let addrs: Vec<u64> = v.addresses().collect();
+/// assert_eq!(addrs, vec![0x100, 0x104, 0x102, 0x106,
+///                        0x101, 0x105, 0x103, 0x107]);
+/// # Ok::<(), pva_core::PvaError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BitReversedVector {
+    base: WordAddr,
+    log2_len: u32,
+}
+
+impl BitReversedVector {
+    /// Creates a bit-reversed vector of `2^log2_len` elements starting
+    /// at `base`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PvaError::GeometryOverflow`] if `log2_len >= 64`.
+    pub fn new(base: WordAddr, log2_len: u32) -> Result<Self, PvaError> {
+        if log2_len >= 64 {
+            return Err(PvaError::GeometryOverflow);
+        }
+        Ok(BitReversedVector { base, log2_len })
+    }
+
+    /// Base address.
+    pub const fn base(&self) -> WordAddr {
+        self.base
+    }
+
+    /// Number of elements, `2^log2_len`.
+    pub const fn length(&self) -> u64 {
+        1u64 << self.log2_len
+    }
+
+    /// `log2` of the length.
+    pub const fn log2_len(&self) -> u32 {
+        self.log2_len
+    }
+
+    /// Address of element `i`: `base + rev(i)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.length()`.
+    pub fn element(&self, i: u64) -> WordAddr {
+        assert!(i < self.length(), "element {i} out of range");
+        self.base + bit_reverse(i, self.log2_len)
+    }
+
+    /// Iterator over all element addresses in element order.
+    pub fn addresses(&self) -> impl Iterator<Item = WordAddr> + '_ {
+        (0..self.length()).map(move |i| self.element(i))
+    }
+
+    /// The element indices that bank `b` holds, in increasing order —
+    /// the per-bank claim used to parallelize the gather on interleaved
+    /// systems.
+    ///
+    /// For word interleave, a bank holds element `i` iff
+    /// `(base + rev(i)) mod M == b`; because `rev` permutes low address
+    /// bits into *high* index bits, consecutive claimed indices are far
+    /// apart — the sequentiality the paper notes. On block interleave the
+    /// same formula applies through [`Geometry::decode_bank`].
+    pub fn subvector_indices<'a>(
+        &'a self,
+        b: BankId,
+        g: &'a Geometry,
+    ) -> impl Iterator<Item = u64> + 'a {
+        (0..self.length()).filter(move |&i| g.decode_bank(self.element(i)) == b)
+    }
+
+    /// Fast per-bank claim for word interleave when the reversal is at
+    /// least as wide as the bank-select field: bank bits of
+    /// `base + rev(i)` come from `base` plus the *top* bits of `i`
+    /// reversed, so the claim is computable with a mask — the "simple
+    /// bit-mask operation" of §7. Returns `None` when the fast form does
+    /// not apply (narrow reversals or non-word interleave).
+    pub fn fast_claim(&self, b: BankId, g: &Geometry) -> Option<Vec<u64>> {
+        if g.block_words() != 1 || g.width_words() != 1 {
+            return None;
+        }
+        let m_bits = g.log2_banks();
+        if self.log2_len < m_bits {
+            return None;
+        }
+        // rev(i) mod M is the top m bits of i, reversed, xor-adjusted by
+        // base. Addresses: (base + rev(i)) mod M. rev(i) mod M = rev of
+        // the top m_bits of i. Carry from base's low bits can propagate,
+        // so the claim is exact only when base is bank-aligned.
+        if self.base & (g.banks() - 1) != 0 {
+            return None;
+        }
+        let b0 = g.decode_bank(self.base).index() as u64;
+        let want = (b.index() as u64).wrapping_sub(b0) & (g.banks() - 1);
+        // i's top m bits, reversed, must equal `want`.
+        let top = bit_reverse(want, m_bits);
+        let low_bits = self.log2_len - m_bits;
+        Some(
+            (0..(1u64 << low_bits))
+                .map(|low| (top << low_bits) | low)
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_reverse_involution() {
+        for bits in 0..=16u32 {
+            for i in 0..(1u64 << bits.min(10)) {
+                assert_eq!(bit_reverse(bit_reverse(i, bits), bits), i);
+            }
+        }
+    }
+
+    #[test]
+    fn bit_reverse_is_permutation() {
+        let bits = 8;
+        let mut seen = vec![false; 256];
+        for i in 0..256u64 {
+            let r = bit_reverse(i, bits) as usize;
+            assert!(!seen[r]);
+            seen[r] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn bit_reverse_rejects_oversized() {
+        bit_reverse(8, 3);
+    }
+
+    #[test]
+    fn addresses_are_a_permutation_of_the_array() {
+        let v = BitReversedVector::new(64, 5).unwrap();
+        let mut addrs: Vec<u64> = v.addresses().collect();
+        addrs.sort_unstable();
+        assert_eq!(addrs, (64..96).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn subvector_claims_partition_elements() {
+        let g = Geometry::word_interleaved(8).unwrap();
+        let v = BitReversedVector::new(16, 6).unwrap();
+        let mut all: Vec<u64> = (0..8)
+            .flat_map(|b| v.subvector_indices(BankId::new(b), &g).collect::<Vec<_>>())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn fast_claim_matches_naive() {
+        let g = Geometry::word_interleaved(16).unwrap();
+        let v = BitReversedVector::new(256, 8).unwrap();
+        for b in 0..16 {
+            let b = BankId::new(b);
+            let mut fast = v.fast_claim(b, &g).unwrap();
+            fast.sort_unstable();
+            let naive: Vec<u64> = v.subvector_indices(b, &g).collect();
+            assert_eq!(fast, naive, "bank {b}");
+        }
+    }
+
+    #[test]
+    fn fast_claim_declines_unaligned_base() {
+        let g = Geometry::word_interleaved(16).unwrap();
+        let v = BitReversedVector::new(257, 8).unwrap();
+        assert!(v.fast_claim(BankId::new(0), &g).is_none());
+        // But the naive claim still partitions correctly.
+        let total: usize = (0..16)
+            .map(|b| v.subvector_indices(BankId::new(b), &g).count())
+            .sum();
+        assert_eq!(total, 256);
+    }
+
+    #[test]
+    fn fast_claim_declines_blocked_interleave() {
+        let g = Geometry::cacheline_interleaved(8, 4).unwrap();
+        let v = BitReversedVector::new(0, 8).unwrap();
+        assert!(v.fast_claim(BankId::new(0), &g).is_none());
+    }
+}

@@ -1,0 +1,113 @@
+//! Error types for the PVA core algorithms.
+
+use core::fmt;
+
+/// Errors produced by PVA core construction and algorithms.
+///
+/// Every fallible public function in this crate returns `Result<_, PvaError>`.
+///
+/// # Examples
+///
+/// ```
+/// use pva_core::{PvaError, Vector};
+///
+/// let err = Vector::new(0, 0, 32).unwrap_err();
+/// assert_eq!(err, PvaError::ZeroStride);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum PvaError {
+    /// A vector was constructed with stride zero. A zero stride would make
+    /// every element alias the base address, which the paper's base-stride
+    /// model (`V = <B, S, L>` with `S >= 1`) excludes.
+    ZeroStride,
+    /// A vector was constructed with length zero.
+    ZeroLength,
+    /// A geometry parameter that must be a power of two was not.
+    /// The payload is the offending value.
+    NotPowerOfTwo(u64),
+    /// A geometry parameter was zero.
+    ZeroParameter(&'static str),
+    /// A bank index was out of range for the geometry. Payload is
+    /// `(bank, bank_count)`.
+    BankOutOfRange(u64, u64),
+    /// The configured geometry would overflow the address space
+    /// (`2^(w + n + m)` words exceeds `u64`).
+    GeometryOverflow,
+    /// A virtual address had no translation in the memory-controller TLB.
+    /// Payload is the faulting virtual word address.
+    PageFault(u64),
+    /// A vector operation spans more elements than the hardware transfer
+    /// unit supports. Payload is `(requested, max)`.
+    VectorTooLong(u64, u64),
+    /// An indirection vector entry addressed a word outside the physical
+    /// memory managed by the unit. Payload is the offending address.
+    AddressOutOfRange(u64),
+}
+
+impl fmt::Display for PvaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            PvaError::ZeroStride => write!(f, "vector stride must be nonzero"),
+            PvaError::ZeroLength => write!(f, "vector length must be nonzero"),
+            PvaError::NotPowerOfTwo(v) => {
+                write!(f, "parameter value {v} is not a power of two")
+            }
+            PvaError::ZeroParameter(name) => {
+                write!(f, "parameter `{name}` must be nonzero")
+            }
+            PvaError::BankOutOfRange(b, count) => {
+                write!(f, "bank {b} out of range for {count} banks")
+            }
+            PvaError::GeometryOverflow => {
+                write!(f, "geometry exceeds the 64-bit word address space")
+            }
+            PvaError::PageFault(addr) => {
+                write!(f, "no TLB translation for virtual word address {addr:#x}")
+            }
+            PvaError::VectorTooLong(req, max) => {
+                write!(f, "vector length {req} exceeds the transfer limit {max}")
+            }
+            PvaError::AddressOutOfRange(addr) => {
+                write!(f, "address {addr:#x} outside simulated physical memory")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PvaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let cases: Vec<PvaError> = vec![
+            PvaError::ZeroStride,
+            PvaError::ZeroLength,
+            PvaError::NotPowerOfTwo(3),
+            PvaError::ZeroParameter("banks"),
+            PvaError::BankOutOfRange(17, 16),
+            PvaError::GeometryOverflow,
+            PvaError::PageFault(0x1000),
+            PvaError::VectorTooLong(64, 32),
+            PvaError::AddressOutOfRange(0xdead),
+        ];
+        for c in cases {
+            let s = c.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'), "no trailing punctuation: {s}");
+            assert!(
+                s.chars().next().unwrap().is_lowercase(),
+                "starts lowercase: {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PvaError>();
+    }
+}

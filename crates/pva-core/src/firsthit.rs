@@ -1,0 +1,605 @@
+//! Closed-form `FirstHit` and `NextHit` for word-interleaved memory.
+//!
+//! This module implements the efficient parallel-access algorithms of
+//! §4.1.4 of the paper. For a word-interleaved memory of `M = 2^m` banks
+//! and a vector `V = <B, S, L>`:
+//!
+//! * **Lemma 4.1** — only `S mod M` matters for the bank access pattern.
+//! * **Lemma 4.2** — writing `S mod M = sigma * 2^s` with `sigma` odd,
+//!   bank `b` holds elements of `V` iff the modular distance
+//!   `d = (b - b0) mod M` from the base bank `b0` is a multiple of `2^s`.
+//! * **Theorem 4.3** — the first element index hitting distance
+//!   `d = i * 2^s` is `K_i = (K_1 * i) mod 2^(m-s)`, where
+//!   `K_1 = sigma^-1 mod 2^(m-s)` (the smallest index hitting distance
+//!   `2^s`).
+//! * **Theorem 4.4** — after the first hit, a bank holds every
+//!   `delta = 2^(m-s)`-th element (`NextHit`).
+//!
+//! Each bank controller evaluates these with a table lookup plus a small
+//! multiply — never expanding the vector serially — which is the paper's
+//! core contribution. The [`naive`] submodule provides the sequential
+//! expansion these are property-tested against.
+
+use crate::error::PvaError;
+use crate::geometry::{BankId, Geometry, WordAddr};
+use crate::vector::Vector;
+
+/// Decomposition of a stride as `S mod M = sigma * 2^s`.
+///
+/// `sigma` is odd; `s` counts the trailing zero bits of `S mod M`. The
+/// degenerate case `S mod M == 0` (every element lands on the base bank)
+/// is represented with `s = m` and `sigma = 1`, which makes the general
+/// formulas (`delta = 2^(m-s) = 1`, only `d = 0` hits) fall out naturally.
+///
+/// # Examples
+///
+/// ```
+/// use pva_core::{Geometry, StrideClass};
+///
+/// let g = Geometry::word_interleaved(16)?;
+/// let c = StrideClass::new(12, &g); // 12 = 3 * 2^2
+/// assert_eq!(c.sigma(), 3);
+/// assert_eq!(c.s(), 2);
+/// assert_eq!(c.banks_hit(), 4);     // every 4th bank
+/// assert_eq!(c.next_hit(), 4);      // delta = 2^(4-2)
+/// # Ok::<(), pva_core::PvaError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StrideClass {
+    /// `S mod M`.
+    stride_mod_m: u64,
+    /// Odd factor of `S mod M` (1 when `S mod M == 0`).
+    sigma: u64,
+    /// Power-of-two exponent: `S mod M = sigma * 2^s` (`m` when
+    /// `S mod M == 0`).
+    s: u32,
+    /// `m = log2(M)`.
+    m: u32,
+    /// `K_1 = sigma^-1 mod 2^(m-s)`; `0` when `m == s` (single-bank case).
+    k1: u64,
+}
+
+impl StrideClass {
+    /// Classifies `stride` for the given geometry's bank count.
+    ///
+    /// Per Lemma 4.1 only `stride mod M` is used, so two strides congruent
+    /// modulo `M` produce equal `StrideClass`es.
+    pub fn new(stride: u64, geometry: &Geometry) -> Self {
+        let m = geometry.log2_banks();
+        let sm = stride & (geometry.banks() - 1);
+        if sm == 0 {
+            // All elements hit the base bank; delta = 1.
+            return StrideClass {
+                stride_mod_m: 0,
+                sigma: 1,
+                s: m,
+                m,
+                k1: 0,
+            };
+        }
+        let s = sm.trailing_zeros();
+        let sigma = sm >> s;
+        let modulus_bits = m - s;
+        let k1 = if modulus_bits == 0 {
+            0
+        } else {
+            mod_inverse_pow2(sigma, modulus_bits)
+        };
+        StrideClass {
+            stride_mod_m: sm,
+            sigma,
+            s,
+            m,
+            k1,
+        }
+    }
+
+    /// `S mod M`.
+    pub const fn stride_mod_m(&self) -> u64 {
+        self.stride_mod_m
+    }
+
+    /// The odd factor `sigma` of `S mod M`.
+    pub const fn sigma(&self) -> u64 {
+        self.sigma
+    }
+
+    /// The exponent `s` (trailing zeros of `S mod M`; `m` for the
+    /// single-bank case).
+    pub const fn s(&self) -> u32 {
+        self.s
+    }
+
+    /// `K_1`, the smallest vector index hitting the bank at distance
+    /// `2^s` from the base bank (Theorem 4.3). Zero in the single-bank
+    /// case, where no other bank is ever hit.
+    pub const fn k1(&self) -> u64 {
+        self.k1
+    }
+
+    /// Number of distinct banks the vector touches: `M / 2^s = 2^(m-s)`
+    /// (Lemma 4.2). This is the *degree of parallelism* available to the
+    /// PVA for this stride (§6.3.1).
+    pub const fn banks_hit(&self) -> u64 {
+        1u64 << (self.m - self.s)
+    }
+
+    /// `NextHit(S) = delta = 2^(m-s)` (Theorem 4.4): if a bank holds
+    /// `V[k]`, it also holds `V[k + delta]`.
+    ///
+    /// In hardware this is a PLA lookup keyed by `S mod M` (§4.2 step 2).
+    pub const fn next_hit(&self) -> u64 {
+        1u64 << (self.m - self.s)
+    }
+}
+
+/// Result of a `FirstHit` query: either the index of the first element of
+/// the vector residing in the queried bank, or a statement that the bank
+/// holds no element.
+///
+/// # Examples
+///
+/// ```
+/// use pva_core::FirstHit;
+/// assert!(FirstHit::Hit(3).is_hit());
+/// assert_eq!(FirstHit::Hit(3).index(), Some(3));
+/// assert_eq!(FirstHit::Miss.index(), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FirstHit {
+    /// The bank's first element of the vector is `V[index]`.
+    Hit(u64),
+    /// The bank holds no element of the vector.
+    Miss,
+}
+
+impl FirstHit {
+    /// Whether the bank holds at least one element.
+    pub const fn is_hit(&self) -> bool {
+        matches!(self, FirstHit::Hit(_))
+    }
+
+    /// The first-hit index, or `None` on a miss.
+    pub const fn index(&self) -> Option<u64> {
+        match *self {
+            FirstHit::Hit(i) => Some(i),
+            FirstHit::Miss => None,
+        }
+    }
+}
+
+/// Per-vector solver a bank controller instantiates once per request and
+/// then queries for its own bank: `FirstHit(V, b)`, the subvector
+/// parameters, and the expanded subvector addresses.
+///
+/// This mirrors the §4.2 hardware recipe:
+///
+/// 1. `b0 = DecodeBank(V.B)` — bit select,
+/// 2. `delta = NextHit(S)` — PLA lookup,
+/// 3. `d = (b - b0) mod M` — modular subtraction,
+/// 4. hit iff `2^s` divides `d` — table lookup,
+/// 5. `K_i = (K_1 * (d >> s)) mod 2^(m-s)` — small multiply + mask,
+/// 6. first address `V.B + V.S * K_i`,
+/// 7. subsequent addresses `addr += V.S << (m - s)` — shift and add.
+///
+/// # Examples
+///
+/// ```
+/// use pva_core::{BankId, Geometry, Vector, VectorSolver};
+///
+/// let g = Geometry::word_interleaved(16)?;
+/// let v = Vector::new(0, 10, 32)?; // stride 10: hits every 2nd bank
+/// let solver = VectorSolver::new(&v, &g);
+/// // The paper's example: stride 10, M=16 hits banks 0,10,4,14,8,2,12,6.
+/// assert!(solver.first_hit(BankId::new(10)).is_hit());
+/// assert!(!solver.first_hit(BankId::new(3)).is_hit());
+/// # Ok::<(), pva_core::PvaError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct VectorSolver {
+    vector: Vector,
+    class: StrideClass,
+    b0: BankId,
+    geometry: Geometry,
+}
+
+impl VectorSolver {
+    /// Builds the solver for vector `v` on geometry `geometry`.
+    ///
+    /// For non-word-interleaved geometries, use
+    /// [`LogicalView`](crate::logical::LogicalView) to reduce to word
+    /// interleave first (§4.1.3); this solver treats the geometry's banks
+    /// as word-interleaved units.
+    pub fn new(v: &Vector, geometry: &Geometry) -> Self {
+        debug_assert_eq!(
+            geometry.block_words(),
+            1,
+            "VectorSolver requires word interleave; reduce with LogicalView first"
+        );
+        VectorSolver {
+            vector: *v,
+            class: StrideClass::new(v.stride(), geometry),
+            b0: geometry.decode_bank(v.base()),
+            geometry: *geometry,
+        }
+    }
+
+    /// The vector being solved.
+    pub const fn vector(&self) -> &Vector {
+        &self.vector
+    }
+
+    /// The stride classification (shared across banks — in hardware this
+    /// is computed once and broadcast).
+    pub const fn stride_class(&self) -> &StrideClass {
+        &self.class
+    }
+
+    /// The base bank `b0 = DecodeBank(V.B)`.
+    pub const fn base_bank(&self) -> BankId {
+        self.b0
+    }
+
+    /// `FirstHit(V, b)`: index of the first element of the vector held by
+    /// bank `b`, by Theorem 4.3.
+    pub fn first_hit(&self, b: BankId) -> FirstHit {
+        let d = self.geometry.bank_distance(b, self.b0);
+        if self.class.s >= 64 || d & ((1u64 << self.class.s) - 1) != 0 {
+            return FirstHit::Miss;
+        }
+        if self.class.stride_mod_m == 0 {
+            // Single-bank case: only the base bank hits, at index 0.
+            return if d == 0 {
+                FirstHit::Hit(0)
+            } else {
+                FirstHit::Miss
+            };
+        }
+        let i = d >> self.class.s;
+        let modulus_mask = (1u64 << (self.class.m - self.class.s)) - 1;
+        let ki = self.class.k1.wrapping_mul(i) & modulus_mask;
+        if ki < self.vector.length() {
+            FirstHit::Hit(ki)
+        } else {
+            FirstHit::Miss
+        }
+    }
+
+    /// The complete subvector bank `b` is responsible for: element indices
+    /// `K_i, K_i + delta, K_i + 2*delta, ...` below `V.L`.
+    ///
+    /// Returns an empty iterator on a miss.
+    pub fn subvector_indices(&self, b: BankId) -> SubvectorIndices {
+        let (start, step) = match self.first_hit(b) {
+            FirstHit::Hit(k) => (k, self.class.next_hit()),
+            FirstHit::Miss => (self.vector.length(), 1),
+        };
+        SubvectorIndices {
+            next: start,
+            step,
+            length: self.vector.length(),
+        }
+    }
+
+    /// Number of elements bank `b` must access for this vector.
+    pub fn subvector_len(&self, b: BankId) -> u64 {
+        match self.first_hit(b) {
+            FirstHit::Hit(k) => {
+                let remaining = self.vector.length() - k;
+                remaining.div_ceil(self.class.next_hit())
+            }
+            FirstHit::Miss => 0,
+        }
+    }
+
+    /// The addresses bank `b` must access, in increasing element order:
+    /// `V.B + V.S * K_i`, then `addr += V.S * delta` repeatedly (§4.2
+    /// steps 6–7, a shift-and-add in hardware).
+    pub fn subvector_addresses(&self, b: BankId) -> impl Iterator<Item = WordAddr> + '_ {
+        let v = self.vector;
+        self.subvector_indices(b).map(move |i| v.element(i))
+    }
+}
+
+/// Iterator over the element indices a single bank serves.
+///
+/// Produced by [`VectorSolver::subvector_indices`].
+#[derive(Debug, Clone)]
+pub struct SubvectorIndices {
+    next: u64,
+    step: u64,
+    length: u64,
+}
+
+impl Iterator for SubvectorIndices {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.next >= self.length {
+            return None;
+        }
+        let i = self.next;
+        // Saturate rather than overflow for step values near u64::MAX.
+        self.next = self.next.saturating_add(self.step);
+        Some(i)
+    }
+}
+
+/// Computes `a^-1 mod 2^bits` for odd `a` by Newton–Hensel lifting.
+///
+/// Each iteration doubles the number of correct low bits, so five
+/// iterations suffice for any 64-bit modulus. This is how a `K_1` PLA
+/// would be generated at design time (§4.2: "their values will be
+/// compiled into the circuitry in the form of look-up tables").
+///
+/// # Panics
+///
+/// Panics if `a` is even (no inverse exists) or `bits == 0` or
+/// `bits > 64`.
+pub fn mod_inverse_pow2(a: u64, bits: u32) -> u64 {
+    assert!(a % 2 == 1, "only odd values are invertible mod 2^k");
+    assert!((1..=64).contains(&bits), "modulus bits must be in 1..=64");
+    let mask = if bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    };
+    // x = a^-1 mod 2^3 seed; standard trick: a * a mod 16 == 1 for odd a,
+    // so x0 = a is correct to 3 bits.
+    let mut x = a;
+    for _ in 0..5 {
+        x = x.wrapping_mul(2u64.wrapping_sub(a.wrapping_mul(x)));
+    }
+    x & mask
+}
+
+/// Reference implementations by sequential expansion, used as test oracles.
+pub mod naive {
+    use super::*;
+
+    /// `FirstHit(V, b)` by walking every element until one decodes to `b`.
+    pub fn first_hit(v: &Vector, b: BankId, g: &Geometry) -> FirstHit {
+        for (i, addr) in v.addresses().enumerate() {
+            if g.decode_bank(addr) == b {
+                return FirstHit::Hit(i as u64);
+            }
+        }
+        FirstHit::Miss
+    }
+
+    /// All element indices of `v` that decode to bank `b`.
+    pub fn subvector_indices(v: &Vector, b: BankId, g: &Geometry) -> Vec<u64> {
+        v.addresses()
+            .enumerate()
+            .filter(|&(_, addr)| g.decode_bank(addr) == b)
+            .map(|(i, _)| i as u64)
+            .collect()
+    }
+
+    /// Empirical `NextHit`: the gap between consecutive indices hitting
+    /// the same bank, or `None` if no bank is hit twice.
+    pub fn next_hit(v: &Vector, g: &Geometry) -> Option<u64> {
+        for b in 0..g.banks() {
+            let idx = subvector_indices(v, BankId::new(b as usize), g);
+            if idx.len() >= 2 {
+                return Some(idx[1] - idx[0]);
+            }
+        }
+        None
+    }
+}
+
+/// Validates a geometry/vector pair for the solver, returning the solver.
+///
+/// Convenience wrapper used by the simulators, which must reject requests
+/// rather than panic.
+///
+/// # Errors
+///
+/// Returns [`PvaError::ZeroLength`] if `max_len` is exceeded — the
+/// hardware transfer unit is a cache line, so longer vectors must be
+/// chunked first.
+pub fn solver_for_command(
+    v: &Vector,
+    g: &Geometry,
+    max_len: u64,
+) -> Result<VectorSolver, PvaError> {
+    if v.length() > max_len {
+        return Err(PvaError::VectorTooLong(v.length(), max_len));
+    }
+    Ok(VectorSolver::new(v, g))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g16() -> Geometry {
+        Geometry::word_interleaved(16).unwrap()
+    }
+
+    #[test]
+    fn mod_inverse_small_cases() {
+        for bits in 1..=16u32 {
+            let modulus = 1u64 << bits;
+            for a in (1..modulus.min(512)).step_by(2) {
+                let inv = mod_inverse_pow2(a, bits);
+                assert_eq!(a.wrapping_mul(inv) & (modulus - 1), 1, "a={a} bits={bits}");
+                assert!(inv < modulus);
+            }
+        }
+    }
+
+    #[test]
+    fn mod_inverse_full_width() {
+        let inv = mod_inverse_pow2(0xdead_beef_1234_5679, 64);
+        assert_eq!(0xdead_beef_1234_5679u64.wrapping_mul(inv), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn mod_inverse_rejects_even() {
+        mod_inverse_pow2(6, 8);
+    }
+
+    #[test]
+    fn stride_class_examples() {
+        let g = g16();
+        // S=12 = 3 * 2^2: every 4th bank, delta = 4.
+        let c = StrideClass::new(12, &g);
+        assert_eq!((c.sigma(), c.s()), (3, 2));
+        assert_eq!(c.banks_hit(), 4);
+        assert_eq!(c.next_hit(), 4);
+        // S=19 mod 16 = 3 = 3 * 2^0: all 16 banks, delta = 16.
+        let c = StrideClass::new(19, &g);
+        assert_eq!((c.sigma(), c.s()), (3, 0));
+        assert_eq!(c.banks_hit(), 16);
+        // S=16 mod 16 = 0: single bank, delta = 1.
+        let c = StrideClass::new(16, &g);
+        assert_eq!(c.banks_hit(), 1);
+        assert_eq!(c.next_hit(), 1);
+        // S=1: unit stride, every bank, delta = 16.
+        let c = StrideClass::new(1, &g);
+        assert_eq!(c.k1(), 1);
+        assert_eq!(c.next_hit(), 16);
+    }
+
+    #[test]
+    fn lemma_4_1_stride_mod_m_suffices() {
+        let g = g16();
+        // Strides congruent mod 16 classify identically.
+        assert_eq!(StrideClass::new(3, &g), StrideClass::new(19, &g));
+        assert_eq!(StrideClass::new(5, &g), StrideClass::new(16 * 7 + 5, &g));
+    }
+
+    #[test]
+    fn paper_stride_10_bank_sequence() {
+        // "if M = 16, consecutive elements of a vector of stride 10 (s=1)
+        //  hit in banks 2, 12, 6, 0, 10, 4, 14, 8, 2, etc." (base bank 2
+        //  implied; we use base address 2).
+        let g = g16();
+        let v = Vector::new(2, 10, 9).unwrap();
+        let banks: Vec<usize> = v.addresses().map(|a| g.decode_bank(a).index()).collect();
+        assert_eq!(banks, vec![2, 12, 6, 0, 10, 4, 14, 8, 2]);
+        // And the closed form agrees with the naive oracle on every bank.
+        let solver = VectorSolver::new(&v, &g);
+        for b in 0..16 {
+            let b = BankId::new(b);
+            assert_eq!(solver.first_hit(b), naive::first_hit(&v, b, &g));
+        }
+    }
+
+    #[test]
+    fn first_hit_base_bank_is_zero() {
+        let g = g16();
+        for stride in 1..40u64 {
+            let v = Vector::new(37, stride, 32).unwrap();
+            let solver = VectorSolver::new(&v, &g);
+            assert_eq!(solver.first_hit(solver.base_bank()), FirstHit::Hit(0));
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_naive_exhaustive_small() {
+        // Exhaustive sweep on an 8-bank system: all strides and bases in
+        // a full period, two lengths.
+        let g = Geometry::word_interleaved(8).unwrap();
+        for base in 0..8u64 {
+            for stride in 1..=32u64 {
+                for &len in &[1u64, 5, 8, 17, 32] {
+                    let v = Vector::new(base, stride, len).unwrap();
+                    let solver = VectorSolver::new(&v, &g);
+                    for b in 0..8 {
+                        let b = BankId::new(b);
+                        assert_eq!(
+                            solver.first_hit(b),
+                            naive::first_hit(&v, b, &g),
+                            "base={base} stride={stride} len={len} bank={b}"
+                        );
+                        let got: Vec<u64> = solver.subvector_indices(b).collect();
+                        let want = naive::subvector_indices(&v, b, &g);
+                        assert_eq!(got, want, "base={base} stride={stride} len={len} bank={b}");
+                        assert_eq!(solver.subvector_len(b), want.len() as u64);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_4_4_next_hit_matches_empirical() {
+        let g = g16();
+        for stride in 1..64u64 {
+            let v = Vector::new(0, stride, 64).unwrap();
+            let c = StrideClass::new(stride, &g);
+            if let Some(gap) = naive::next_hit(&v, &g) {
+                assert_eq!(c.next_hit(), gap, "stride={stride}");
+            }
+        }
+    }
+
+    #[test]
+    fn subvector_union_covers_vector_exactly() {
+        let g = g16();
+        for stride in [1u64, 2, 3, 4, 7, 8, 10, 16, 19, 31, 32] {
+            let v = Vector::new(5, stride, 32).unwrap();
+            let solver = VectorSolver::new(&v, &g);
+            let mut seen: Vec<u64> = (0..16)
+                .flat_map(|b| solver.subvector_indices(BankId::new(b)).collect::<Vec<_>>())
+                .collect();
+            seen.sort_unstable();
+            let want: Vec<u64> = (0..32).collect();
+            assert_eq!(seen, want, "stride={stride}: every element exactly once");
+        }
+    }
+
+    #[test]
+    fn addresses_decode_to_their_bank() {
+        let g = g16();
+        let v = Vector::new(123, 19, 32).unwrap();
+        let solver = VectorSolver::new(&v, &g);
+        for b in 0..16 {
+            let b = BankId::new(b);
+            for addr in solver.subvector_addresses(b) {
+                assert_eq!(g.decode_bank(addr), b);
+            }
+        }
+    }
+
+    #[test]
+    fn command_length_limit_enforced() {
+        let g = g16();
+        let v = Vector::new(0, 2, 64).unwrap();
+        assert_eq!(
+            solver_for_command(&v, &g, 32).unwrap_err(),
+            PvaError::VectorTooLong(64, 32)
+        );
+        assert!(solver_for_command(&v, &g, 64).is_ok());
+    }
+
+    #[test]
+    fn single_bank_geometry_degenerates_cleanly() {
+        // M = 1 (m = 0): every address is in bank 0, every stride class
+        // is the single-bank class, delta = 1.
+        let g = Geometry::word_interleaved(1).unwrap();
+        let v = Vector::new(5, 7, 10).unwrap();
+        let solver = VectorSolver::new(&v, &g);
+        assert_eq!(solver.first_hit(BankId::new(0)), FirstHit::Hit(0));
+        let idx: Vec<u64> = solver.subvector_indices(BankId::new(0)).collect();
+        assert_eq!(idx, (0..10).collect::<Vec<u64>>());
+        assert_eq!(StrideClass::new(7, &g).next_hit(), 1);
+    }
+
+    #[test]
+    fn short_vector_misses_far_banks() {
+        let g = g16();
+        // Length 2 at stride 1 touches only banks 0 and 1.
+        let v = Vector::new(0, 1, 2).unwrap();
+        let solver = VectorSolver::new(&v, &g);
+        assert!(solver.first_hit(BankId::new(0)).is_hit());
+        assert!(solver.first_hit(BankId::new(1)).is_hit());
+        for b in 2..16 {
+            assert!(!solver.first_hit(BankId::new(b)).is_hit());
+        }
+    }
+}

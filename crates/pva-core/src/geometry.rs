@@ -1,0 +1,360 @@
+//! Memory-system geometry: how word addresses map onto banks.
+//!
+//! The paper (§4.1.1, §4.1.3) describes a memory built from `M = 2^m`
+//! banks, each `W` machine words wide, interleaved at a block grain of
+//! `N = 2^n` memory words. Word interleaving is the special case
+//! `W = N = 1`; cache-line interleaving uses `N = ` words per L2 line.
+//!
+//! [`Geometry`] captures these parameters and implements `DecodeBank`,
+//! the bit-select operation `(addr >> n) mod M` from §4.1.1.
+
+use crate::error::PvaError;
+
+/// Identifier of a physical memory bank, in `0..geometry.banks()`.
+///
+/// A newtype rather than a bare `usize` so bank numbers cannot be confused
+/// with vector indices or addresses in scheduler code.
+///
+/// # Examples
+///
+/// ```
+/// use pva_core::BankId;
+/// let b = BankId::new(3);
+/// assert_eq!(b.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BankId(usize);
+
+impl BankId {
+    /// Creates a bank id from a raw index.
+    pub const fn new(index: usize) -> Self {
+        BankId(index)
+    }
+
+    /// Returns the raw index of this bank.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl core::fmt::Display for BankId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+impl From<BankId> for usize {
+    fn from(b: BankId) -> usize {
+        b.0
+    }
+}
+
+/// Word-granularity memory address.
+///
+/// The paper works in machine words (4 bytes on the MIPS R10000 prototype);
+/// all addresses in this crate are word addresses. Byte addresses are
+/// converted at the system boundary.
+pub type WordAddr = u64;
+
+/// Geometry of an interleaved multi-bank memory system.
+///
+/// Captures the `(W, N, M)` triple of §4.1.3:
+///
+/// * `M = 2^m` — number of banks,
+/// * `N = 2^n` — interleave block size in memory words (`1` = word
+///   interleave, L2-line words = cache-line interleave),
+/// * `W = 2^w` — bank width in machine words (how many machine words one
+///   memory word spans).
+///
+/// # Examples
+///
+/// ```
+/// use pva_core::Geometry;
+///
+/// // The paper's prototype: 16 word-interleaved banks.
+/// let g = Geometry::word_interleaved(16)?;
+/// assert_eq!(g.banks(), 16);
+/// assert_eq!(g.decode_bank(0x25).index(), 0x25 % 16);
+/// # Ok::<(), pva_core::PvaError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Geometry {
+    /// log2 of bank count.
+    m: u32,
+    /// log2 of interleave block size in memory words.
+    n: u32,
+    /// log2 of bank width in machine words.
+    w: u32,
+}
+
+impl Geometry {
+    /// Creates a geometry from bank count, block size and width, all of
+    /// which must be powers of two.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PvaError::NotPowerOfTwo`] if any parameter is not a power
+    /// of two, [`PvaError::ZeroParameter`] if any is zero, and
+    /// [`PvaError::GeometryOverflow`] if `w + n + m >= 64`.
+    pub fn new(banks: u64, block_words: u64, width_words: u64) -> Result<Self, PvaError> {
+        let m = log2_exact(banks, "banks")?;
+        let n = log2_exact(block_words, "block_words")?;
+        let w = log2_exact(width_words, "width_words")?;
+        if w + n + m >= 64 {
+            return Err(PvaError::GeometryOverflow);
+        }
+        Ok(Geometry { m, n, w })
+    }
+
+    /// Creates a word-interleaved geometry (`W = N = 1`), the canonical
+    /// form every other interleave is reduced to in §4.1.3.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Geometry::new`].
+    pub fn word_interleaved(banks: u64) -> Result<Self, PvaError> {
+        Geometry::new(banks, 1, 1)
+    }
+
+    /// Creates a cache-line interleaved geometry: banks hold whole L2
+    /// lines of `line_words` memory words.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Geometry::new`].
+    pub fn cacheline_interleaved(banks: u64, line_words: u64) -> Result<Self, PvaError> {
+        Geometry::new(banks, line_words, 1)
+    }
+
+    /// Number of banks `M`.
+    pub const fn banks(&self) -> u64 {
+        1u64 << self.m
+    }
+
+    /// `m = log2(M)`.
+    pub const fn log2_banks(&self) -> u32 {
+        self.m
+    }
+
+    /// Interleave block size `N` in memory words.
+    pub const fn block_words(&self) -> u64 {
+        1u64 << self.n
+    }
+
+    /// `n = log2(N)`.
+    pub const fn log2_block_words(&self) -> u32 {
+        self.n
+    }
+
+    /// Bank width `W` in machine words.
+    pub const fn width_words(&self) -> u64 {
+        1u64 << self.w
+    }
+
+    /// `w = log2(W)`.
+    pub const fn log2_width_words(&self) -> u32 {
+        self.w
+    }
+
+    /// The interleave period `W * N * M` in machine words: addresses
+    /// repeat their bank mapping with this period.
+    pub const fn period(&self) -> u64 {
+        1u64 << (self.w + self.n + self.m)
+    }
+
+    /// `DecodeBank(addr)` from §4.1.1: the bank holding machine-word
+    /// address `addr`, computed as the bit-select `(addr >> (n+w)) mod M`.
+    /// For `W = 1` this is the paper's `(addr >> n) mod M`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pva_core::Geometry;
+    /// let g = Geometry::cacheline_interleaved(8, 4)?;
+    /// // Words 0..4 are in bank 0, words 4..8 in bank 1, ...
+    /// assert_eq!(g.decode_bank(5).index(), 1);
+    /// assert_eq!(g.decode_bank(32).index(), 0); // wraps after 8 * 4 words
+    /// # Ok::<(), pva_core::PvaError>(())
+    /// ```
+    pub const fn decode_bank(&self, addr: WordAddr) -> BankId {
+        BankId(((addr >> (self.n + self.w)) & ((1 << self.m) - 1)) as usize)
+    }
+
+    /// Offset of `addr` within its interleave block, in machine words:
+    /// `addr mod (N * W)` (the `theta` of §4.1.2 when applied to a vector
+    /// base, for `W = 1`).
+    pub const fn block_offset(&self, addr: WordAddr) -> u64 {
+        addr & ((1 << (self.n + self.w)) - 1)
+    }
+
+    /// Total number of *logical* word-interleaved banks `W * N * M`
+    /// this geometry expands to under the §4.1.3 transformation.
+    pub const fn logical_banks(&self) -> u64 {
+        1u64 << (self.w + self.n + self.m)
+    }
+
+    /// Modular distance `d = (b - b0) mod M` between two banks (§4.1.2),
+    /// the subtraction-without-underflow of §4.2 step 3.
+    pub const fn bank_distance(&self, b: BankId, b0: BankId) -> u64 {
+        let m = 1u64 << self.m;
+        ((b.0 as u64).wrapping_sub(b0.0 as u64)) & (m - 1)
+    }
+
+    /// The *bank-local* address of `addr` within its bank: the bank's
+    /// blocks are packed densely, so local address =
+    /// `(block_index / M) * N*W + offset`. For word interleave this is
+    /// simply `addr >> m`. This is the address a bank controller drives
+    /// onto its own DRAM device.
+    pub const fn bank_local_addr(&self, addr: WordAddr) -> u64 {
+        let nw = self.n + self.w;
+        ((addr >> (nw + self.m)) << nw) | (addr & ((1 << nw) - 1))
+    }
+}
+
+impl Default for Geometry {
+    /// The paper's prototype geometry: 16 word-interleaved banks.
+    fn default() -> Self {
+        Geometry::word_interleaved(16).expect("16 banks is a valid geometry")
+    }
+}
+
+impl core::fmt::Display for Geometry {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{}x{}x{} (WxNxM)",
+            self.width_words(),
+            self.block_words(),
+            self.banks()
+        )
+    }
+}
+
+/// Returns `log2(v)` if `v` is a power of two, otherwise an error naming
+/// the parameter.
+fn log2_exact(v: u64, name: &'static str) -> Result<u32, PvaError> {
+    if v == 0 {
+        return Err(PvaError::ZeroParameter(name));
+    }
+    if !v.is_power_of_two() {
+        return Err(PvaError::NotPowerOfTwo(v));
+    }
+    Ok(v.trailing_zeros())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_interleave_decode() {
+        let g = Geometry::word_interleaved(8).unwrap();
+        for addr in 0..64u64 {
+            assert_eq!(g.decode_bank(addr).index() as u64, addr % 8);
+        }
+        assert_eq!(g.period(), 8);
+        assert_eq!(g.block_words(), 1);
+    }
+
+    #[test]
+    fn cacheline_interleave_decode() {
+        // M=8 banks, N=4 words per block: matches the worked examples of
+        // section 4.1.2 of the paper.
+        let g = Geometry::cacheline_interleaved(8, 4).unwrap();
+        // Example 1: B=0, S=8 hits banks 0,2,4,6,...
+        let addrs: Vec<u64> = (0..8).map(|i| i * 8).collect();
+        let banks: Vec<usize> = addrs.iter().map(|&a| g.decode_bank(a).index()).collect();
+        assert_eq!(banks, vec![0, 2, 4, 6, 0, 2, 4, 6]);
+        // Example 4: B=0, S=9, banks 0,2,4,6,1,3,5,7,2,4.
+        let banks: Vec<usize> = (0..10).map(|i| g.decode_bank(i * 9).index()).collect();
+        assert_eq!(banks, vec![0, 2, 4, 6, 1, 3, 5, 7, 2, 4]);
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert_eq!(
+            Geometry::word_interleaved(12).unwrap_err(),
+            PvaError::NotPowerOfTwo(12)
+        );
+        assert_eq!(
+            Geometry::new(16, 3, 1).unwrap_err(),
+            PvaError::NotPowerOfTwo(3)
+        );
+        assert_eq!(
+            Geometry::new(0, 1, 1).unwrap_err(),
+            PvaError::ZeroParameter("banks")
+        );
+    }
+
+    #[test]
+    fn rejects_overflowing_geometry() {
+        assert_eq!(
+            Geometry::new(1 << 32, 1 << 31, 2).unwrap_err(),
+            PvaError::GeometryOverflow
+        );
+    }
+
+    #[test]
+    fn bank_distance_wraps() {
+        let g = Geometry::word_interleaved(16).unwrap();
+        assert_eq!(g.bank_distance(BankId::new(3), BankId::new(3)), 0);
+        assert_eq!(g.bank_distance(BankId::new(5), BankId::new(3)), 2);
+        assert_eq!(g.bank_distance(BankId::new(1), BankId::new(15)), 2);
+    }
+
+    #[test]
+    fn block_offset_matches_mod() {
+        let g = Geometry::cacheline_interleaved(4, 8).unwrap();
+        for addr in 0..128u64 {
+            assert_eq!(g.block_offset(addr), addr % 8);
+        }
+    }
+
+    #[test]
+    fn logical_bank_count() {
+        let g = Geometry::new(2, 2, 4).unwrap();
+        assert_eq!(g.logical_banks(), 16);
+        // The paper's figure 4/5 example: N=2, W=4, M=2 -> 16 logical banks.
+    }
+
+    #[test]
+    fn display_formats() {
+        let g = Geometry::new(2, 2, 4).unwrap();
+        assert_eq!(g.to_string(), "4x2x2 (WxNxM)");
+        assert_eq!(BankId::new(7).to_string(), "B7");
+    }
+
+    #[test]
+    fn bank_local_addr_word_interleave() {
+        let g = Geometry::word_interleaved(16).unwrap();
+        for addr in 0..256u64 {
+            assert_eq!(g.bank_local_addr(addr), addr >> 4);
+        }
+    }
+
+    #[test]
+    fn bank_local_addr_is_dense_per_bank() {
+        // For every bank, the local addresses of its words (in address
+        // order) must be 0, 1, 2, ... — dense and gap-free.
+        for (banks, block) in [(4u64, 8u64), (8, 4), (16, 32), (2, 1)] {
+            let g = Geometry::cacheline_interleaved(banks, block).unwrap();
+            let mut next_local = vec![0u64; banks as usize];
+            for addr in 0..(4 * g.period()) {
+                let b = g.decode_bank(addr).index();
+                assert_eq!(
+                    g.bank_local_addr(addr),
+                    next_local[b],
+                    "geometry {g} addr {addr}"
+                );
+                next_local[b] += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn default_is_prototype() {
+        let g = Geometry::default();
+        assert_eq!(g.banks(), 16);
+        assert_eq!(g.block_words(), 1);
+    }
+}

@@ -1,0 +1,188 @@
+//! Vector-indirect (scatter/gather) application vectors (§7 extension).
+//!
+//! Sparse computations access `x[idx[i]]`: the element addresses come
+//! from an *indirection vector* rather than a stride. The paper's
+//! conclusion describes a two-phase PVA treatment:
+//!
+//! 1. load the indirection vector — an ordinary unit-stride vector load;
+//! 2. broadcast its contents on the vector bus; every bank controller
+//!    snoops the broadcast and claims, "by a simple bit-mask operation"
+//!    (i.e. [`Geometry::decode_bank`]), the addresses that live in its
+//!    SDRAM — two addresses per cycle on the 128-bit bus — then gathers
+//!    its part in parallel.
+//!
+//! This module provides the request type and the per-bank claim logic;
+//! the timing of the two phases is modelled in the `pva-sim` crate.
+
+use crate::error::PvaError;
+use crate::geometry::{BankId, Geometry, WordAddr};
+use crate::vector::Vector;
+
+/// A vector-indirect gather/scatter request: element `i` is the word at
+/// `base + index[i]` (offset flavour) or at `index[i]` directly (address
+/// flavour with `base == 0`).
+///
+/// # Examples
+///
+/// ```
+/// use pva_core::IndirectVector;
+///
+/// let iv = IndirectVector::new(0x1000, vec![3, 0, 7, 0])?;
+/// let addrs: Vec<u64> = iv.addresses().collect();
+/// assert_eq!(addrs, vec![0x1003, 0x1000, 0x1007, 0x1000]);
+/// # Ok::<(), pva_core::PvaError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct IndirectVector {
+    base: WordAddr,
+    indices: Vec<u64>,
+}
+
+impl IndirectVector {
+    /// Creates an indirect vector over the given offsets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PvaError::ZeroLength`] if `indices` is empty.
+    pub fn new(base: WordAddr, indices: Vec<u64>) -> Result<Self, PvaError> {
+        if indices.is_empty() {
+            return Err(PvaError::ZeroLength);
+        }
+        Ok(IndirectVector { base, indices })
+    }
+
+    /// Base address added to every offset.
+    pub const fn base(&self) -> WordAddr {
+        self.base
+    }
+
+    /// Number of elements.
+    pub fn length(&self) -> u64 {
+        self.indices.len() as u64
+    }
+
+    /// The raw offsets.
+    pub fn indices(&self) -> &[u64] {
+        &self.indices
+    }
+
+    /// Address of element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn element(&self, i: u64) -> WordAddr {
+        self.base + self.indices[i as usize]
+    }
+
+    /// Iterator over element addresses in element order.
+    pub fn addresses(&self) -> impl Iterator<Item = WordAddr> + '_ {
+        self.indices.iter().map(move |&off| self.base + off)
+    }
+
+    /// Phase 1 of the two-phase gather: the unit-stride load of the
+    /// indirection vector itself, assuming it is stored densely starting
+    /// at `index_base`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Vector::new`] errors (none for nonempty vectors).
+    pub fn phase1_index_load(&self, index_base: WordAddr) -> Result<Vector, PvaError> {
+        Vector::unit_stride(index_base, self.length())
+    }
+
+    /// Phase 2 claim for bank `b`: element indices whose address decodes
+    /// to `b` — the snoop-and-mask each bank controller performs while
+    /// the indices are broadcast.
+    pub fn claim<'a>(&'a self, b: BankId, g: &'a Geometry) -> impl Iterator<Item = u64> + 'a {
+        self.addresses()
+            .enumerate()
+            .filter(move |&(_, addr)| g.decode_bank(addr) == b)
+            .map(|(i, _)| i as u64)
+    }
+
+    /// Number of broadcast cycles phase 2 needs at `per_cycle` addresses
+    /// per cycle (two on the paper's 128-bit BC bus).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_cycle == 0`.
+    pub fn broadcast_cycles(&self, per_cycle: u64) -> u64 {
+        assert!(per_cycle > 0, "must broadcast at least one address/cycle");
+        self.length().div_ceil(per_cycle)
+    }
+}
+
+/// Splits a claim into the per-bank load counts — the parallelism profile
+/// of an indirect gather (max count bounds the parallel phase).
+pub fn per_bank_counts(iv: &IndirectVector, g: &Geometry) -> Vec<u64> {
+    let mut counts = vec![0u64; g.banks() as usize];
+    for addr in iv.addresses() {
+        counts[g.decode_bank(addr).index()] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g8() -> Geometry {
+        Geometry::word_interleaved(8).unwrap()
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(
+            IndirectVector::new(0, vec![]).unwrap_err(),
+            PvaError::ZeroLength
+        );
+    }
+
+    #[test]
+    fn claims_partition_elements() {
+        let g = g8();
+        let iv = IndirectVector::new(100, vec![0, 5, 9, 13, 200, 3, 5]).unwrap();
+        let mut all: Vec<u64> = (0..8)
+            .flat_map(|b| iv.claim(BankId::new(b), &g).collect::<Vec<_>>())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..7).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn duplicate_offsets_claimed_by_same_bank() {
+        let g = g8();
+        let iv = IndirectVector::new(0, vec![5, 5, 5]).unwrap();
+        let claimed: Vec<u64> = iv.claim(BankId::new(5), &g).collect();
+        assert_eq!(claimed, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn phase1_is_unit_stride() {
+        let iv = IndirectVector::new(0, vec![9, 1, 4]).unwrap();
+        let p1 = iv.phase1_index_load(0x500).unwrap();
+        assert_eq!(p1.stride(), 1);
+        assert_eq!(p1.length(), 3);
+        assert_eq!(p1.base(), 0x500);
+    }
+
+    #[test]
+    fn broadcast_cycle_count() {
+        let iv = IndirectVector::new(0, (0..32).collect()).unwrap();
+        assert_eq!(iv.broadcast_cycles(2), 16);
+        assert_eq!(iv.broadcast_cycles(1), 32);
+        let iv = IndirectVector::new(0, (0..33).collect()).unwrap();
+        assert_eq!(iv.broadcast_cycles(2), 17);
+    }
+
+    #[test]
+    fn per_bank_counts_sum_to_length() {
+        let g = g8();
+        let iv = IndirectVector::new(7, vec![0, 1, 2, 3, 8, 16, 24, 11]).unwrap();
+        let counts = per_bank_counts(&iv, &g);
+        assert_eq!(counts.iter().sum::<u64>(), 8);
+        // Offsets 0,8,16,24 from base 7 all land in bank 7.
+        assert_eq!(counts[7], 4);
+    }
+}

@@ -1,0 +1,279 @@
+//! The logical-bank transformation of §4.1.3.
+//!
+//! `FirstHit` has no fast hardware form for cache-line interleaved memory
+//! (§4.1.2: the general solution needs chains of non-power-of-two
+//! divisions). The paper's fix is a change of view: a `W x N x M` memory
+//! is treated as `W*N*M` *logical* banks, each word-interleaved
+//! (`W = N = 1`). Under that view `delta_theta = 0` always, so every
+//! vector reduces to the easy Case 1 and the closed-form solver of
+//! [`crate::firsthit`] applies. The price is `W*N` copies of the
+//! first-hit logic per physical bank controller.
+//!
+//! [`LogicalView`] packages this: it exposes, for a physical bank, the
+//! union of the subvectors of its `W*N` logical banks.
+
+use crate::firsthit::{FirstHit, VectorSolver};
+use crate::geometry::{BankId, Geometry, WordAddr};
+use crate::vector::Vector;
+
+/// A cache-line / block interleaved memory viewed as `W*N*M` logical
+/// word-interleaved banks.
+///
+/// # Examples
+///
+/// ```
+/// use pva_core::{BankId, Geometry, LogicalView, Vector};
+///
+/// // M=8 banks, N=4 words per block (the paper's 4.1.2 examples).
+/// let g = Geometry::cacheline_interleaved(8, 4)?;
+/// let view = LogicalView::new(&g);
+/// // Example 4: B=0, S=9, L=10 hits banks 0,2,4,6,1,3,5,7,2,4.
+/// let v = Vector::new(0, 9, 10)?;
+/// // Bank 2 holds elements 1 (addr 9) and 8 (addr 72).
+/// let idx: Vec<u64> = view.subvector_indices(&v, BankId::new(2)).collect();
+/// assert_eq!(idx, vec![1, 8]);
+/// # Ok::<(), pva_core::PvaError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct LogicalView {
+    physical: Geometry,
+    /// Word-interleaved geometry with `W*N*M` banks.
+    logical: Geometry,
+}
+
+impl LogicalView {
+    /// Builds the logical view of `physical`.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: any valid [`Geometry`] has a valid logical
+    /// expansion (`W*N*M` is a power of two that already fit in the
+    /// address space).
+    pub fn new(physical: &Geometry) -> Self {
+        let logical = Geometry::word_interleaved(physical.logical_banks())
+            .expect("logical bank count is a valid power of two");
+        LogicalView {
+            physical: *physical,
+            logical,
+        }
+    }
+
+    /// The underlying physical geometry.
+    pub const fn physical(&self) -> &Geometry {
+        &self.physical
+    }
+
+    /// The equivalent word-interleaved geometry (`W*N*M` banks of one
+    /// word each).
+    pub const fn logical(&self) -> &Geometry {
+        &self.logical
+    }
+
+    /// Number of logical banks per physical bank (`W*N`), i.e. how many
+    /// copies of the first-hit logic each bank controller carries.
+    pub const fn logical_per_physical(&self) -> u64 {
+        1u64 << (self.physical.log2_width_words() + self.physical.log2_block_words())
+    }
+
+    /// The logical bank holding machine-word address `addr`:
+    /// `addr mod (W*N*M)`.
+    pub const fn decode_logical(&self, addr: WordAddr) -> BankId {
+        self.logical.decode_bank(addr)
+    }
+
+    /// The logical banks owned by physical bank `b`:
+    /// `b*W*N .. (b+1)*W*N`.
+    pub fn logical_banks_of(&self, b: BankId) -> impl Iterator<Item = BankId> {
+        let per = self.logical_per_physical() as usize;
+        (b.index() * per..(b.index() + 1) * per).map(BankId::new)
+    }
+
+    /// The physical bank that owns logical bank `l`.
+    pub const fn physical_of(&self, l: BankId) -> BankId {
+        let shift = self.physical.log2_width_words() + self.physical.log2_block_words();
+        BankId::new(l.index() >> shift)
+    }
+
+    /// `FirstHit(V, b)` for a *physical* bank under cache-line
+    /// interleave: the minimum of the logical first hits of its `W*N`
+    /// logical banks (§4.2, block-interleaved option).
+    pub fn first_hit(&self, v: &Vector, b: BankId) -> FirstHit {
+        let solver = VectorSolver::new(v, &self.logical);
+        self.logical_banks_of(b)
+            .filter_map(|l| solver.first_hit(l).index())
+            .min()
+            .map_or(FirstHit::Miss, FirstHit::Hit)
+    }
+
+    /// All element indices of `v` residing in physical bank `b`, in
+    /// increasing order: the sorted merge of the arithmetic sequences of
+    /// its logical banks.
+    pub fn subvector_indices(&self, v: &Vector, b: BankId) -> SubvectorIndices {
+        let solver = VectorSolver::new(v, &self.logical);
+        let mut indices: Vec<u64> = self
+            .logical_banks_of(b)
+            .flat_map(|l| solver.subvector_indices(l).collect::<Vec<_>>())
+            .collect();
+        indices.sort_unstable();
+        SubvectorIndices {
+            inner: indices.into_iter(),
+        }
+    }
+
+    /// The machine-word addresses of `v`'s elements in physical bank
+    /// `b`, in increasing element order.
+    pub fn subvector_addresses<'a>(
+        &self,
+        v: &'a Vector,
+        b: BankId,
+    ) -> impl Iterator<Item = WordAddr> + 'a {
+        let v = *v;
+        self.subvector_indices(&v, b).map(move |i| v.element(i))
+    }
+}
+
+/// Iterator over the element indices a physical bank serves under a
+/// logical view.
+///
+/// Produced by [`LogicalView::subvector_indices`].
+#[derive(Debug, Clone)]
+pub struct SubvectorIndices {
+    inner: std::vec::IntoIter<u64>,
+}
+
+impl Iterator for SubvectorIndices {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        self.inner.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl ExactSizeIterator for SubvectorIndices {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::firsthit::naive;
+
+    /// Naive oracle at the physical level.
+    fn naive_physical_indices(v: &Vector, b: BankId, g: &Geometry) -> Vec<u64> {
+        naive::subvector_indices(v, b, g)
+    }
+
+    #[test]
+    fn logical_decode_agrees_with_physical() {
+        // For every address, the logical bank must belong to the correct
+        // physical bank.
+        for (banks, block, width) in [(8u64, 4u64, 1u64), (2, 2, 4), (16, 32, 1), (4, 1, 2)] {
+            let g = Geometry::new(banks, block, width).unwrap();
+            let view = LogicalView::new(&g);
+            for addr in 0..(4 * g.period()) {
+                let l = view.decode_logical(addr);
+                assert_eq!(
+                    view.physical_of(l),
+                    g.decode_bank(addr),
+                    "geometry {g}, addr {addr}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_figure_4_5_geometry() {
+        // N=2, W=4, M=2: 16 logical banks, 8 logical per physical.
+        let g = Geometry::new(2, 2, 4).unwrap();
+        let view = LogicalView::new(&g);
+        assert_eq!(view.logical().banks(), 16);
+        assert_eq!(view.logical_per_physical(), 8);
+        let owned: Vec<usize> = view
+            .logical_banks_of(BankId::new(1))
+            .map(|l| l.index())
+            .collect();
+        assert_eq!(owned, vec![8, 9, 10, 11, 12, 13, 14, 15]);
+    }
+
+    #[test]
+    fn cacheline_first_hit_matches_naive_exhaustive() {
+        let g = Geometry::cacheline_interleaved(8, 4).unwrap();
+        let view = LogicalView::new(&g);
+        for base in 0..16u64 {
+            for stride in 1..=40u64 {
+                let v = Vector::new(base, stride, 24).unwrap();
+                for b in 0..8 {
+                    let b = BankId::new(b);
+                    assert_eq!(
+                        view.first_hit(&v, b),
+                        naive::first_hit(&v, b, &g),
+                        "base={base} stride={stride} bank={b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cacheline_subvectors_match_naive() {
+        let g = Geometry::cacheline_interleaved(8, 4).unwrap();
+        let view = LogicalView::new(&g);
+        for stride in [1u64, 3, 8, 9, 12, 19, 31, 32, 33] {
+            let v = Vector::new(5, stride, 32).unwrap();
+            for b in 0..8 {
+                let b = BankId::new(b);
+                let got: Vec<u64> = view.subvector_indices(&v, b).collect();
+                assert_eq!(
+                    got,
+                    naive_physical_indices(&v, b, &g),
+                    "stride={stride} bank={b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wide_bank_subvectors_match_naive() {
+        // W=4 machine words per memory word, N=2, M=2 (figure 4/5).
+        let g = Geometry::new(2, 2, 4).unwrap();
+        let view = LogicalView::new(&g);
+        for stride in 1..=24u64 {
+            let v = Vector::new(3, stride, 20).unwrap();
+            for b in 0..2 {
+                let b = BankId::new(b);
+                let got: Vec<u64> = view.subvector_indices(&v, b).collect();
+                assert_eq!(got, naive_physical_indices(&v, b, &g), "stride={stride}");
+            }
+        }
+    }
+
+    #[test]
+    fn union_over_physical_banks_is_complete() {
+        let g = Geometry::cacheline_interleaved(16, 32).unwrap();
+        let view = LogicalView::new(&g);
+        let v = Vector::new(1000, 19, 32).unwrap();
+        let mut all: Vec<u64> = (0..16)
+            .flat_map(|b| {
+                view.subvector_indices(&v, BankId::new(b))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..32).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn word_interleave_logical_view_is_identity() {
+        let g = Geometry::word_interleaved(16).unwrap();
+        let view = LogicalView::new(&g);
+        assert_eq!(view.logical_per_physical(), 1);
+        let v = Vector::new(7, 10, 32).unwrap();
+        let solver = VectorSolver::new(&v, &g);
+        for b in 0..16 {
+            let b = BankId::new(b);
+            assert_eq!(view.first_hit(&v, b), solver.first_hit(b));
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! PLA-style lookup-table implementations of `FirstHit`/`NextHit` (§4.2).
+//!
+//! In hardware, none of the quantities of Theorem 4.3 are computed at
+//! run time with general arithmetic; they are "compiled into the
+//! circuitry in the form of look-up tables". §4.2 and §4.3.1 sketch two
+//! strategies with different scaling:
+//!
+//! * a **full `K_i` PLA** keyed by `(S mod M, d)` returning the first-hit
+//!   index directly — fastest, but its size grows with the *square* of
+//!   the bank count, limiting it to ~16 banks;
+//! * a **`K_1` PLA** keyed by `S mod M` returning `(s, delta, K_1)`,
+//!   followed by a small multiply `K_i = (K_1 * (d >> s)) & mask` —
+//!   grows linearly in the bank count.
+//!
+//! Both are built here at "design time" from the closed forms and are
+//! behaviourally identical to [`VectorSolver`]; their entry/bit counts
+//! feed the Table-1 hardware-complexity proxy.
+
+use crate::firsthit::{FirstHit, StrideClass};
+use crate::geometry::{BankId, Geometry};
+use crate::vector::Vector;
+
+/// Size report for a lookup-table implementation.
+///
+/// # Examples
+///
+/// ```
+/// use pva_core::{Geometry, K1Pla};
+/// let g = Geometry::word_interleaved(16)?;
+/// let pla = K1Pla::new(&g);
+/// let c = pla.complexity();
+/// assert_eq!(c.entries, 16); // one row per stride class
+/// # Ok::<(), pva_core::PvaError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlaComplexity {
+    /// Number of table rows.
+    pub entries: u64,
+    /// Width of each row in bits.
+    pub bits_per_entry: u64,
+    /// Total storage, `entries * bits_per_entry`.
+    pub total_bits: u64,
+}
+
+impl PlaComplexity {
+    fn new(entries: u64, bits_per_entry: u64) -> Self {
+        PlaComplexity {
+            entries,
+            bits_per_entry,
+            total_bits: entries * bits_per_entry,
+        }
+    }
+}
+
+/// One row of the `K_1` PLA: everything Theorem 4.3/4.4 needs for a
+/// stride class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct K1Entry {
+    /// Trailing-zero count `s` of `S mod M` (`m` for the single-bank
+    /// class `S mod M == 0`).
+    pub s: u32,
+    /// `NextHit` increment `delta = 2^(m-s)`.
+    pub delta: u64,
+    /// `K_1 = sigma^-1 mod 2^(m-s)`.
+    pub k1: u64,
+}
+
+/// The linear-scaling `K_1` PLA: one row per value of `S mod M`.
+///
+/// Lookup plus a `(m-s)`-bit multiply yields any `K_i`; this is the
+/// §4.3.1 recommendation for large memory systems.
+#[derive(Debug, Clone)]
+pub struct K1Pla {
+    geometry: Geometry,
+    rows: Vec<K1Entry>,
+}
+
+impl K1Pla {
+    /// Builds the PLA for a word-interleaved geometry at design time.
+    pub fn new(geometry: &Geometry) -> Self {
+        let rows = (0..geometry.banks())
+            .map(|sm| {
+                let c = StrideClass::new(sm, geometry);
+                K1Entry {
+                    s: c.s(),
+                    delta: c.next_hit(),
+                    k1: c.k1(),
+                }
+            })
+            .collect();
+        K1Pla {
+            geometry: *geometry,
+            rows,
+        }
+    }
+
+    /// Looks up the row for a stride (reduced modulo `M` internally, per
+    /// Lemma 4.1).
+    pub fn lookup(&self, stride: u64) -> K1Entry {
+        self.rows[(stride & (self.geometry.banks() - 1)) as usize]
+    }
+
+    /// `FirstHit(V, b)` evaluated the way the FHP hardware module would:
+    /// PLA lookup, modular subtract, multiply, mask, compare (§4.2).
+    pub fn first_hit(&self, v: &Vector, b: BankId) -> FirstHit {
+        let e = self.lookup(v.stride());
+        let b0 = self.geometry.decode_bank(v.base());
+        let d = self.geometry.bank_distance(b, b0);
+        if e.s >= 64 || d & ((1u64 << e.s) - 1) != 0 {
+            return FirstHit::Miss;
+        }
+        if e.delta == 1 {
+            // Single-bank stride class: only the base bank hits.
+            return if d == 0 {
+                FirstHit::Hit(0)
+            } else {
+                FirstHit::Miss
+            };
+        }
+        let i = d >> e.s;
+        let ki = e.k1.wrapping_mul(i) & (e.delta - 1);
+        if ki < v.length() {
+            FirstHit::Hit(ki)
+        } else {
+            FirstHit::Miss
+        }
+    }
+
+    /// `NextHit(S)`: the per-bank element increment, by table lookup.
+    pub fn next_hit(&self, stride: u64) -> u64 {
+        self.lookup(stride).delta
+    }
+
+    /// Storage cost. Row width: `s` needs `ceil(log2(m+1))` bits, `delta`
+    /// and `K_1` need `m` bits each (stored as exponent + value).
+    pub fn complexity(&self) -> PlaComplexity {
+        let m = self.geometry.log2_banks() as u64;
+        let s_bits = 64 - (m + 1).leading_zeros() as u64;
+        PlaComplexity::new(self.geometry.banks(), s_bits + 2 * m.max(1))
+    }
+}
+
+/// The quadratic-scaling full-`K_i` PLA: one row per `(S mod M, d)`
+/// pair, returning the first-hit index directly with no multiplier.
+///
+/// This is the §4.2 option for small configurations ("if `M` is
+/// sufficiently small"); §4.3.1 notes its complexity grows as the square
+/// of the number of banks, capping practical designs near 16 banks.
+#[derive(Debug, Clone)]
+pub struct FullKiPla {
+    geometry: Geometry,
+    /// `rows[(S mod M) * M + d]` = first-hit index, or `u64::MAX` for
+    /// "no hit" (the hardware encodes this as an extra valid bit).
+    rows: Vec<u64>,
+}
+
+/// Sentinel for "no hit" rows in [`FullKiPla`].
+const NO_HIT: u64 = u64::MAX;
+
+impl FullKiPla {
+    /// Builds the full table at design time.
+    ///
+    /// Hit indices stored here are *unclamped* `K_i` values — the
+    /// hardware compares against the request's length at lookup time,
+    /// because `V.L` is not known at design time.
+    pub fn new(geometry: &Geometry) -> Self {
+        let m = geometry.banks();
+        let mut rows = vec![NO_HIT; (m * m) as usize];
+        for sm in 0..m {
+            let c = StrideClass::new(sm, geometry);
+            for d in 0..m {
+                let row = &mut rows[(sm * m + d) as usize];
+                if c.s() >= 64 || d & ((1u64 << c.s()) - 1) != 0 {
+                    continue;
+                }
+                if c.stride_mod_m() == 0 {
+                    if d == 0 {
+                        *row = 0;
+                    }
+                    continue;
+                }
+                let i = d >> c.s();
+                *row = c.k1().wrapping_mul(i) & (c.next_hit() - 1);
+            }
+        }
+        FullKiPla {
+            geometry: *geometry,
+            rows,
+        }
+    }
+
+    /// `FirstHit(V, b)` by a single table lookup plus length compare.
+    pub fn first_hit(&self, v: &Vector, b: BankId) -> FirstHit {
+        let m = self.geometry.banks();
+        let sm = v.stride() & (m - 1);
+        let b0 = self.geometry.decode_bank(v.base());
+        let d = self.geometry.bank_distance(b, b0);
+        let ki = self.rows[(sm * m + d) as usize];
+        if ki != NO_HIT && ki < v.length() {
+            FirstHit::Hit(ki)
+        } else {
+            FirstHit::Miss
+        }
+    }
+
+    /// Storage cost: `M^2` rows of `m` index bits plus a valid bit.
+    pub fn complexity(&self) -> PlaComplexity {
+        let m = self.geometry.log2_banks() as u64;
+        PlaComplexity::new(self.geometry.banks() * self.geometry.banks(), m.max(1) + 1)
+    }
+}
+
+/// Complexity of both PLA strategies across bank counts — the data behind
+/// the §4.3.1 scaling argument and the Table-1 proxy sweep.
+///
+/// Returns `(banks, k1_bits, full_ki_bits)` tuples for `M` in
+/// `2^1 ..= 2^max_log2_banks`.
+pub fn scaling_sweep(max_log2_banks: u32) -> Vec<(u64, u64, u64)> {
+    (1..=max_log2_banks)
+        .map(|m| {
+            let g = Geometry::word_interleaved(1 << m).expect("valid bank count");
+            (
+                g.banks(),
+                K1Pla::new(&g).complexity().total_bits,
+                FullKiPla::new(&g).complexity().total_bits,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::firsthit::VectorSolver;
+
+    #[test]
+    fn k1_pla_matches_solver_exhaustive() {
+        let g = Geometry::word_interleaved(16).unwrap();
+        let pla = K1Pla::new(&g);
+        for base in 0..16u64 {
+            for stride in 1..=48u64 {
+                for &len in &[1u64, 7, 32] {
+                    let v = Vector::new(base, stride, len).unwrap();
+                    let solver = VectorSolver::new(&v, &g);
+                    for b in 0..16 {
+                        let b = BankId::new(b);
+                        assert_eq!(
+                            pla.first_hit(&v, b),
+                            solver.first_hit(b),
+                            "base={base} stride={stride} len={len} bank={b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_ki_pla_matches_solver_exhaustive() {
+        let g = Geometry::word_interleaved(8).unwrap();
+        let pla = FullKiPla::new(&g);
+        for base in 0..8u64 {
+            for stride in 1..=32u64 {
+                for &len in &[1u64, 3, 8, 32] {
+                    let v = Vector::new(base, stride, len).unwrap();
+                    let solver = VectorSolver::new(&v, &g);
+                    for b in 0..8 {
+                        let b = BankId::new(b);
+                        assert_eq!(
+                            pla.first_hit(&v, b),
+                            solver.first_hit(b),
+                            "base={base} stride={stride} len={len} bank={b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn next_hit_lookup_matches_class() {
+        let g = Geometry::word_interleaved(16).unwrap();
+        let pla = K1Pla::new(&g);
+        for stride in 1..64u64 {
+            assert_eq!(
+                pla.next_hit(stride),
+                StrideClass::new(stride, &g).next_hit()
+            );
+        }
+    }
+
+    #[test]
+    fn scaling_full_ki_is_quadratic_k1_is_linear() {
+        let sweep = scaling_sweep(8);
+        for w in sweep.windows(2) {
+            let (m0, k1_0, full0) = w[0];
+            let (m1, k1_1, full1) = w[1];
+            assert_eq!(m1, 2 * m0);
+            // Doubling banks roughly doubles the K1 PLA...
+            assert!(k1_1 >= 2 * k1_0 && k1_1 <= 3 * k1_0, "{k1_0} -> {k1_1}");
+            // ...but roughly quadruples the full-Ki PLA.
+            assert!(full1 >= 4 * full0, "{full0} -> {full1}");
+        }
+    }
+
+    #[test]
+    fn sixteen_bank_tables_have_expected_shape() {
+        let g = Geometry::word_interleaved(16).unwrap();
+        assert_eq!(K1Pla::new(&g).complexity().entries, 16);
+        assert_eq!(FullKiPla::new(&g).complexity().entries, 256);
+    }
+}

@@ -1,0 +1,877 @@
+//! The Bank Controller (BC) of §5.2.2, one per external SDRAM bank.
+//!
+//! Subcomponents, mirroring Figure 6 of the paper:
+//!
+//! * **FirstHit Predict (FHP)** — watches vector commands broadcast on
+//!   the BC bus, decides hit/miss for this bank via the PLA tables, and
+//!   for power-of-two strides computes the first-hit address immediately
+//!   (1 cycle).
+//! * **Request FIFO / Register File (RQF/RF)** — queues hits awaiting
+//!   service; as many entries as outstanding bus transactions.
+//! * **FirstHit Calculate (FHC)** — the 2-cycle multiply-add that
+//!   finishes address calculation for non-power-of-two strides, working
+//!   in parallel with the scheduler.
+//! * **Access Scheduler (SCHED)** with **Vector Contexts (VCs)** and
+//!   **Scheduling Policy Units (SPUs)** — expands each request's address
+//!   series by shift-and-add, reorders row activates / precharges /
+//!   reads / writes across contexts (oldest first, daisy-chained), and
+//!   drives the SDRAM.
+//! * **Staging** — gathered read data is deposited into the shared
+//!   [`TransactionTable`] (the model of the wired-OR
+//!   transaction-complete lines); write data is pulled from the
+//!   broadcast line buffer.
+//!
+//! Bypass paths (§5.2.3), the bus-polarity rule (§5.2.4), restimer-
+//! enforced SDRAM timing (§5.2.5) and the row-management heuristic are
+//! all modelled; each is switchable for the ablation benches.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use pva_core::{BankId, FirstHit, K1Pla, LogicalView};
+use sdram::{Sdram, SdramCmd};
+
+use crate::command::{OpKind, TxnId, VectorCommand};
+use crate::config::{PvaConfig, RowPolicy};
+use crate::trace_log::TraceEvent;
+use crate::txn::TransactionTable;
+
+/// Encodes (transaction, element index) into an SDRAM read tag.
+fn tag_of(txn: TxnId, element: u64) -> u64 {
+    ((txn.0 as u64) << 40) | element
+}
+
+/// Decodes an SDRAM read tag.
+fn untag(tag: u64) -> (TxnId, u64) {
+    (TxnId((tag >> 40) as u8), tag & ((1 << 40) - 1))
+}
+
+/// The bank's first-hit logic: a single PLA for word interleave, or
+/// the §4.1.3/§4.3.1 arrangement of `N` logical-bank copies for block
+/// interleave ("replicating the FirstHit logic N times in each bank
+/// controller").
+#[derive(Debug, Clone)]
+enum HitLogic {
+    /// Word-interleaved: one K1 PLA, shift-and-add expansion.
+    Word(Arc<K1Pla>),
+    /// Block-interleaved: N logical first-hit units whose sorted merge
+    /// gives this bank's element indices.
+    Logical(Arc<LogicalView>),
+}
+
+/// A register-file entry: a vector request that hit this bank, plus its
+/// address-calculation state (the ACC flag of §5.2.2).
+#[derive(Debug, Clone)]
+struct RfEntry {
+    cmd: VectorCommand,
+    /// First element index this bank holds.
+    first_index: u64,
+    /// Element-index step between this bank's elements (Theorem 4.4).
+    index_delta: u64,
+    /// First-hit word address; meaningful once `addr_ready`.
+    first_addr: u64,
+    /// The ACC flag: address calculation complete.
+    addr_ready: bool,
+    /// FHC multiply-add cycles remaining when `!addr_ready`.
+    fhc_cycles_left: u32,
+    /// Earliest cycle the scheduler may consume this entry (models FHP /
+    /// FIFO / bypass latencies).
+    injectable_at: u64,
+    /// Dense line to scatter, for writes.
+    write_line: Option<Arc<Vec<u64>>>,
+    /// Block-interleave only: the merged element-index list of this
+    /// bank's N logical first-hit units.
+    indices: Option<Arc<Vec<u64>>>,
+}
+
+/// A vector context: one request being actively expanded against the
+/// SDRAM.
+#[derive(Debug, Clone)]
+struct VectorContext {
+    txn: TxnId,
+    kind: OpKind,
+    /// Current global word address.
+    addr: u64,
+    /// Address step per element served: `V.S << (m - s)` (§4.2 step 7).
+    addr_step: u64,
+    /// Current element index within the vector.
+    element: u64,
+    /// Element-index step.
+    index_delta: u64,
+    /// Elements remaining for this bank (including the current one).
+    remaining: u64,
+    /// Whether the very first operation of this context has issued yet
+    /// (drives the autoprecharge predictor).
+    first_op_done: bool,
+    write_line: Option<Arc<Vec<u64>>>,
+    /// Block-interleave only: explicit index list plus cursor (the
+    /// hardware holds N per-logical-bank shift-and-add units instead).
+    indices: Option<Arc<Vec<u64>>>,
+    pos: usize,
+    /// Vector base and stride, for index-list address generation.
+    base: u64,
+    stride: u64,
+}
+
+/// Per-bank-controller statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BcStats {
+    /// Commands this bank hit on.
+    pub requests_queued: u64,
+    /// Elements read from SDRAM.
+    pub elements_read: u64,
+    /// Elements written to SDRAM.
+    pub elements_written: u64,
+    /// Bus turnaround (polarity-reversal) stalls.
+    pub turnarounds: u64,
+    /// Cycles at least one VC was occupied.
+    pub busy_cycles: u64,
+    /// Accesses that found their row already open (row-buffer hits).
+    pub row_hits: u64,
+    /// Activates issued (row opens).
+    pub activates: u64,
+}
+
+/// One bank controller: parallelizing logic + scheduler + one SDRAM
+/// device.
+#[derive(Debug)]
+pub struct BankController {
+    bank: BankId,
+    config: PvaConfig,
+    hit_logic: HitLogic,
+    fifo: VecDeque<RfEntry>,
+    vcs: VecDeque<VectorContext>,
+    device: Sdram,
+    /// Last data-transfer direction on this bank's data bus.
+    data_polarity: Option<OpKind>,
+    /// Turnaround dead cycles remaining.
+    turnaround_left: u32,
+    /// One-bit autoprecharge predictor per internal bank (§5.2.2).
+    autoprecharge_predict: Vec<bool>,
+    /// Last row that was open in each internal bank (survives closes).
+    last_row: Vec<Option<u64>>,
+    /// Four-bit hit/miss history per internal bank (Alpha 21174 style;
+    /// only consulted under `RowPolicy::AlphaHistory`).
+    row_history: Vec<u8>,
+    stats: BcStats,
+    /// Trace events accumulated since the last drain (only populated
+    /// when `config.record_trace`).
+    events: Vec<TraceEvent>,
+}
+
+impl BankController {
+    /// Creates the controller for `bank` on a word-interleaved system.
+    pub fn new(bank: BankId, config: PvaConfig, pla: Arc<K1Pla>) -> Self {
+        Self::with_hit_logic(bank, config, HitLogic::Word(pla))
+    }
+
+    /// Creates the controller for `bank` on a block-interleaved system:
+    /// `N` copies of the first-hit logic per controller (§4.3.1).
+    pub fn new_block_interleaved(bank: BankId, config: PvaConfig, view: Arc<LogicalView>) -> Self {
+        Self::with_hit_logic(bank, config, HitLogic::Logical(view))
+    }
+
+    fn with_hit_logic(bank: BankId, config: PvaConfig, hit_logic: HitLogic) -> Self {
+        let ib = config.sdram.total_row_buffers() as usize;
+        BankController {
+            bank,
+            config,
+            hit_logic,
+            fifo: VecDeque::new(),
+            vcs: VecDeque::new(),
+            device: Sdram::new(config.sdram),
+            data_polarity: None,
+            turnaround_left: 0,
+            autoprecharge_predict: vec![false; ib],
+            last_row: vec![None; ib],
+            row_history: vec![0; ib],
+            stats: BcStats::default(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Drains the accumulated trace events.
+    pub fn drain_events(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Logs an SDRAM operation when tracing is enabled.
+    fn log_op(&mut self, op: &'static str, internal_bank: u32, row: u64) {
+        if self.config.record_trace {
+            self.events.push(TraceEvent::BankOp {
+                cycle: self.device.now(),
+                bank: self.bank.index(),
+                op,
+                internal_bank,
+                row,
+            });
+        }
+    }
+
+    /// The bank this controller serves.
+    pub const fn bank(&self) -> BankId {
+        self.bank
+    }
+
+    /// Statistics so far.
+    pub const fn stats(&self) -> &BcStats {
+        &self.stats
+    }
+
+    /// The SDRAM device (for functional inspection in tests).
+    pub const fn device(&self) -> &Sdram {
+        &self.device
+    }
+
+    /// Mutable device access (test preloading).
+    pub fn device_mut(&mut self) -> &mut Sdram {
+        &mut self.device
+    }
+
+    /// Whether this controller has no queued or active work.
+    pub fn idle(&self) -> bool {
+        self.fifo.is_empty() && self.vcs.is_empty() && !self.device.has_in_flight()
+    }
+
+    /// FHP: observes a vector command broadcast at cycle `now`. Returns
+    /// the number of elements this bank will serve (0 = miss, request
+    /// not queued).
+    pub fn observe_command(
+        &mut self,
+        cmd: &VectorCommand,
+        write_line: Option<Arc<Vec<u64>>>,
+        now: u64,
+    ) -> u64 {
+        let v = &cmd.vector;
+        let (first, index_delta, count, indices) = match &self.hit_logic {
+            HitLogic::Word(pla) => {
+                let first = match pla.first_hit(v, self.bank) {
+                    FirstHit::Hit(k) => k,
+                    FirstHit::Miss => return 0,
+                };
+                let delta = pla.next_hit(v.stride());
+                let count = (v.length() - first).div_ceil(delta);
+                (first, delta, count, None)
+            }
+            HitLogic::Logical(view) => {
+                let idx: Vec<u64> = view.subvector_indices(v, self.bank).collect();
+                if idx.is_empty() {
+                    return 0;
+                }
+                let first = idx[0];
+                let count = idx.len() as u64;
+                (first, 1, count, Some(Arc::new(idx)))
+            }
+        };
+        let pow2 = v.stride().is_power_of_two();
+        let bypass = self.config.options.bypass_paths
+            && self.fifo.is_empty()
+            && self.vcs.len() < self.config.vector_contexts;
+        // Pipeline latencies (§5.2.3): FHP enqueues at the end of the
+        // broadcast cycle. Power-of-two strides have their address ready
+        // immediately; others wait for the FHC multiply-add. The bypass
+        // paths save the FIFO write-back/dequeue cycle when the
+        // controller is idle.
+        let (addr_ready, fhc_left, injectable_at) = if pow2 {
+            (true, 0, if bypass { now + 1 } else { now + 2 })
+        } else {
+            let fhc = self.config.fhc_latency;
+            (
+                false,
+                fhc,
+                if bypass {
+                    now + 1 + fhc as u64
+                } else {
+                    now + 2 + fhc as u64
+                },
+            )
+        };
+        let first_addr = v.base() + v.stride() * first;
+        self.fifo.push_back(RfEntry {
+            cmd: *cmd,
+            first_index: first,
+            index_delta,
+            first_addr,
+            addr_ready,
+            fhc_cycles_left: fhc_left,
+            injectable_at,
+            write_line,
+            indices,
+        });
+        debug_assert!(
+            self.fifo.len() <= self.config.request_fifo_entries,
+            "register file sized to outstanding transactions can never overflow"
+        );
+        self.stats.requests_queued += 1;
+        count
+    }
+
+    /// Advances the controller one cycle: FHC progress, VC injection,
+    /// SPU scheduling, SDRAM issue, data return.
+    pub fn tick(&mut self, now: u64, txns: &mut TransactionTable) {
+        // 1. Return data that reached the pins this cycle.
+        for ready in self.device.take_ready_data() {
+            let (txn, element) = untag(ready.tag);
+            txns.deposit(txn, element, ready.data);
+        }
+
+        // 2. FHC: one multiply-add in flight at a time, oldest first
+        //    (the workptr scan of §5.2.2), overlapped with scheduling.
+        if let Some(entry) = self.fifo.iter_mut().find(|e| !e.addr_ready) {
+            entry.fhc_cycles_left = entry.fhc_cycles_left.saturating_sub(1);
+            if entry.fhc_cycles_left == 0 {
+                entry.addr_ready = true;
+            }
+        }
+
+        // 3. Inject the FIFO head into a free vector context (in order).
+        if self.vcs.len() < self.config.vector_contexts {
+            let consumable = self
+                .fifo
+                .front()
+                .is_some_and(|e| e.addr_ready && e.injectable_at <= now);
+            if consumable {
+                let e = self.fifo.pop_front().expect("head exists");
+                let v = e.cmd.vector;
+                let remaining = match &e.indices {
+                    Some(idx) => idx.len() as u64,
+                    None => (v.length() - e.first_index).div_ceil(e.index_delta),
+                };
+                self.vcs.push_back(VectorContext {
+                    txn: e.cmd.txn,
+                    kind: e.cmd.kind,
+                    addr: e.first_addr,
+                    addr_step: v.stride() * e.index_delta,
+                    element: e.first_index,
+                    index_delta: e.index_delta,
+                    remaining,
+                    first_op_done: false,
+                    write_line: e.write_line,
+                    indices: e.indices,
+                    pos: 0,
+                    base: v.base(),
+                    stride: v.stride(),
+                });
+            }
+        }
+
+        if !self.vcs.is_empty() {
+            self.stats.busy_cycles += 1;
+        }
+
+        // 4. SPU scheduling: pick at most one SDRAM command. A due
+        //    periodic refresh preempts normal work (§2.2: the contents
+        //    must be refreshed typically every 64 ms).
+        if self.turnaround_left > 0 {
+            self.turnaround_left -= 1;
+        } else if !self.service_refresh() {
+            self.schedule(txns);
+        }
+
+        // 5. Clock the device.
+        self.device.tick();
+    }
+
+    /// Drives the device toward a due AUTO REFRESH: closes open rows,
+    /// then issues the refresh. Returns `true` while refresh handling
+    /// owns the command slot this cycle.
+    fn service_refresh(&mut self) -> bool {
+        if !self.device.refresh_due() {
+            return false;
+        }
+        for ib in 0..self.config.sdram.total_row_buffers() {
+            if self.device.open_row(ib).is_some() {
+                let cmd = SdramCmd::Precharge { bank: ib };
+                if self.device.can_issue(&cmd).is_ok() {
+                    self.device.issue(cmd).expect("validated");
+                }
+                // Either precharged or waiting out tRAS/tWR: refresh
+                // still pending, keep the slot.
+                return true;
+            }
+        }
+        // All rows closed: refresh as soon as tRP clears.
+        if self.device.issue(SdramCmd::Refresh).is_ok() {
+            self.log_op("REF", u32::MAX, 0);
+        }
+        true
+    }
+
+    /// Internal-bank/row/column coordinates of a context's current
+    /// element.
+    fn target_of(&self, vc: &VectorContext) -> (u32, u64, u64) {
+        let local = self.config.geometry.bank_local_addr(vc.addr);
+        let ia = self.config.sdram.map(local);
+        (ia.bank, ia.row, ia.col)
+    }
+
+    /// The §5.2.2 scheduling pass: promote activates/precharges of
+    /// blocked contexts (oldest first), else issue the highest-priority
+    /// ready read/write that respects the polarity rule.
+    fn schedule(&mut self, txns: &mut TransactionTable) {
+        // Precompute VC targets.
+        let targets: Vec<(u32, u64, u64)> = self.vcs.iter().map(|vc| self.target_of(vc)).collect();
+
+        // Polarity rule of §5.2.4: a VC may issue a read/write only if no
+        // older VC carries the opposite direction. Computed up front:
+        // phase A must know which VCs can actually consume an open row.
+        let limit = self.polarity_window().unwrap_or(0);
+        let window = if self.config.options.out_of_order {
+            limit
+        } else {
+            1.min(limit)
+        };
+
+        // Phase A: row opens / precharges for blocked VCs ("promote row
+        // opens and precharges above read and write operations, as long
+        // as they do not conflict with the open rows being used by some
+        // other VC").
+        if self.config.options.promote_opens || self.first_ready(&targets, window).is_none() {
+            for i in 0..self.vcs.len() {
+                let (ib, row, _) = targets[i];
+                match self.device.open_row(ib) {
+                    None => {
+                        let cmd = SdramCmd::Activate { bank: ib, row };
+                        if self.device.can_issue(&cmd).is_ok() {
+                            // Predictor is set on the very first operation
+                            // of a new vector context (§5.2.2), using the
+                            // last row open *before* this activate.
+                            if !self.vcs[i].first_op_done {
+                                self.set_predictor(i, ib, row);
+                                self.vcs[i].first_op_done = true;
+                            }
+                            self.last_row[ib as usize] = Some(row);
+                            self.device.issue(cmd).expect("validated");
+                            self.stats.activates += 1;
+                            self.log_op("ACT", ib, row);
+                            return;
+                        }
+                    }
+                    Some(open) if open != row => {
+                        // bank_hit_predict: some other VC that can
+                        // actually issue (inside the polarity window)
+                        // currently targets the open row — do not close
+                        // it. VCs outside the window cannot consume the
+                        // row yet, and honouring their hits could
+                        // deadlock against the polarity rule.
+                        let other_hits = (0..window)
+                            .any(|j| j != i && targets[j].0 == ib && targets[j].1 == open);
+                        let cmd = SdramCmd::Precharge { bank: ib };
+                        if !other_hits && self.device.can_issue(&cmd).is_ok() {
+                            self.device.issue(cmd).expect("validated");
+                            self.log_op("PRE", ib, open);
+                            return;
+                        }
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+
+        // Phase B: reads/writes within the polarity window.
+        for i in 0..window {
+            let (ib, row, col) = targets[i];
+            if self.device.open_row(ib) != Some(row) {
+                continue;
+            }
+            let kind = self.vcs[i].kind;
+            // Bus turnaround on polarity reversal (§5.2.5).
+            if let Some(p) = self.data_polarity {
+                if p != kind && self.config.turnaround_cycles > 0 {
+                    self.turnaround_left = self.config.turnaround_cycles;
+                    self.stats.turnarounds += 1;
+                    self.data_polarity = Some(kind);
+                    return;
+                }
+            }
+            let last_for_vc = self.vcs[i].remaining == 1;
+            let auto = self.decide_auto_precharge(i, ib, row, &targets, last_for_vc);
+            let txn = self.vcs[i].txn;
+            let element = self.vcs[i].element;
+            let cmd = match kind {
+                OpKind::Read => SdramCmd::Read {
+                    bank: ib,
+                    col,
+                    auto_precharge: auto,
+                    tag: tag_of(txn, element),
+                },
+                OpKind::Write => {
+                    let line = self.vcs[i]
+                        .write_line
+                        .as_ref()
+                        .expect("write context carries its line");
+                    SdramCmd::Write {
+                        bank: ib,
+                        col,
+                        data: line[element as usize],
+                        auto_precharge: auto,
+                    }
+                }
+            };
+            if self.device.can_issue(&cmd).is_err() {
+                continue; // tRCD still pending; try a younger VC.
+            }
+            if !self.vcs[i].first_op_done {
+                self.set_predictor(i, ib, row);
+                self.vcs[i].first_op_done = true;
+            }
+            self.device.issue(cmd).expect("validated");
+            self.data_polarity = Some(kind);
+            match kind {
+                OpKind::Read => {
+                    self.stats.elements_read += 1;
+                    self.log_op(if auto { "RDA" } else { "RD" }, ib, row);
+                }
+                OpKind::Write => {
+                    self.stats.elements_written += 1;
+                    txns.commit_writes(txn, 1);
+                    self.log_op(if auto { "WRA" } else { "WR" }, ib, row);
+                }
+            }
+            // Advance the context: shift-and-add for word interleave,
+            // next list entry for block interleave.
+            let vc = &mut self.vcs[i];
+            vc.remaining -= 1;
+            if vc.remaining == 0 {
+                self.vcs.remove(i);
+            } else if let Some(idx) = &vc.indices {
+                vc.pos += 1;
+                vc.element = idx[vc.pos];
+                vc.addr = vc.base + vc.stride * vc.element;
+            } else {
+                vc.addr += vc.addr_step;
+                vc.element += vc.index_delta;
+            }
+            return;
+        }
+    }
+
+    /// Index bound of the oldest-prefix of VCs sharing one polarity
+    /// (`None` when there are no VCs).
+    fn polarity_window(&self) -> Option<usize> {
+        let first = self.vcs.front()?.kind;
+        Some(self.vcs.iter().take_while(|vc| vc.kind == first).count())
+    }
+
+    /// First VC whose target row is open *and* which the polarity rule
+    /// permits to issue — used to decide whether phase A may run when
+    /// promotion is disabled. A "ready" VC outside the polarity window
+    /// cannot actually issue, so it must not suppress row management
+    /// (doing so deadlocks).
+    fn first_ready(&self, targets: &[(u32, u64, u64)], window: usize) -> Option<usize> {
+        (0..window).find(|&i| {
+            let (ib, row, _) = targets[i];
+            self.device.open_row(ib) == Some(row)
+        })
+    }
+
+    /// The ManageRow() decision of §5.2.2: should this access close its
+    /// row via auto-precharge?
+    fn decide_auto_precharge(
+        &mut self,
+        vc_idx: usize,
+        ib: u32,
+        row: u64,
+        targets: &[(u32, u64, u64)],
+        last_for_vc: bool,
+    ) -> bool {
+        // bank_morehit_predict: another VC has a pending access to this
+        // same open row.
+        let more_hit =
+            (0..self.vcs.len()).any(|j| j != vc_idx && targets[j].0 == ib && targets[j].1 == row);
+        // bank_close_predict: another VC wants a *different* row in this
+        // internal bank.
+        let close_predict =
+            (0..self.vcs.len()).any(|j| j != vc_idx && targets[j].0 == ib && targets[j].1 != row);
+        if !last_for_vc {
+            // Vector request not complete: keep the row if our own next
+            // element hits it (or someone else will).
+            let vc = &self.vcs[vc_idx];
+            let next_addr = match &vc.indices {
+                Some(idx) => vc.base + vc.stride * idx[vc.pos + 1],
+                None => vc.addr + vc.addr_step,
+            };
+            let local = self.config.geometry.bank_local_addr(next_addr);
+            let ia = self.config.sdram.map(local);
+            let next_same_row = ia.bank == ib && ia.row == row;
+            if next_same_row {
+                self.stats.row_hits += 1;
+            }
+            return !(next_same_row || more_hit);
+        }
+        // Vector request complete.
+        if more_hit {
+            return false;
+        }
+        if close_predict || self.autoprecharge_predict[ib as usize] {
+            return true;
+        }
+        false
+    }
+
+    /// Sets the one-bit autoprecharge predictor for internal bank `ib`
+    /// when a context issues its first operation.
+    fn set_predictor(&mut self, _vc_idx: usize, ib: u32, first_row: u64) {
+        let matched = self.last_row[ib as usize] == Some(first_row);
+        let h = &mut self.row_history[ib as usize];
+        *h = ((*h << 1) | matched as u8) & 0xF;
+        self.autoprecharge_predict[ib as usize] = match self.config.options.row_policy {
+            RowPolicy::PaperLiteral => matched,
+            RowPolicy::MissPredictsClose => !matched,
+            RowPolicy::AlwaysClose => true,
+            RowPolicy::AlwaysOpen => false,
+            RowPolicy::AlphaHistory => self.config.options.precharge_policy_reg & (1 << *h) != 0,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::OpKind;
+    use crate::txn::{Transaction, TxnPhase};
+    use pva_core::Vector;
+
+    fn controller(bank: usize) -> BankController {
+        let cfg = PvaConfig::default();
+        let pla = Arc::new(K1Pla::new(&cfg.geometry));
+        BankController::new(BankId::new(bank), cfg, pla)
+    }
+
+    fn open_read_txn(txns: &mut TransactionTable, id: TxnId, len: u64) {
+        txns.open(
+            id,
+            Transaction {
+                kind: OpKind::Read,
+                length: len,
+                request_index: 0,
+                issued_at: 0,
+                collected: vec![None; len as usize],
+                collected_count: 0,
+                committed_count: 0,
+                write_line: None,
+                phase: TxnPhase::InBanks,
+            },
+        );
+    }
+
+    #[test]
+    fn miss_is_not_queued() {
+        let mut bc = controller(3);
+        // Stride 16 from base 0 only ever hits bank 0.
+        let cmd = VectorCommand {
+            vector: Vector::new(0, 16, 32).unwrap(),
+            kind: OpKind::Read,
+            txn: TxnId(0),
+        };
+        assert_eq!(bc.observe_command(&cmd, None, 0), 0);
+        assert!(bc.idle());
+    }
+
+    #[test]
+    fn unit_stride_gathers_two_elements() {
+        // 32-element unit-stride vector on 16 banks: two elements per bank.
+        let mut bc = controller(5);
+        let mut txns = TransactionTable::new(8);
+        open_read_txn(&mut txns, TxnId(0), 32);
+        let cmd = VectorCommand {
+            vector: Vector::new(0, 1, 32).unwrap(),
+            kind: OpKind::Read,
+            txn: TxnId(0),
+        };
+        assert_eq!(bc.observe_command(&cmd, None, 0), 2);
+        for now in 1..60 {
+            bc.tick(now, &mut txns);
+            if bc.idle() {
+                break;
+            }
+        }
+        let txn = txns.get(TxnId(0)).unwrap();
+        // Elements 5 and 21 (addresses 5 and 21) belong to bank 5.
+        assert_eq!(txn.collected_count, 2);
+        assert!(txn.collected[5].is_some());
+        assert!(txn.collected[21].is_some());
+        assert_eq!(bc.stats().elements_read, 2);
+    }
+
+    #[test]
+    fn gathered_data_matches_device_contents() {
+        let mut bc = controller(0);
+        let mut txns = TransactionTable::new(8);
+        open_read_txn(&mut txns, TxnId(2), 8);
+        // Stride 16: all 8 elements land in bank 0, local addrs 0..8*1.
+        let cmd = VectorCommand {
+            vector: Vector::new(0, 16, 8).unwrap(),
+            kind: OpKind::Read,
+            txn: TxnId(2),
+        };
+        assert_eq!(bc.observe_command(&cmd, None, 0), 8);
+        for now in 1..200 {
+            bc.tick(now, &mut txns);
+            if bc.idle() {
+                break;
+            }
+        }
+        let txn = txns.get(TxnId(2)).unwrap();
+        assert_eq!(txn.collected_count, 8);
+        for (i, w) in txn.collected.iter().enumerate() {
+            // Element i is at global addr 16i -> local addr i.
+            assert_eq!(w.unwrap(), bc.device().peek(i as u64), "element {i}");
+        }
+    }
+
+    #[test]
+    fn writes_commit_and_persist() {
+        let mut bc = controller(0);
+        let mut txns = TransactionTable::new(8);
+        let line: Arc<Vec<u64>> = Arc::new((0..4).map(|i| 0xAA00 + i).collect());
+        txns.open(
+            TxnId(1),
+            Transaction {
+                kind: OpKind::Write,
+                length: 4,
+                request_index: 0,
+                issued_at: 0,
+                collected: vec![],
+                collected_count: 0,
+                committed_count: 0,
+                write_line: Some(line.clone()),
+                phase: TxnPhase::InBanks,
+            },
+        );
+        let cmd = VectorCommand {
+            vector: Vector::new(0, 16, 4).unwrap(),
+            kind: OpKind::Write,
+            txn: TxnId(1),
+        };
+        assert_eq!(bc.observe_command(&cmd, Some(line), 0), 4);
+        for now in 1..200 {
+            bc.tick(now, &mut txns);
+            if bc.idle() && txns.get(TxnId(1)).unwrap().banks_done() {
+                break;
+            }
+        }
+        assert!(txns.get(TxnId(1)).unwrap().banks_done());
+        for i in 0..4u64 {
+            assert_eq!(bc.device().peek(i), 0xAA00 + i);
+        }
+    }
+
+    #[test]
+    fn power_of_two_bypass_is_faster_than_fifo_path() {
+        // Same command, bypass on vs off: bypass must not be slower.
+        let run = |bypass: bool| -> u64 {
+            let mut cfg = PvaConfig::default();
+            cfg.options.bypass_paths = bypass;
+            let pla = Arc::new(K1Pla::new(&cfg.geometry));
+            let mut bc = BankController::new(BankId::new(0), cfg, pla);
+            let mut txns = TransactionTable::new(8);
+            open_read_txn(&mut txns, TxnId(0), 2);
+            let cmd = VectorCommand {
+                vector: Vector::new(0, 16, 2).unwrap(),
+                kind: OpKind::Read,
+                txn: TxnId(0),
+            };
+            bc.observe_command(&cmd, None, 0);
+            for now in 1..200 {
+                bc.tick(now, &mut txns);
+                if txns.get(TxnId(0)).unwrap().banks_done() {
+                    return now;
+                }
+            }
+            panic!("never completed");
+        };
+        assert!(run(true) < run(false));
+    }
+
+    #[test]
+    fn non_power_of_two_pays_fhc_latency() {
+        let run = |stride: u64| -> u64 {
+            let mut bc = controller(0);
+            let mut txns = TransactionTable::new(8);
+            open_read_txn(&mut txns, TxnId(0), 1);
+            let cmd = VectorCommand {
+                vector: Vector::new(0, stride, 1).unwrap(),
+                kind: OpKind::Read,
+                txn: TxnId(0),
+            };
+            bc.observe_command(&cmd, None, 0);
+            for now in 1..200 {
+                bc.tick(now, &mut txns);
+                if txns.get(TxnId(0)).unwrap().banks_done() {
+                    return now;
+                }
+            }
+            panic!("never completed");
+        };
+        // A single-element vector: stride class irrelevant to work, but
+        // stride 48 (not a power of two) must pay the 2-cycle FHC.
+        let pow2 = run(16);
+        let npow2 = run(48);
+        assert_eq!(npow2 - pow2, 2);
+    }
+
+    #[test]
+    fn row_hit_within_vector_leaves_row_open() {
+        // Stride 16, consecutive local addresses 0,1,2...: same row.
+        let mut bc = controller(0);
+        let mut txns = TransactionTable::new(8);
+        open_read_txn(&mut txns, TxnId(0), 16);
+        let cmd = VectorCommand {
+            vector: Vector::new(0, 16, 16).unwrap(),
+            kind: OpKind::Read,
+            txn: TxnId(0),
+        };
+        bc.observe_command(&cmd, None, 0);
+        for now in 1..400 {
+            bc.tick(now, &mut txns);
+            if bc.idle() {
+                break;
+            }
+        }
+        // One activate serves all 16 accesses.
+        assert_eq!(bc.device().stats().activates, 1);
+        assert_eq!(bc.device().stats().reads, 16);
+    }
+
+    #[test]
+    fn turnaround_counted_on_polarity_reversal() {
+        let mut bc = controller(0);
+        let mut txns = TransactionTable::new(8);
+        open_read_txn(&mut txns, TxnId(0), 1);
+        let line = Arc::new(vec![7u64]);
+        txns.open(
+            TxnId(1),
+            Transaction {
+                kind: OpKind::Write,
+                length: 1,
+                request_index: 1,
+                issued_at: 0,
+                collected: vec![],
+                collected_count: 0,
+                committed_count: 0,
+                write_line: Some(line.clone()),
+                phase: TxnPhase::InBanks,
+            },
+        );
+        let read = VectorCommand {
+            vector: Vector::new(0, 16, 1).unwrap(),
+            kind: OpKind::Read,
+            txn: TxnId(0),
+        };
+        let write = VectorCommand {
+            vector: Vector::new(256, 16, 1).unwrap(),
+            kind: OpKind::Write,
+            txn: TxnId(1),
+        };
+        bc.observe_command(&read, None, 0);
+        bc.observe_command(&write, Some(line), 0);
+        for now in 1..400 {
+            bc.tick(now, &mut txns);
+            if bc.idle() && txns.get(TxnId(1)).unwrap().banks_done() {
+                break;
+            }
+        }
+        assert_eq!(bc.stats().turnarounds, 1);
+    }
+}

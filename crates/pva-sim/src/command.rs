@@ -1,0 +1,107 @@
+//! Vector-bus commands and transactions.
+
+use pva_core::Vector;
+
+/// Split-transaction identifier on the vector bus (three bits in the
+/// prototype: eight outstanding transactions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxnId(pub u8);
+
+impl core::fmt::Display for TxnId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Direction of a vector operation. Also used as the data-bus polarity
+/// of §5.2.4/§5.2.5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Gathered vector read (`VEC_READ`).
+    Read,
+    /// Scattered vector write (`VEC_WRITE`).
+    Write,
+}
+
+/// A vector command as broadcast on the vector bus during a request
+/// cycle: base, stride, length, transaction id and direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VectorCommand {
+    /// The base-stride vector to gather or scatter.
+    pub vector: Vector,
+    /// Read or write.
+    pub kind: OpKind,
+    /// Split-transaction id.
+    pub txn: TxnId,
+}
+
+/// A request submitted by the host (memory-controller front end) to the
+/// PVA unit — what the infinitely-fast CPU of §6.2 produces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostRequest {
+    /// Gather `vector` into a dense line.
+    Read {
+        /// Vector to gather.
+        vector: Vector,
+    },
+    /// Scatter `data` (one word per element) to `vector`'s addresses.
+    Write {
+        /// Vector to scatter to.
+        vector: Vector,
+        /// Dense line of `vector.length()` words.
+        data: Vec<u64>,
+    },
+}
+
+impl HostRequest {
+    /// The vector being accessed.
+    pub fn vector(&self) -> &Vector {
+        match self {
+            HostRequest::Read { vector } | HostRequest::Write { vector, .. } => vector,
+        }
+    }
+
+    /// Read/write direction.
+    pub fn kind(&self) -> OpKind {
+        match self {
+            HostRequest::Read { .. } => OpKind::Read,
+            HostRequest::Write { .. } => OpKind::Write,
+        }
+    }
+}
+
+/// Outcome of one completed host request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// Index of the request in submission order.
+    pub request_index: usize,
+    /// Cycle the request's vector-bus command was broadcast.
+    pub issued_at: u64,
+    /// Cycle the transaction fully completed (data staged / committed).
+    pub completed_at: u64,
+    /// For reads: the gathered dense line, in element order.
+    pub data: Option<Vec<u64>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_request_accessors() {
+        let v = Vector::new(0, 4, 8).unwrap();
+        let r = HostRequest::Read { vector: v };
+        assert_eq!(r.kind(), OpKind::Read);
+        assert_eq!(r.vector(), &v);
+        let w = HostRequest::Write {
+            vector: v,
+            data: vec![0; 8],
+        };
+        assert_eq!(w.kind(), OpKind::Write);
+    }
+
+    #[test]
+    fn txn_display() {
+        assert_eq!(TxnId(3).to_string(), "t3");
+    }
+}

@@ -1,0 +1,210 @@
+//! Configuration of the PVA unit model.
+
+use pva_core::Geometry;
+use sdram::SdramConfig;
+
+/// Row-management predictor policy (§5.2.2 "Row Management Algorithm").
+///
+/// The paper's one-bit `autoprecharge_predictor` is set "to one if the
+/// row that \[was\] open last within the internal bank matches the row of
+/// the address of the first vector element", and a set predictor votes to
+/// close the row when a request completes. Read literally, that closes
+/// rows exactly when consecutive requests *reuse* them, which defeats the
+/// stated goal ("if the next access is likely to be to the same row, then
+/// it is better to leave that row open"); we believe the prose inverted
+/// the condition. Both readings are provided — plus always-close /
+/// always-open bounds — and the `ablation_scheduler` bench quantifies the
+/// difference. The default is [`RowPolicy::MissPredictsClose`], the
+/// reading consistent with the paper's stated intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RowPolicy {
+    /// Predictor = 1 (close) when the previously-open row *missed* the
+    /// new request's first row: repeat-miss patterns close eagerly,
+    /// repeat-hit patterns keep rows open. The intent-consistent reading.
+    #[default]
+    MissPredictsClose,
+    /// Predictor = 1 (close) when the previously-open row *matched* the
+    /// new request's first row — the paper's pseudo-code taken verbatim.
+    PaperLiteral,
+    /// Always auto-precharge after the last access of a request
+    /// (closed-page policy).
+    AlwaysClose,
+    /// Never auto-precharge on request completion (open-page policy).
+    AlwaysOpen,
+    /// The Alpha 21174 scheme (§2.4.1): a four-bit hit/miss history per
+    /// internal bank indexes a software-set 16-bit precharge policy
+    /// register ([`SchedulerOptions::precharge_policy_reg`]); the
+    /// indexed bit decides whether to close the row.
+    AlphaHistory,
+}
+
+/// Feature switches for the §5.2 scheduler, used by the ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerOptions {
+    /// Allow younger vector contexts to issue when older ones are
+    /// blocked (the out-of-order heuristic of §5.2.2). When disabled,
+    /// only the oldest context may issue reads/writes.
+    pub out_of_order: bool,
+    /// Promote row activates/precharges of blocked contexts above reads
+    /// and writes when they do not conflict with rows in use ("opening
+    /// rows as early as possible").
+    pub promote_opens: bool,
+    /// Enable the FHP -> VC and FHC -> VC bypass paths of §5.2.3 that
+    /// skip the request FIFO when the controller is idle.
+    pub bypass_paths: bool,
+    /// Row-management predictor.
+    pub row_policy: RowPolicy,
+    /// The 21174-style 16-bit precharge policy register used by
+    /// [`RowPolicy::AlphaHistory`]: bit `h` set means "precharge after
+    /// this request" when the four-bit hit history equals `h` (1 = hit,
+    /// most recent in the low bit).
+    pub precharge_policy_reg: u16,
+}
+
+impl Default for SchedulerOptions {
+    fn default() -> Self {
+        SchedulerOptions {
+            out_of_order: true,
+            promote_opens: true,
+            bypass_paths: true,
+            row_policy: RowPolicy::default(),
+            precharge_policy_reg: default_precharge_policy(),
+        }
+    }
+}
+
+/// The default 21174-style policy register: close the row when at most
+/// two of the last four requests hit it (majority-miss heuristic).
+pub const fn default_precharge_policy() -> u16 {
+    let mut reg = 0u16;
+    let mut h = 0u16;
+    while h < 16 {
+        let hits = h.count_ones();
+        if hits <= 2 {
+            reg |= 1 << h;
+        }
+        h += 1;
+    }
+    reg
+}
+
+/// Full configuration of the PVA unit.
+///
+/// Defaults are the paper's prototype (§5.1): 16 word-interleaved
+/// 32-bit SDRAM banks, 128-byte L2 lines (32-word vector commands), 8
+/// outstanding bus transactions, 4 vector contexts per bank controller,
+/// a 2-cycle multiply-add in the first-hit calculate module, and 2
+/// words per cycle on the 128-bit BC bus.
+///
+/// # Examples
+///
+/// ```
+/// use pva_sim::PvaConfig;
+/// let cfg = PvaConfig::default();
+/// assert_eq!(cfg.geometry.banks(), 16);
+/// assert_eq!(cfg.line_words, 32);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct PvaConfig {
+    /// Bank geometry. Word-interleaved geometries use one K1 PLA per
+    /// bank controller; block/cache-line interleaved ones instantiate
+    /// `N` logical first-hit units per controller (§4.3.1). Bank widths
+    /// above one word are rejected — model wide banks as more banks.
+    pub geometry: Geometry,
+    /// Vector command length limit in words (one L2 cache line).
+    pub line_words: u64,
+    /// Outstanding split-transaction IDs on the vector bus.
+    pub transaction_ids: usize,
+    /// Vector contexts per bank controller.
+    pub vector_contexts: usize,
+    /// Request FIFO / register file entries per bank controller.
+    pub request_fifo_entries: usize,
+    /// Latency of the FHC multiply-add for non-power-of-two strides
+    /// (cycles). The synthesized prototype needed two cycles at 100 MHz.
+    pub fhc_latency: u32,
+    /// Words transferred per cycle during STAGE_READ / STAGE_WRITE on
+    /// the BC bus (two 64-bit halves of the 128-bit bus).
+    pub stage_words_per_cycle: u64,
+    /// Dead cycles when the data-bus direction reverses (§5.2.5).
+    pub turnaround_cycles: u32,
+    /// SDRAM device timing.
+    pub sdram: SdramConfig,
+    /// Scheduler feature switches.
+    pub options: SchedulerOptions,
+    /// Record a cycle-stamped [`TraceEvent`](crate::TraceEvent) log
+    /// retrievable via [`PvaUnit::take_events`](crate::PvaUnit::take_events).
+    pub record_trace: bool,
+}
+
+impl Default for PvaConfig {
+    fn default() -> Self {
+        PvaConfig {
+            geometry: Geometry::default(),
+            line_words: 32,
+            transaction_ids: 8,
+            vector_contexts: 4,
+            request_fifo_entries: 8,
+            fhc_latency: 2,
+            stage_words_per_cycle: 2,
+            turnaround_cycles: 1,
+            sdram: SdramConfig::default(),
+            options: SchedulerOptions::default(),
+            record_trace: false,
+        }
+    }
+}
+
+impl PvaConfig {
+    /// The prototype configuration with SRAM-like memory behind the same
+    /// parallel-access front end: single-cycle uniform access, no
+    /// activate/precharge costs. Used for the "PVA SRAM" comparator of
+    /// §6.1.
+    pub fn sram_backend() -> Self {
+        PvaConfig {
+            sdram: SdramConfig::sram_like(),
+            ..PvaConfig::default()
+        }
+    }
+
+    /// A Command Vector Memory System-like configuration (§3.1 related
+    /// work): the same broadcast design, but subcommand generation for
+    /// non-power-of-two strides takes ~15 memory cycles (the paper:
+    /// "the authors state that for strides that are not powers of two,
+    /// 15 memory cycles are required to generate the subcommands"),
+    /// versus the PVA's at most five. Power-of-two strides take two
+    /// cycles in both designs.
+    pub fn cvms_like() -> Self {
+        PvaConfig {
+            fhc_latency: 13, // 1 (predict) + 13 + 1 (inject) ~= 15 cycles
+            ..PvaConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_prototype() {
+        let c = PvaConfig::default();
+        assert_eq!(c.geometry.banks(), 16);
+        assert_eq!(c.transaction_ids, 8);
+        assert_eq!(c.vector_contexts, 4);
+        assert_eq!(c.fhc_latency, 2);
+        assert_eq!(c.stage_words_per_cycle, 2);
+    }
+
+    #[test]
+    fn sram_backend_removes_dram_latencies() {
+        let c = PvaConfig::sram_backend();
+        assert_eq!(c.sdram.t_rcd, 0);
+        assert_eq!(c.sdram.t_rp, 0);
+        assert_eq!(c.sdram.t_cas, 1);
+    }
+
+    #[test]
+    fn row_policy_default_is_intent_consistent() {
+        assert_eq!(RowPolicy::default(), RowPolicy::MissPredictsClose);
+    }
+}

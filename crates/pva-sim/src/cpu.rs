@@ -1,0 +1,226 @@
+//! A simple in-order CPU front end for sensitivity studies.
+//!
+//! §6.2 qualifies every result: "Speed up experienced by vector
+//! applications will be subject to several criteria like the percentage
+//! of vectoriseable memory accesses, the issue width of the processor,
+//! number of outstanding L2 cache misses permitted etc. But in general
+//! it is safe to assume that the faster the processor consumes data,
+//! the closer it is to the peak conditions described here."
+//!
+//! [`CpuModel`] makes those criteria concrete: a processor that issues
+//! memory requests at a configurable rate, with a configurable limit on
+//! outstanding misses, and a configurable fraction of its traffic
+//! vectorizable. Driving the PVA unit through the incremental
+//! [`PvaUnit::submit`]/[`PvaUnit::step`] API, it measures how far from
+//! the paper's "infinitely fast CPU" peak a realistic front end lands.
+
+use pva_core::{PvaError, Vector};
+
+use crate::command::HostRequest;
+use crate::config::PvaConfig;
+use crate::unit::PvaUnit;
+
+/// CPU front-end parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuConfig {
+    /// Compute cycles the CPU needs between consecutive memory
+    /// requests (0 = the paper's infinitely fast CPU).
+    pub cycles_between_requests: u64,
+    /// Maximum requests in flight (outstanding L2 misses permitted).
+    pub max_outstanding: usize,
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        CpuConfig {
+            cycles_between_requests: 0,
+            max_outstanding: 8,
+        }
+    }
+}
+
+/// Result of a CPU-driven run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuRunResult {
+    /// Total cycles from first issue to last completion.
+    pub cycles: u64,
+    /// Cycles the CPU stalled waiting for an outstanding slot.
+    pub stall_cycles: u64,
+    /// Requests issued.
+    pub requests: u64,
+}
+
+/// An in-order request generator in front of a PVA unit.
+///
+/// # Examples
+///
+/// ```
+/// use pva_core::Vector;
+/// use pva_sim::{CpuConfig, CpuModel, HostRequest, PvaConfig};
+///
+/// let reqs: Vec<HostRequest> = (0..8)
+///     .map(|i| HostRequest::Read { vector: Vector::new(i * 640, 19, 32).unwrap() })
+///     .collect();
+/// let fast = CpuModel::new(CpuConfig::default()).drive(PvaConfig::default(), &reqs)?;
+/// let slow = CpuModel::new(CpuConfig { cycles_between_requests: 100, max_outstanding: 1 })
+///     .drive(PvaConfig::default(), &reqs)?;
+/// assert!(slow.cycles > fast.cycles, "a slow CPU cannot reach peak");
+/// # Ok::<(), pva_core::PvaError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct CpuModel {
+    config: CpuConfig,
+}
+
+impl CpuModel {
+    /// Creates a CPU model.
+    pub fn new(config: CpuConfig) -> Self {
+        CpuModel { config }
+    }
+
+    /// Issues `requests` in order against a fresh PVA unit, respecting
+    /// the issue gap and the outstanding-miss limit; runs to drain.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unit configuration/validation errors.
+    pub fn drive(
+        &self,
+        unit_config: PvaConfig,
+        requests: &[HostRequest],
+    ) -> Result<CpuRunResult, PvaError> {
+        let mut unit = PvaUnit::new(unit_config)?;
+        let mut stall_cycles = 0u64;
+        let mut next_issue_at = 0u64;
+        let start = unit.now();
+        let mut queue = requests.iter().cloned();
+        let mut next = queue.next();
+        while next.is_some() || !unit.idle() {
+            if let Some(r) = next.take() {
+                let slot_free = unit.outstanding() < self.config.max_outstanding;
+                let time_ok = unit.now() >= next_issue_at;
+                if slot_free && time_ok {
+                    unit.submit(r)?;
+                    next_issue_at = unit.now() + self.config.cycles_between_requests;
+                    next = queue.next();
+                } else {
+                    if !slot_free && time_ok {
+                        stall_cycles += 1;
+                    }
+                    next = Some(r);
+                }
+            }
+            unit.step();
+            assert!(
+                unit.now() - start < 50_000_000,
+                "CPU-driven simulation failed to drain"
+            );
+        }
+        let _ = unit.take_completions();
+        Ok(CpuRunResult {
+            cycles: unit.now() - start,
+            stall_cycles,
+            requests: requests.len() as u64,
+        })
+    }
+}
+
+/// Amdahl-style mixed workload: `vector_pct` percent of `total` line
+/// accesses are strided gathers through the PVA; the rest are
+/// unit-stride fills (cache-line traffic a conventional controller
+/// would also handle). Returns the request list.
+pub fn mixed_workload(total: u64, vector_pct: u64, stride: u64) -> Vec<HostRequest> {
+    assert!(vector_pct <= 100);
+    (0..total)
+        .map(|i| {
+            let vectorizable = i * 100 < total * vector_pct;
+            let base = i * 32 * stride;
+            let v = if vectorizable {
+                Vector::new(base, stride, 32)
+            } else {
+                Vector::unit_stride(base, 32)
+            };
+            HostRequest::Read {
+                vector: v.expect("nonzero parameters"),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reads(n: u64) -> Vec<HostRequest> {
+        (0..n)
+            .map(|i| HostRequest::Read {
+                vector: Vector::new(i * 640, 19, 32).expect("valid"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn infinitely_fast_cpu_matches_batch_run() {
+        let reqs = reads(16);
+        let cpu = CpuModel::new(CpuConfig::default())
+            .drive(PvaConfig::default(), &reqs)
+            .unwrap();
+        let mut unit = PvaUnit::new(PvaConfig::default()).unwrap();
+        let batch = unit.run(reqs).unwrap();
+        // Same peak-pressure assumption: within a few startup cycles.
+        let diff = cpu.cycles.abs_diff(batch.cycles);
+        assert!(diff <= 4, "cpu {} vs batch {}", cpu.cycles, batch.cycles);
+    }
+
+    #[test]
+    fn outstanding_limit_throttles() {
+        let reqs = reads(16);
+        let wide = CpuModel::new(CpuConfig {
+            max_outstanding: 8,
+            ..CpuConfig::default()
+        })
+        .drive(PvaConfig::default(), &reqs)
+        .unwrap();
+        let narrow = CpuModel::new(CpuConfig {
+            max_outstanding: 1,
+            ..CpuConfig::default()
+        })
+        .drive(PvaConfig::default(), &reqs)
+        .unwrap();
+        assert!(
+            narrow.cycles > wide.cycles * 2 / 2,
+            "{} vs {}",
+            narrow.cycles,
+            wide.cycles
+        );
+        assert!(narrow.cycles > wide.cycles, "serialized misses are slower");
+        assert!(narrow.stall_cycles > 0);
+    }
+
+    #[test]
+    fn slow_issue_rate_hides_memory_system_differences() {
+        // With 100 compute cycles between requests, memory is never the
+        // bottleneck: total ~= requests x 100.
+        let reqs = reads(8);
+        let r = CpuModel::new(CpuConfig {
+            cycles_between_requests: 100,
+            max_outstanding: 8,
+        })
+        .drive(PvaConfig::default(), &reqs)
+        .unwrap();
+        assert!(r.cycles >= 700, "compute-bound: {}", r.cycles);
+        assert!(
+            r.cycles <= 900,
+            "but not slower than compute + one drain: {}",
+            r.cycles
+        );
+    }
+
+    #[test]
+    fn mixed_workload_fractions() {
+        let w = mixed_workload(100, 30, 19);
+        let strided = w.iter().filter(|r| r.vector().stride() == 19).count();
+        assert_eq!(strided, 30);
+        assert_eq!(w.len(), 100);
+    }
+}

@@ -1,0 +1,138 @@
+//! Cycle-stamped event tracing.
+//!
+//! When [`PvaConfig::record_trace`] is set, the unit and every bank
+//! controller log their externally-visible actions — command
+//! broadcasts, SDRAM operations, staging activity, transaction
+//! completions — as [`TraceEvent`]s. [`PvaUnit::take_events`] returns
+//! the merged, cycle-ordered log: the software analogue of the Verilog
+//! waveform dumps the paper's authors debugged against.
+//!
+//! [`PvaConfig::record_trace`]: crate::PvaConfig::record_trace
+//! [`PvaUnit::take_events`]: crate::PvaUnit::take_events
+
+use pva_core::Vector;
+
+use crate::command::{OpKind, TxnId};
+
+/// One logged event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A vector command was broadcast on the BC bus.
+    Broadcast {
+        /// Cycle of the request cycle.
+        cycle: u64,
+        /// Transaction id.
+        txn: TxnId,
+        /// The vector.
+        vector: Vector,
+        /// Direction.
+        kind: OpKind,
+    },
+    /// A bank controller issued an SDRAM operation.
+    BankOp {
+        /// Cycle of the clock edge.
+        cycle: u64,
+        /// External bank index.
+        bank: usize,
+        /// Operation mnemonic: `ACT`, `RD`, `RDA`, `WR`, `WRA`, `PRE`,
+        /// `REF`.
+        op: &'static str,
+        /// Internal bank addressed (`u32::MAX` for device-wide ops).
+        internal_bank: u32,
+        /// Row addressed (activates) or row of the access.
+        row: u64,
+    },
+    /// A line-staging burst started on the vector bus.
+    StageStart {
+        /// First data cycle.
+        cycle: u64,
+        /// Transaction id.
+        txn: TxnId,
+        /// Direction of the staged data.
+        kind: OpKind,
+    },
+    /// A transaction fully completed (line delivered / data committed).
+    Completed {
+        /// Completion cycle.
+        cycle: u64,
+        /// Transaction id.
+        txn: TxnId,
+        /// Submission-order request index.
+        request_index: usize,
+    },
+}
+
+impl TraceEvent {
+    /// The cycle the event occurred.
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            TraceEvent::Broadcast { cycle, .. }
+            | TraceEvent::BankOp { cycle, .. }
+            | TraceEvent::StageStart { cycle, .. }
+            | TraceEvent::Completed { cycle, .. } => cycle,
+        }
+    }
+}
+
+impl core::fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TraceEvent::Broadcast {
+                cycle,
+                txn,
+                vector,
+                kind,
+            } => {
+                write!(f, "[{cycle:>6}] bus  {kind:?} {txn} {vector}")
+            }
+            TraceEvent::BankOp {
+                cycle,
+                bank,
+                op,
+                internal_bank,
+                row,
+            } => {
+                write!(
+                    f,
+                    "[{cycle:>6}] B{bank:<2}  {op:<3} ib={internal_bank} row={row}"
+                )
+            }
+            TraceEvent::StageStart { cycle, txn, kind } => {
+                write!(f, "[{cycle:>6}] bus  STAGE_{kind:?} {txn}")
+            }
+            TraceEvent::Completed {
+                cycle,
+                txn,
+                request_index,
+            } => {
+                write!(f, "[{cycle:>6}] done {txn} (request {request_index})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_accessor_and_display() {
+        let e = TraceEvent::BankOp {
+            cycle: 42,
+            bank: 3,
+            op: "ACT",
+            internal_bank: 1,
+            row: 9,
+        };
+        assert_eq!(e.cycle(), 42);
+        assert!(e.to_string().contains("ACT"));
+        let v = Vector::new(0, 4, 8).unwrap();
+        let b = TraceEvent::Broadcast {
+            cycle: 1,
+            txn: TxnId(2),
+            vector: v,
+            kind: OpKind::Read,
+        };
+        assert!(b.to_string().contains("t2"));
+    }
+}

@@ -1,0 +1,533 @@
+//! The PVA unit: vector bus + 16 bank controllers + front-end driver.
+//!
+//! Models the shared split-transaction Vector Bus of §5.2.1 and the
+//! overall operation of §5.2.6:
+//!
+//! * a **request cycle** broadcasts `VEC_READ`/`VEC_WRITE` (base, stride,
+//!   transaction id) to every bank controller at once;
+//! * **data cycles** move the dense line between the front end and the
+//!   staging units — 2 words per cycle on the 128-bit BC bus (alternate
+//!   64-bit halves, avoiding turnaround), so a 32-word line stages in 16
+//!   cycles;
+//! * eight **transaction-complete lines** (modelled by the
+//!   [`TransactionTable`]) tell the front end when a gather finished or
+//!   a scatter committed;
+//! * reads: `VEC_READ` → banks gather in parallel → `STAGE_READ` returns
+//!   the line; writes: `STAGE_WRITE` sends the line → `VEC_WRITE` → banks
+//!   scatter → completion line deasserts.
+//!
+//! The front end issues host requests as fast as bus resources allow —
+//! the "infinitely fast CPU" assumption of §6.2 under which the paper's
+//! numbers are measured.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use pva_core::{BankId, K1Pla, LogicalView, PvaError, WordAddr};
+
+use crate::bank_controller::{BankController, BcStats};
+use crate::command::{Completion, HostRequest, OpKind, TxnId, VectorCommand};
+use crate::config::PvaConfig;
+use crate::trace_log::TraceEvent;
+use crate::txn::{Transaction, TransactionTable, TxnPhase};
+
+/// What the vector bus is doing this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BusActivity {
+    /// Free for a request broadcast or to start staging.
+    Idle,
+    /// Moving line data for `txn`; `cycles_left` data cycles remain.
+    Staging {
+        txn: TxnId,
+        kind: OpKind,
+        cycles_left: u64,
+    },
+}
+
+/// Aggregate statistics for a run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UnitStats {
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// Cycles the vector bus carried a request broadcast.
+    pub request_cycles: u64,
+    /// Cycles the vector bus carried line data.
+    pub data_cycles: u64,
+    /// Cycles the vector bus idled.
+    pub idle_cycles: u64,
+    /// Vector commands broadcast.
+    pub commands: u64,
+}
+
+/// Result of running a request batch to completion.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Total cycles from first request to last completion.
+    pub cycles: u64,
+    /// Per-request completion records, in submission order.
+    pub completions: Vec<Completion>,
+    /// Bus-level statistics.
+    pub stats: UnitStats,
+    /// Per-bank-controller statistics.
+    pub bc_stats: Vec<BcStats>,
+}
+
+impl RunResult {
+    /// The gathered line of read request `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if request `i` was a write or is missing.
+    pub fn read_data(&self, i: usize) -> &[u64] {
+        self.completions[i]
+            .data
+            .as_deref()
+            .expect("request was a read")
+    }
+}
+
+/// The Parallel Vector Access unit.
+///
+/// # Examples
+///
+/// ```
+/// use pva_core::Vector;
+/// use pva_sim::{HostRequest, PvaConfig, PvaUnit};
+///
+/// let mut unit = PvaUnit::new(PvaConfig::default())?;
+/// let v = Vector::new(0x200, 19, 32)?;
+/// let result = unit.run(vec![HostRequest::Read { vector: v }])?;
+/// assert_eq!(result.read_data(0).len(), 32);
+/// # Ok::<(), pva_core::PvaError>(())
+/// ```
+#[derive(Debug)]
+pub struct PvaUnit {
+    config: PvaConfig,
+    bcs: Vec<BankController>,
+    txns: TransactionTable,
+    bus: BusActivity,
+    /// Host requests not yet taken by the front end.
+    pending: VecDeque<(usize, HostRequest)>,
+    /// Write transactions whose data staged; `VEC_WRITE` broadcast next.
+    write_broadcasts: VecDeque<TxnId>,
+    /// Vector + direction per transaction slot (the command register the
+    /// front end holds while a transaction is outstanding).
+    vectors: Vec<Option<(pva_core::Vector, OpKind)>>,
+    completions: Vec<Completion>,
+    now: u64,
+    stats: UnitStats,
+    total_requests: usize,
+    events: Vec<TraceEvent>,
+}
+
+impl PvaUnit {
+    /// Builds a unit for the given configuration.
+    ///
+    /// Word-interleaved geometries use one K1 PLA per bank controller;
+    /// block/cache-line interleaved geometries instantiate the §4.3.1
+    /// arrangement of `N` logical first-hit units per controller.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PvaError::NotPowerOfTwo`] if the geometry has
+    /// `width_words > 1` (multi-word-wide banks are reduced to logical
+    /// banks at design time; model them as more banks instead).
+    pub fn new(config: PvaConfig) -> Result<Self, PvaError> {
+        if config.geometry.width_words() != 1 {
+            return Err(PvaError::NotPowerOfTwo(config.geometry.width_words()));
+        }
+        let bcs: Vec<BankController> = if config.geometry.block_words() == 1 {
+            let pla = Arc::new(K1Pla::new(&config.geometry));
+            (0..config.geometry.banks() as usize)
+                .map(|b| BankController::new(BankId::new(b), config, pla.clone()))
+                .collect()
+        } else {
+            let view = Arc::new(LogicalView::new(&config.geometry));
+            (0..config.geometry.banks() as usize)
+                .map(|b| {
+                    BankController::new_block_interleaved(BankId::new(b), config, view.clone())
+                })
+                .collect()
+        };
+        Ok(PvaUnit {
+            config,
+            bcs,
+            txns: TransactionTable::new(config.transaction_ids),
+            bus: BusActivity::Idle,
+            pending: VecDeque::new(),
+            write_broadcasts: VecDeque::new(),
+            vectors: vec![None; config.transaction_ids],
+            completions: Vec::new(),
+            now: 0,
+            stats: UnitStats::default(),
+            total_requests: 0,
+            events: Vec::new(),
+        })
+    }
+
+    /// The configuration.
+    pub const fn config(&self) -> &PvaConfig {
+        &self.config
+    }
+
+    /// Current cycle.
+    pub const fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Drains the merged, cycle-ordered trace log (empty unless
+    /// [`PvaConfig::record_trace`] is set).
+    pub fn take_events(&mut self) -> Vec<TraceEvent> {
+        let mut all = std::mem::take(&mut self.events);
+        for bc in &mut self.bcs {
+            all.extend(bc.drain_events());
+        }
+        all.sort_by_key(|e| e.cycle());
+        all
+    }
+
+    /// Functional write of a global word (test setup / preloading).
+    pub fn preload(&mut self, addr: WordAddr, value: u64) {
+        let bank = self.config.geometry.decode_bank(addr).index();
+        let local = self.config.geometry.bank_local_addr(addr);
+        self.bcs[bank].device_mut().poke(local, value);
+    }
+
+    /// Functional read of a global word.
+    pub fn peek(&self, addr: WordAddr) -> u64 {
+        let bank = self.config.geometry.decode_bank(addr).index();
+        let local = self.config.geometry.bank_local_addr(addr);
+        self.bcs[bank].device().peek(local)
+    }
+
+    /// Runs a batch of host requests to completion, returning cycle
+    /// counts and gathered data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PvaError::VectorTooLong`] if any request exceeds the
+    /// hardware line length (split with [`pva_core::Vector::chunks`]
+    /// first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation fails to make progress (an internal
+    /// deadlock — a model bug, not a caller error).
+    pub fn run(&mut self, requests: Vec<HostRequest>) -> Result<RunResult, PvaError> {
+        // Validate the whole batch before accepting any of it.
+        for r in &requests {
+            if r.vector().length() > self.config.line_words {
+                return Err(PvaError::VectorTooLong(
+                    r.vector().length(),
+                    self.config.line_words,
+                ));
+            }
+        }
+        for r in requests {
+            self.submit(r)?;
+        }
+        let start = self.now;
+        let deadline = self.now + 10_000_000;
+        while !self.idle() {
+            self.step();
+            assert!(self.now < deadline, "simulation deadlock after 10M cycles");
+        }
+        self.completions.sort_by_key(|c| c.request_index);
+        Ok(RunResult {
+            cycles: self.now - start,
+            completions: std::mem::take(&mut self.completions),
+            stats: self.stats,
+            bc_stats: self.bcs.iter().map(|bc| *bc.stats()).collect(),
+        })
+    }
+
+    /// Enqueues one host request without advancing time — the
+    /// incremental half of the API, for callers (CPU models, Impulse
+    /// front ends) that interleave their own work with the memory
+    /// system. Returns the request's submission index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PvaError::VectorTooLong`] if the request exceeds the
+    /// hardware line length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a write's data is not one word per element.
+    pub fn submit(&mut self, request: HostRequest) -> Result<usize, PvaError> {
+        if request.vector().length() > self.config.line_words {
+            return Err(PvaError::VectorTooLong(
+                request.vector().length(),
+                self.config.line_words,
+            ));
+        }
+        if let HostRequest::Write { vector, data } = &request {
+            assert_eq!(
+                data.len() as u64,
+                vector.length(),
+                "write line must carry one word per element"
+            );
+        }
+        let index = self.total_requests;
+        self.pending.push_back((index, request));
+        self.total_requests += 1;
+        Ok(index)
+    }
+
+    /// Advances the unit one clock cycle (incremental API).
+    pub fn step(&mut self) {
+        self.tick();
+    }
+
+    /// Whether all submitted work has fully completed.
+    pub fn idle(&self) -> bool {
+        self.pending.is_empty()
+            && self.txns.open_count() == 0
+            && self.write_broadcasts.is_empty()
+            && self.bus == BusActivity::Idle
+    }
+
+    /// Number of requests accepted but not yet completed.
+    pub fn outstanding(&self) -> usize {
+        self.pending.len() + self.txns.open_count() + self.write_broadcasts.len()
+    }
+
+    /// Drains completion records accumulated so far (incremental API;
+    /// [`PvaUnit::run`] drains them itself).
+    pub fn take_completions(&mut self) -> Vec<Completion> {
+        let mut out = std::mem::take(&mut self.completions);
+        out.sort_by_key(|c| c.request_index);
+        out
+    }
+
+    /// Advances the whole unit one cycle.
+    fn tick(&mut self) {
+        self.bus_step();
+        for bc in &mut self.bcs {
+            bc.tick(self.now, &mut self.txns);
+        }
+        self.finish_transactions();
+        self.stats.cycles += 1;
+        self.now += 1;
+    }
+
+    /// One vector-bus arbitration step.
+    fn bus_step(&mut self) {
+        match self.bus {
+            BusActivity::Staging {
+                txn,
+                kind,
+                cycles_left,
+            } => {
+                self.stats.data_cycles += 1;
+                let left = cycles_left - 1;
+                if left > 0 {
+                    self.bus = BusActivity::Staging {
+                        txn,
+                        kind,
+                        cycles_left: left,
+                    };
+                    return;
+                }
+                self.bus = BusActivity::Idle;
+                match kind {
+                    OpKind::Read => {
+                        // STAGE_READ done: line delivered to the host.
+                        let t = self.txns.close(txn);
+                        self.vectors[txn.0 as usize] = None;
+                        if self.config.record_trace {
+                            self.events.push(TraceEvent::Completed {
+                                cycle: self.now,
+                                txn,
+                                request_index: t.request_index,
+                            });
+                        }
+                        self.completions.push(Completion {
+                            request_index: t.request_index,
+                            issued_at: t.issued_at,
+                            completed_at: self.now,
+                            data: Some(t.line()),
+                        });
+                    }
+                    OpKind::Write => {
+                        // STAGE_WRITE done: broadcast VEC_WRITE next.
+                        self.write_broadcasts.push_back(txn);
+                    }
+                }
+            }
+            BusActivity::Idle => {
+                // Priority 1: broadcast a staged write's VEC_WRITE.
+                if let Some(txn) = self.write_broadcasts.pop_front() {
+                    self.broadcast(txn);
+                    return;
+                }
+                // Priority 2: stage a completed read (drains txn ids).
+                let ready = self
+                    .txns
+                    .iter_open()
+                    .filter(|(_, t)| t.kind == OpKind::Read && t.phase == TxnPhase::ReadyToStage)
+                    .min_by_key(|(_, t)| t.issued_at)
+                    .map(|(id, t)| (id, t.length));
+                if let Some((id, len)) = ready {
+                    self.txns.get_mut(id).expect("open").phase = TxnPhase::Staging;
+                    if self.config.record_trace {
+                        self.events.push(TraceEvent::StageStart {
+                            cycle: self.now,
+                            txn: id,
+                            kind: OpKind::Read,
+                        });
+                    }
+                    self.bus = BusActivity::Staging {
+                        txn: id,
+                        kind: OpKind::Read,
+                        cycles_left: len.div_ceil(self.config.stage_words_per_cycle),
+                    };
+                    // This cycle already carries the first data beat.
+                    self.bus_step();
+                    return;
+                }
+                // Priority 3: accept the next host request.
+                if let Some(free) = self.txns.free_id() {
+                    if let Some((index, req)) = self.pending.pop_front() {
+                        match req {
+                            HostRequest::Read { vector } => {
+                                self.txns.open(
+                                    free,
+                                    Transaction {
+                                        kind: OpKind::Read,
+                                        length: vector.length(),
+                                        request_index: index,
+                                        issued_at: self.now,
+                                        collected: vec![None; vector.length() as usize],
+                                        collected_count: 0,
+                                        committed_count: 0,
+                                        write_line: None,
+                                        phase: TxnPhase::InBanks,
+                                    },
+                                );
+                                self.open_vector(free, vector, OpKind::Read);
+                                self.broadcast(free);
+                            }
+                            HostRequest::Write { vector, data } => {
+                                let line = Arc::new(data);
+                                self.txns.open(
+                                    free,
+                                    Transaction {
+                                        kind: OpKind::Write,
+                                        length: vector.length(),
+                                        request_index: index,
+                                        issued_at: self.now,
+                                        collected: Vec::new(),
+                                        collected_count: 0,
+                                        committed_count: 0,
+                                        write_line: Some(line),
+                                        phase: TxnPhase::InBanks,
+                                    },
+                                );
+                                self.open_vector(free, vector, OpKind::Write);
+                                // STAGE_WRITE first (§5.2.6), then the
+                                // VEC_WRITE broadcast.
+                                if self.config.record_trace {
+                                    self.events.push(TraceEvent::StageStart {
+                                        cycle: self.now,
+                                        txn: free,
+                                        kind: OpKind::Write,
+                                    });
+                                }
+                                self.bus = BusActivity::Staging {
+                                    txn: free,
+                                    kind: OpKind::Write,
+                                    cycles_left: vector
+                                        .length()
+                                        .div_ceil(self.config.stage_words_per_cycle),
+                                };
+                                self.stats.data_cycles += 1;
+                                if let BusActivity::Staging { cycles_left, .. } = &mut self.bus {
+                                    *cycles_left -= 1;
+                                    if *cycles_left == 0 {
+                                        self.bus = BusActivity::Idle;
+                                        self.write_broadcasts.push_back(free);
+                                    }
+                                }
+                            }
+                        }
+                        return;
+                    }
+                }
+                self.stats.idle_cycles += 1;
+            }
+        }
+    }
+
+    /// Remembers the vector of a transaction for its later broadcast.
+    fn open_vector(&mut self, id: TxnId, vector: pva_core::Vector, kind: OpKind) {
+        // Vectors are stored alongside the transaction via a side table
+        // keyed by id (simple because ids are small).
+        self.vectors[id.0 as usize] = Some((vector, kind));
+    }
+
+    /// Broadcasts the command for transaction `id` to every bank
+    /// controller (one request cycle).
+    fn broadcast(&mut self, id: TxnId) {
+        let (vector, kind) = self.vectors[id.0 as usize].expect("vector recorded at open");
+        let cmd = VectorCommand {
+            vector,
+            kind,
+            txn: id,
+        };
+        let line = self.txns.get(id).and_then(|t| t.write_line.clone());
+        let txn = self.txns.get_mut(id).expect("open transaction");
+        txn.issued_at = self.now;
+        if self.config.record_trace {
+            self.events.push(TraceEvent::Broadcast {
+                cycle: self.now,
+                txn: id,
+                vector,
+                kind,
+            });
+        }
+        let mut covered = 0;
+        for bc in &mut self.bcs {
+            covered += bc.observe_command(&cmd, line.clone(), self.now);
+        }
+        debug_assert_eq!(covered, vector.length(), "banks must cover the vector");
+        self.stats.request_cycles += 1;
+        self.stats.commands += 1;
+    }
+
+    /// Moves transactions whose banks finished into their next phase and
+    /// completes writes.
+    fn finish_transactions(&mut self) {
+        let done: Vec<(TxnId, OpKind)> = self
+            .txns
+            .iter_open()
+            .filter(|(_, t)| t.phase == TxnPhase::InBanks && t.banks_done())
+            .map(|(id, t)| (id, t.kind))
+            .collect();
+        for (id, kind) in done {
+            match kind {
+                OpKind::Read => {
+                    self.txns.get_mut(id).expect("open").phase = TxnPhase::ReadyToStage;
+                }
+                OpKind::Write => {
+                    // Transaction-complete line deasserts: data committed.
+                    let t = self.txns.close(id);
+                    if self.config.record_trace {
+                        self.events.push(TraceEvent::Completed {
+                            cycle: self.now,
+                            txn: id,
+                            request_index: t.request_index,
+                        });
+                    }
+                    self.completions.push(Completion {
+                        request_index: t.request_index,
+                        issued_at: t.issued_at,
+                        completed_at: self.now,
+                        data: None,
+                    });
+                    self.vectors[id.0 as usize] = None;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! VCD (value-change dump) export of trace logs.
+//!
+//! Converts a [`TraceEvent`] log into an IEEE-1364 VCD file so runs can
+//! be inspected in a waveform viewer (GTKWave etc.) — the closest
+//! software equivalent of the Verilog waveforms the prototype was
+//! debugged with. One 4-bit signal per bank controller encodes the
+//! operation it issued each cycle; a 2-bit signal tracks the vector
+//! bus.
+
+use std::io::{self, Write};
+
+use crate::command::OpKind;
+use crate::trace_log::TraceEvent;
+
+/// Per-bank operation encoding (one-cycle pulses).
+fn op_code(op: &str) -> u8 {
+    match op {
+        "ACT" => 1,
+        "RD" => 2,
+        "RDA" => 3,
+        "WR" => 4,
+        "WRA" => 5,
+        "PRE" => 6,
+        "REF" => 7,
+        _ => 0,
+    }
+}
+
+/// Bus activity encoding.
+const BUS_IDLE: u8 = 0;
+const BUS_REQUEST: u8 = 1;
+const BUS_STAGE_READ: u8 = 2;
+const BUS_STAGE_WRITE: u8 = 3;
+
+/// Writes `events` as a VCD document with one signal per bank plus a
+/// bus signal. `banks` is the bank-controller count (signals are
+/// emitted for banks `0..banks` even if idle throughout).
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+///
+/// # Examples
+///
+/// ```
+/// use pva_core::Vector;
+/// use pva_sim::{write_vcd, HostRequest, PvaConfig, PvaUnit};
+///
+/// let cfg = PvaConfig { record_trace: true, ..PvaConfig::default() };
+/// let mut unit = PvaUnit::new(cfg)?;
+/// unit.run(vec![HostRequest::Read { vector: Vector::new(0, 4, 32)? }])?;
+/// let mut vcd = Vec::new();
+/// write_vcd(&unit.take_events(), 16, &mut vcd).expect("in-memory write");
+/// let text = String::from_utf8(vcd).expect("ascii");
+/// assert!(text.starts_with("$date"));
+/// assert!(text.contains("$var wire 4 !00 bank0_op $end"));
+/// # Ok::<(), pva_core::PvaError>(())
+/// ```
+pub fn write_vcd<W: Write>(events: &[TraceEvent], banks: usize, mut w: W) -> io::Result<()> {
+    writeln!(w, "$date reproduced-pva-run $end")?;
+    writeln!(w, "$version pva-sim trace export $end")?;
+    writeln!(w, "$timescale 10ns $end")?; // one 100 MHz cycle
+    writeln!(w, "$scope module pva $end")?;
+    for b in 0..banks {
+        writeln!(w, "$var wire 4 !{b:02} bank{b}_op $end")?;
+    }
+    writeln!(w, "$var wire 2 !bus vector_bus $end")?;
+    writeln!(w, "$upscope $end")?;
+    writeln!(w, "$enddefinitions $end")?;
+
+    // Build per-cycle changes: (cycle, signal, value). Events are
+    // one-cycle pulses: value at `cycle`, reset at `cycle + 1`.
+    let mut changes: Vec<(u64, String, u8)> = Vec::new();
+    for e in events {
+        match e {
+            TraceEvent::BankOp {
+                cycle, bank, op, ..
+            } => {
+                changes.push((*cycle, format!("!{bank:02}"), op_code(op)));
+                changes.push((*cycle + 1, format!("!{bank:02}"), 0));
+            }
+            TraceEvent::Broadcast { cycle, .. } => {
+                changes.push((*cycle, "!bus".into(), BUS_REQUEST));
+                changes.push((*cycle + 1, "!bus".into(), BUS_IDLE));
+            }
+            TraceEvent::StageStart { cycle, kind, .. } => {
+                let v = match kind {
+                    OpKind::Read => BUS_STAGE_READ,
+                    OpKind::Write => BUS_STAGE_WRITE,
+                };
+                changes.push((*cycle, "!bus".into(), v));
+                changes.push((*cycle + 1, "!bus".into(), BUS_IDLE));
+            }
+            TraceEvent::Completed { .. } => {}
+        }
+    }
+    changes.sort_by(|a, b| (a.0, &a.1, a.2).cmp(&(b.0, &b.1, b.2)));
+
+    // Initial values.
+    writeln!(w, "$dumpvars")?;
+    for b in 0..banks {
+        writeln!(w, "b0 !{b:02}")?;
+    }
+    writeln!(w, "b0 !bus")?;
+    writeln!(w, "$end")?;
+
+    let mut current_time = None;
+    // Within one timestamp, the last change to a signal wins (a pulse
+    // overwritten by a new op in the same cycle stays the new op).
+    let mut i = 0;
+    while i < changes.len() {
+        let t = changes[i].0;
+        if current_time != Some(t) {
+            writeln!(w, "#{t}")?;
+            current_time = Some(t);
+        }
+        // Deduplicate per signal at this timestamp, keeping the
+        // non-zero (pulse) value when both a reset and a new pulse land.
+        let mut j = i;
+        while j < changes.len() && changes[j].0 == t {
+            j += 1;
+        }
+        let slice = &changes[i..j];
+        let mut emitted: Vec<&str> = Vec::new();
+        for (_, sig, _) in slice {
+            if emitted.contains(&sig.as_str()) {
+                continue;
+            }
+            emitted.push(sig);
+            let value = slice
+                .iter()
+                .filter(|(_, s, _)| s == sig)
+                .map(|&(_, _, v)| v)
+                .max()
+                .expect("nonempty");
+            writeln!(w, "b{value:b} {sig}")?;
+        }
+        i = j;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::TxnId;
+    use pva_core::Vector;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Broadcast {
+                cycle: 0,
+                txn: TxnId(0),
+                vector: Vector::new(0, 4, 8).unwrap(),
+                kind: OpKind::Read,
+            },
+            TraceEvent::BankOp {
+                cycle: 2,
+                bank: 0,
+                op: "ACT",
+                internal_bank: 0,
+                row: 0,
+            },
+            TraceEvent::BankOp {
+                cycle: 4,
+                bank: 0,
+                op: "RD",
+                internal_bank: 0,
+                row: 0,
+            },
+            TraceEvent::StageStart {
+                cycle: 9,
+                txn: TxnId(0),
+                kind: OpKind::Read,
+            },
+            TraceEvent::Completed {
+                cycle: 20,
+                txn: TxnId(0),
+                request_index: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn header_and_signals_present() {
+        let mut out = Vec::new();
+        write_vcd(&sample_events(), 4, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("$enddefinitions"));
+        for b in 0..4 {
+            assert!(text.contains(&format!("bank{b}_op")));
+        }
+        assert!(text.contains("vector_bus"));
+    }
+
+    #[test]
+    fn timestamps_are_monotonic() {
+        let mut out = Vec::new();
+        write_vcd(&sample_events(), 4, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let times: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with('#'))
+            .map(|l| l[1..].parse().unwrap())
+            .collect();
+        assert!(!times.is_empty());
+        assert!(times.windows(2).all(|w| w[0] < w[1]), "{times:?}");
+    }
+
+    #[test]
+    fn pulses_set_and_reset() {
+        let mut out = Vec::new();
+        write_vcd(&sample_events(), 1, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        // ACT = 1 at cycle 2, reset at 3.
+        let idx_set = text.find("#2\n").unwrap();
+        let after = &text[idx_set..];
+        assert!(after.contains("b1 !00"));
+        let idx_reset = text.find("#3\n").unwrap();
+        assert!(text[idx_reset..].contains("b0 !00"));
+    }
+
+    #[test]
+    fn back_to_back_ops_keep_the_pulse() {
+        // RD at cycle 4 and cycle 5: the reset from cycle 4's pulse must
+        // not mask cycle 5's value.
+        let events = vec![
+            TraceEvent::BankOp {
+                cycle: 4,
+                bank: 0,
+                op: "RD",
+                internal_bank: 0,
+                row: 0,
+            },
+            TraceEvent::BankOp {
+                cycle: 5,
+                bank: 0,
+                op: "RD",
+                internal_bank: 0,
+                row: 0,
+            },
+        ];
+        let mut out = Vec::new();
+        write_vcd(&events, 1, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let at5 = text.find("#5\n").unwrap();
+        let next = text[at5..].lines().nth(1).unwrap();
+        assert_eq!(next, "b10 !00", "RD (2) wins over the reset at cycle 5");
+    }
+}

@@ -1,0 +1,128 @@
+//! The PVA unit on a block/cache-line interleaved memory system —
+//! the §4.1.3/§4.3.1 configuration with N first-hit units per bank
+//! controller.
+
+use pva_core::{Geometry, Vector};
+use pva_sim::{HostRequest, PvaConfig, PvaUnit};
+
+/// 4 banks, 8-word blocks (a small cache-line-interleaved system).
+fn block_config() -> PvaConfig {
+    PvaConfig {
+        geometry: Geometry::cacheline_interleaved(4, 8).unwrap(),
+        ..PvaConfig::default()
+    }
+}
+
+#[test]
+fn gather_correct_on_block_interleave() {
+    for stride in [1u64, 2, 3, 5, 8, 9, 12, 19, 31, 32, 33] {
+        for base in [0u64, 5, 13] {
+            let mut unit = PvaUnit::new(block_config()).unwrap();
+            let v = Vector::new(base, stride, 32).unwrap();
+            for (i, addr) in v.addresses().enumerate() {
+                unit.preload(addr, 0xB10C_0000 + i as u64);
+            }
+            let r = unit.run(vec![HostRequest::Read { vector: v }]).unwrap();
+            for (i, &w) in r.read_data(0).iter().enumerate() {
+                assert_eq!(
+                    w,
+                    0xB10C_0000 + i as u64,
+                    "stride={stride} base={base} element {i}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn scatter_round_trips_on_block_interleave() {
+    let mut unit = PvaUnit::new(block_config()).unwrap();
+    let v = Vector::new(7, 9, 32).unwrap(); // the paper's case-2.2 shape
+    let data: Vec<u64> = (0..32).map(|i| 0xD00D + i).collect();
+    unit.run(vec![HostRequest::Write {
+        vector: v,
+        data: data.clone(),
+    }])
+    .unwrap();
+    for (i, addr) in v.addresses().enumerate() {
+        assert_eq!(unit.peek(addr), data[i], "element {i}");
+    }
+}
+
+#[test]
+fn unit_stride_on_block_interleave_hits_few_banks() {
+    // A 32-word unit-stride line on (4 banks x 8-word blocks) spans
+    // exactly 4 blocks: one per bank, 8 elements each.
+    let mut unit = PvaUnit::new(block_config()).unwrap();
+    let v = Vector::unit_stride(0, 32).unwrap();
+    let r = unit.run(vec![HostRequest::Read { vector: v }]).unwrap();
+    for bc in &r.bc_stats {
+        assert_eq!(bc.elements_read, 8);
+    }
+}
+
+#[test]
+fn interleave_choice_shifts_which_strides_parallelize() {
+    // §3.3 (Hsu & Smith): cache-line interleaving performs well for many
+    // vector patterns. At stride = N (the block size), block interleave
+    // rotates banks perfectly while word interleave collapses to a
+    // single bank (8 mod 4 = 0); at stride = N*M both collapse.
+    let run = |geometry: Geometry, stride: u64| {
+        let cfg = PvaConfig {
+            geometry,
+            ..PvaConfig::default()
+        };
+        let mut unit = PvaUnit::new(cfg).unwrap();
+        let reqs: Vec<HostRequest> = (0..4u64)
+            .map(|i| HostRequest::Read {
+                vector: Vector::new(i * 4096, stride, 32).unwrap(),
+            })
+            .collect();
+        unit.run(reqs).unwrap().cycles
+    };
+    let word_g = Geometry::word_interleaved(4).unwrap();
+    let block_g = Geometry::cacheline_interleaved(4, 8).unwrap();
+    // Stride 8 = N: block interleave spreads, word interleave serializes.
+    assert!(
+        run(block_g, 8) < run(word_g, 8),
+        "block interleave should win at stride = block size"
+    );
+    // Stride 32 = N*M: both collapse to one bank, within ~15%.
+    let (w, b) = (run(word_g, 32), run(block_g, 32));
+    let (lo, hi) = (w.min(b) as f64, w.max(b) as f64);
+    assert!(hi <= lo * 1.15, "both collapse at stride N*M: {w} vs {b}");
+    // Odd strides parallelize fully on both.
+    assert!(run(word_g, 3) < run(word_g, 32));
+    assert!(run(block_g, 3) < run(block_g, 32));
+}
+
+#[test]
+fn paper_case_2_2_example_gathers_correctly() {
+    // §4.1.2 example 4: M=8, N=4, B=0, S=9, L=10 — banks
+    // 0,2,4,6,1,3,5,7,2,4. The logical-bank machinery must serve it.
+    let cfg = PvaConfig {
+        geometry: Geometry::cacheline_interleaved(8, 4).unwrap(),
+        ..PvaConfig::default()
+    };
+    let mut unit = PvaUnit::new(cfg).unwrap();
+    let v = Vector::new(0, 9, 10).unwrap();
+    for (i, addr) in v.addresses().enumerate() {
+        unit.preload(addr, 777 + i as u64);
+    }
+    let r = unit.run(vec![HostRequest::Read { vector: v }]).unwrap();
+    let want: Vec<u64> = (0..10).map(|i| 777 + i).collect();
+    assert_eq!(r.read_data(0), &want[..]);
+    // The paper's bank sequence 0,2,4,6,1,3,5,7,2,4 gives two elements
+    // each to banks 2 and 4, one to every other bank.
+    let counts: Vec<u64> = r.bc_stats.iter().map(|b| b.elements_read).collect();
+    assert_eq!(counts, vec![1, 1, 2, 1, 2, 1, 1, 1]);
+}
+
+#[test]
+fn wide_banks_are_rejected() {
+    let cfg = PvaConfig {
+        geometry: Geometry::new(4, 2, 2).unwrap(),
+        ..PvaConfig::default()
+    };
+    assert!(PvaUnit::new(cfg).is_err());
+}

@@ -1,0 +1,257 @@
+//! Property-based fuzzing of the whole PVA unit: random batches of
+//! mixed gathered reads and scattered writes, checked element-for-
+//! element against a simple functional memory model, across geometries,
+//! scheduler options and refresh settings.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use pva_core::{Geometry, Vector};
+use pva_sim::{HostRequest, PvaConfig, PvaUnit, RowPolicy};
+use sdram::SdramConfig;
+
+/// A request recipe the strategies generate.
+#[derive(Debug, Clone)]
+struct Req {
+    base: u64,
+    stride: u64,
+    len: u64,
+    write: bool,
+    seed: u64,
+}
+
+fn req_strategy() -> impl Strategy<Value = Req> {
+    (0u64..8192, 1u64..64, 1u64..=32, any::<bool>(), any::<u64>()).prop_map(
+        |(base, stride, len, write, seed)| Req {
+            base,
+            stride,
+            len,
+            write,
+            seed,
+        },
+    )
+}
+
+/// Functional oracle: apply the same request sequence to a flat map,
+/// reading PVA background values through `unit.peek` on first touch.
+///
+/// Per §5.2.4 the hardware permits WAW reordering between two writes to
+/// the same location that are not separated by a read, so addresses
+/// touched by more than one write request are excluded from the checks
+/// (the paper relies on a write-allocate L2 making that case
+/// impossible in practice).
+fn run_both(reqs: &[Req], cfg: PvaConfig) -> Result<(), TestCaseError> {
+    let mut unit = PvaUnit::new(cfg).expect("valid config");
+    let mut oracle: HashMap<u64, u64> = HashMap::new();
+    let mut write_count: HashMap<u64, u32> = HashMap::new();
+    let mut host: Vec<HostRequest> = Vec::new();
+    let mut expected_reads: Vec<(usize, Vec<(u64, u64)>)> = Vec::new();
+
+    for (i, r) in reqs.iter().enumerate() {
+        let v = Vector::new(r.base, r.stride, r.len).expect("nonzero");
+        if r.write {
+            let data: Vec<u64> = (0..r.len).map(|k| r.seed ^ (k << 32) ^ k).collect();
+            for (k, addr) in v.addresses().enumerate() {
+                oracle.insert(addr, data[k]);
+                *write_count.entry(addr).or_default() += 1;
+            }
+            host.push(HostRequest::Write { vector: v, data });
+        } else {
+            let want: Vec<(u64, u64)> = v
+                .addresses()
+                .map(|a| (a, oracle.get(&a).copied().unwrap_or_else(|| unit.peek(a))))
+                .collect();
+            expected_reads.push((i, want));
+            host.push(HostRequest::Read { vector: v });
+        }
+    }
+
+    let result = unit.run(host).expect("requests fit the line length");
+    prop_assert_eq!(result.completions.len(), reqs.len());
+    for (idx, want) in expected_reads {
+        let got = result.completions[idx]
+            .data
+            .as_ref()
+            .expect("read completion carries data");
+        for (k, (addr, val)) in want.iter().enumerate() {
+            if write_count.get(addr).copied().unwrap_or(0) > 1 {
+                continue; // WAW-ambiguous address (allowed by §5.2.4)
+            }
+            prop_assert_eq!(got[k], *val, "request {} element {}", idx, k);
+        }
+    }
+    // Unambiguous oracle writes landed in memory.
+    for (&addr, &val) in &oracle {
+        if write_count[&addr] > 1 {
+            continue;
+        }
+        prop_assert_eq!(unit.peek(addr), val, "address {:#x}", addr);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The default prototype configuration serves any mixed batch
+    /// correctly. Note: reads and writes in one batch respect program
+    /// order per §5.2.4 (RAW hazards cannot happen).
+    #[test]
+    fn default_config_serves_random_batches(reqs in prop::collection::vec(req_strategy(), 1..12)) {
+        run_both(&reqs, PvaConfig::default())?;
+    }
+
+    /// Every scheduler-option corner serves the same batches correctly.
+    #[test]
+    fn option_corners_are_correct(
+        reqs in prop::collection::vec(req_strategy(), 1..8),
+        ooo in any::<bool>(),
+        promote in any::<bool>(),
+        bypass in any::<bool>(),
+        policy in 0u8..4,
+    ) {
+        let mut cfg = PvaConfig::default();
+        cfg.options.out_of_order = ooo;
+        cfg.options.promote_opens = promote;
+        cfg.options.bypass_paths = bypass;
+        cfg.options.row_policy = match policy {
+            0 => RowPolicy::MissPredictsClose,
+            1 => RowPolicy::PaperLiteral,
+            2 => RowPolicy::AlwaysClose,
+            _ => RowPolicy::AlwaysOpen,
+        };
+        run_both(&reqs, cfg)?;
+    }
+
+    /// Block-interleaved geometries serve the same batches correctly.
+    #[test]
+    fn block_interleave_is_correct(
+        reqs in prop::collection::vec(req_strategy(), 1..8),
+        m in 1u32..=4,
+        n in 1u32..=5,
+    ) {
+        let cfg = PvaConfig {
+            geometry: Geometry::cacheline_interleaved(1 << m, 1 << n).unwrap(),
+            ..PvaConfig::default()
+        };
+        run_both(&reqs, cfg)?;
+    }
+
+    /// Refresh-enabled devices serve the same batches correctly.
+    #[test]
+    fn refresh_config_is_correct(reqs in prop::collection::vec(req_strategy(), 1..8)) {
+        let cfg = PvaConfig {
+            sdram: SdramConfig::with_refresh(),
+            ..PvaConfig::default()
+        };
+        run_both(&reqs, cfg)?;
+    }
+
+    /// The kitchen sink: block interleave + multi-rank devices +
+    /// refresh + CVMS-grade FHC latency, all at once.
+    #[test]
+    fn combined_exotic_config_is_correct(reqs in prop::collection::vec(req_strategy(), 1..6)) {
+        let cfg = PvaConfig {
+            geometry: Geometry::cacheline_interleaved(4, 8).unwrap(),
+            sdram: SdramConfig {
+                ranks: 2,
+                log2_rows: 4,
+                log2_cols: 6,
+                ..SdramConfig::with_refresh()
+            },
+            fhc_latency: 13,
+            ..PvaConfig::default()
+        };
+        run_both(&reqs, cfg)?;
+    }
+
+    /// The simulation is deterministic: identical batches, identical
+    /// cycle counts and data.
+    #[test]
+    fn simulation_is_deterministic(reqs in prop::collection::vec(req_strategy(), 1..8)) {
+        let build = |reqs: &[Req]| -> (u64, Vec<Option<Vec<u64>>>) {
+            let mut unit = PvaUnit::new(PvaConfig::default()).expect("valid");
+            let host: Vec<HostRequest> = reqs
+                .iter()
+                .map(|r| {
+                    let v = Vector::new(r.base, r.stride, r.len).expect("nonzero");
+                    if r.write {
+                        HostRequest::Write {
+                            vector: v,
+                            data: vec![r.seed; r.len as usize],
+                        }
+                    } else {
+                        HostRequest::Read { vector: v }
+                    }
+                })
+                .collect();
+            let r = unit.run(host).expect("runs");
+            (r.cycles, r.completions.into_iter().map(|c| c.data).collect())
+        };
+        prop_assert_eq!(build(&reqs), build(&reqs));
+    }
+
+    /// Completion order bookkeeping: every request completes exactly
+    /// once, indices match submission order, reads carry data and writes
+    /// do not.
+    #[test]
+    fn completions_are_well_formed(reqs in prop::collection::vec(req_strategy(), 1..10)) {
+        let mut unit = PvaUnit::new(PvaConfig::default()).expect("valid");
+        let host: Vec<HostRequest> = reqs
+            .iter()
+            .map(|r| {
+                let v = Vector::new(r.base, r.stride, r.len).expect("nonzero");
+                if r.write {
+                    HostRequest::Write { vector: v, data: vec![0; r.len as usize] }
+                } else {
+                    HostRequest::Read { vector: v }
+                }
+            })
+            .collect();
+        let result = unit.run(host).expect("runs");
+        prop_assert_eq!(result.completions.len(), reqs.len());
+        for (i, c) in result.completions.iter().enumerate() {
+            prop_assert_eq!(c.request_index, i);
+            prop_assert!(c.completed_at >= c.issued_at);
+            match reqs[i].write {
+                true => prop_assert!(c.data.is_none()),
+                false => {
+                    prop_assert_eq!(
+                        c.data.as_ref().expect("read data").len() as u64,
+                        reqs[i].len
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// §5.2.4 consistency semantics, deterministically: a read between two
+/// writes to the same location orders them (no WAW ambiguity), and RAW
+/// hazards cannot happen.
+#[test]
+fn polarity_rule_orders_write_read_write() {
+    let mut unit = PvaUnit::new(PvaConfig::default()).unwrap();
+    let v = Vector::new(0x700, 3, 32).unwrap();
+    let first: Vec<u64> = vec![1; 32];
+    let second: Vec<u64> = vec![2; 32];
+    let r = unit
+        .run(vec![
+            HostRequest::Write {
+                vector: v,
+                data: first,
+            },
+            HostRequest::Read { vector: v },
+            HostRequest::Write {
+                vector: v,
+                data: second.clone(),
+            },
+        ])
+        .unwrap();
+    // The read (RAW) sees the first write's data...
+    assert_eq!(r.completions[1].data.as_ref().unwrap(), &vec![1u64; 32]);
+    // ...and the second write lands last.
+    for addr in v.addresses() {
+        assert_eq!(unit.peek(addr), 2);
+    }
+}

@@ -1,0 +1,80 @@
+//! The PVA unit under periodic SDRAM refresh: work still completes,
+//! data stays correct, refreshes happen at the configured rate, and the
+//! throughput cost is small.
+
+use pva_core::Vector;
+use pva_sim::{HostRequest, PvaConfig, PvaUnit};
+use sdram::SdramConfig;
+
+fn refresh_config() -> PvaConfig {
+    PvaConfig {
+        sdram: SdramConfig::with_refresh(),
+        ..PvaConfig::default()
+    }
+}
+
+#[test]
+fn gather_correct_under_refresh() {
+    let mut unit = PvaUnit::new(refresh_config()).unwrap();
+    let v = Vector::new(0x100, 7, 32).unwrap();
+    for (i, addr) in v.addresses().enumerate() {
+        unit.preload(addr, 4000 + i as u64);
+    }
+    let r = unit.run(vec![HostRequest::Read { vector: v }]).unwrap();
+    let want: Vec<u64> = (0..32).map(|i| 4000 + i).collect();
+    assert_eq!(r.read_data(0), &want[..]);
+}
+
+#[test]
+fn long_run_issues_refreshes_and_completes() {
+    // Enough traffic to span several refresh intervals.
+    let mut unit = PvaUnit::new(refresh_config()).unwrap();
+    let reqs: Vec<HostRequest> = (0..256u64)
+        .map(|i| HostRequest::Read {
+            vector: Vector::new(i * 64, 2, 32).unwrap(),
+        })
+        .collect();
+    let r = unit.run(reqs).unwrap();
+    assert_eq!(r.completions.len(), 256);
+    assert!(r.cycles > 781, "run spans at least one refresh interval");
+}
+
+#[test]
+fn refresh_overhead_is_modest() {
+    // tRFC=8 every 781 cycles is ~1% of bandwidth; the pipelined batch
+    // should not slow down by more than ~5%.
+    let run = |cfg: PvaConfig| {
+        let mut unit = PvaUnit::new(cfg).unwrap();
+        let reqs: Vec<HostRequest> = (0..128u64)
+            .map(|i| HostRequest::Read {
+                vector: Vector::new(i * 640, 19, 32).unwrap(),
+            })
+            .collect();
+        unit.run(reqs).unwrap().cycles
+    };
+    let base = run(PvaConfig::default());
+    let with_refresh = run(refresh_config());
+    assert!(with_refresh >= base, "refresh cannot speed things up");
+    assert!(
+        (with_refresh as f64) < base as f64 * 1.05,
+        "refresh overhead too large: {with_refresh} vs {base}"
+    );
+}
+
+#[test]
+fn scatter_correct_under_refresh() {
+    let mut unit = PvaUnit::new(refresh_config()).unwrap();
+    // Enough writes to cross a refresh boundary.
+    for batch in 0..8u64 {
+        let v = Vector::new(0x4000 + batch * 2048, 5, 32).unwrap();
+        let data: Vec<u64> = (0..32).map(|i| batch * 100 + i).collect();
+        unit.run(vec![HostRequest::Write {
+            vector: v,
+            data: data.clone(),
+        }])
+        .unwrap();
+        for (i, addr) in v.addresses().enumerate() {
+            assert_eq!(unit.peek(addr), data[i]);
+        }
+    }
+}

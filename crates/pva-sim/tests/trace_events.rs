@@ -1,0 +1,150 @@
+//! Event-trace invariants: the cycle-stamped log tells a consistent
+//! story about every transaction.
+
+use pva_core::Vector;
+use pva_sim::{HostRequest, OpKind, PvaConfig, PvaUnit, TraceEvent};
+
+fn traced_config() -> PvaConfig {
+    PvaConfig {
+        record_trace: true,
+        ..PvaConfig::default()
+    }
+}
+
+fn run_traced(reqs: Vec<HostRequest>) -> Vec<TraceEvent> {
+    let mut unit = PvaUnit::new(traced_config()).unwrap();
+    unit.run(reqs).unwrap();
+    unit.take_events()
+}
+
+#[test]
+fn trace_is_empty_when_disabled() {
+    let mut unit = PvaUnit::new(PvaConfig::default()).unwrap();
+    let v = Vector::new(0, 2, 32).unwrap();
+    unit.run(vec![HostRequest::Read { vector: v }]).unwrap();
+    assert!(unit.take_events().is_empty());
+}
+
+#[test]
+fn trace_is_cycle_ordered() {
+    let events = run_traced(
+        (0..4u64)
+            .map(|i| HostRequest::Read {
+                vector: Vector::new(i * 128, 3, 32).unwrap(),
+            })
+            .collect(),
+    );
+    assert!(!events.is_empty());
+    for w in events.windows(2) {
+        assert!(w[0].cycle() <= w[1].cycle());
+    }
+}
+
+#[test]
+fn every_transaction_tells_a_complete_story() {
+    let v = Vector::new(0x40, 19, 32).unwrap();
+    let events = run_traced(vec![HostRequest::Read { vector: v }]);
+    let broadcast = events
+        .iter()
+        .find_map(|e| match e {
+            TraceEvent::Broadcast {
+                cycle,
+                kind: OpKind::Read,
+                ..
+            } => Some(*cycle),
+            _ => None,
+        })
+        .expect("broadcast logged");
+    let reads: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::BankOp { cycle, op, .. } if op.starts_with("RD") => Some(*cycle),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(reads.len(), 32, "one RD per element");
+    assert!(reads.iter().all(|&c| c > broadcast));
+    let stage = events
+        .iter()
+        .find_map(|e| match e {
+            TraceEvent::StageStart {
+                cycle,
+                kind: OpKind::Read,
+                ..
+            } => Some(*cycle),
+            _ => None,
+        })
+        .expect("stage logged");
+    let done = events
+        .iter()
+        .find_map(|e| match e {
+            TraceEvent::Completed { cycle, .. } => Some(*cycle),
+            _ => None,
+        })
+        .expect("completion logged");
+    assert!(
+        stage >= *reads.iter().max().unwrap(),
+        "staging after last read issue"
+    );
+    assert!(done > stage);
+}
+
+#[test]
+fn write_story_stages_before_banks_write() {
+    let v = Vector::new(0x900, 5, 32).unwrap();
+    let events = run_traced(vec![HostRequest::Write {
+        vector: v,
+        data: vec![7; 32],
+    }]);
+    let stage = events
+        .iter()
+        .find_map(|e| match e {
+            TraceEvent::StageStart {
+                cycle,
+                kind: OpKind::Write,
+                ..
+            } => Some(*cycle),
+            _ => None,
+        })
+        .expect("STAGE_WRITE logged");
+    let first_wr = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::BankOp { cycle, op, .. } if op.starts_with("WR") => Some(*cycle),
+            _ => None,
+        })
+        .min()
+        .expect("bank writes logged");
+    assert!(first_wr > stage, "data staged before any bank writes it");
+}
+
+#[test]
+fn activates_precede_accesses_per_bank() {
+    let v = Vector::new(0, 1, 32).unwrap();
+    let events = run_traced(vec![HostRequest::Read { vector: v }]);
+    for bank in 0..16usize {
+        let acts: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::BankOp {
+                    cycle,
+                    bank: b,
+                    op: "ACT",
+                    ..
+                } if *b == bank => Some(*cycle),
+                _ => None,
+            })
+            .collect();
+        let reads: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::BankOp {
+                    cycle, bank: b, op, ..
+                } if *b == bank && op.starts_with("RD") => Some(*cycle),
+                _ => None,
+            })
+            .collect();
+        assert!(!acts.is_empty() && !reads.is_empty(), "bank {bank} active");
+        assert!(acts[0] < reads[0], "bank {bank}: activate before read");
+    }
+}

@@ -1,0 +1,286 @@
+//! Independent timing auditor.
+//!
+//! [`TimingAuditor`] re-checks an SDRAM command stream against the
+//! configuration's timing parameters using absolute timestamps — a
+//! deliberately different mechanism from the device's restimer counters
+//! — so the two implementations cross-validate each other in property
+//! tests ("the SDRAM model never violates a timing constraint").
+
+use crate::config::SdramConfig;
+use crate::device::SdramCmd;
+
+/// A recorded timing violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Cycle the offending command was issued.
+    pub cycle: u64,
+    /// Internal bank involved.
+    pub bank: u32,
+    /// Human-readable rule that was broken.
+    pub rule: String,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BankHistory {
+    last_activate: Option<u64>,
+    last_precharge_done: Option<u64>,
+    last_write: Option<u64>,
+    row_open: Option<u64>,
+}
+
+/// Device-wide refresh history.
+#[derive(Debug, Clone, Copy, Default)]
+struct RefreshHistory {
+    busy_until: Option<u64>,
+}
+
+/// Observes `(cycle, command)` pairs and accumulates violations.
+///
+/// # Examples
+///
+/// ```
+/// use sdram::{SdramCmd, SdramConfig, TimingAuditor};
+///
+/// let mut audit = TimingAuditor::new(SdramConfig::default());
+/// audit.observe(0, &SdramCmd::Activate { bank: 0, row: 1 });
+/// // READ one cycle later violates tRCD = 2.
+/// audit.observe(1, &SdramCmd::Read { bank: 0, col: 0, auto_precharge: false, tag: 0 });
+/// assert_eq!(audit.violations().len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimingAuditor {
+    config: SdramConfig,
+    banks: Vec<BankHistory>,
+    refresh: RefreshHistory,
+    last_cmd_cycle: Option<u64>,
+    violations: Vec<Violation>,
+}
+
+impl TimingAuditor {
+    /// Creates an auditor for the given timing parameters.
+    pub fn new(config: SdramConfig) -> Self {
+        TimingAuditor {
+            config,
+            banks: vec![BankHistory::default(); config.internal_banks as usize],
+            refresh: RefreshHistory::default(),
+            last_cmd_cycle: None,
+            violations: Vec::new(),
+        }
+    }
+
+    /// Records a command issued at `cycle` and checks it.
+    pub fn observe(&mut self, cycle: u64, cmd: &SdramCmd) {
+        if matches!(cmd, SdramCmd::Nop) {
+            return;
+        }
+        if let Some(last) = self.last_cmd_cycle {
+            if last == cycle {
+                self.violations.push(Violation {
+                    cycle,
+                    bank: 0,
+                    rule: "one command per cycle".into(),
+                });
+            }
+        }
+        self.last_cmd_cycle = Some(cycle);
+        let cfg = self.config;
+        let mut broken: Vec<&'static str> = Vec::new();
+        if let Some(until) = self.refresh.busy_until {
+            if cycle < until {
+                self.push_all(cycle, 0, &["command during tRFC"]);
+            }
+        }
+        match *cmd {
+            SdramCmd::Activate { bank, row } => {
+                let h = self.banks[bank as usize];
+                if h.row_open.is_some() {
+                    broken.push("ACTIVATE with row already open");
+                } else {
+                    if let Some(t) = h.last_activate {
+                        if cycle < t + cfg.t_rc as u64 {
+                            broken.push("tRC");
+                        }
+                    }
+                    if let Some(t) = h.last_precharge_done {
+                        if cycle < t {
+                            broken.push("tRP");
+                        }
+                    }
+                }
+                let h = &mut self.banks[bank as usize];
+                h.last_activate = Some(cycle);
+                h.row_open = Some(row);
+                self.push_all(cycle, bank, &broken);
+            }
+            SdramCmd::Read {
+                bank,
+                auto_precharge,
+                ..
+            }
+            | SdramCmd::Write {
+                bank,
+                auto_precharge,
+                ..
+            } => {
+                let is_write = matches!(cmd, SdramCmd::Write { .. });
+                let h = self.banks[bank as usize];
+                if h.row_open.is_none() {
+                    broken.push("access with row closed");
+                } else if let Some(t) = h.last_activate {
+                    if cycle < t + cfg.t_rcd as u64 {
+                        broken.push("tRCD");
+                    }
+                }
+                let h = &mut self.banks[bank as usize];
+                if is_write {
+                    h.last_write = Some(cycle);
+                }
+                if auto_precharge {
+                    h.row_open = None;
+                    // Precharge completes after residual tRAS/tWR + tRP.
+                    let ras_done = h
+                        .last_activate
+                        .map(|t| t + cfg.t_ras as u64)
+                        .unwrap_or(cycle);
+                    let wr_done = h.last_write.map(|t| t + cfg.t_wr as u64).unwrap_or(cycle);
+                    h.last_precharge_done =
+                        Some(ras_done.max(wr_done).max(cycle) + cfg.t_rp as u64);
+                }
+                self.push_all(cycle, bank, &broken);
+            }
+            SdramCmd::Precharge { bank } => {
+                let h = self.banks[bank as usize];
+                if let Some(t) = h.last_activate {
+                    if cycle < t + cfg.t_ras as u64 {
+                        broken.push("tRAS");
+                    }
+                }
+                if let Some(t) = h.last_write {
+                    if cycle < t + cfg.t_wr as u64 {
+                        broken.push("tWR");
+                    }
+                }
+                let h = &mut self.banks[bank as usize];
+                h.row_open = None;
+                h.last_precharge_done = Some(cycle + cfg.t_rp as u64);
+                self.push_all(cycle, bank, &broken);
+            }
+            SdramCmd::Refresh => {
+                if self.banks.iter().any(|h| h.row_open.is_some()) {
+                    broken.push("REFRESH with open rows");
+                }
+                self.refresh.busy_until = Some(cycle + cfg.t_rfc.max(1) as u64);
+                self.push_all(cycle, 0, &broken);
+            }
+            SdramCmd::Nop => {}
+        }
+    }
+
+    /// All violations observed so far.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Panics with a report if any violation was observed — the
+    /// assertion form used by tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics when at least one violation was recorded.
+    pub fn assert_clean(&self) {
+        assert!(
+            self.violations.is_empty(),
+            "timing violations: {:?}",
+            self.violations
+        );
+    }
+
+    fn push_all(&mut self, cycle: u64, bank: u32, rules: &[&'static str]) {
+        for rule in rules {
+            self.violations.push(Violation {
+                cycle,
+                bank,
+                rule: (*rule).into(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_sequence_passes() {
+        let mut a = TimingAuditor::new(SdramConfig::default());
+        a.observe(0, &SdramCmd::Activate { bank: 0, row: 1 });
+        a.observe(
+            2,
+            &SdramCmd::Read {
+                bank: 0,
+                col: 0,
+                auto_precharge: false,
+                tag: 0,
+            },
+        );
+        a.observe(5, &SdramCmd::Precharge { bank: 0 });
+        a.observe(7, &SdramCmd::Activate { bank: 0, row: 2 });
+        a.assert_clean();
+    }
+
+    #[test]
+    fn detects_trcd() {
+        let mut a = TimingAuditor::new(SdramConfig::default());
+        a.observe(0, &SdramCmd::Activate { bank: 0, row: 1 });
+        a.observe(
+            1,
+            &SdramCmd::Read {
+                bank: 0,
+                col: 0,
+                auto_precharge: false,
+                tag: 0,
+            },
+        );
+        assert_eq!(a.violations()[0].rule, "tRCD");
+    }
+
+    #[test]
+    fn detects_early_precharge() {
+        let mut a = TimingAuditor::new(SdramConfig::default());
+        a.observe(0, &SdramCmd::Activate { bank: 0, row: 1 });
+        a.observe(3, &SdramCmd::Precharge { bank: 0 });
+        assert_eq!(a.violations()[0].rule, "tRAS");
+    }
+
+    #[test]
+    fn detects_double_issue() {
+        let mut a = TimingAuditor::new(SdramConfig::default());
+        a.observe(0, &SdramCmd::Activate { bank: 0, row: 1 });
+        a.observe(0, &SdramCmd::Activate { bank: 1, row: 1 });
+        assert_eq!(a.violations()[0].rule, "one command per cycle");
+    }
+
+    #[test]
+    fn detects_closed_row_access() {
+        let mut a = TimingAuditor::new(SdramConfig::default());
+        a.observe(
+            0,
+            &SdramCmd::Read {
+                bank: 2,
+                col: 0,
+                auto_precharge: false,
+                tag: 0,
+            },
+        );
+        assert_eq!(a.violations()[0].rule, "access with row closed");
+    }
+
+    #[test]
+    #[should_panic(expected = "timing violations")]
+    fn assert_clean_panics_on_violation() {
+        let mut a = TimingAuditor::new(SdramConfig::default());
+        a.observe(0, &SdramCmd::Activate { bank: 0, row: 1 });
+        a.observe(0, &SdramCmd::Activate { bank: 1, row: 1 });
+        a.assert_clean();
+    }
+}

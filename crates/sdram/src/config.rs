@@ -1,0 +1,269 @@
+//! SDRAM device configuration and internal address mapping.
+
+use core::fmt;
+
+/// Timing and geometry parameters of one SDRAM device (one external bank
+/// of the PVA memory system).
+///
+/// Defaults model the paper's prototype: Micron 256 Mbit SDRAM-like
+/// parts at 100 MHz, RAS and CAS latencies of two cycles each, four
+/// internal banks with independent row buffers (§5.1, §6.1). All times
+/// are in memory-clock cycles.
+///
+/// # Examples
+///
+/// ```
+/// use sdram::SdramConfig;
+/// let cfg = SdramConfig::default();
+/// assert_eq!(cfg.t_rcd, 2);
+/// assert_eq!(cfg.internal_banks, 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SdramConfig {
+    /// ACTIVATE-to-READ/WRITE delay (RAS-to-CAS, `tRCD`).
+    pub t_rcd: u32,
+    /// READ-to-data delay (CAS latency, `tCL`).
+    pub t_cas: u32,
+    /// PRECHARGE-to-ACTIVATE delay (`tRP`).
+    pub t_rp: u32,
+    /// Minimum ACTIVATE-to-PRECHARGE time (`tRAS`).
+    pub t_ras: u32,
+    /// Minimum ACTIVATE-to-ACTIVATE time, same internal bank (`tRC`).
+    pub t_rc: u32,
+    /// WRITE-to-PRECHARGE recovery (`tWR`).
+    pub t_wr: u32,
+    /// Number of internal banks (row buffers) per device.
+    pub internal_banks: u32,
+    /// log2 of the row (page) size in device words.
+    pub log2_cols: u32,
+    /// log2 of the number of rows per internal bank.
+    pub log2_rows: u32,
+    /// Memory chips (ranks) behind one bank controller (§4.3.1
+    /// capacity scaling: "use a single bank controller for multiple
+    /// slots, but maintain different current row registers"). Each rank
+    /// carries its own internal banks and row buffers; high local-
+    /// address bits select the rank (chip select).
+    pub ranks: u32,
+    /// Cycles an AUTO REFRESH occupies the whole device (`tRFC`).
+    pub t_rfc: u32,
+    /// Average interval between required refresh commands in cycles
+    /// (64 ms / 8192 rows at 100 MHz is ~781); `0` disables refresh.
+    pub refresh_interval: u64,
+}
+
+impl Default for SdramConfig {
+    fn default() -> Self {
+        SdramConfig {
+            t_rcd: 2,
+            t_cas: 2,
+            t_rp: 2,
+            t_ras: 5,
+            t_rc: 7,
+            t_wr: 1,
+            internal_banks: 4,
+            log2_cols: 9, // 512-word pages
+            log2_rows: 13,
+            ranks: 1,
+            t_rfc: 8,
+            refresh_interval: 0,
+        }
+    }
+}
+
+impl SdramConfig {
+    /// An idealized uniform-latency configuration used to model SRAM in
+    /// the comparator experiments: every access is a one-cycle read or
+    /// write with no activate/precharge overhead.
+    pub fn sram_like() -> Self {
+        SdramConfig {
+            t_rcd: 0,
+            t_cas: 1,
+            t_rp: 0,
+            t_ras: 0,
+            t_rc: 0,
+            t_wr: 0,
+            internal_banks: 1,
+            log2_cols: 22,
+            log2_rows: 0,
+            ranks: 1,
+            t_rfc: 0,
+            refresh_interval: 0,
+        }
+    }
+
+    /// The default SDRAM with periodic refresh enabled: one AUTO REFRESH
+    /// every 781 cycles (64 ms / 8192 rows at 100 MHz), 8-cycle tRFC.
+    pub fn with_refresh() -> Self {
+        SdramConfig {
+            refresh_interval: 781,
+            ..SdramConfig::default()
+        }
+    }
+
+    /// An EDO-like conventional DRAM analogue (§2.3.2): a single row
+    /// buffer (no internal banking to overlap) and slower core timings.
+    /// Used by the technology-sweep bench to show how the PVA's
+    /// scheduling benefit depends on internal-bank overlap.
+    pub fn edo_like() -> Self {
+        SdramConfig {
+            t_rcd: 3,
+            t_cas: 2,
+            t_rp: 3,
+            t_ras: 6,
+            t_rc: 9,
+            internal_banks: 1,
+            ..SdramConfig::default()
+        }
+    }
+
+    /// An SLDRAM-like analogue (§2.3.4): deeper internal banking (8
+    /// banks) at SDRAM-class latencies.
+    pub fn sldram_like() -> Self {
+        SdramConfig {
+            internal_banks: 8,
+            ..SdramConfig::default()
+        }
+    }
+
+    /// A Direct-Rambus-like analogue (§2.3.5): many internal banks (32)
+    /// with slightly longer access latency; the core runs slower than
+    /// the channel, which this single-rate model folds into tCAS.
+    pub fn drdram_like() -> Self {
+        SdramConfig {
+            t_rcd: 3,
+            t_cas: 4,
+            t_rp: 3,
+            t_ras: 7,
+            t_rc: 10,
+            internal_banks: 32,
+            log2_rows: 11,
+            ..SdramConfig::default()
+        }
+    }
+
+    /// Total row buffers the controller must track:
+    /// `ranks * internal_banks`.
+    pub fn total_row_buffers(&self) -> u32 {
+        self.ranks * self.internal_banks
+    }
+
+    /// Total capacity behind the controller in words (all ranks).
+    pub fn capacity_words(&self) -> u64 {
+        (self.total_row_buffers() as u64) << (self.log2_cols + self.log2_rows)
+    }
+
+    /// Maps a *device-local* word address to its internal coordinates.
+    ///
+    /// Low bits select the column, the middle bits the internal bank
+    /// (so that consecutive pages rotate across internal banks, giving
+    /// the scheduler overlap opportunities), and the high bits the row.
+    /// The returned `bank` is the *effective* row-buffer index
+    /// `rank * internal_banks + internal_bank`: the rank (chip select)
+    /// comes from the highest local-address bits.
+    pub fn map(&self, local_addr: u64) -> InternalAddr {
+        let col = local_addr & ((1 << self.log2_cols) - 1);
+        let bank = (local_addr >> self.log2_cols) & (self.internal_banks as u64 - 1);
+        let ib_bits = self.internal_banks.trailing_zeros();
+        let row_field = local_addr >> (self.log2_cols + ib_bits);
+        let row = row_field & ((1 << self.log2_rows) - 1);
+        let rank = row_field >> self.log2_rows;
+        InternalAddr {
+            bank: (rank as u32) * self.internal_banks + bank as u32,
+            row,
+            col,
+        }
+    }
+}
+
+impl fmt::Display for SdramConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SDRAM tRCD={} tCL={} tRP={} tRAS={} tRC={} ib={} cols=2^{}",
+            self.t_rcd,
+            self.t_cas,
+            self.t_rp,
+            self.t_ras,
+            self.t_rc,
+            self.internal_banks,
+            self.log2_cols
+        )
+    }
+}
+
+/// Internal coordinates of a device word: which internal bank, row
+/// (page) and column it lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InternalAddr {
+    /// Internal bank index, `0..config.internal_banks`.
+    pub bank: u32,
+    /// Row (page) index within the internal bank.
+    pub row: u64,
+    /// Column within the row.
+    pub col: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_prototype() {
+        let c = SdramConfig::default();
+        assert_eq!((c.t_rcd, c.t_cas), (2, 2));
+        assert_eq!(c.internal_banks, 4);
+    }
+
+    #[test]
+    fn map_splits_fields() {
+        let c = SdramConfig {
+            log2_cols: 4,
+            internal_banks: 4,
+            ..SdramConfig::default()
+        };
+        // addr = row 3, bank 2, col 5  => ((3*4)+2)*16 + 5
+        let addr = ((3 * 4 + 2) << 4) + 5;
+        let ia = c.map(addr);
+        assert_eq!(
+            ia,
+            InternalAddr {
+                bank: 2,
+                row: 3,
+                col: 5
+            }
+        );
+    }
+
+    #[test]
+    fn consecutive_pages_rotate_internal_banks() {
+        let c = SdramConfig::default();
+        let page = 1u64 << c.log2_cols;
+        let banks: Vec<u32> = (0..4).map(|i| c.map(i * page).bank).collect();
+        assert_eq!(banks, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn capacity() {
+        let c = SdramConfig {
+            internal_banks: 4,
+            log2_cols: 9,
+            log2_rows: 13,
+            ..SdramConfig::default()
+        };
+        assert_eq!(c.capacity_words(), 4 << 22);
+    }
+
+    #[test]
+    fn map_roundtrip_is_injective() {
+        let c = SdramConfig {
+            log2_cols: 3,
+            log2_rows: 2,
+            internal_banks: 2,
+            ..SdramConfig::default()
+        };
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..c.capacity_words() {
+            assert!(seen.insert(c.map(a)), "duplicate mapping for {a}");
+        }
+    }
+}

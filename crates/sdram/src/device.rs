@@ -1,0 +1,770 @@
+//! Cycle-level SDRAM device state machine.
+//!
+//! One [`Sdram`] models one external bank of the memory system: a
+//! 32-bit-wide SDRAM module with several internal banks, each with its
+//! own row buffer (§5.1 drives Micron 256 Mbit parts with four internal
+//! banks). The device accepts one command per cycle at clock edges —
+//! ACTIVATE, READ, WRITE (optionally with auto-precharge), PRECHARGE or
+//! NOP — and enforces every timing restriction with
+//! [restimers](crate::Restimer) exactly as §5.2.5 prescribes.
+//!
+//! The device is *passive*: callers (bank controllers, baseline
+//! memory models) query [`Sdram::can_issue`] and schedule around the
+//! answer. Issuing an illegal command is an error, never silent
+//! misbehaviour — the auditor in [`crate::audit`] cross-checks this in
+//! tests.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::config::SdramConfig;
+use crate::restimer::BankTimers;
+
+/// A command presented to the SDRAM at a clock edge (§2.3.3: "it is more
+/// appropriate to consider these as commands issued to an SDRAM chip at
+/// the edge of the clock").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SdramCmd {
+    /// Open `row` in internal bank `bank` (RAS).
+    Activate {
+        /// Internal bank index.
+        bank: u32,
+        /// Row to open.
+        row: u64,
+    },
+    /// Read the word at `col` of the open row of `bank` (CAS); data
+    /// appears `t_cas` cycles later. `auto_precharge` closes the row
+    /// after the access.
+    Read {
+        /// Internal bank index.
+        bank: u32,
+        /// Column within the open row.
+        col: u64,
+        /// Close the row automatically after the access.
+        auto_precharge: bool,
+        /// Opaque tag returned with the data (transaction bookkeeping).
+        tag: u64,
+    },
+    /// Write `data` to `col` of the open row of `bank`.
+    Write {
+        /// Internal bank index.
+        bank: u32,
+        /// Column within the open row.
+        col: u64,
+        /// Word to store.
+        data: u64,
+        /// Close the row automatically after the access.
+        auto_precharge: bool,
+    },
+    /// Close the open row of `bank`.
+    Precharge {
+        /// Internal bank index.
+        bank: u32,
+    },
+    /// AUTO REFRESH: refresh the next row group in every internal bank.
+    /// Requires all rows closed; occupies the device for `tRFC` cycles.
+    Refresh,
+    /// No operation this cycle.
+    Nop,
+}
+
+/// Why a command could not be issued this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssueError {
+    /// A restimer for the named parameter has not expired.
+    TimingViolation {
+        /// Internal bank the violation is on.
+        bank: u32,
+        /// Name of the violated timing parameter.
+        timer: &'static str,
+    },
+    /// READ/WRITE issued with no row open in the bank.
+    RowNotOpen {
+        /// Internal bank addressed.
+        bank: u32,
+    },
+    /// ACTIVATE issued while a row is already open (must precharge
+    /// first).
+    RowAlreadyOpen {
+        /// Internal bank addressed.
+        bank: u32,
+    },
+    /// Internal bank index out of range.
+    BankOutOfRange {
+        /// Offending index.
+        bank: u32,
+    },
+    /// A second non-NOP command was issued in the same cycle (the
+    /// command bus carries one command per edge).
+    CommandBusBusy,
+    /// The device is busy executing an AUTO REFRESH (`tRFC` pending).
+    RefreshInProgress,
+    /// REFRESH issued while some internal bank still has an open row.
+    RefreshNeedsIdleBanks,
+}
+
+impl core::fmt::Display for IssueError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match *self {
+            IssueError::TimingViolation { bank, timer } => {
+                write!(
+                    f,
+                    "timing parameter {timer} not satisfied on internal bank {bank}"
+                )
+            }
+            IssueError::RowNotOpen { bank } => {
+                write!(f, "no open row in internal bank {bank}")
+            }
+            IssueError::RowAlreadyOpen { bank } => {
+                write!(f, "internal bank {bank} already has an open row")
+            }
+            IssueError::BankOutOfRange { bank } => {
+                write!(f, "internal bank index {bank} out of range")
+            }
+            IssueError::CommandBusBusy => write!(f, "command already issued this cycle"),
+            IssueError::RefreshInProgress => write!(f, "refresh cycle in progress"),
+            IssueError::RefreshNeedsIdleBanks => {
+                write!(f, "refresh requires all rows to be precharged")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IssueError {}
+
+/// Data word returned by a completed READ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadReturn {
+    /// The tag supplied with the READ command.
+    pub tag: u64,
+    /// The word read.
+    pub data: u64,
+    /// Cycle at which the data appeared on the device pins.
+    pub at_cycle: u64,
+}
+
+/// Row-buffer state of one internal bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RowState {
+    Closed,
+    Open { row: u64 },
+}
+
+/// Operation counters, used by the evaluation harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SdramStats {
+    /// ACTIVATE commands accepted.
+    pub activates: u64,
+    /// READ commands accepted.
+    pub reads: u64,
+    /// WRITE commands accepted.
+    pub writes: u64,
+    /// Explicit PRECHARGE commands accepted.
+    pub precharges: u64,
+    /// Auto-precharges triggered by READ/WRITE.
+    pub auto_precharges: u64,
+    /// READ/WRITE commands that found their row already open from a
+    /// *previous* access run (row-buffer hits saved an ACTIVATE).
+    pub row_hits: u64,
+    /// AUTO REFRESH commands accepted.
+    pub refreshes: u64,
+}
+
+/// One SDRAM device: state machine, timers, and functional storage.
+///
+/// Storage is a sparse overlay: a word never written reads back as a
+/// deterministic pattern of its local address, so functional tests can
+/// verify gathered data without preloading gigabytes.
+///
+/// # Examples
+///
+/// ```
+/// use sdram::{Sdram, SdramCmd, SdramConfig};
+///
+/// let mut dev = Sdram::new(SdramConfig::default());
+/// dev.issue(SdramCmd::Activate { bank: 0, row: 3 })?;
+/// // tRCD = 2: the READ becomes legal two cycles later.
+/// dev.tick();
+/// dev.tick();
+/// dev.issue(SdramCmd::Read { bank: 0, col: 7, auto_precharge: false, tag: 42 })?;
+/// dev.tick();
+/// dev.tick(); // CAS latency 2
+/// let data = dev.take_ready_data();
+/// assert_eq!(data.len(), 1);
+/// assert_eq!(data[0].tag, 42);
+/// # Ok::<(), sdram::IssueError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sdram {
+    config: SdramConfig,
+    rows: Vec<RowState>,
+    timers: Vec<BankTimers>,
+    /// Written words, keyed by device-local address.
+    overlay: HashMap<u64, u64>,
+    /// Reads in flight: (ready_at, tag, data), ordered by ready_at.
+    in_flight: VecDeque<ReadReturn>,
+    now: u64,
+    issued_this_cycle: bool,
+    /// Remaining cycles of an in-progress AUTO REFRESH.
+    refresh_busy: u32,
+    /// Cycles elapsed since the last AUTO REFRESH.
+    since_refresh: u64,
+    stats: SdramStats,
+}
+
+impl Sdram {
+    /// Creates an idle device with all rows closed.
+    pub fn new(config: SdramConfig) -> Self {
+        let n = config.total_row_buffers() as usize;
+        Sdram {
+            config,
+            rows: vec![RowState::Closed; n],
+            timers: vec![BankTimers::new(); n],
+            overlay: HashMap::new(),
+            in_flight: VecDeque::new(),
+            now: 0,
+            issued_this_cycle: false,
+            refresh_busy: 0,
+            since_refresh: 0,
+            stats: SdramStats::default(),
+        }
+    }
+
+    /// The device configuration.
+    pub const fn config(&self) -> &SdramConfig {
+        &self.config
+    }
+
+    /// Current cycle count.
+    pub const fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Operation counters.
+    pub const fn stats(&self) -> &SdramStats {
+        &self.stats
+    }
+
+    /// The open row of internal bank `bank`, if any.
+    pub fn open_row(&self, bank: u32) -> Option<u64> {
+        match self.rows.get(bank as usize) {
+            Some(RowState::Open { row }) => Some(*row),
+            _ => None,
+        }
+    }
+
+    /// Whether `cmd` could legally issue this cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`IssueError`] that [`Sdram::issue`] would.
+    pub fn can_issue(&self, cmd: &SdramCmd) -> Result<(), IssueError> {
+        if self.issued_this_cycle && !matches!(cmd, SdramCmd::Nop) {
+            return Err(IssueError::CommandBusBusy);
+        }
+        if self.refresh_busy > 0 && !matches!(cmd, SdramCmd::Nop) {
+            return Err(IssueError::RefreshInProgress);
+        }
+        match *cmd {
+            SdramCmd::Nop => Ok(()),
+            SdramCmd::Refresh => {
+                if self.rows.iter().any(|r| matches!(r, RowState::Open { .. })) {
+                    return Err(IssueError::RefreshNeedsIdleBanks);
+                }
+                for (i, t) in self.timers.iter().enumerate() {
+                    if !t.rp.available() {
+                        return Err(IssueError::TimingViolation {
+                            bank: i as u32,
+                            timer: "tRP",
+                        });
+                    }
+                }
+                Ok(())
+            }
+            SdramCmd::Activate { bank, row: _ } => {
+                let (state, timers) = self.bank(bank)?;
+                if matches!(state, RowState::Open { .. }) {
+                    return Err(IssueError::RowAlreadyOpen { bank });
+                }
+                if !timers.rp.available() {
+                    return Err(IssueError::TimingViolation { bank, timer: "tRP" });
+                }
+                if !timers.rc.available() {
+                    return Err(IssueError::TimingViolation { bank, timer: "tRC" });
+                }
+                Ok(())
+            }
+            SdramCmd::Read { bank, .. } | SdramCmd::Write { bank, .. } => {
+                let (state, timers) = self.bank(bank)?;
+                if !matches!(state, RowState::Open { .. }) {
+                    return Err(IssueError::RowNotOpen { bank });
+                }
+                if !timers.rcd.available() {
+                    return Err(IssueError::TimingViolation {
+                        bank,
+                        timer: "tRCD",
+                    });
+                }
+                Ok(())
+            }
+            SdramCmd::Precharge { bank } => {
+                let (_, timers) = self.bank(bank)?;
+                if !timers.ras.available() {
+                    return Err(IssueError::TimingViolation {
+                        bank,
+                        timer: "tRAS",
+                    });
+                }
+                if !timers.wr.available() {
+                    return Err(IssueError::TimingViolation { bank, timer: "tWR" });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Issues `cmd` at the current clock edge.
+    ///
+    /// # Errors
+    ///
+    /// Rejects illegal commands (timing violations, closed-row accesses,
+    /// double-issue) without changing device state.
+    pub fn issue(&mut self, cmd: SdramCmd) -> Result<(), IssueError> {
+        self.can_issue(&cmd)?;
+        match cmd {
+            SdramCmd::Nop => return Ok(()),
+            SdramCmd::Refresh => {
+                // The whole device is busy for tRFC; afterwards every
+                // internal bank must wait tRP-equivalent before activate,
+                // which tRFC subsumes in this model.
+                self.refresh_busy = self.config.t_rfc.max(1);
+                self.since_refresh = 0;
+                self.stats.refreshes += 1;
+            }
+            SdramCmd::Activate { bank, row } => {
+                let cfg = self.config;
+                let b = bank as usize;
+                self.rows[b] = RowState::Open { row };
+                let t = &mut self.timers[b];
+                t.rcd.arm(cfg.t_rcd);
+                t.ras.arm(cfg.t_ras);
+                t.rc.arm(cfg.t_rc);
+                self.stats.activates += 1;
+            }
+            SdramCmd::Read {
+                bank,
+                col,
+                auto_precharge,
+                tag,
+            } => {
+                let row = match self.rows[bank as usize] {
+                    RowState::Open { row } => row,
+                    RowState::Closed => unreachable!("validated open"),
+                };
+                let local = self.local_addr(bank, row, col);
+                let data = self.peek(local);
+                let ready = ReadReturn {
+                    tag,
+                    data,
+                    at_cycle: self.now + self.config.t_cas as u64,
+                };
+                // Keep the queue ordered by completion time.
+                let pos = self
+                    .in_flight
+                    .iter()
+                    .position(|r| r.at_cycle > ready.at_cycle)
+                    .unwrap_or(self.in_flight.len());
+                self.in_flight.insert(pos, ready);
+                self.stats.reads += 1;
+                if auto_precharge {
+                    self.auto_precharge(bank);
+                }
+            }
+            SdramCmd::Write {
+                bank,
+                col,
+                data,
+                auto_precharge,
+            } => {
+                let row = match self.rows[bank as usize] {
+                    RowState::Open { row } => row,
+                    RowState::Closed => unreachable!("validated open"),
+                };
+                let local = self.local_addr(bank, row, col);
+                self.overlay.insert(local, data);
+                self.timers[bank as usize].wr.arm(self.config.t_wr);
+                self.stats.writes += 1;
+                if auto_precharge {
+                    self.auto_precharge(bank);
+                }
+            }
+            SdramCmd::Precharge { bank } => {
+                let b = bank as usize;
+                self.rows[b] = RowState::Closed;
+                self.timers[b].rp.arm(self.config.t_rp);
+                self.stats.precharges += 1;
+            }
+        }
+        self.issued_this_cycle = true;
+        Ok(())
+    }
+
+    /// Advances the device one clock cycle.
+    pub fn tick(&mut self) {
+        self.now += 1;
+        self.issued_this_cycle = false;
+        self.refresh_busy = self.refresh_busy.saturating_sub(1);
+        self.since_refresh += 1;
+        for t in &mut self.timers {
+            t.tick();
+        }
+    }
+
+    /// Whether a periodic refresh is due (`refresh_interval` elapsed
+    /// since the last AUTO REFRESH; always `false` when refresh is
+    /// disabled).
+    pub fn refresh_due(&self) -> bool {
+        self.config.refresh_interval > 0 && self.since_refresh >= self.config.refresh_interval
+    }
+
+    /// Whether an AUTO REFRESH is currently occupying the device.
+    pub const fn refresh_in_progress(&self) -> bool {
+        self.refresh_busy > 0
+    }
+
+    /// Removes and returns all reads whose data is on the pins at or
+    /// before the current cycle.
+    pub fn take_ready_data(&mut self) -> Vec<ReadReturn> {
+        let mut out = Vec::new();
+        while let Some(front) = self.in_flight.front() {
+            if front.at_cycle <= self.now {
+                out.push(self.in_flight.pop_front().expect("front exists"));
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Whether any read data is still in flight.
+    pub fn has_in_flight(&self) -> bool {
+        !self.in_flight.is_empty()
+    }
+
+    /// Functional read of a device-local word (no timing): the overlay
+    /// value if written, else the deterministic background pattern.
+    pub fn peek(&self, local_addr: u64) -> u64 {
+        self.overlay
+            .get(&local_addr)
+            .copied()
+            .unwrap_or_else(|| background_pattern(local_addr))
+    }
+
+    /// Functional write of a device-local word (no timing), for test
+    /// setup.
+    pub fn poke(&mut self, local_addr: u64, data: u64) {
+        self.overlay.insert(local_addr, data);
+    }
+
+    /// Composes internal coordinates back into a device-local address
+    /// (inverse of [`SdramConfig::map`]).
+    pub fn local_addr(&self, bank: u32, row: u64, col: u64) -> u64 {
+        let ib_bits = self.config.internal_banks.trailing_zeros();
+        let rank = (bank / self.config.internal_banks) as u64;
+        let ib = (bank % self.config.internal_banks) as u64;
+        let row_field = (rank << self.config.log2_rows) | row;
+        (((row_field << ib_bits) | ib) << self.config.log2_cols) | col
+    }
+
+    /// Records a row-hit observation (called by controllers when they
+    /// find their target row already open and skip an ACTIVATE).
+    pub fn note_row_hit(&mut self) {
+        self.stats.row_hits += 1;
+    }
+
+    fn bank(&self, bank: u32) -> Result<(RowState, &BankTimers), IssueError> {
+        if bank >= self.config.total_row_buffers() {
+            return Err(IssueError::BankOutOfRange { bank });
+        }
+        Ok((self.rows[bank as usize], &self.timers[bank as usize]))
+    }
+
+    fn auto_precharge(&mut self, bank: u32) {
+        let b = bank as usize;
+        self.rows[b] = RowState::Closed;
+        // The internal precharge starts once tRAS/tWR allow and takes
+        // tRP; until then the bank cannot re-activate. Model this as
+        // arming tRP for the residual tRAS/tWR plus tRP.
+        let residual = self.timers[b]
+            .ras
+            .remaining()
+            .max(self.timers[b].wr.remaining());
+        self.timers[b].rp.arm(residual + self.config.t_rp);
+        self.stats.auto_precharges += 1;
+    }
+}
+
+/// Deterministic background content of unwritten memory: a mix of the
+/// address bits so neighbouring words differ.
+pub fn background_pattern(local_addr: u64) -> u64 {
+    local_addr.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xA5A5_5A5A_0F0F_F0F0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> Sdram {
+        Sdram::new(SdramConfig::default())
+    }
+
+    #[test]
+    fn read_requires_open_row() {
+        let mut d = dev();
+        let err = d
+            .issue(SdramCmd::Read {
+                bank: 0,
+                col: 0,
+                auto_precharge: false,
+                tag: 0,
+            })
+            .unwrap_err();
+        assert_eq!(err, IssueError::RowNotOpen { bank: 0 });
+    }
+
+    #[test]
+    fn read_respects_trcd() {
+        let mut d = dev();
+        d.issue(SdramCmd::Activate { bank: 1, row: 5 }).unwrap();
+        d.tick();
+        let err = d
+            .issue(SdramCmd::Read {
+                bank: 1,
+                col: 0,
+                auto_precharge: false,
+                tag: 0,
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            IssueError::TimingViolation {
+                bank: 1,
+                timer: "tRCD"
+            }
+        );
+        d.tick();
+        assert!(d
+            .issue(SdramCmd::Read {
+                bank: 1,
+                col: 0,
+                auto_precharge: false,
+                tag: 0
+            })
+            .is_ok());
+    }
+
+    #[test]
+    fn one_command_per_cycle() {
+        let mut d = dev();
+        d.issue(SdramCmd::Activate { bank: 0, row: 0 }).unwrap();
+        let err = d.issue(SdramCmd::Activate { bank: 1, row: 0 }).unwrap_err();
+        assert_eq!(err, IssueError::CommandBusBusy);
+        // NOP is always fine.
+        assert!(d.issue(SdramCmd::Nop).is_ok());
+        d.tick();
+        assert!(d.issue(SdramCmd::Activate { bank: 1, row: 0 }).is_ok());
+    }
+
+    #[test]
+    fn activate_respects_trc_and_trp() {
+        let mut d = dev();
+        d.issue(SdramCmd::Activate { bank: 0, row: 0 }).unwrap();
+        // Wait out tRAS (5), precharge, then activate must wait tRP and tRC.
+        for _ in 0..5 {
+            d.tick();
+        }
+        d.issue(SdramCmd::Precharge { bank: 0 }).unwrap();
+        d.tick();
+        let err = d.issue(SdramCmd::Activate { bank: 0, row: 1 }).unwrap_err();
+        // tRP = 2 not yet satisfied (and tRC = 7 also pending).
+        assert!(matches!(err, IssueError::TimingViolation { bank: 0, .. }));
+        d.tick();
+        // tRP satisfied at +2, tRC (7 from activate at cycle 0) satisfied
+        // at cycle 7; we are at cycle 7 now.
+        assert!(d.issue(SdramCmd::Activate { bank: 0, row: 1 }).is_ok());
+    }
+
+    #[test]
+    fn precharge_respects_tras() {
+        let mut d = dev();
+        d.issue(SdramCmd::Activate { bank: 2, row: 9 }).unwrap();
+        d.tick();
+        let err = d.issue(SdramCmd::Precharge { bank: 2 }).unwrap_err();
+        assert_eq!(
+            err,
+            IssueError::TimingViolation {
+                bank: 2,
+                timer: "tRAS"
+            }
+        );
+    }
+
+    #[test]
+    fn data_returns_after_cas_latency() {
+        let mut d = dev();
+        d.issue(SdramCmd::Activate { bank: 0, row: 1 }).unwrap();
+        d.tick();
+        d.tick();
+        d.issue(SdramCmd::Read {
+            bank: 0,
+            col: 3,
+            auto_precharge: false,
+            tag: 99,
+        })
+        .unwrap();
+        assert!(d.take_ready_data().is_empty());
+        d.tick();
+        assert!(d.take_ready_data().is_empty());
+        d.tick();
+        let ready = d.take_ready_data();
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].tag, 99);
+        assert_eq!(ready[0].data, d.peek(d.local_addr(0, 1, 3)));
+        assert!(!d.has_in_flight());
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut d = dev();
+        d.issue(SdramCmd::Activate { bank: 3, row: 7 }).unwrap();
+        d.tick();
+        d.tick();
+        d.issue(SdramCmd::Write {
+            bank: 3,
+            col: 11,
+            data: 0xDEAD,
+            auto_precharge: false,
+        })
+        .unwrap();
+        d.tick();
+        d.issue(SdramCmd::Read {
+            bank: 3,
+            col: 11,
+            auto_precharge: false,
+            tag: 1,
+        })
+        .unwrap();
+        d.tick();
+        d.tick();
+        assert_eq!(d.take_ready_data()[0].data, 0xDEAD);
+    }
+
+    #[test]
+    fn auto_precharge_closes_row_and_delays_reactivation() {
+        let mut d = dev();
+        d.issue(SdramCmd::Activate { bank: 0, row: 1 }).unwrap();
+        d.tick();
+        d.tick();
+        d.issue(SdramCmd::Read {
+            bank: 0,
+            col: 0,
+            auto_precharge: true,
+            tag: 0,
+        })
+        .unwrap();
+        assert_eq!(d.open_row(0), None);
+        d.tick();
+        // Residual tRAS (5 - 2 = 3) + tRP (2) = 5 cycles from the read.
+        for _ in 0..4 {
+            assert!(d.issue(SdramCmd::Activate { bank: 0, row: 2 }).is_err());
+            d.tick();
+        }
+        // tRC (7 from cycle 0) also expired by now (cycle 7).
+        assert!(d.issue(SdramCmd::Activate { bank: 0, row: 2 }).is_ok());
+        assert_eq!(d.stats().auto_precharges, 1);
+    }
+
+    #[test]
+    fn independent_internal_banks_overlap() {
+        // An activate on bank 0 does not block bank 1 (the overlap the
+        // whole PVA scheduling story depends on).
+        let mut d = dev();
+        d.issue(SdramCmd::Activate { bank: 0, row: 0 }).unwrap();
+        d.tick();
+        assert!(d.issue(SdramCmd::Activate { bank: 1, row: 0 }).is_ok());
+        d.tick();
+        // Bank 0's tRCD (armed at cycle 0) has expired.
+        assert!(d
+            .issue(SdramCmd::Read {
+                bank: 0,
+                col: 0,
+                auto_precharge: false,
+                tag: 0
+            })
+            .is_ok());
+    }
+
+    #[test]
+    fn out_of_range_bank_rejected() {
+        let mut d = dev();
+        assert_eq!(
+            d.issue(SdramCmd::Activate { bank: 4, row: 0 }).unwrap_err(),
+            IssueError::BankOutOfRange { bank: 4 }
+        );
+    }
+
+    #[test]
+    fn reads_return_in_issue_order() {
+        let mut d = dev();
+        d.issue(SdramCmd::Activate { bank: 0, row: 0 }).unwrap();
+        d.tick();
+        d.tick();
+        for i in 0..4u64 {
+            d.issue(SdramCmd::Read {
+                bank: 0,
+                col: i,
+                auto_precharge: false,
+                tag: i,
+            })
+            .unwrap();
+            d.tick();
+        }
+        d.tick();
+        d.tick();
+        let tags: Vec<u64> = d.take_ready_data().iter().map(|r| r.tag).collect();
+        assert_eq!(tags, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn local_addr_inverts_map() {
+        let d = dev();
+        for a in [0u64, 1, 511, 512, 4096, 123_456] {
+            let ia = d.config().map(a);
+            assert_eq!(d.local_addr(ia.bank, ia.row, ia.col), a);
+        }
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let mut d = dev();
+        d.issue(SdramCmd::Activate { bank: 0, row: 0 }).unwrap();
+        d.tick();
+        d.tick();
+        d.issue(SdramCmd::Read {
+            bank: 0,
+            col: 0,
+            auto_precharge: false,
+            tag: 0,
+        })
+        .unwrap();
+        d.tick();
+        d.issue(SdramCmd::Write {
+            bank: 0,
+            col: 1,
+            data: 5,
+            auto_precharge: false,
+        })
+        .unwrap();
+        let s = d.stats();
+        assert_eq!((s.activates, s.reads, s.writes), (1, 1, 1));
+    }
+}

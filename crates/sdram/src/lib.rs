@@ -1,0 +1,44 @@
+//! # sdram — cycle-level SDRAM device simulator
+//!
+//! The memory substrate underneath the Parallel Vector Access unit: a
+//! synchronous DRAM device model with multiple internal banks,
+//! per-internal-bank row buffers, and restimer-enforced timing
+//! constraints, matching the Micron 256 Mbit parts the paper's prototype
+//! drives (§5.1) — RAS and CAS latencies of two cycles, four internal
+//! banks, auto-precharge support.
+//!
+//! * [`Sdram`] — the device state machine (one per external bank).
+//! * [`SdramCmd`] — the clock-edge command set.
+//! * [`SdramConfig`] — timing/geometry parameters.
+//! * [`Restimer`] / [`BankTimers`] — the §5.2.5 timing counters.
+//! * [`TimingAuditor`] — an independent checker used to cross-validate
+//!   the device in tests.
+//!
+//! # Example: overlap across internal banks
+//!
+//! ```
+//! use sdram::{Sdram, SdramCmd, SdramConfig};
+//!
+//! let mut dev = Sdram::new(SdramConfig::default());
+//! // Open rows in two internal banks on consecutive cycles...
+//! dev.issue(SdramCmd::Activate { bank: 0, row: 10 })?;
+//! dev.tick();
+//! dev.issue(SdramCmd::Activate { bank: 1, row: 20 })?;
+//! dev.tick();
+//! // ...bank 0 is already ready to read while bank 1 finishes opening.
+//! dev.issue(SdramCmd::Read { bank: 0, col: 0, auto_precharge: false, tag: 7 })?;
+//! # Ok::<(), sdram::IssueError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod audit;
+mod config;
+mod device;
+mod restimer;
+
+pub use audit::{TimingAuditor, Violation};
+pub use config::{InternalAddr, SdramConfig};
+pub use device::{background_pattern, IssueError, ReadReturn, Sdram, SdramCmd, SdramStats};
+pub use restimer::{BankTimers, Restimer};

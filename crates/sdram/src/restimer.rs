@@ -1,0 +1,193 @@
+//! Resource timers ("restimers", §5.2.5).
+//!
+//! The paper enforces SDRAM timing restrictions with "a set of small
+//! counters called restimers, each of which enforces one timing
+//! parameter by asserting a 'resource available' line when the
+//! corresponding operation may be performed". [`Restimer`] is exactly
+//! that: a down-counter armed when an operation starts, whose
+//! `available` line gates dependent operations.
+
+/// A single timing-parameter counter.
+///
+/// # Examples
+///
+/// ```
+/// use sdram::Restimer;
+///
+/// let mut t = Restimer::new("tRCD");
+/// assert!(t.available());
+/// t.arm(2);                // ACTIVATE issued: READ legal in 2 cycles
+/// assert!(!t.available());
+/// t.tick();
+/// assert!(!t.available());
+/// t.tick();
+/// assert!(t.available());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Restimer {
+    name: &'static str,
+    remaining: u32,
+}
+
+impl Restimer {
+    /// Creates an expired (available) restimer for the named parameter.
+    pub const fn new(name: &'static str) -> Self {
+        Restimer { name, remaining: 0 }
+    }
+
+    /// The timing parameter this counter enforces (for diagnostics).
+    pub const fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Arms the counter: the resource becomes available after `cycles`
+    /// calls to [`tick`](Restimer::tick). Arming with `0` leaves it
+    /// available. Re-arming extends only if the new deadline is later.
+    pub fn arm(&mut self, cycles: u32) {
+        self.remaining = self.remaining.max(cycles);
+    }
+
+    /// Advances one clock cycle.
+    pub fn tick(&mut self) {
+        self.remaining = self.remaining.saturating_sub(1);
+    }
+
+    /// The "resource available" line.
+    pub const fn available(&self) -> bool {
+        self.remaining == 0
+    }
+
+    /// Cycles until available (0 when available).
+    pub const fn remaining(&self) -> u32 {
+        self.remaining
+    }
+}
+
+impl core::fmt::Display for Restimer {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}({} left)", self.name, self.remaining)
+    }
+}
+
+/// The full set of per-internal-bank restimers an SDRAM scheduler must
+/// consult before issuing each operation class.
+#[derive(Debug, Clone)]
+pub struct BankTimers {
+    /// Gates READ/WRITE after ACTIVATE (`tRCD`).
+    pub rcd: Restimer,
+    /// Gates PRECHARGE after ACTIVATE (`tRAS`).
+    pub ras: Restimer,
+    /// Gates ACTIVATE after PRECHARGE (`tRP`).
+    pub rp: Restimer,
+    /// Gates ACTIVATE after ACTIVATE (`tRC`).
+    pub rc: Restimer,
+    /// Gates PRECHARGE after WRITE (`tWR`).
+    pub wr: Restimer,
+}
+
+impl BankTimers {
+    /// Creates a fully-available timer set.
+    pub const fn new() -> Self {
+        BankTimers {
+            rcd: Restimer::new("tRCD"),
+            ras: Restimer::new("tRAS"),
+            rp: Restimer::new("tRP"),
+            rc: Restimer::new("tRC"),
+            wr: Restimer::new("tWR"),
+        }
+    }
+
+    /// Advances all counters one cycle.
+    pub fn tick(&mut self) {
+        self.rcd.tick();
+        self.ras.tick();
+        self.rp.tick();
+        self.rc.tick();
+        self.wr.tick();
+    }
+
+    /// Whether an ACTIVATE may be issued now.
+    pub fn can_activate(&self) -> bool {
+        self.rp.available() && self.rc.available()
+    }
+
+    /// Whether a READ/WRITE may be issued now (row must also be open —
+    /// checked by the device state machine, not the timers).
+    pub fn can_access(&self) -> bool {
+        self.rcd.available()
+    }
+
+    /// Whether a PRECHARGE may be issued now.
+    pub fn can_precharge(&self) -> bool {
+        self.ras.available() && self.wr.available()
+    }
+}
+
+impl Default for BankTimers {
+    fn default() -> Self {
+        BankTimers::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arm_and_expire() {
+        let mut t = Restimer::new("x");
+        t.arm(3);
+        for _ in 0..2 {
+            assert!(!t.available());
+            t.tick();
+        }
+        assert!(!t.available());
+        t.tick();
+        assert!(t.available());
+        t.tick(); // ticking past zero is harmless
+        assert!(t.available());
+    }
+
+    #[test]
+    fn rearm_takes_max() {
+        let mut t = Restimer::new("x");
+        t.arm(5);
+        t.tick();
+        t.arm(2); // earlier deadline must not shorten the wait
+        assert_eq!(t.remaining(), 4);
+        t.arm(10);
+        assert_eq!(t.remaining(), 10);
+    }
+
+    #[test]
+    fn bank_timers_gate_operations() {
+        let mut bt = BankTimers::new();
+        assert!(bt.can_activate() && bt.can_access() && bt.can_precharge());
+        // Model an ACTIVATE with tRCD=2, tRAS=5, tRC=7.
+        bt.rcd.arm(2);
+        bt.ras.arm(5);
+        bt.rc.arm(7);
+        assert!(!bt.can_access() && !bt.can_precharge() && !bt.can_activate());
+        for _ in 0..2 {
+            bt.tick();
+        }
+        assert!(bt.can_access());
+        assert!(!bt.can_precharge());
+        for _ in 0..3 {
+            bt.tick();
+        }
+        assert!(bt.can_precharge());
+        assert!(!bt.can_activate());
+        for _ in 0..2 {
+            bt.tick();
+        }
+        assert!(bt.can_activate());
+    }
+
+    #[test]
+    fn display_shows_name() {
+        let mut t = Restimer::new("tRP");
+        t.arm(2);
+        assert_eq!(t.to_string(), "tRP(2 left)");
+    }
+}

@@ -1,0 +1,85 @@
+//! Multi-rank (multi-chip) capacity scaling (§4.3.1): one bank
+//! controller managing several SDRAM chips, each with its own row
+//! buffers.
+
+use sdram::{Sdram, SdramCmd, SdramConfig};
+
+fn two_ranks() -> SdramConfig {
+    SdramConfig {
+        ranks: 2,
+        log2_cols: 4,
+        log2_rows: 2,
+        internal_banks: 4,
+        ..SdramConfig::default()
+    }
+}
+
+#[test]
+fn capacity_scales_with_ranks() {
+    let one = SdramConfig {
+        ranks: 1,
+        ..two_ranks()
+    };
+    let two = two_ranks();
+    assert_eq!(two.capacity_words(), 2 * one.capacity_words());
+    assert_eq!(two.total_row_buffers(), 8);
+}
+
+#[test]
+fn high_addresses_select_the_second_rank() {
+    let cfg = two_ranks();
+    let rank_size = cfg.capacity_words() / 2;
+    let lo = cfg.map(5);
+    let hi = cfg.map(rank_size + 5);
+    // Same in-chip coordinates, different effective row buffer.
+    assert_eq!(lo.col, hi.col);
+    assert_eq!(lo.row, hi.row);
+    assert_eq!(hi.bank, lo.bank + cfg.internal_banks);
+}
+
+#[test]
+fn map_and_local_addr_invert_across_ranks() {
+    let cfg = two_ranks();
+    let dev = Sdram::new(cfg);
+    for addr in (0..cfg.capacity_words()).step_by(7) {
+        let ia = cfg.map(addr);
+        assert_eq!(dev.local_addr(ia.bank, ia.row, ia.col), addr, "addr {addr}");
+        assert!(ia.bank < cfg.total_row_buffers());
+    }
+}
+
+#[test]
+fn ranks_have_independent_row_buffers() {
+    let cfg = two_ranks();
+    let mut dev = Sdram::new(cfg);
+    // Open rows in internal bank 0 of both ranks simultaneously —
+    // impossible with a single chip ("different current row registers").
+    dev.issue(SdramCmd::Activate { bank: 0, row: 1 }).unwrap();
+    dev.tick();
+    dev.issue(SdramCmd::Activate { bank: 4, row: 2 }).unwrap();
+    dev.tick();
+    assert_eq!(dev.open_row(0), Some(1));
+    assert_eq!(dev.open_row(4), Some(2));
+    // Both readable after tRCD.
+    dev.issue(SdramCmd::Read {
+        bank: 0,
+        col: 0,
+        auto_precharge: false,
+        tag: 1,
+    })
+    .unwrap();
+    dev.tick();
+    dev.issue(SdramCmd::Read {
+        bank: 4,
+        col: 0,
+        auto_precharge: false,
+        tag: 2,
+    })
+    .unwrap();
+}
+
+#[test]
+fn rank_out_of_range_rejected() {
+    let mut dev = Sdram::new(two_ranks());
+    assert!(dev.issue(SdramCmd::Activate { bank: 8, row: 0 }).is_err());
+}

@@ -1,0 +1,64 @@
+//! AUTO REFRESH semantics of the SDRAM device (§2.2).
+
+use sdram::{IssueError, Sdram, SdramCmd, SdramConfig};
+
+fn refreshing() -> Sdram {
+    Sdram::new(SdramConfig::with_refresh())
+}
+
+#[test]
+fn refresh_requires_closed_rows() {
+    let mut d = refreshing();
+    d.issue(SdramCmd::Activate { bank: 0, row: 1 }).unwrap();
+    d.tick();
+    assert_eq!(
+        d.issue(SdramCmd::Refresh).unwrap_err(),
+        IssueError::RefreshNeedsIdleBanks
+    );
+}
+
+#[test]
+fn refresh_blocks_commands_for_trfc() {
+    let mut d = refreshing();
+    d.issue(SdramCmd::Refresh).unwrap();
+    d.tick();
+    // tRFC = 8: commands rejected for 7 more cycles after the first tick.
+    for _ in 0..7 {
+        assert_eq!(
+            d.issue(SdramCmd::Activate { bank: 0, row: 0 }).unwrap_err(),
+            IssueError::RefreshInProgress
+        );
+        d.tick();
+    }
+    assert!(d.issue(SdramCmd::Activate { bank: 0, row: 0 }).is_ok());
+    assert_eq!(d.stats().refreshes, 1);
+}
+
+#[test]
+fn refresh_due_tracks_interval() {
+    let mut d = refreshing();
+    assert!(!d.refresh_due());
+    for _ in 0..781 {
+        d.tick();
+    }
+    assert!(d.refresh_due());
+    d.issue(SdramCmd::Refresh).unwrap();
+    d.tick();
+    assert!(!d.refresh_due());
+}
+
+#[test]
+fn refresh_disabled_by_default() {
+    let mut d = Sdram::new(SdramConfig::default());
+    for _ in 0..10_000 {
+        d.tick();
+    }
+    assert!(!d.refresh_due());
+}
+
+#[test]
+fn nop_is_legal_during_refresh() {
+    let mut d = refreshing();
+    d.issue(SdramCmd::Refresh).unwrap();
+    assert!(d.issue(SdramCmd::Nop).is_ok());
+}

@@ -1,0 +1,53 @@
+//! The full §3.2 design space in one example: three ways to tell the
+//! memory controller about a strided access pattern.
+//!
+//! 1. **Programmer/compiler**: install an Impulse shadow view; the
+//!    application walks a dense region and the controller gathers.
+//! 2. **Hardware detection**: no configuration at all — the reference
+//!    prediction table locks onto the stream and prefetches it.
+//! 3. **Neither** (baseline): plain strided cache-line fills.
+//!
+//! Run with: `cargo run --example impulse_shadow --release`
+
+use pva::core::{PvaError, Vector};
+use pva::impulse::{ImpulseController, PrefetchEngine, StridedView};
+use pva::memsys::{CachelineSerial, MemorySystem, TraceOp};
+use pva::sim::PvaConfig;
+
+const STRIDE: u64 = 19;
+const ELEMENTS: u64 = 1024;
+const SHADOW: u64 = 1 << 40;
+const REAL: u64 = 0x10_0000;
+
+fn main() -> Result<(), PvaError> {
+    println!("walking x[i * {STRIDE}] for {ELEMENTS} elements, three ways:\n");
+
+    // 1. Shadow view: the compiler mapped the strided array densely.
+    let mut ctl = ImpulseController::with_default_unit()?;
+    ctl.install(StridedView::new(SHADOW, REAL, STRIDE, ELEMENTS)?)?;
+    let shadow_cycles = ctl.stream_view(SHADOW)?;
+    println!("1. impulse shadow view:   {shadow_cycles:>6} cycles (configured gather)");
+
+    // 2. RPT detection: the hardware discovers the stream by itself.
+    let mut eng = PrefetchEngine::new(PvaConfig::default(), 16, 32)?;
+    let refs: Vec<(u64, u64)> = (0..ELEMENTS).map(|i| (0x400, REAL + i * STRIDE)).collect();
+    let stats = eng.run(&refs)?;
+    println!(
+        "2. rpt-detected prefetch: {:>6} cycles ({:.0}% of references covered, {} gathers)",
+        stats.gather_cycles,
+        stats.coverage() * 100.0,
+        stats.prefetches
+    );
+
+    // 3. Baseline: strided line fills through a conventional system.
+    let v = Vector::new(REAL, STRIDE, ELEMENTS)?;
+    let trace: Vec<TraceOp> = v.chunks(32).map(TraceOp::read).collect();
+    let baseline = CachelineSerial::default().run_trace(&trace);
+    println!("3. cache-line fills:      {baseline:>6} cycles (no vector knowledge)");
+
+    println!(
+        "\nknowing the pattern — by configuration or detection — wins {:.0}x",
+        baseline as f64 / shadow_cycles as f64
+    );
+    Ok(())
+}

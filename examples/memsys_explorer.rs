@@ -1,0 +1,47 @@
+//! Interactive-ish explorer: run any Table-2 kernel at any stride and
+//! alignment on all four memory systems.
+//!
+//! Run with: `cargo run --example memsys_explorer -- [kernel] [stride]`
+//! e.g. `cargo run --example memsys_explorer -- vaxpy 19`
+
+use pva::kernels::{run_point, Alignment, Kernel, SystemKind};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let kernel = args
+        .get(1)
+        .map(|s| {
+            Kernel::ALL
+                .into_iter()
+                .find(|k| k.name() == s)
+                .unwrap_or_else(|| {
+                    eprintln!("unknown kernel {s}; using vaxpy");
+                    Kernel::Vaxpy
+                })
+        })
+        .unwrap_or(Kernel::Vaxpy);
+    let stride: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(19);
+
+    println!("{} at stride {}", kernel.name(), stride);
+    println!("  {}\n", kernel.source());
+    println!(
+        "{:<22} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "system", "coincident", "bank+1", "bank+4", "ibank+1", "row+1"
+    );
+    for sys in SystemKind::ALL {
+        let cells: Vec<u64> = Alignment::ALL
+            .iter()
+            .map(|&a| run_point(kernel, stride, a, sys))
+            .collect();
+        println!(
+            "{:<22} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            sys.name(),
+            cells[0],
+            cells[1],
+            cells[2],
+            cells[3],
+            cells[4]
+        );
+    }
+    println!("\ncells are total cycles for 1024 elements per array (lower is better)");
+}

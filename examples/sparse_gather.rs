@@ -1,0 +1,60 @@
+//! Sparse-matrix gather (vector-indirect access) — the §7 two-phase
+//! extension: `x[idx[i]]` for a CSR-style sparse row.
+//!
+//! Phase 1 loads the indirection vector (a unit-stride PVA read); the
+//! indices are then broadcast on the vector bus, every bank controller
+//! claims its addresses with a bit-mask snoop, and the banks gather in
+//! parallel.
+//!
+//! Run with: `cargo run --example sparse_gather`
+
+use pva::core::{per_bank_counts, Geometry, IndirectVector, PvaError};
+use pva::sim::{run_indirect_gather, PvaConfig};
+
+fn main() -> Result<(), PvaError> {
+    let cfg = PvaConfig::default();
+    let g = Geometry::word_interleaved(16)?;
+
+    // Column indices of one row of a sparse matrix (irregular spread).
+    let cols: Vec<u64> = (0..48).map(|i| (i * i * 37 + i * 5) % 8192).collect();
+    let x_base = 0x20_0000;
+    let iv = IndirectVector::new(x_base, cols)?;
+
+    let counts = per_bank_counts(&iv, &g);
+    println!("48 sparse elements; per-bank claim counts: {counts:?}");
+    println!(
+        "parallelism: busiest bank serves {} of 48 elements\n",
+        counts.iter().max().expect("16 banks")
+    );
+
+    let t = run_indirect_gather(cfg, &iv, 0x1000)?;
+    println!("two-phase PVA gather:");
+    println!(
+        "  phase 1 (load indices, unit-stride): {:>4} cycles",
+        t.phase1_cycles
+    );
+    println!(
+        "  broadcast (2 addresses/cycle):       {:>4} cycles",
+        t.broadcast_cycles
+    );
+    println!(
+        "  phase 2 (parallel bank gather):      {:>4} cycles",
+        t.phase2_cycles
+    );
+    println!(
+        "  stage result line:                   {:>4} cycles",
+        t.stage_cycles
+    );
+    println!(
+        "  total:                               {:>4} cycles",
+        t.total_cycles
+    );
+
+    // Data correctness: each gathered word equals a functional read.
+    let unit = pva::sim::PvaUnit::new(cfg)?;
+    for (i, addr) in iv.addresses().enumerate() {
+        assert_eq!(t.data[i], unit.peek(addr), "element {i}");
+    }
+    println!("\nall 48 gathered words verified against functional memory");
+    Ok(())
+}

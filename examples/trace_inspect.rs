@@ -1,0 +1,22 @@
+//! Cycle-by-cycle inspection of one gathered vector read — the software
+//! analogue of watching the Verilog waveforms.
+//!
+//! Run with: `cargo run --example trace_inspect`
+
+use pva::core::{PvaError, Vector};
+use pva::sim::{HostRequest, PvaConfig, PvaUnit};
+
+fn main() -> Result<(), PvaError> {
+    let cfg = PvaConfig {
+        record_trace: true,
+        ..PvaConfig::default()
+    };
+    let mut unit = PvaUnit::new(cfg)?;
+    let v = Vector::new(0x100, 6, 32)?; // stride 6 = 3 * 2^1: 8 banks hit
+    let r = unit.run(vec![HostRequest::Read { vector: v }])?;
+    println!("gather of {v} took {} cycles; full event log:\n", r.cycles);
+    for e in unit.take_events() {
+        println!("{e}");
+    }
+    Ok(())
+}

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure of the paper plus the extension studies
+# into results/, runs the full test suite, and dumps the 960-point sweep.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== building (release) =="
+cargo build --workspace --release
+
+echo "== tests =="
+cargo test --workspace --release
+
+mkdir -p results
+BINS=(
+  table1_complexity table2_kernels
+  fig7_stride_sweep fig8_stride_sweep fig9_fixed_stride fig10_fixed_stride
+  fig11_vaxpy_detail headline_speedups ablation_scheduler
+  ext_indirect ext_bitrev ext_cache_pollution
+  related_cvms related_smc tech_sweep scaling_banks design_space cpu_sensitivity
+)
+for b in "${BINS[@]}"; do
+  echo "== $b =="
+  cargo run -p pva-bench --release --bin "$b" | tee "results/$b.txt"
+done
+
+echo "== sweep csv =="
+cargo run --release --bin pva-explore -- sweep-csv results/sweep.csv
+
+echo "== criterion benches =="
+cargo bench -p pva-bench
+
+echo "done: see results/ and EXPERIMENTS.md"

@@ -1,0 +1,144 @@
+//! `pva-explore` — command-line front end to the PVA reproduction.
+//!
+//! ```console
+//! $ pva-explore gather --base 0x1000 --stride 19 --len 32 [--vcd out.vcd]
+//! $ pva-explore kernel vaxpy 16
+//! $ pva-explore sweep-csv results/sweep.csv
+//! $ pva-explore stream
+//! ```
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use pva::core::Vector;
+use pva::kernels::{full_sweep, run_point, Alignment, Kernel, StreamKernel, SystemKind};
+use pva::sim::{write_vcd, HostRequest, PvaConfig, PvaUnit};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("gather") => cmd_gather(&args[1..]),
+        Some("kernel") => cmd_kernel(&args[1..]),
+        Some("sweep-csv") => cmd_sweep_csv(&args[1..]),
+        Some("stream") => cmd_stream(),
+        _ => {
+            eprintln!(
+                "usage: pva-explore <command>\n\
+                 commands:\n  \
+                 gather --base B --stride S --len L [--trace] [--vcd FILE]\n  \
+                 kernel <name> <stride>        (copy|copy2|saxpy|scale|scale2|swap|tridiag|vaxpy)\n  \
+                 sweep-csv <output.csv>        full 240-point sweep on all systems\n  \
+                 stream                        STREAM bandwidth on all systems"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    let r = if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    r.map_err(|_| format!("invalid number {s}"))
+}
+
+fn cmd_gather(args: &[String]) -> Result<(), String> {
+    let base = parse_u64(flag_value(args, "--base").unwrap_or("0"))?;
+    let stride = parse_u64(flag_value(args, "--stride").unwrap_or("1"))?;
+    let len = parse_u64(flag_value(args, "--len").unwrap_or("32"))?;
+    let want_trace = args.iter().any(|a| a == "--trace");
+    let vcd_path = flag_value(args, "--vcd");
+
+    let cfg = PvaConfig {
+        record_trace: want_trace || vcd_path.is_some(),
+        ..PvaConfig::default()
+    };
+    let mut unit = PvaUnit::new(cfg).map_err(|e| e.to_string())?;
+    let v = Vector::new(base, stride, len).map_err(|e| e.to_string())?;
+    let r = unit
+        .run(vec![HostRequest::Read { vector: v }])
+        .map_err(|e| e.to_string())?;
+    println!("gathered {v} in {} cycles", r.cycles);
+    let active = r.bc_stats.iter().filter(|b| b.elements_read > 0).count();
+    println!("banks participating: {active}/{}", r.bc_stats.len());
+    let events = unit.take_events();
+    if want_trace {
+        for e in &events {
+            println!("{e}");
+        }
+    }
+    if let Some(path) = vcd_path {
+        let mut f = std::fs::File::create(path).map_err(|e| e.to_string())?;
+        write_vcd(&events, cfg.geometry.banks() as usize, &mut f).map_err(|e| e.to_string())?;
+        f.flush().map_err(|e| e.to_string())?;
+        println!("waveform written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_kernel(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("kernel name required")?;
+    let kernel = Kernel::ALL
+        .into_iter()
+        .find(|k| k.name() == name)
+        .ok_or_else(|| format!("unknown kernel {name}"))?;
+    let stride = parse_u64(args.get(1).map(String::as_str).unwrap_or("1"))?;
+    println!("{} at stride {stride}: {}", kernel.name(), kernel.source());
+    for sys in SystemKind::ALL {
+        let cycles: Vec<u64> = Alignment::ALL
+            .iter()
+            .map(|&a| run_point(kernel, stride, a, sys))
+            .collect();
+        let min = cycles.iter().min().expect("five alignments");
+        let max = cycles.iter().max().expect("five alignments");
+        println!("  {:<18} min {min:>8}  max {max:>8}", sys.name());
+    }
+    Ok(())
+}
+
+fn cmd_sweep_csv(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("output path required")?;
+    let points = full_sweep(&SystemKind::ALL);
+    let mut f = std::fs::File::create(path).map_err(|e| e.to_string())?;
+    writeln!(f, "kernel,stride,alignment,system,cycles").map_err(|e| e.to_string())?;
+    let n = points.len();
+    for p in points {
+        writeln!(
+            f,
+            "{},{},{},{},{}",
+            p.kernel, p.stride, p.alignment, p.system, p.cycles
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    println!("wrote {n} data points to {path}");
+    Ok(())
+}
+
+fn cmd_stream() -> Result<(), String> {
+    println!("STREAM bandwidth (bytes/cycle; x100 = MB/s at 100 MHz)");
+    for k in StreamKernel::ALL {
+        print!("{:<8}", k.name());
+        for sys in SystemKind::ALL {
+            let bw = k.bandwidth(sys.build().as_mut(), 2048);
+            print!("  {}={bw:<6.2}", sys.name());
+        }
+        println!();
+    }
+    Ok(())
+}
