@@ -1,0 +1,162 @@
+//! Exhaustive checks over the bank-controller transition table.
+//!
+//! The simulator derives row-buffer behavior from
+//! [`sdram::TRANSITIONS`]; a hole or a trap in that table is a modeling
+//! bug that no single simulation run is guaranteed to hit. Because the
+//! table is a finite 5-state x 10-event relation, every structural
+//! property can be checked completely:
+//!
+//! * **exhaustive** — every (state, event) pair has exactly one entry;
+//! * **reachable** — every state is reachable from `Idle` via legal
+//!   transitions (a state nothing reaches is dead weight or a typo);
+//! * **no traps** — from every state, `Idle` is reachable again (a bank
+//!   that can never precharge back to idle would hang the device);
+//! * **self-consistent outcomes** — `Ignore` is reserved for timer
+//!   expiries (a *command* must be either legal or `Illegal`, never
+//!   silently dropped), and every `Illegal` entry carries a reason;
+//! * **unique encodings** — trace mnemonics and VCD wave codes are
+//!   distinct, nonzero, and fit the 4-bit wave signal.
+
+use std::collections::{HashSet, VecDeque};
+
+use sdram::{BankEvent, BankState, CmdClass, Outcome, TRANSITIONS};
+
+/// Runs every FSM check, returning human-readable problem descriptions
+/// (empty when the table is sound).
+pub fn check() -> Vec<String> {
+    let mut problems = Vec::new();
+    check_exhaustive(&mut problems);
+    check_reachability(&mut problems);
+    check_outcomes(&mut problems);
+    check_encodings(&mut problems);
+    problems
+}
+
+fn check_exhaustive(problems: &mut Vec<String>) {
+    for s in BankState::ALL {
+        for e in BankEvent::ALL {
+            let n = TRANSITIONS
+                .iter()
+                .filter(|(ts, te, _)| *ts == s && *te == e)
+                .count();
+            if n == 0 {
+                problems.push(format!(
+                    "missing transition: state {} has no entry for {e:?}",
+                    s.name()
+                ));
+            } else if n > 1 {
+                problems.push(format!(
+                    "ambiguous transition: state {} has {n} entries for {e:?}",
+                    s.name()
+                ));
+            }
+        }
+    }
+    let expected = BankState::ALL.len() * BankEvent::ALL.len();
+    if TRANSITIONS.len() != expected {
+        problems.push(format!(
+            "table has {} entries, expected {expected}",
+            TRANSITIONS.len()
+        ));
+    }
+}
+
+fn successors(s: BankState) -> impl Iterator<Item = BankState> + 'static {
+    TRANSITIONS.iter().filter_map(move |&(ts, _, o)| match o {
+        Outcome::Next(n) if ts == s => Some(n),
+        _ => None,
+    })
+}
+
+fn reachable_from(start: BankState) -> HashSet<&'static str> {
+    let mut seen: HashSet<&'static str> = HashSet::new();
+    let mut queue = VecDeque::from([start]);
+    seen.insert(start.name());
+    while let Some(s) = queue.pop_front() {
+        for n in successors(s) {
+            if seen.insert(n.name()) {
+                queue.push_back(n);
+            }
+        }
+    }
+    seen
+}
+
+fn check_reachability(problems: &mut Vec<String>) {
+    let from_idle = reachable_from(BankState::Idle);
+    for s in BankState::ALL {
+        if !from_idle.contains(s.name()) {
+            problems.push(format!("state {} is unreachable from IDLE", s.name()));
+        }
+        if !reachable_from(s).contains(BankState::Idle.name()) {
+            problems.push(format!(
+                "state {} is a trap: IDLE cannot be reached from it",
+                s.name()
+            ));
+        }
+    }
+}
+
+fn check_outcomes(problems: &mut Vec<String>) {
+    for &(s, e, o) in TRANSITIONS {
+        match (e, o) {
+            (BankEvent::Command(c), Outcome::Ignore) => problems.push(format!(
+                "state {}: command {} is silently ignored — commands must be legal or Illegal",
+                s.name(),
+                c.mnemonic()
+            )),
+            (_, Outcome::Illegal("")) => problems.push(format!(
+                "state {}: Illegal entry for {e:?} has an empty reason",
+                s.name()
+            )),
+            _ => {}
+        }
+    }
+}
+
+fn check_encodings(problems: &mut Vec<String>) {
+    let mut mnemonics = HashSet::new();
+    let mut codes = HashSet::new();
+    for c in CmdClass::ALL {
+        if !mnemonics.insert(c.mnemonic()) {
+            problems.push(format!("duplicate mnemonic {:?}", c.mnemonic()));
+        }
+        let code = c.vcd_code();
+        if code == 0 {
+            problems.push(format!(
+                "mnemonic {} uses VCD code 0, reserved for no-op",
+                c.mnemonic()
+            ));
+        }
+        if code >= 16 {
+            problems.push(format!(
+                "mnemonic {} VCD code {code} does not fit the 4-bit wave signal",
+                c.mnemonic()
+            ));
+        }
+        if !codes.insert(code) {
+            problems.push(format!("duplicate VCD code {code}"));
+        }
+        if CmdClass::from_mnemonic(c.mnemonic()) != Some(c) {
+            problems.push(format!("mnemonic {} does not round-trip", c.mnemonic()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_table_is_sound() {
+        assert_eq!(check(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn every_state_reaches_idle_and_back() {
+        for s in BankState::ALL {
+            assert!(reachable_from(s).contains("IDLE"), "{} traps", s.name());
+        }
+        assert_eq!(reachable_from(BankState::Idle).len(), BankState::ALL.len());
+    }
+}

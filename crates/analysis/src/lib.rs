@@ -1,0 +1,80 @@
+//! # pva-analysis — static analysis for the PVA reproduction
+//!
+//! Three passes, all wired into CI via the `pva-analysis` binary:
+//!
+//! 1. **Synthesizability lint** ([`lint`]) — tokenizes the designated
+//!    hardware-modeled source files and flags operations with no cheap
+//!    gate-level form (non-power-of-two division/modulo, floating
+//!    point, 128-bit products, heap allocation, abort paths). This
+//!    statically verifies the paper's §4.1.4 claim: the closed-form
+//!    `FirstHit`/`NextHit` datapath needs no divider, while the
+//!    rejected §4.1.2 recursive algorithm does.
+//! 2. **FSM completeness** ([`fsm_check`]) — exhaustively checks the
+//!    bank-controller transition table ([`sdram::TRANSITIONS`]) for
+//!    missing/duplicate entries, unreachable states, traps, and
+//!    mnemonic/wave-code collisions.
+//! 3. **Config consistency** ([`config_check`]) — runs the
+//!    [`SdramConfig`](sdram::SdramConfig)/[`PvaConfig`](pva_sim::PvaConfig)
+//!    invariant rules over every shipped preset.
+//!
+//! The binary exits nonzero on any finding, so `cargo run -p
+//! pva-analysis` is a CI gate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config_check;
+pub mod fsm_check;
+pub mod lint;
+
+pub use lint::{lint_source, Finding, Profile, Rule};
+
+/// A source file designated for the synthesizability lint, with the
+/// profile it is held to.
+#[derive(Debug, Clone, Copy)]
+pub struct Target {
+    /// Path relative to the workspace root.
+    pub path: &'static str,
+    /// Rule set applied.
+    pub profile: Profile,
+}
+
+/// The designated hardware-modeled files.
+///
+/// The pva-core datapath files are held to the full [`Profile::Datapath`]
+/// rule set; the pva-sim scheduler files model control in software
+/// (queues and trace logs are simulation bookkeeping), so they are held
+/// to [`Profile::ArithmeticOnly`] — their per-cycle arithmetic must
+/// still be shifts, masks and bounded multiplies.
+pub const DESIGNATED: &[Target] = &[
+    Target {
+        path: "crates/pva-core/src/firsthit.rs",
+        profile: Profile::Datapath,
+    },
+    Target {
+        path: "crates/pva-core/src/logical.rs",
+        profile: Profile::Datapath,
+    },
+    Target {
+        path: "crates/pva-core/src/geometry.rs",
+        profile: Profile::Datapath,
+    },
+    Target {
+        path: "crates/pva-sim/src/bank_controller.rs",
+        profile: Profile::ArithmeticOnly,
+    },
+    Target {
+        path: "crates/pva-sim/src/unit.rs",
+        profile: Profile::ArithmeticOnly,
+    },
+];
+
+/// Locates the workspace root from the analysis crate's own manifest
+/// directory (`crates/analysis` → two levels up).
+pub fn workspace_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/analysis sits two levels below the workspace root")
+        .to_path_buf()
+}

@@ -1,0 +1,976 @@
+//! Hardware-synthesizability lint over the designated hardware-modeled
+//! source files.
+//!
+//! The paper's central hardware argument (§4.1.2 vs §4.1.4) is that the
+//! per-cycle datapath of a bank controller must avoid operations with no
+//! cheap gate-level form: division or modulo by values that are not
+//! compile-time powers of two, floating point, products wider than the
+//! 64-bit datapath, heap allocation, and abort paths. The closed-form
+//! `FirstHit`/`NextHit` modules are *claimed* to satisfy this; the
+//! rejected recursive algorithm demonstrably does not. This lint makes
+//! the claim checkable: it tokenizes the designated files (no `syn`
+//! available in the offline build, so a small purpose-built scanner) and
+//! flags every violation.
+//!
+//! Justified exceptions are opted out in the source with
+//!
+//! ```text
+//! // pva-lint: allow(rule[, rule...]): justification
+//! ```
+//!
+//! A marker on its own line covers the next code line — and, when that
+//! line opens a brace block (a `fn`, `mod`, `impl`...), the entire
+//! block. A marker sharing a line with code covers that line only.
+//! Markers that suppress nothing, and markers naming unknown rules, are
+//! themselves findings, so stale or misspelled opt-outs cannot linger.
+//!
+//! `#[cfg(test)]` modules, comments, doc tests and string literals are
+//! never linted: they are not part of the modeled hardware.
+
+use std::fmt;
+
+/// A synthesizability rule checked by the lint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// Integer `/`, `%`, `/=`, `%=` or a division/remainder method whose
+    /// divisor is not a power-of-two literal. Power-of-two divisors are
+    /// shifts and masks in hardware; anything else needs a divider
+    /// circuit — the exact §4.1.2 objection.
+    NonConstDiv,
+    /// Floating-point types or literals: the bank controllers have no
+    /// FPU.
+    Float,
+    /// 128-bit arithmetic (`u128`/`i128`, widening multiplies): products
+    /// wider than the 64-bit datapath. Plain 64-bit multiplies are *not*
+    /// flagged — the FHC carries a pipelined multiplier
+    /// (`fhc_latency`).
+    WideMul,
+    /// Heap allocation (`Vec`, `Box`, `collect`, `format!`...): hardware
+    /// has registers and SRAMs, not an allocator.
+    Alloc,
+    /// Abort paths (`panic!`, `assert!`, `.unwrap()`, `.expect()`):
+    /// hardware cannot abort mid-cycle. `debug_assert!` is exempt — it
+    /// is a simulation-only check, compiled out of release builds.
+    Panic,
+    /// A `pva-lint:` marker naming an unknown rule.
+    BadMarker,
+    /// A `pva-lint:` allow marker that suppressed nothing.
+    UnusedAllow,
+}
+
+impl Rule {
+    /// Rules that can be named in an `allow(...)` marker.
+    pub const SUPPRESSIBLE: [Rule; 5] = [
+        Rule::NonConstDiv,
+        Rule::Float,
+        Rule::WideMul,
+        Rule::Alloc,
+        Rule::Panic,
+    ];
+
+    /// The marker/report name of the rule.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Rule::NonConstDiv => "nonconst-div",
+            Rule::Float => "float",
+            Rule::WideMul => "wide-mul",
+            Rule::Alloc => "alloc",
+            Rule::Panic => "panic",
+            Rule::BadMarker => "bad-marker",
+            Rule::UnusedAllow => "unused-allow",
+        }
+    }
+
+    /// Inverse of [`Rule::name`] over the suppressible rules.
+    pub fn from_name(s: &str) -> Option<Rule> {
+        Rule::SUPPRESSIBLE.into_iter().find(|r| r.name() == s)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which rule set a designated file is held to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// The full set: files modeling the per-cycle datapath itself
+    /// (first-hit logic, geometry decode). Everything in them must be
+    /// registers, wires and combinational logic.
+    Datapath,
+    /// Arithmetic rules only ([`Rule::NonConstDiv`], [`Rule::Float`],
+    /// [`Rule::WideMul`]): files modeling the scheduler *control* in
+    /// software (queues, maps, trace logs are simulation bookkeeping),
+    /// where only the cycle-by-cycle arithmetic must stay synthesizable.
+    ArithmeticOnly,
+}
+
+impl Profile {
+    /// The rules active under this profile.
+    pub const fn rules(self) -> &'static [Rule] {
+        match self {
+            Profile::Datapath => &[
+                Rule::NonConstDiv,
+                Rule::Float,
+                Rule::WideMul,
+                Rule::Alloc,
+                Rule::Panic,
+            ],
+            Profile::ArithmeticOnly => &[Rule::NonConstDiv, Rule::Float, Rule::WideMul],
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Repo-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// What was found.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Lints `source` (labeled `file` in findings) under `profile`.
+pub fn lint_source(file: &str, source: &str, profile: Profile) -> Vec<Finding> {
+    let (stripped, comments) = strip(source);
+    let lines: Vec<&str> = stripped.lines().collect();
+    let excluded = test_region_lines(&lines);
+    let mut allows = parse_allows(file, &comments, &lines);
+    let mut findings = Vec::new();
+
+    // Marker problems are findings regardless of profile.
+    for a in &allows {
+        for bad in &a.unknown {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: a.marker_line,
+                rule: Rule::BadMarker,
+                message: format!("unknown rule `{bad}` in pva-lint marker"),
+            });
+        }
+    }
+
+    for (idx, text) in lines.iter().enumerate() {
+        let line = idx + 1;
+        if excluded[idx] {
+            continue;
+        }
+        let toks = tokenize(text);
+        for raw in scan_line(&toks, profile) {
+            let suppressed = allows.iter_mut().any(|a| {
+                if a.rules.contains(&raw.rule) && a.start <= line && line <= a.end {
+                    a.used = true;
+                    true
+                } else {
+                    false
+                }
+            });
+            if !suppressed {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line,
+                    rule: raw.rule,
+                    message: raw.message,
+                });
+            }
+        }
+    }
+
+    for a in &allows {
+        if !a.used && a.unknown.is_empty() && !excluded[a.marker_line - 1] {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: a.marker_line,
+                rule: Rule::UnusedAllow,
+                message: format!(
+                    "allow({}) suppressed nothing in its scope (lines {}..={})",
+                    a.rules
+                        .iter()
+                        .map(|r| r.name())
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    a.start,
+                    a.end
+                ),
+            });
+        }
+    }
+
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
+// ---------------------------------------------------------------------
+// Source stripping: blank comments and string/char literals to spaces
+// (newlines preserved) so the token scan never sees their contents.
+// ---------------------------------------------------------------------
+
+/// Returns the blanked source plus `(line, text)` for every `//` comment.
+fn strip(source: &str) -> (String, Vec<(usize, String)>) {
+    #[derive(PartialEq)]
+    enum Mode {
+        Code,
+        Line,
+        Block(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+    let bytes: Vec<char> = source.chars().collect();
+    let mut out = String::with_capacity(source.len());
+    let mut comments = Vec::new();
+    let mut comment_buf = String::new();
+    let mut mode = Mode::Code;
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match mode {
+            Mode::Code => match c {
+                '/' if next == Some('/') => {
+                    mode = Mode::Line;
+                    comment_buf.clear();
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                '/' if next == Some('*') => {
+                    mode = Mode::Block(1);
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                '"' => {
+                    mode = Mode::Str;
+                    out.push(' ');
+                }
+                'r' | 'b' if !prev_is_ident(&bytes, i) => {
+                    // Possible raw / byte / raw-byte string prefix.
+                    if let Some(h) = raw_string_hashes(&bytes, i) {
+                        let (skip, hashes) = h;
+                        for _ in 0..skip {
+                            out.push(' ');
+                        }
+                        i += skip;
+                        mode = Mode::RawStr(hashes);
+                        continue;
+                    }
+                    out.push(c);
+                }
+                '\'' => {
+                    // Char literal vs lifetime: a literal is 'x', '\...',
+                    // or multi-byte escape; a lifetime is '<ident> with
+                    // no closing quote right after.
+                    if next == Some('\\') || (bytes.get(i + 2) == Some(&'\'')) {
+                        mode = Mode::Char;
+                        out.push(' ');
+                    } else {
+                        out.push(c); // lifetime tick; harmless to keep
+                    }
+                }
+                '\n' => {
+                    out.push('\n');
+                    line += 1;
+                }
+                _ => out.push(c),
+            },
+            Mode::Line => {
+                if c == '\n' {
+                    comments.push((line, comment_buf.clone()));
+                    out.push('\n');
+                    line += 1;
+                    mode = Mode::Code;
+                } else {
+                    comment_buf.push(c);
+                    out.push(' ');
+                }
+            }
+            Mode::Block(depth) => {
+                if c == '*' && next == Some('/') {
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::Block(depth - 1)
+                    };
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    mode = Mode::Block(depth + 1);
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if c == '\n' {
+                    out.push('\n');
+                    line += 1;
+                } else {
+                    out.push(' ');
+                }
+            }
+            Mode::Str => match c {
+                '\\' => {
+                    out.push(' ');
+                    if next.is_some() {
+                        out.push(if next == Some('\n') { '\n' } else { ' ' });
+                        if next == Some('\n') {
+                            line += 1;
+                        }
+                        i += 2;
+                        continue;
+                    }
+                }
+                '"' => {
+                    out.push(' ');
+                    mode = Mode::Code;
+                }
+                '\n' => {
+                    out.push('\n');
+                    line += 1;
+                }
+                _ => out.push(' '),
+            },
+            Mode::RawStr(hashes) => {
+                if c == '"' && raw_string_closes(&bytes, i, hashes) {
+                    for _ in 0..=(hashes as usize) {
+                        out.push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                    mode = Mode::Code;
+                    continue;
+                }
+                if c == '\n' {
+                    out.push('\n');
+                    line += 1;
+                } else {
+                    out.push(' ');
+                }
+            }
+            Mode::Char => match c {
+                '\\' => {
+                    out.push(' ');
+                    if next.is_some() {
+                        out.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                }
+                '\'' => {
+                    out.push(' ');
+                    mode = Mode::Code;
+                }
+                _ => out.push(' '),
+            },
+        }
+        i += 1;
+    }
+    if mode == Mode::Line {
+        comments.push((line, comment_buf));
+    }
+    (out, comments)
+}
+
+fn prev_is_ident(bytes: &[char], i: usize) -> bool {
+    i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_')
+}
+
+/// If position `i` starts a raw/byte string prefix (`r"`, `r#"`, `br"`,
+/// `b"`, ...), returns `(prefix_len_incl_quote, hash_count)`.
+fn raw_string_hashes(bytes: &[char], i: usize) -> Option<(usize, u32)> {
+    let mut j = i;
+    if bytes.get(j) == Some(&'b') {
+        j += 1;
+    }
+    let raw = bytes.get(j) == Some(&'r');
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0u32;
+    while bytes.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    // Plain `b"..."` (raw == false) must go through the escape-aware
+    // string mode instead.
+    if bytes.get(j) == Some(&'"') && raw {
+        Some((j - i + 1, hashes))
+    } else {
+        None
+    }
+}
+
+fn raw_string_closes(bytes: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| bytes.get(i + k) == Some(&'#'))
+}
+
+// ---------------------------------------------------------------------
+// #[cfg(test)] exclusion
+// ---------------------------------------------------------------------
+
+/// Per-line flag: inside a `#[cfg(test)]`-gated item.
+fn test_region_lines(lines: &[&str]) -> Vec<bool> {
+    let mut excluded = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        if lines[i].contains("#[cfg(test)]") {
+            let start = i;
+            // Find the opening brace of the gated item, then its close.
+            let mut depth = 0i64;
+            let mut opened = false;
+            let mut j = i;
+            'outer: while j < lines.len() {
+                for c in lines[j].chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                    if opened && depth == 0 {
+                        break 'outer;
+                    }
+                }
+                j += 1;
+            }
+            let end = j.min(lines.len() - 1);
+            for flag in excluded.iter_mut().take(end + 1).skip(start) {
+                *flag = true;
+            }
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+    excluded
+}
+
+// ---------------------------------------------------------------------
+// Allow markers
+// ---------------------------------------------------------------------
+
+struct Allow {
+    rules: Vec<Rule>,
+    unknown: Vec<String>,
+    marker_line: usize,
+    start: usize,
+    end: usize,
+    used: bool,
+}
+
+fn parse_allows(_file: &str, comments: &[(usize, String)], lines: &[&str]) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for &(line, ref text) in comments {
+        let Some(pos) = text.find("pva-lint:") else {
+            continue;
+        };
+        let rest = text[pos + "pva-lint:".len()..].trim_start();
+        let Some(inner) = rest
+            .strip_prefix("allow(")
+            .and_then(|r| r.split_once(')').map(|(a, _)| a))
+        else {
+            continue;
+        };
+        let mut rules = Vec::new();
+        let mut unknown = Vec::new();
+        for name in inner.split(',') {
+            let name = name.trim();
+            if name.is_empty() {
+                continue;
+            }
+            match Rule::from_name(name) {
+                Some(r) => rules.push(r),
+                None => unknown.push(name.to_string()),
+            }
+        }
+        let standalone = lines
+            .get(line - 1)
+            .map(|l| l.trim().is_empty())
+            .unwrap_or(true);
+        let (start, end) = if standalone {
+            marker_scope(lines, line)
+        } else {
+            (line, line)
+        };
+        allows.push(Allow {
+            rules,
+            unknown,
+            marker_line: line,
+            start,
+            end,
+            used: false,
+        });
+    }
+    allows
+}
+
+/// Scope of a standalone marker at `marker_line`: the next code line,
+/// extended through its brace block if that line opens one.
+fn marker_scope(lines: &[&str], marker_line: usize) -> (usize, usize) {
+    let mut t = marker_line; // 1-based; lines[t] is the line after the marker
+    while t < lines.len() && lines[t].trim().is_empty() {
+        t += 1;
+    }
+    if t >= lines.len() {
+        return (marker_line, marker_line);
+    }
+    let start = t + 1; // back to 1-based
+    let mut depth = 0i64;
+    for c in lines[t].chars() {
+        match c {
+            '{' => depth += 1,
+            '}' => depth -= 1,
+            _ => {}
+        }
+    }
+    if depth <= 0 {
+        // Plain statement line: single-line scope.
+        return (start, start);
+    }
+    // Block opener: extend through the matching close.
+    let mut j = t + 1;
+    while j < lines.len() {
+        for c in lines[j].chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if depth <= 0 {
+            return (start, j + 1);
+        }
+        j += 1;
+    }
+    (start, lines.len())
+}
+
+// ---------------------------------------------------------------------
+// Token scan
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    /// Integer literal; `None` when it overflows u128.
+    Int(Option<u128>),
+    Float,
+    Punct(char),
+}
+
+fn tokenize(line: &str) -> Vec<Tok> {
+    let chars: Vec<char> = line.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            toks.push(Tok::Ident(chars[start..i].iter().collect()));
+        } else if c.is_ascii_digit() {
+            let (tok, consumed) = scan_number(&chars[i..]);
+            toks.push(tok);
+            i += consumed;
+        } else {
+            toks.push(Tok::Punct(c));
+            i += 1;
+        }
+    }
+    toks
+}
+
+/// Scans a numeric literal, classifying int vs float and computing the
+/// integer value when it fits.
+fn scan_number(chars: &[char]) -> (Tok, usize) {
+    let mut i = 0;
+    let radix = if chars.len() >= 2 && chars[0] == '0' {
+        match chars[1] {
+            'x' | 'X' => 16,
+            'o' | 'O' => 8,
+            'b' | 'B' => 2,
+            _ => 10,
+        }
+    } else {
+        10
+    };
+    if radix != 10 {
+        i = 2;
+    }
+    let mut digits = String::new();
+    let mut is_float = false;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '_' {
+            i += 1;
+        } else if c.is_digit(radix) {
+            digits.push(c);
+            i += 1;
+        } else if radix == 10 && c == '.' {
+            // `..` is a range, `.ident` a method call — not a float dot.
+            match chars.get(i + 1) {
+                Some(d) if d.is_ascii_digit() => {
+                    is_float = true;
+                    i += 1;
+                }
+                _ => break,
+            }
+        } else if radix == 10 && (c == 'e' || c == 'E') {
+            let j = if matches!(chars.get(i + 1), Some('+') | Some('-')) {
+                i + 2
+            } else {
+                i + 1
+            };
+            if matches!(chars.get(j), Some(d) if d.is_ascii_digit()) {
+                is_float = true;
+                i = j;
+            } else {
+                break;
+            }
+        } else if c.is_alphanumeric() {
+            // Type suffix (u64, f32, usize...). f-suffix forces float.
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            let suffix: String = chars[start..i].iter().collect();
+            if suffix.starts_with('f') {
+                is_float = true;
+            }
+            break;
+        } else {
+            break;
+        }
+    }
+    if is_float {
+        (Tok::Float, i)
+    } else {
+        (Tok::Int(u128::from_str_radix(&digits, radix).ok()), i)
+    }
+}
+
+struct RawFinding {
+    rule: Rule,
+    message: String,
+}
+
+const DIV_METHODS: &[&str] = &[
+    "div_ceil",
+    "div_euclid",
+    "checked_div",
+    "wrapping_div",
+    "overflowing_div",
+    "saturating_div",
+    "rem_euclid",
+    "checked_rem",
+    "wrapping_rem",
+    "overflowing_rem",
+];
+
+const ALLOC_TYPES: &[&str] = &[
+    "Vec", "VecDeque", "Box", "String", "HashMap", "HashSet", "BTreeMap", "BTreeSet", "Rc", "Arc",
+];
+
+const ALLOC_METHODS: &[&str] = &["collect", "to_vec", "to_owned", "to_string"];
+
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "unreachable",
+    "todo",
+    "unimplemented",
+];
+
+fn scan_line(toks: &[Tok], profile: Profile) -> Vec<RawFinding> {
+    let rules = profile.rules();
+    let mut out = Vec::new();
+    let on = |r: Rule| rules.contains(&r);
+    for (i, t) in toks.iter().enumerate() {
+        let prev = if i > 0 { Some(&toks[i - 1]) } else { None };
+        let next = toks.get(i + 1);
+        match t {
+            Tok::Punct(op @ ('/' | '%')) if on(Rule::NonConstDiv) => {
+                // Divisor: the next token, skipping the `=` of a
+                // compound assignment.
+                let divisor = match next {
+                    Some(Tok::Punct('=')) => toks.get(i + 2),
+                    other => other,
+                };
+                if let Some(msg) = judge_divisor(*op, divisor) {
+                    out.push(RawFinding {
+                        rule: Rule::NonConstDiv,
+                        message: msg,
+                    });
+                }
+            }
+            Tok::Ident(name) => {
+                let after_dot = matches!(prev, Some(Tok::Punct('.')));
+                let before_bang = matches!(next, Some(Tok::Punct('!')));
+                if on(Rule::NonConstDiv) && after_dot && DIV_METHODS.contains(&name.as_str()) {
+                    // The first argument is the divisor: `.m(` arg.
+                    let arg = match toks.get(i + 1) {
+                        Some(Tok::Punct('(')) => toks.get(i + 2),
+                        _ => None,
+                    };
+                    let pow2_arg = matches!(
+                        (arg, toks.get(i + 3)),
+                        (Some(Tok::Int(Some(v))), Some(Tok::Punct(')'))) if v.is_power_of_two()
+                    );
+                    if !pow2_arg {
+                        out.push(RawFinding {
+                            rule: Rule::NonConstDiv,
+                            message: format!(
+                                "`.{name}()` with a non-power-of-two or non-constant divisor \
+                                 needs a divider circuit"
+                            ),
+                        });
+                    }
+                }
+                if on(Rule::Float) && (name == "f32" || name == "f64") {
+                    out.push(RawFinding {
+                        rule: Rule::Float,
+                        message: format!("floating-point type `{name}`"),
+                    });
+                }
+                if on(Rule::WideMul) && (name == "u128" || name == "i128") {
+                    out.push(RawFinding {
+                        rule: Rule::WideMul,
+                        message: format!("`{name}` exceeds the modeled 64-bit datapath"),
+                    });
+                }
+                if on(Rule::WideMul) && (name == "widening_mul" || name == "carrying_mul") {
+                    out.push(RawFinding {
+                        rule: Rule::WideMul,
+                        message: format!("`{name}` produces a 128-bit product"),
+                    });
+                }
+                if on(Rule::Alloc) {
+                    if ALLOC_TYPES.contains(&name.as_str()) {
+                        out.push(RawFinding {
+                            rule: Rule::Alloc,
+                            message: format!("heap-allocating type `{name}`"),
+                        });
+                    } else if after_dot && ALLOC_METHODS.contains(&name.as_str()) {
+                        out.push(RawFinding {
+                            rule: Rule::Alloc,
+                            message: format!("allocating call `.{name}()`"),
+                        });
+                    } else if before_bang && (name == "vec" || name == "format") {
+                        out.push(RawFinding {
+                            rule: Rule::Alloc,
+                            message: format!("allocating macro `{name}!`"),
+                        });
+                    }
+                }
+                if on(Rule::Panic) {
+                    if before_bang && PANIC_MACROS.contains(&name.as_str()) {
+                        out.push(RawFinding {
+                            rule: Rule::Panic,
+                            message: format!("abort path `{name}!`"),
+                        });
+                    } else if after_dot && (name == "unwrap" || name == "expect") {
+                        out.push(RawFinding {
+                            rule: Rule::Panic,
+                            message: format!("abort path `.{name}()`"),
+                        });
+                    }
+                }
+            }
+            Tok::Float if on(Rule::Float) => {
+                out.push(RawFinding {
+                    rule: Rule::Float,
+                    message: "floating-point literal".to_string(),
+                });
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Returns a finding message if the divisor of `op` is not a
+/// power-of-two constant, `None` if it is hardware-free.
+fn judge_divisor(op: char, divisor: Option<&Tok>) -> Option<String> {
+    let kind = if op == '/' { "division" } else { "modulo" };
+    match divisor {
+        Some(Tok::Int(Some(v))) => {
+            if v.is_power_of_two() {
+                None // shift or mask
+            } else {
+                Some(format!(
+                    "{kind} by non-power-of-two constant {v} needs a divider circuit"
+                ))
+            }
+        }
+        Some(Tok::Int(None)) => Some(format!("{kind} by oversized constant")),
+        _ => Some(format!(
+            "{kind} by a non-constant divisor needs a divider circuit"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(findings: &[Finding]) -> Vec<Rule> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn pow2_div_and_mod_are_free() {
+        let src = "fn f(x: u64) -> u64 { (x / 8) + (x % 16) + (x >> 2) }\n";
+        assert_eq!(lint_source("t.rs", src, Profile::Datapath), vec![]);
+    }
+
+    #[test]
+    fn nonconst_div_flagged() {
+        let src = "fn f(x: u64, y: u64) -> u64 { x / y }\n";
+        let f = lint_source("t.rs", src, Profile::Datapath);
+        assert_eq!(rules_of(&f), vec![Rule::NonConstDiv]);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn non_pow2_constant_flagged() {
+        let src = "fn f(x: u64) -> u64 { x % 10 }\n";
+        let f = lint_source("t.rs", src, Profile::Datapath);
+        assert_eq!(rules_of(&f), vec![Rule::NonConstDiv]);
+    }
+
+    #[test]
+    fn div_methods_flagged_unless_pow2_literal() {
+        let src = "fn f(x: u64, y: u64) -> u64 { x.div_ceil(y) + x.div_ceil(8) }\n";
+        let f = lint_source("t.rs", src, Profile::Datapath);
+        assert_eq!(rules_of(&f), vec![Rule::NonConstDiv]);
+    }
+
+    #[test]
+    fn float_and_wide_mul_flagged() {
+        let src = "fn f(x: f64) -> u128 { let y = 1.5; (x as u128) }\n";
+        let f = lint_source("t.rs", src, Profile::Datapath);
+        assert!(rules_of(&f).contains(&Rule::Float));
+        assert!(rules_of(&f).contains(&Rule::WideMul));
+    }
+
+    #[test]
+    fn alloc_and_panic_flagged_in_datapath_only() {
+        let src = "fn f(v: Vec<u64>) -> u64 { v.first().unwrap() + 1 }\n";
+        let strict = lint_source("t.rs", src, Profile::Datapath);
+        assert!(rules_of(&strict).contains(&Rule::Alloc));
+        assert!(rules_of(&strict).contains(&Rule::Panic));
+        assert_eq!(lint_source("t.rs", src, Profile::ArithmeticOnly), vec![]);
+    }
+
+    #[test]
+    fn debug_assert_is_exempt() {
+        let src = "fn f(x: u64) { debug_assert!(x > 0); debug_assert_eq!(x, x); }\n";
+        assert_eq!(lint_source("t.rs", src, Profile::Datapath), vec![]);
+    }
+
+    #[test]
+    fn comments_strings_and_tests_are_not_linted() {
+        let src = "\
+// a / b in a comment\n\
+/* x % y in a block comment */\n\
+fn f() -> &'static str { \"a / b % c\" }\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    fn g(x: u64, y: u64) -> u64 { x / y }\n\
+}\n";
+        assert_eq!(lint_source("t.rs", src, Profile::Datapath), vec![]);
+    }
+
+    #[test]
+    fn lifetimes_do_not_break_char_stripping() {
+        let src = "fn f<'a>(x: &'a u64, y: u64) -> u64 { *x / y }\n";
+        let f = lint_source("t.rs", src, Profile::Datapath);
+        assert_eq!(rules_of(&f), vec![Rule::NonConstDiv]);
+    }
+
+    #[test]
+    fn same_line_allow_suppresses() {
+        let src = "fn f(x: u64, y: u64) -> u64 { x / y } // pva-lint: allow(nonconst-div): y is pow2 by contract\n";
+        assert_eq!(lint_source("t.rs", src, Profile::Datapath), vec![]);
+    }
+
+    #[test]
+    fn standalone_allow_covers_next_block() {
+        let src = "\
+// pva-lint: allow(nonconst-div): table generation, not per-cycle\n\
+fn f(x: u64, y: u64) -> u64 {\n\
+    let a = x / y;\n\
+    a % y\n\
+}\n\
+fn g(x: u64, y: u64) -> u64 { x / y }\n";
+        let f = lint_source("t.rs", src, Profile::Datapath);
+        assert_eq!(rules_of(&f), vec![Rule::NonConstDiv]);
+        assert_eq!(f[0].line, 6, "only the unmarked fn is flagged");
+    }
+
+    #[test]
+    fn unused_allow_is_flagged() {
+        let src = "\
+// pva-lint: allow(float): nothing here floats\n\
+fn f(x: u64) -> u64 { x + 1 }\n";
+        let f = lint_source("t.rs", src, Profile::Datapath);
+        assert_eq!(rules_of(&f), vec![Rule::UnusedAllow]);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn unknown_rule_in_marker_is_flagged() {
+        let src = "\
+// pva-lint: allow(divide-freely)\n\
+fn f(x: u64, y: u64) -> u64 { x / y }\n";
+        let f = lint_source("t.rs", src, Profile::Datapath);
+        assert!(rules_of(&f).contains(&Rule::BadMarker));
+        assert!(rules_of(&f).contains(&Rule::NonConstDiv));
+    }
+
+    #[test]
+    fn compound_assign_divide_flagged() {
+        let src = "fn f(mut x: u64, y: u64) -> u64 { x /= y; x %= 4; x }\n";
+        let f = lint_source("t.rs", src, Profile::Datapath);
+        assert_eq!(
+            rules_of(&f),
+            vec![Rule::NonConstDiv],
+            "only /= y; %= 4 is a mask"
+        );
+    }
+
+    #[test]
+    fn raw_strings_are_stripped() {
+        let src = "fn f() -> &'static str { r#\"a / b\"# }\n";
+        assert_eq!(lint_source("t.rs", src, Profile::Datapath), vec![]);
+    }
+}

@@ -1,0 +1,69 @@
+//! CI driver: runs all three analysis passes and exits nonzero on any
+//! finding.
+
+use std::fs;
+use std::process::ExitCode;
+
+use pva_analysis::{config_check, fsm_check, lint_source, DESIGNATED};
+
+fn main() -> ExitCode {
+    let root = pva_analysis::workspace_root();
+    let mut total = 0usize;
+
+    println!("== synthesizability lint ==");
+    for target in DESIGNATED {
+        let path = root.join(target.path);
+        let source = match fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                println!("{}: unreadable: {e}", target.path);
+                total += 1;
+                continue;
+            }
+        };
+        let findings = lint_source(target.path, &source, target.profile);
+        for f in &findings {
+            println!("{f}");
+        }
+        total += findings.len();
+        println!(
+            "{}: {} finding(s) [{:?}]",
+            target.path,
+            findings.len(),
+            target.profile
+        );
+    }
+
+    println!("== bank FSM completeness ==");
+    let fsm_problems = fsm_check::check();
+    for p in &fsm_problems {
+        println!("fsm: {p}");
+    }
+    total += fsm_problems.len();
+    println!(
+        "{} states x {} events: {} problem(s)",
+        sdram::BankState::ALL.len(),
+        sdram::BankEvent::ALL.len(),
+        fsm_problems.len()
+    );
+
+    println!("== config consistency ==");
+    let cfg_problems = config_check::check();
+    for p in &cfg_problems {
+        println!("config: {p}");
+    }
+    total += cfg_problems.len();
+    println!(
+        "{} preset(s): {} problem(s)",
+        config_check::sdram_presets().len() + config_check::pva_presets().len(),
+        cfg_problems.len()
+    );
+
+    if total == 0 {
+        println!("pva-analysis: clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("pva-analysis: {total} finding(s)");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,101 @@
+//! The §4.1.4 hardware claim, verified statically, plus the injection
+//! scenarios the CI gate must catch.
+//!
+//! The paper rejects the general recursive `NextHit` algorithm because
+//! it "requires division and modulo by numbers that may not be powers
+//! of two" (§4.1.2), and claims the closed-form solver needs only
+//! shifts, masks and one small multiply (§4.1.4). Both halves are
+//! checked here against the real sources: the closed-form module lints
+//! *clean* under the strictest profile, and the recursive module lights
+//! up.
+
+use std::fs;
+
+use pva_analysis::{lint_source, Profile, Rule, DESIGNATED};
+
+fn read(rel: &str) -> String {
+    let path = pva_analysis::workspace_root().join(rel);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("{rel}: {e}"))
+}
+
+/// §4.1.4: the closed-form FirstHit/NextHit datapath is synthesizable —
+/// zero findings under the full datapath profile.
+#[test]
+fn closed_form_firsthit_is_synthesizable() {
+    let findings = lint_source(
+        "crates/pva-core/src/firsthit.rs",
+        &read("crates/pva-core/src/firsthit.rs"),
+        Profile::Datapath,
+    );
+    assert_eq!(findings, vec![], "firsthit.rs must lint clean");
+}
+
+/// §4.1.2: the rejected recursive algorithm is *not* synthesizable —
+/// the lint finds the very divisions the paper objects to.
+#[test]
+fn recursive_algorithm_needs_dividers() {
+    let findings = lint_source(
+        "crates/pva-core/src/recursive.rs",
+        &read("crates/pva-core/src/recursive.rs"),
+        Profile::Datapath,
+    );
+    let divs = findings
+        .iter()
+        .filter(|f| f.rule == Rule::NonConstDiv)
+        .count();
+    assert!(
+        divs >= 8,
+        "expected many non-constant divisions in recursive.rs, got {divs}: {findings:?}"
+    );
+    assert!(
+        findings.len() >= 10,
+        "expected many findings overall, got {}",
+        findings.len()
+    );
+}
+
+/// Every designated file lints clean under its assigned profile — the
+/// binary's exit-zero contract on a clean tree.
+#[test]
+fn designated_files_lint_clean() {
+    for t in DESIGNATED {
+        let findings = lint_source(t.path, &read(t.path), t.profile);
+        assert_eq!(findings, vec![], "{} must lint clean", t.path);
+    }
+}
+
+/// Seeding a division into firsthit.rs is caught: the CI gate cannot be
+/// satisfied by an empty lint.
+#[test]
+fn injected_division_is_caught() {
+    let mut source = read("crates/pva-core/src/firsthit.rs");
+    source.push_str("\npub fn seeded(x: u64, y: u64) -> u64 { x / y + x % 3 }\n");
+    let findings = lint_source("firsthit.rs(seeded)", &source, Profile::Datapath);
+    let divs: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::NonConstDiv)
+        .collect();
+    assert_eq!(divs.len(), 2, "{findings:?}");
+}
+
+/// A deliberately broken SdramConfig fails the config pass.
+#[test]
+fn broken_sdram_config_fails_config_pass() {
+    let bad = sdram::SdramConfig {
+        internal_banks: 3,
+        t_rc: 0,
+        ..sdram::SdramConfig::default()
+    };
+    let problems = pva_analysis::config_check::check_sdram("broken", &bad);
+    assert!(problems.len() >= 2, "{problems:?}");
+}
+
+/// Removing an entry from a transition table would be caught: simulate
+/// by checking the FSM pass flags a deliberately truncated table shape.
+/// (The shipped table is checked sound in the fsm_check unit tests; here
+/// we pin that the pass output is empty on the shipped table so CI's
+/// exit code reflects it.)
+#[test]
+fn shipped_fsm_table_passes() {
+    assert_eq!(pva_analysis::fsm_check::check(), Vec::<String>::new());
+}

@@ -1,43 +1,73 @@
-//! Criterion benches: one group per table/figure of the paper's
-//! evaluation. Each bench measures the *simulation* that regenerates the
+//! Benchmarks: one group per table/figure of the paper's evaluation.
+//! Each bench measures the *simulation* that regenerates the
 //! corresponding data series, so `cargo bench` both exercises the full
 //! stack under the measurement harness and reports how expensive each
 //! reproduction is.
 //!
+//! The harness is a minimal self-contained timer (`harness = false`;
+//! this build is hermetic, so no criterion): each workload is warmed
+//! up, then run for a fixed iteration count, and the mean wall-clock
+//! time per iteration is printed in criterion-like format.
+//!
 //! The actual figure data (the paper's rows/series) is printed by the
 //! matching `src/bin/*` regeneration binaries.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
 use kernels::{run_point, Alignment, Kernel, SystemKind};
+use memsys::MemorySystem;
 use pva_core::{IndirectVector, Vector};
 use pva_sim::{run_indirect_gather, unit_complexity, HostRequest, PvaConfig, PvaUnit};
 
+/// Times `f` and prints a `name ... mean ns/iter` line. The iteration
+/// count adapts so each bench takes roughly 100 ms.
+fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    // Warm-up + calibration: find an iteration count near the budget.
+    let mut iters: u64 = 1;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = t0.elapsed();
+        if elapsed.as_millis() >= 20 || iters >= 1 << 20 {
+            let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+            // One measured pass at the calibrated count.
+            let target = ((100e6 / per_iter).max(1.0) as u64).min(1 << 20);
+            let t1 = Instant::now();
+            for _ in 0..target {
+                black_box(f());
+            }
+            let mean = t1.elapsed().as_nanos() as f64 / target as f64;
+            println!("{name:<40} {mean:>14.1} ns/iter  ({target} iters)");
+            return;
+        }
+        iters *= 2;
+    }
+}
+
 /// Table 1: the complexity-proxy computation (PLA generation dominates).
-fn table1(c: &mut Criterion) {
-    c.bench_function("table1/unit_complexity", |b| {
-        b.iter(|| unit_complexity(&PvaConfig::default()))
+fn table1() {
+    bench("table1/unit_complexity", || {
+        unit_complexity(&PvaConfig::default())
     });
-    c.bench_function("table1/pla_scaling_sweep", |b| {
-        b.iter(|| pva_core::scaling_sweep(8))
-    });
+    bench("table1/pla_scaling_sweep", || pva_core::scaling_sweep(8));
 }
 
 /// Table 2: kernel trace generation.
-fn table2(c: &mut Criterion) {
-    c.bench_function("table2/trace_generation", |b| {
-        let bases = [0u64, 1 << 22, 2 << 22];
-        b.iter(|| {
-            Kernel::ALL
-                .iter()
-                .map(|k| k.trace(&bases[..k.array_count()], 4, 1024, 32).len())
-                .sum::<usize>()
-        })
+fn table2() {
+    let bases = [0u64, 1 << 22, 2 << 22];
+    bench("table2/trace_generation", || {
+        Kernel::ALL
+            .iter()
+            .map(|k| k.trace(&bases[..k.array_count()], 4, 1024, 32).len())
+            .sum::<usize>()
     });
 }
 
 /// Figures 7/8: one representative (kernel, stride, system) cell each.
-fn fig7_fig8(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig7_8");
+fn fig7_fig8() {
     for (kernel, stride) in [
         (Kernel::Copy, 1u64),
         (Kernel::Saxpy, 4),
@@ -46,159 +76,124 @@ fn fig7_fig8(c: &mut Criterion) {
         (Kernel::Tridiag, 16),
         (Kernel::Vaxpy, 19),
     ] {
-        g.bench_function(format!("{}_s{}_pva_sdram", kernel.name(), stride), |b| {
-            b.iter(|| run_point(kernel, stride, Alignment::BankStagger, SystemKind::PvaSdram))
-        });
+        bench(
+            &format!("fig7_8/{}_s{}_pva_sdram", kernel.name(), stride),
+            || run_point(kernel, stride, Alignment::BankStagger, SystemKind::PvaSdram),
+        );
     }
-    g.bench_function("copy_s16_cacheline", |b| {
-        b.iter(|| {
-            run_point(
-                Kernel::Copy,
-                16,
-                Alignment::BankStagger,
-                SystemKind::CachelineSerial,
-            )
-        })
+    bench("fig7_8/copy_s16_cacheline", || {
+        run_point(
+            Kernel::Copy,
+            16,
+            Alignment::BankStagger,
+            SystemKind::CachelineSerial,
+        )
     });
-    g.finish();
 }
 
 /// Figures 9/10: the all-kernel fixed-stride comparisons at the two
 /// extreme strides.
-fn fig9_fig10(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig9_10");
-    g.sample_size(10);
+fn fig9_fig10() {
     for stride in [1u64, 19] {
-        g.bench_function(format!("all_kernels_s{stride}"), |b| {
-            b.iter(|| {
-                Kernel::ALL
-                    .iter()
-                    .map(|&k| run_point(k, stride, Alignment::Coincident, SystemKind::PvaSdram))
-                    .sum::<u64>()
-            })
+        bench(&format!("fig9_10/all_kernels_s{stride}"), || {
+            Kernel::ALL
+                .iter()
+                .map(|&k| run_point(k, stride, Alignment::Coincident, SystemKind::PvaSdram))
+                .sum::<u64>()
         });
     }
-    g.finish();
 }
 
 /// Figure 11: vaxpy across alignments on both PVA back ends.
-fn fig11(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig11");
-    g.sample_size(10);
+fn fig11() {
     for sys in [SystemKind::PvaSdram, SystemKind::PvaSram] {
-        g.bench_function(format!("vaxpy_alignments_{}", sys.name()), |b| {
-            b.iter(|| {
-                Alignment::ALL
-                    .iter()
-                    .map(|&a| run_point(Kernel::Vaxpy, 8, a, sys))
-                    .sum::<u64>()
-            })
+        bench(&format!("fig11/vaxpy_alignments_{}", sys.name()), || {
+            Alignment::ALL
+                .iter()
+                .map(|&a| run_point(Kernel::Vaxpy, 8, a, sys))
+                .sum::<u64>()
         });
     }
-    g.finish();
 }
 
 /// Single-command latency of the PVA unit itself (the microscopic view
-/// behind every figure).
-fn unit_micro(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pva_unit");
+/// behind every figure). Unit construction is part of the measured
+/// body (no batched setup without criterion), which adds a constant
+/// that is small next to the simulated gather.
+fn unit_micro() {
     for stride in [1u64, 16, 19] {
-        g.bench_function(format!("single_gather_s{stride}"), |b| {
-            b.iter_batched(
-                || PvaUnit::new(PvaConfig::default()).expect("valid config"),
-                |mut unit| {
-                    let v = Vector::new(0, stride, 32).expect("valid vector");
-                    unit.run(vec![HostRequest::Read { vector: v }])
-                        .expect("runs")
-                },
-                BatchSize::SmallInput,
-            )
+        bench(&format!("pva_unit/single_gather_s{stride}"), || {
+            let mut unit = PvaUnit::new(PvaConfig::default()).expect("valid config");
+            let v = Vector::new(0, stride, 32).expect("valid vector");
+            unit.run(vec![HostRequest::Read { vector: v }])
+                .expect("runs")
         });
     }
-    g.finish();
 }
 
 /// §7 extensions: indirect gather.
-fn extensions(c: &mut Criterion) {
-    c.bench_function("ext/indirect_gather_64", |b| {
-        let iv = IndirectVector::new(0, (0..64).map(|i| i * 7 % 4096).collect()).expect("nonempty");
-        b.iter(|| run_indirect_gather(PvaConfig::default(), &iv, 0).expect("gathers"))
+fn extensions() {
+    let iv = IndirectVector::new(0, (0..64).map(|i| i * 7 % 4096).collect()).expect("nonempty");
+    bench("ext/indirect_gather_64", || {
+        run_indirect_gather(PvaConfig::default(), &iv, 0).expect("gathers")
     });
 }
 
 /// Related-work comparators: CVMS-like subcommand generation and the
 /// SMC-like serial stream controller.
-fn related_work(c: &mut Criterion) {
-    let mut g = c.benchmark_group("related");
-    g.bench_function("cvms_like_s19", |b| {
-        b.iter_batched(
-            || PvaUnit::new(PvaConfig::cvms_like()).expect("valid config"),
-            |mut unit| {
-                let v = Vector::new(0, 19, 32).expect("valid vector");
-                unit.run(vec![HostRequest::Read { vector: v }])
-                    .expect("runs")
-            },
-            BatchSize::SmallInput,
-        )
+fn related_work() {
+    bench("related/cvms_like_s19", || {
+        let mut unit = PvaUnit::new(PvaConfig::cvms_like()).expect("valid config");
+        let v = Vector::new(0, 19, 32).expect("valid vector");
+        unit.run(vec![HostRequest::Read { vector: v }])
+            .expect("runs")
     });
-    g.bench_function("smc_like_copy_s4", |b| {
-        use memsys::MemorySystem;
-        let bases = Alignment::BankStagger.bases(2, 1 << 22);
-        let trace = Kernel::Copy.trace(&bases, 4, 256, 32);
-        b.iter(|| memsys::SmcLike::default().run_trace(&trace))
+    let bases = Alignment::BankStagger.bases(2, 1 << 22);
+    let trace = Kernel::Copy.trace(&bases, 4, 256, 32);
+    bench("related/smc_like_copy_s4", || {
+        memsys::SmcLike::default().run_trace(&trace)
     });
-    g.finish();
 }
 
 /// Scheduler ablations and the DRAM technology sweep.
-fn ablations_and_tech(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablations");
-    g.sample_size(10);
-    g.bench_function("row_conflict_probe", |b| {
-        use memsys::MemorySystem;
-        let bases = Alignment::Coincident.bases(3, 1 << 22);
-        let trace = Kernel::Vaxpy.trace(&bases, 16, 256, 32);
-        b.iter(|| memsys::PvaSystem::sdram().run_trace(&trace))
+fn ablations_and_tech() {
+    let bases = Alignment::Coincident.bases(3, 1 << 22);
+    let trace = Kernel::Vaxpy.trace(&bases, 16, 256, 32);
+    bench("ablations/row_conflict_probe", || {
+        memsys::PvaSystem::sdram().run_trace(&trace)
     });
-    g.bench_function("tech_edo_like_s16", |b| {
-        b.iter_batched(
-            || {
-                PvaUnit::new(PvaConfig {
-                    sdram: sdram::SdramConfig::edo_like(),
-                    ..PvaConfig::default()
-                })
-                .expect("valid config")
-            },
-            |mut unit| {
-                let v = Vector::new(0, 16, 32).expect("valid vector");
-                unit.run(vec![HostRequest::Read { vector: v }])
-                    .expect("runs")
-            },
-            BatchSize::SmallInput,
-        )
+    bench("ablations/tech_edo_like_s16", || {
+        let mut unit = PvaUnit::new(PvaConfig {
+            sdram: sdram::SdramConfig::edo_like(),
+            ..PvaConfig::default()
+        })
+        .expect("valid config");
+        let v = Vector::new(0, 16, 32).expect("valid vector");
+        unit.run(vec![HostRequest::Read { vector: v }])
+            .expect("runs")
     });
-    g.finish();
 }
 
 /// STREAM bandwidth measurement.
-fn stream(c: &mut Criterion) {
+fn stream() {
     use kernels::StreamKernel;
-    c.bench_function("stream/triad_pva", |b| {
-        b.iter(|| StreamKernel::Triad.bandwidth(&mut memsys::PvaSystem::sdram(), 1024))
+    bench("stream/triad_pva", || {
+        StreamKernel::Triad.bandwidth(&mut memsys::PvaSystem::sdram(), 1024)
     });
 }
 
-criterion_group!(
-    benches,
-    table1,
-    table2,
-    fig7_fig8,
-    fig9_fig10,
-    fig11,
-    unit_micro,
-    extensions,
-    related_work,
-    ablations_and_tech,
-    stream
-);
-criterion_main!(benches);
+fn main() {
+    // `cargo bench` forwards a `--bench` flag and possibly a filter;
+    // `cargo test --benches` passes `--test`. Run everything either
+    // way — each bench self-calibrates, so a full pass stays cheap.
+    table1();
+    table2();
+    fig7_fig8();
+    fig9_fig10();
+    fig11();
+    unit_micro();
+    extensions();
+    related_work();
+    ablations_and_tech();
+    stream();
+}

@@ -1,104 +1,125 @@
-//! Property tests for the L2 model: conservation laws that must hold
-//! for any reference stream.
-
-use proptest::prelude::*;
+//! Property-style tests for the L2 model: conservation laws that must
+//! hold for any reference stream. Randomized with the deterministic
+//! in-tree [`SplitMix64`] (no external crates in this build).
 
 use cache::{CacheConfig, CacheSim, LineOp, Reference};
+use pva_core::SplitMix64;
 
-fn config() -> impl Strategy<Value = CacheConfig> {
-    (2u64..=32, 0u32..=5, 1usize..=4).prop_map(|(line, sets_log, ways)| CacheConfig {
-        line_words: line.next_power_of_two(),
-        sets: 1 << sets_log,
-        ways,
-    })
+const CASES: u64 = 64;
+
+fn config(r: &mut SplitMix64) -> CacheConfig {
+    CacheConfig {
+        line_words: r.range(2, 33).next_power_of_two(),
+        sets: 1 << r.range(0, 6),
+        ways: r.range(1, 5) as usize,
+    }
 }
 
-fn refs() -> impl Strategy<Value = Vec<Reference>> {
-    prop::collection::vec(
-        (0u64..4096, any::<bool>()).prop_map(|(a, w)| {
-            if w {
+fn refs(r: &mut SplitMix64) -> Vec<Reference> {
+    let n = r.range(1, 200);
+    (0..n)
+        .map(|_| {
+            let a = r.below(4096);
+            if r.coin() {
                 Reference::Store(a)
             } else {
                 Reference::Load(a)
             }
-        }),
-        1..200,
-    )
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Hits + misses always equals references observed.
-    #[test]
-    fn hit_miss_conservation(cfg in config(), stream in refs()) {
+/// Hits + misses always equals references observed.
+#[test]
+fn hit_miss_conservation() {
+    let mut r = SplitMix64::new(0xCAC1);
+    for _ in 0..CASES {
+        let cfg = config(&mut r);
+        let stream = refs(&mut r);
         let mut c = CacheSim::new(cfg);
-        for &r in &stream {
-            c.access(r);
+        for &rf in &stream {
+            c.access(rf);
         }
-        prop_assert_eq!(
-            c.stats().hits + c.stats().misses,
-            stream.len() as u64
-        );
+        assert_eq!(c.stats().hits + c.stats().misses, stream.len() as u64);
     }
+}
 
-    /// Every fill is for the line of the reference that caused it, and
-    /// a reference is always resident immediately afterwards.
-    #[test]
-    fn fills_match_their_reference(cfg in config(), stream in refs()) {
+/// Every fill is for the line of the reference that caused it, and a
+/// reference is always resident immediately afterwards.
+#[test]
+fn fills_match_their_reference() {
+    let mut r = SplitMix64::new(0xCAC2);
+    for _ in 0..CASES {
+        let cfg = config(&mut r);
+        let stream = refs(&mut r);
         let mut c = CacheSim::new(cfg);
-        for &r in &stream {
-            let line = r.addr() / cfg.line_words * cfg.line_words;
-            for op in c.access(r) {
+        for &rf in &stream {
+            let line = rf.addr() / cfg.line_words * cfg.line_words;
+            for op in c.access(rf) {
                 if let LineOp::Fill(a) = op {
-                    prop_assert_eq!(a, line);
+                    assert_eq!(a, line);
                 }
             }
-            prop_assert!(c.contains(r.addr()));
+            assert!(c.contains(rf.addr()));
         }
     }
+}
 
-    /// Writebacks never exceed the number of store-dirtied lines, and a
-    /// final flush emits each dirty line exactly once.
-    #[test]
-    fn writeback_accounting(cfg in config(), stream in refs()) {
+/// Writebacks never exceed the number of store-dirtied lines, and a
+/// final flush emits each dirty line exactly once.
+#[test]
+fn writeback_accounting() {
+    let mut r = SplitMix64::new(0xCAC3);
+    for _ in 0..CASES {
+        let cfg = config(&mut r);
+        let stream = refs(&mut r);
         let mut c = CacheSim::new(cfg);
         let mut dirtied = std::collections::HashSet::new();
-        for &r in &stream {
-            if let Reference::Store(a) = r {
+        for &rf in &stream {
+            if let Reference::Store(a) = rf {
                 dirtied.insert(a / cfg.line_words);
             }
-            c.access(r);
+            c.access(rf);
         }
         let flushed = c.flush();
         let mut seen = std::collections::HashSet::new();
         for op in &flushed {
             if let LineOp::WriteBack(a) = op {
-                prop_assert!(seen.insert(*a), "line flushed twice");
-                prop_assert!(dirtied.contains(&(a / cfg.line_words)),
-                    "flushed a never-dirtied line");
+                assert!(seen.insert(*a), "line flushed twice");
+                assert!(
+                    dirtied.contains(&(a / cfg.line_words)),
+                    "flushed a never-dirtied line"
+                );
             }
         }
-        prop_assert!(c.stats().writebacks <= dirtied.len() as u64 * (stream.len() as u64));
+        assert!(c.stats().writebacks <= dirtied.len() as u64 * (stream.len() as u64));
         // After a flush, nothing is resident.
-        for &r in &stream {
-            prop_assert!(!c.contains(r.addr()));
+        for &rf in &stream {
+            assert!(!c.contains(rf.addr()));
         }
     }
+}
 
-    /// A cache big enough for the whole footprint never evicts: second
-    /// pass over the same stream is all hits.
-    #[test]
-    fn no_capacity_misses_when_footprint_fits(stream in refs()) {
-        let cfg = CacheConfig { line_words: 32, sets: 512, ways: 8 }; // 128Ki words
+/// A cache big enough for the whole footprint never evicts: second
+/// pass over the same stream is all hits.
+#[test]
+fn no_capacity_misses_when_footprint_fits() {
+    let mut r = SplitMix64::new(0xCAC4);
+    for _ in 0..CASES {
+        let stream = refs(&mut r);
+        let cfg = CacheConfig {
+            line_words: 32,
+            sets: 512,
+            ways: 8,
+        }; // 128Ki words
         let mut c = CacheSim::new(cfg);
-        for &r in &stream {
-            c.access(r);
+        for &rf in &stream {
+            c.access(rf);
         }
         let before = c.stats().misses;
-        for &r in &stream {
-            c.access(r);
+        for &rf in &stream {
+            c.access(rf);
         }
-        prop_assert_eq!(c.stats().misses, before, "second pass must be all hits");
+        assert_eq!(c.stats().misses, before, "second pass must be all hits");
     }
 }

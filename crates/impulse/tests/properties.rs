@@ -1,74 +1,75 @@
-//! Property tests for the Impulse front ends.
-
-use proptest::prelude::*;
+//! Property-style tests for the Impulse front ends, randomized with
+//! the deterministic in-tree [`SplitMix64`].
 
 use impulse::{ImpulseController, ReferencePredictionTable, StridedView};
+use pva_core::SplitMix64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: u64 = 48;
 
-    /// translate() agrees with element-by-element arithmetic, inside
-    /// and outside the view.
-    #[test]
-    fn strided_view_translation(
-        shadow in (1u64 << 30)..(1u64 << 31),
-        real in 0u64..(1 << 20),
-        stride in 1u64..512,
-        len in 1u64..512,
-        probe in 0u64..1024,
-    ) {
+/// translate() agrees with element-by-element arithmetic, inside and
+/// outside the view.
+#[test]
+fn strided_view_translation() {
+    let mut r = SplitMix64::new(0x1A01);
+    for _ in 0..CASES {
+        let shadow = r.range(1 << 30, 1 << 31);
+        let real = r.below(1 << 20);
+        let stride = r.range(1, 512);
+        let len = r.range(1, 512);
+        let probe = r.below(1024);
         let v = StridedView::new(shadow, real, stride, len).unwrap();
         let addr = shadow.wrapping_add(probe);
         match v.translate(addr) {
             Some(t) => {
-                prop_assert!(probe < len);
-                prop_assert_eq!(t, real + probe * stride);
+                assert!(probe < len);
+                assert_eq!(t, real + probe * stride);
             }
-            None => prop_assert!(probe >= len),
+            None => assert!(probe >= len),
         }
     }
+}
 
-    /// backing_vector covers exactly the words the per-word translation
-    /// gives, whenever it exists.
-    #[test]
-    fn backing_vector_is_pointwise_translation(
-        stride in 1u64..64,
-        len in 32u64..256,
-        start in 0u64..128,
-        words in 1u64..64,
-    ) {
+/// backing_vector covers exactly the words the per-word translation
+/// gives, whenever it exists.
+#[test]
+fn backing_vector_is_pointwise_translation() {
+    let mut r = SplitMix64::new(0x1A02);
+    for _ in 0..CASES {
+        let stride = r.range(1, 64);
+        let len = r.range(32, 256);
+        let start = r.below(128);
+        let words = r.range(1, 64);
         let shadow = 1u64 << 30;
         let v = StridedView::new(shadow, 0x5000, stride, len).unwrap();
         match v.backing_vector(shadow + start, words) {
             Some(g) => {
-                prop_assert_eq!(g.length(), words);
+                assert_eq!(g.length(), words);
                 for (k, a) in g.addresses().enumerate() {
-                    prop_assert_eq!(
-                        Some(a),
-                        v.translate(shadow + start + k as u64)
-                    );
+                    assert_eq!(Some(a), v.translate(shadow + start + k as u64));
                 }
             }
-            None => prop_assert!(start + words > len),
+            None => assert!(start + words > len),
         }
     }
+}
 
-    /// RPT: feeding any constant-stride walk of length >= 3 reaches a
-    /// steady prediction whose next address is correct.
-    #[test]
-    fn rpt_locks_any_constant_stride(
-        base in 0u64..(1 << 20),
-        stride in 1u64..4096,
-        walk in 3u64..32,
-    ) {
+/// RPT: feeding any constant-stride walk of length >= 3 reaches a
+/// steady prediction whose next address is correct.
+#[test]
+fn rpt_locks_any_constant_stride() {
+    let mut r = SplitMix64::new(0x1A03);
+    for _ in 0..CASES {
+        let base = r.below(1 << 20);
+        let stride = r.range(1, 4096);
+        let walk = r.range(3, 32);
         let mut rpt = ReferencePredictionTable::new(8);
         let mut last = None;
         for i in 0..walk {
             last = rpt.observe(9, base + i * stride);
         }
         let s = last.expect("steady after three references");
-        prop_assert_eq!(s.stride, stride as i64);
-        prop_assert_eq!(s.next_addr, base + walk * stride);
+        assert_eq!(s.stride, stride as i64);
+        assert_eq!(s.next_addr, base + walk * stride);
     }
 }
 

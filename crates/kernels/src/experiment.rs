@@ -3,7 +3,6 @@
 //! data points per system behind figures 7–11.
 
 use memsys::{CachelineSerial, MemorySystem, PvaSystem, SerialGather};
-use serde::Serialize;
 
 use crate::alignment::Alignment;
 use crate::kernel::Kernel;
@@ -21,7 +20,7 @@ pub const LINE_WORDS: u64 = 32;
 pub const STRIDES: [u64; 6] = [1, 2, 4, 8, 16, 19];
 
 /// One of the four §6.1 memory systems, by kind.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SystemKind {
     /// The PVA prototype over SDRAM.
     PvaSdram,
@@ -64,7 +63,7 @@ impl SystemKind {
 }
 
 /// One measured point of the design space.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DataPoint {
     /// Kernel name.
     pub kernel: &'static str,
@@ -80,7 +79,7 @@ pub struct DataPoint {
 
 /// Min/max cycles of a (kernel, stride, system) cell over the five
 /// alignments — the paired bars of figures 7–10.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct CellResult {
     /// Fastest alignment.
     pub min: u64,

@@ -1,55 +1,74 @@
-//! Property tests on kernel trace generation: every command is
+//! Property-style tests on kernel trace generation: every command is
 //! line-sized, covers its array exactly once, and respects the access
-//! pattern.
-
-use proptest::prelude::*;
+//! pattern. Randomized with the deterministic in-tree [`SplitMix64`].
 
 use kernels::{Alignment, Kernel, LINE_WORDS};
 use memsys::OpKind;
+use pva_core::SplitMix64;
 
-fn kernel() -> impl Strategy<Value = Kernel> {
-    prop::sample::select(Kernel::ALL.to_vec())
+const CASES: u64 = 64;
+
+fn kernel(r: &mut SplitMix64) -> Kernel {
+    Kernel::ALL[r.below(Kernel::ALL.len() as u64) as usize]
 }
 
-fn alignment() -> impl Strategy<Value = Alignment> {
-    prop::sample::select(Alignment::ALL.to_vec())
+fn alignment(r: &mut SplitMix64) -> Alignment {
+    Alignment::ALL[r.below(Alignment::ALL.len() as u64) as usize]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every generated command is exactly one line long with the sweep
-    /// stride, and command counts match the access pattern.
-    #[test]
-    fn commands_are_line_sized(
-        k in kernel(),
-        stride in 1u64..64,
-        a in alignment(),
-        chunks in 1u64..8,
-    ) {
-        let elements = chunks * LINE_WORDS * k.unroll();
-        let bases = a.bases(k.array_count(), kernels::ARRAY_REGION);
-        let trace = k.trace(&bases, stride, elements, LINE_WORDS);
-        // Unrolling changes command *grouping*, not count: each chunk
-        // still gets one command per access.
-        prop_assert_eq!(
-            trace.len() as u64,
-            (elements / LINE_WORDS) * k.accesses().len() as u64
-        );
-        for op in &trace {
-            prop_assert_eq!(op.vector.length(), LINE_WORDS);
-            prop_assert_eq!(op.vector.stride(), stride);
-        }
+/// Checks that every generated command is exactly one line long with
+/// the sweep stride, and command counts match the access pattern.
+fn check_commands_are_line_sized(k: Kernel, stride: u64, a: Alignment, chunks: u64) {
+    let elements = chunks * LINE_WORDS * k.unroll();
+    let bases = a.bases(k.array_count(), kernels::ARRAY_REGION);
+    let trace = k.trace(&bases, stride, elements, LINE_WORDS);
+    // Unrolling changes command *grouping*, not count: each chunk
+    // still gets one command per access.
+    assert_eq!(
+        trace.len() as u64,
+        (elements / LINE_WORDS) * k.accesses().len() as u64
+    );
+    for op in &trace {
+        assert_eq!(op.vector.length(), LINE_WORDS);
+        assert_eq!(op.vector.stride(), stride);
     }
+}
 
-    /// Per array and direction, the union of command footprints covers
-    /// element indices 0..elements exactly once (no gaps, no overlap).
-    #[test]
-    fn commands_tile_each_array(
-        k in kernel(),
-        stride in 1u64..32,
-        chunks in 1u64..6,
-    ) {
+#[test]
+fn commands_are_line_sized() {
+    let mut r = SplitMix64::new(0x7201);
+    for _ in 0..CASES {
+        let k = kernel(&mut r);
+        let stride = r.range(1, 64);
+        let a = alignment(&mut r);
+        let chunks = r.range(1, 8);
+        check_commands_are_line_sized(k, stride, a, chunks);
+    }
+}
+
+/// Regression distilled from the checked-in proptest shrink (seed file
+/// `trace_properties.proptest-regressions`: "k = Copy2, stride = 1,
+/// a = Coincident, chunks = 1"). The shrunk parameters point at the
+/// command-count assertion for an *unrolled* kernel at the minimum
+/// chunk count — Copy2 has unroll 2, so any generator that counted
+/// commands per unrolled group rather than per access fails here
+/// first. The current generator passes; the case is kept as an
+/// explicit pin now that the suite uses the in-tree PRNG instead of
+/// proptest (which would otherwise have replayed the seed file).
+#[test]
+fn copy2_minimal_unroll_regression() {
+    check_commands_are_line_sized(Kernel::Copy2, 1, Alignment::Coincident, 1);
+}
+
+/// Per array and direction, the union of command footprints covers
+/// element indices 0..elements exactly once (no gaps, no overlap).
+#[test]
+fn commands_tile_each_array() {
+    let mut r = SplitMix64::new(0x7202);
+    for _ in 0..CASES {
+        let k = kernel(&mut r);
+        let stride = r.range(1, 32);
+        let chunks = r.range(1, 6);
         let elements = chunks * LINE_WORDS * k.unroll();
         let bases: Vec<u64> = (0..k.array_count() as u64).map(|i| i << 24).collect();
         let trace = k.trace(&bases, stride, elements, LINE_WORDS);
@@ -70,28 +89,30 @@ proptest! {
                 starts.sort_unstable();
                 // Dedup handles patterns that access an array more than
                 // once per chunk (none today, but stay general).
-                let per_chunk =
-                    starts.len() as u64 / (elements / LINE_WORDS);
+                let per_chunk = starts.len() as u64 / (elements / LINE_WORDS);
                 let want: Vec<u64> = (0..elements / LINE_WORDS)
                     .flat_map(|c| std::iter::repeat_n(c * LINE_WORDS, per_chunk as usize))
                     .collect();
-                prop_assert_eq!(starts, want, "{} array {} {:?}", k, arr, dir);
+                assert_eq!(starts, want, "{k} array {arr} {dir:?}");
             }
         }
     }
+}
 
-    /// run_point is stable across repeated invocations for every system.
-    #[test]
-    fn run_point_deterministic(
-        k in kernel(),
-        stride in prop::sample::select(vec![1u64, 4, 16, 19]),
-        a in alignment(),
-    ) {
-        use kernels::{run_point, SystemKind};
+/// run_point is stable across repeated invocations for every system.
+#[test]
+fn run_point_deterministic() {
+    use kernels::{run_point, SystemKind};
+    let mut r = SplitMix64::new(0x7203);
+    const STRIDES: [u64; 4] = [1, 4, 16, 19];
+    for _ in 0..CASES {
+        let k = kernel(&mut r);
+        let stride = STRIDES[r.below(4) as usize];
+        let a = alignment(&mut r);
         for sys in SystemKind::ALL {
             let x = run_point(k, stride, a, sys);
             let y = run_point(k, stride, a, sys);
-            prop_assert_eq!(x, y, "{} on {}", k, sys.name());
+            assert_eq!(x, y, "{} on {}", k, sys.name());
         }
     }
 }

@@ -43,6 +43,9 @@ pub enum PvaError {
     /// An indirection vector entry addressed a word outside the physical
     /// memory managed by the unit. Payload is the offending address.
     AddressOutOfRange(u64),
+    /// A unit or device configuration violated a consistency rule
+    /// checked at construction. Payload names the violated rule.
+    InvalidConfig(&'static str),
 }
 
 impl fmt::Display for PvaError {
@@ -71,6 +74,9 @@ impl fmt::Display for PvaError {
             PvaError::AddressOutOfRange(addr) => {
                 write!(f, "address {addr:#x} outside simulated physical memory")
             }
+            PvaError::InvalidConfig(rule) => {
+                write!(f, "inconsistent configuration: {rule}")
+            }
         }
     }
 }
@@ -93,6 +99,7 @@ mod tests {
             PvaError::PageFault(0x1000),
             PvaError::VectorTooLong(64, 32),
             PvaError::AddressOutOfRange(0xdead),
+            PvaError::InvalidConfig("request FIFO smaller than transaction IDs"),
         ];
         for c in cases {
             let s = c.to_string();

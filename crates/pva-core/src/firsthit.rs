@@ -286,6 +286,7 @@ impl VectorSolver {
         match self.first_hit(b) {
             FirstHit::Hit(k) => {
                 let remaining = self.vector.length() - k;
+                // pva-lint: allow(nonconst-div): delta = 2^(m-s) is a power of two by Theorem 4.4; hardware uses a shift
                 remaining.div_ceil(self.class.next_hit())
             }
             FirstHit::Miss => 0,
@@ -336,6 +337,7 @@ impl Iterator for SubvectorIndices {
 ///
 /// Panics if `a` is even (no inverse exists) or `bits == 0` or
 /// `bits > 64`.
+// pva-lint: allow(panic): input guards for the design-time K1 table generator; this never runs on the per-cycle path
 pub fn mod_inverse_pow2(a: u64, bits: u32) -> u64 {
     assert!(a % 2 == 1, "only odd values are invertible mod 2^k");
     assert!((1..=64).contains(&bits), "modulus bits must be in 1..=64");
@@ -354,6 +356,7 @@ pub fn mod_inverse_pow2(a: u64, bits: u32) -> u64 {
 }
 
 /// Reference implementations by sequential expansion, used as test oracles.
+// pva-lint: allow(alloc): the sequential-expansion oracle exists to test the datapath, it is not hardware
 pub mod naive {
     use super::*;
 

@@ -214,6 +214,7 @@ impl Geometry {
 impl Default for Geometry {
     /// The paper's prototype geometry: 16 word-interleaved banks.
     fn default() -> Self {
+        // pva-lint: allow(panic): 16 is a power of two, so this is infallible; runs once at configuration time
         Geometry::word_interleaved(16).expect("16 banks is a valid geometry")
     }
 }

@@ -52,6 +52,7 @@ mod logical;
 mod paging;
 mod pla;
 mod recursive;
+mod rng;
 mod scheduling;
 mod vector;
 
@@ -69,5 +70,6 @@ pub use paging::{
 };
 pub use pla::{scaling_sweep, FullKiPla, K1Entry, K1Pla, PlaComplexity};
 pub use recursive::{first_hit_exact, gcd, next_hit_exact, next_hit_paper, OpCount};
+pub use rng::SplitMix64;
 pub use scheduling::{edf_schedule, feasible_by_enumeration, Placement, Task};
 pub use vector::{Addresses, Chunks, Vector};

@@ -51,6 +51,7 @@ impl LogicalView {
     /// address space).
     pub fn new(physical: &Geometry) -> Self {
         let logical = Geometry::word_interleaved(physical.logical_banks())
+            // pva-lint: allow(panic): infallible by the Geometry overflow check; runs once at configuration time
             .expect("logical bank count is a valid power of two");
         LogicalView {
             physical: *physical,
@@ -108,6 +109,7 @@ impl LogicalView {
     /// All element indices of `v` residing in physical bank `b`, in
     /// increasing order: the sorted merge of the arithmetic sequences of
     /// its logical banks.
+    // pva-lint: allow(alloc): the hardware merges W*N arithmetic sequences with comparators; the software model materializes and sorts
     pub fn subvector_indices(&self, v: &Vector, b: BankId) -> SubvectorIndices {
         let solver = VectorSolver::new(v, &self.logical);
         let mut indices: Vec<u64> = self

@@ -1,0 +1,112 @@
+//! A tiny deterministic PRNG for tests and benchmarks.
+//!
+//! The crate is built in a hermetic environment with no third-party
+//! dependencies, so the randomized ("fuzz"-style) test suites use this
+//! SplitMix64 generator instead of an external `rand` crate. SplitMix64
+//! (Steele, Lea & Flood, *Fast Splittable Pseudorandom Number
+//! Generators*, OOPSLA 2014) passes BigCrush, needs eight lines of
+//! code, and — crucially for regression tests — produces an identical
+//! stream on every platform for a given seed.
+
+/// A 64-bit SplitMix64 pseudorandom generator.
+///
+/// # Examples
+///
+/// ```
+/// use pva_core::SplitMix64;
+///
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+/// let x = a.range(10, 20);
+/// assert!((10..20).contains(&x));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Distinct seeds give
+    /// statistically independent streams.
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `0..n` (`n > 0`). Uses the widening-multiply
+    /// reduction, whose bias is < 2^-64 — irrelevant for tests.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as u64
+    }
+
+    /// A uniform value in the half-open range `lo..hi` (`lo < hi`).
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below(hi - lo)
+    }
+
+    /// A uniform boolean.
+    pub fn coin(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// True with probability `num / den` (`num <= den`, `den > 0`).
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        assert!(num <= den && den > 0, "bad probability {num}/{den}");
+        self.below(den) < num
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_stream() {
+        // Reference values from the published SplitMix64 test vectors
+        // (seed 1234567).
+        let mut r = SplitMix64::new(1234567);
+        assert_eq!(r.next_u64(), 6457827717110365317);
+        assert_eq!(r.next_u64(), 3203168211198807973);
+        assert_eq!(r.next_u64(), 9817491932198370423);
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut r = SplitMix64::new(7);
+        for n in [1u64, 2, 3, 10, 1000, u64::MAX] {
+            for _ in 0..100 {
+                assert!(r.below(n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn range_covers_endpoints() {
+        let mut r = SplitMix64::new(9);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[(r.range(4, 8) - 4) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SplitMix64::new(11);
+        for _ in 0..50 {
+            assert!(r.chance(1, 1));
+            assert!(!r.chance(0, 1));
+        }
+    }
+}

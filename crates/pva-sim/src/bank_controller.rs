@@ -29,7 +29,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use pva_core::{BankId, FirstHit, K1Pla, LogicalView};
-use sdram::{Sdram, SdramCmd};
+use sdram::{CmdClass, Sdram, SdramCmd};
 
 use crate::command::{OpKind, TxnId, VectorCommand};
 use crate::config::{PvaConfig, RowPolicy};
@@ -195,13 +195,15 @@ impl BankController {
         std::mem::take(&mut self.events)
     }
 
-    /// Logs an SDRAM operation when tracing is enabled.
-    fn log_op(&mut self, op: &'static str, internal_bank: u32, row: u64) {
+    /// Logs an SDRAM operation when tracing is enabled. The mnemonic
+    /// comes from the shared [`CmdClass`] table, so the trace log, the
+    /// VCD exporter and the device FSM can never drift apart.
+    fn log_op(&mut self, op: CmdClass, internal_bank: u32, row: u64) {
         if self.config.record_trace {
             self.events.push(TraceEvent::BankOp {
                 cycle: self.device.now(),
                 bank: self.bank.index(),
-                op,
+                op: op.mnemonic(),
                 internal_bank,
                 row,
             });
@@ -250,6 +252,7 @@ impl BankController {
                     FirstHit::Miss => return 0,
                 };
                 let delta = pla.next_hit(v.stride());
+                // pva-lint: allow(nonconst-div): delta = 2^(m-s) by Theorem 4.4; the hardware subvector counter shifts
                 let count = (v.length() - first).div_ceil(delta);
                 (first, delta, count, None)
             }
@@ -335,6 +338,7 @@ impl BankController {
                 let v = e.cmd.vector;
                 let remaining = match &e.indices {
                     Some(idx) => idx.len() as u64,
+                    // pva-lint: allow(nonconst-div): index_delta = 2^(m-s) by Theorem 4.4; a shift in hardware
                     None => (v.length() - e.first_index).div_ceil(e.index_delta),
                 };
                 self.vcs.push_back(VectorContext {
@@ -392,7 +396,7 @@ impl BankController {
         }
         // All rows closed: refresh as soon as tRP clears.
         if self.device.issue(SdramCmd::Refresh).is_ok() {
-            self.log_op("REF", u32::MAX, 0);
+            self.log_op(CmdClass::Refresh, u32::MAX, 0);
         }
         true
     }
@@ -443,7 +447,7 @@ impl BankController {
                             self.last_row[ib as usize] = Some(row);
                             self.device.issue(cmd).expect("validated");
                             self.stats.activates += 1;
-                            self.log_op("ACT", ib, row);
+                            self.log_op(CmdClass::Activate, ib, row);
                             return;
                         }
                     }
@@ -459,7 +463,7 @@ impl BankController {
                         let cmd = SdramCmd::Precharge { bank: ib };
                         if !other_hits && self.device.can_issue(&cmd).is_ok() {
                             self.device.issue(cmd).expect("validated");
-                            self.log_op("PRE", ib, open);
+                            self.log_op(CmdClass::Precharge, ib, open);
                             return;
                         }
                     }
@@ -515,17 +519,18 @@ impl BankController {
                 self.set_predictor(i, ib, row);
                 self.vcs[i].first_op_done = true;
             }
+            let class = CmdClass::of(&cmd).expect("read/write is never a NOP");
             self.device.issue(cmd).expect("validated");
             self.data_polarity = Some(kind);
             match kind {
                 OpKind::Read => {
                     self.stats.elements_read += 1;
-                    self.log_op(if auto { "RDA" } else { "RD" }, ib, row);
+                    self.log_op(class, ib, row);
                 }
                 OpKind::Write => {
                     self.stats.elements_written += 1;
                     txns.commit_writes(txn, 1);
-                    self.log_op(if auto { "WRA" } else { "WR" }, ib, row);
+                    self.log_op(class, ib, row);
                 }
             }
             // Advance the context: shift-and-add for word interleave,

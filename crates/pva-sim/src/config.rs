@@ -179,6 +179,159 @@ impl PvaConfig {
             ..PvaConfig::default()
         }
     }
+
+    /// Checks every unit-level consistency rule (plus the nested SDRAM
+    /// rules) and returns all violations.
+    ///
+    /// Like [`SdramConfig::check`], the same pass runs at construction
+    /// ([`PvaUnit::new`](crate::PvaUnit::new)), in the `pva-analysis`
+    /// binary, and in the property tests.
+    pub fn check(&self) -> Vec<PvaConfigError> {
+        let mut errs: Vec<PvaConfigError> = self
+            .sdram
+            .check()
+            .into_iter()
+            .map(PvaConfigError::Sdram)
+            .collect();
+        if self.transaction_ids == 0 {
+            errs.push(PvaConfigError::NoTransactionIds);
+        }
+        if self.transaction_ids > 256 {
+            // TxnId is a u8 on the modeled vector bus.
+            errs.push(PvaConfigError::TooManyTransactionIds(self.transaction_ids));
+        }
+        if self.request_fifo_entries < self.transaction_ids {
+            // The per-bank register file is indexed by transaction ID;
+            // the §5.2.3 flow-control argument (a slot per outstanding
+            // transaction means the FIFO can never overflow) needs one
+            // entry per ID.
+            errs.push(PvaConfigError::FifoSmallerThanTransactionIds {
+                fifo: self.request_fifo_entries,
+                txns: self.transaction_ids,
+            });
+        }
+        if self.vector_contexts == 0 {
+            errs.push(PvaConfigError::NoVectorContexts);
+        }
+        if self.line_words == 0 {
+            errs.push(PvaConfigError::ZeroLineWords);
+        }
+        if !self.stage_words_per_cycle.is_power_of_two() {
+            // The BC bus moves a power-of-two number of words per beat
+            // (two 64-bit halves of the 128-bit bus); the staging
+            // cycle counters divide by it, which must stay a shift.
+            errs.push(PvaConfigError::StageWordsNotPowerOfTwo(
+                self.stage_words_per_cycle,
+            ));
+        }
+        if self.fhc_latency == 0 {
+            errs.push(PvaConfigError::ZeroFhcLatency);
+        }
+        errs
+    }
+
+    /// Validates the configuration, returning the first violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`PvaConfigError`] from [`PvaConfig::check`].
+    pub fn validate(&self) -> Result<(), PvaConfigError> {
+        match self.check().into_iter().next() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+/// A violation of the [`PvaConfig`] consistency rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PvaConfigError {
+    /// The nested [`SdramConfig`] failed its own consistency check.
+    Sdram(sdram::ConfigError),
+    /// `transaction_ids` must be at least 1.
+    NoTransactionIds,
+    /// `transaction_ids` must fit the 8-bit transaction-ID field of the
+    /// modeled split-transaction bus (at most 256).
+    TooManyTransactionIds(usize),
+    /// `request_fifo_entries` must be at least `transaction_ids`: the
+    /// §5.2.3 flow-control argument sizes the per-bank register file so
+    /// one slot exists per outstanding transaction.
+    FifoSmallerThanTransactionIds {
+        /// Configured `request_fifo_entries`.
+        fifo: usize,
+        /// Configured `transaction_ids`.
+        txns: usize,
+    },
+    /// `vector_contexts` must be at least 1.
+    NoVectorContexts,
+    /// `line_words` must be at least 1.
+    ZeroLineWords,
+    /// `stage_words_per_cycle` must be a nonzero power of two: the
+    /// staging cycle counters divide transfer lengths by it, and that
+    /// division must reduce to a shift in hardware.
+    StageWordsNotPowerOfTwo(u64),
+    /// `fhc_latency` must be at least 1: the FHC multiply-add cannot
+    /// produce its result in the cycle the operands arrive.
+    ZeroFhcLatency,
+}
+
+impl PvaConfigError {
+    /// A static one-line description of the violated rule, used to build
+    /// the [`PvaError::InvalidConfig`](pva_core::PvaError::InvalidConfig)
+    /// payload at construction time.
+    pub const fn rule(&self) -> &'static str {
+        match self {
+            PvaConfigError::Sdram(_) => "SDRAM timing/geometry parameters are inconsistent",
+            PvaConfigError::NoTransactionIds => "transaction_ids must be at least 1",
+            PvaConfigError::TooManyTransactionIds(_) => {
+                "transaction_ids exceeds the 8-bit bus transaction-ID field"
+            }
+            PvaConfigError::FifoSmallerThanTransactionIds { .. } => {
+                "request FIFO smaller than transaction IDs"
+            }
+            PvaConfigError::NoVectorContexts => "vector_contexts must be at least 1",
+            PvaConfigError::ZeroLineWords => "line_words must be at least 1",
+            PvaConfigError::StageWordsNotPowerOfTwo(_) => {
+                "stage_words_per_cycle must be a nonzero power of two"
+            }
+            PvaConfigError::ZeroFhcLatency => "fhc_latency must be at least 1",
+        }
+    }
+}
+
+impl core::fmt::Display for PvaConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match *self {
+            PvaConfigError::Sdram(e) => write!(f, "sdram: {e}"),
+            PvaConfigError::TooManyTransactionIds(n) => {
+                write!(
+                    f,
+                    "transaction_ids = {n} exceeds the 8-bit ID field (max 256)"
+                )
+            }
+            PvaConfigError::FifoSmallerThanTransactionIds { fifo, txns } => {
+                write!(
+                    f,
+                    "request_fifo_entries = {fifo} is smaller than transaction_ids = {txns}"
+                )
+            }
+            PvaConfigError::StageWordsNotPowerOfTwo(n) => {
+                write!(
+                    f,
+                    "stage_words_per_cycle = {n} is not a nonzero power of two"
+                )
+            }
+            ref other => f.write_str(other.rule()),
+        }
+    }
+}
+
+impl std::error::Error for PvaConfigError {}
+
+impl From<sdram::ConfigError> for PvaConfigError {
+    fn from(e: sdram::ConfigError) -> Self {
+        PvaConfigError::Sdram(e)
+    }
 }
 
 #[cfg(test)]
@@ -206,5 +359,99 @@ mod tests {
     #[test]
     fn row_policy_default_is_intent_consistent() {
         assert_eq!(RowPolicy::default(), RowPolicy::MissPredictsClose);
+    }
+
+    #[test]
+    fn all_presets_validate_clean() {
+        for (name, cfg) in [
+            ("default", PvaConfig::default()),
+            ("sram_backend", PvaConfig::sram_backend()),
+            ("cvms_like", PvaConfig::cvms_like()),
+        ] {
+            assert_eq!(cfg.check(), vec![], "preset {name} must be consistent");
+        }
+    }
+
+    #[test]
+    fn unit_rules_fire_on_minimal_violations() {
+        let cases: Vec<(PvaConfig, PvaConfigError)> = vec![
+            (
+                PvaConfig {
+                    transaction_ids: 0,
+                    ..PvaConfig::default()
+                },
+                PvaConfigError::NoTransactionIds,
+            ),
+            (
+                PvaConfig {
+                    transaction_ids: 257,
+                    request_fifo_entries: 257,
+                    ..PvaConfig::default()
+                },
+                PvaConfigError::TooManyTransactionIds(257),
+            ),
+            (
+                PvaConfig {
+                    request_fifo_entries: 4,
+                    ..PvaConfig::default()
+                },
+                PvaConfigError::FifoSmallerThanTransactionIds { fifo: 4, txns: 8 },
+            ),
+            (
+                PvaConfig {
+                    vector_contexts: 0,
+                    ..PvaConfig::default()
+                },
+                PvaConfigError::NoVectorContexts,
+            ),
+            (
+                PvaConfig {
+                    line_words: 0,
+                    ..PvaConfig::default()
+                },
+                PvaConfigError::ZeroLineWords,
+            ),
+            (
+                PvaConfig {
+                    stage_words_per_cycle: 0,
+                    ..PvaConfig::default()
+                },
+                PvaConfigError::StageWordsNotPowerOfTwo(0),
+            ),
+            (
+                PvaConfig {
+                    stage_words_per_cycle: 3,
+                    ..PvaConfig::default()
+                },
+                PvaConfigError::StageWordsNotPowerOfTwo(3),
+            ),
+            (
+                PvaConfig {
+                    fhc_latency: 0,
+                    ..PvaConfig::default()
+                },
+                PvaConfigError::ZeroFhcLatency,
+            ),
+        ];
+        for (cfg, want) in cases {
+            assert_eq!(cfg.check(), vec![want]);
+        }
+    }
+
+    #[test]
+    fn sdram_violations_surface_through_unit_check() {
+        let cfg = PvaConfig {
+            sdram: sdram::SdramConfig {
+                internal_banks: 3,
+                ..sdram::SdramConfig::default()
+            },
+            ..PvaConfig::default()
+        };
+        assert_eq!(
+            cfg.check(),
+            vec![PvaConfigError::Sdram(
+                sdram::ConfigError::InternalBanksNotPowerOfTwo(3)
+            )]
+        );
     }
 }

@@ -45,7 +45,9 @@ mod vcd;
 pub use bank_controller::{BankController, BcStats};
 pub use command::{Completion, HostRequest, OpKind, TxnId, VectorCommand};
 pub use complexity::{unit_complexity, ComplexityReport, ModuleComplexity};
-pub use config::{default_precharge_policy, PvaConfig, RowPolicy, SchedulerOptions};
+pub use config::{
+    default_precharge_policy, PvaConfig, PvaConfigError, RowPolicy, SchedulerOptions,
+};
 pub use cpu::{mixed_workload, CpuConfig, CpuModel, CpuRunResult};
 pub use indirect::{run_indirect_gather, run_indirect_scatter, IndirectTiming};
 pub use trace_log::TraceEvent;

@@ -131,11 +131,16 @@ impl PvaUnit {
     ///
     /// Returns [`PvaError::NotPowerOfTwo`] if the geometry has
     /// `width_words > 1` (multi-word-wide banks are reduced to logical
-    /// banks at design time; model them as more banks instead).
+    /// banks at design time; model them as more banks instead), or
+    /// [`PvaError::InvalidConfig`] if the configuration violates a
+    /// [`PvaConfig::check`] consistency rule.
     pub fn new(config: PvaConfig) -> Result<Self, PvaError> {
         if config.geometry.width_words() != 1 {
             return Err(PvaError::NotPowerOfTwo(config.geometry.width_words()));
         }
+        config
+            .validate()
+            .map_err(|e| PvaError::InvalidConfig(e.rule()))?;
         let bcs: Vec<BankController> = if config.geometry.block_words() == 1 {
             let pla = Arc::new(K1Pla::new(&config.geometry));
             (0..config.geometry.banks() as usize)
@@ -380,6 +385,7 @@ impl PvaUnit {
                     self.bus = BusActivity::Staging {
                         txn: id,
                         kind: OpKind::Read,
+                        // pva-lint: allow(nonconst-div): stage_words_per_cycle is a power of two by config validation (bus width); a shift
                         cycles_left: len.div_ceil(self.config.stage_words_per_cycle),
                     };
                     // This cycle already carries the first data beat.
@@ -439,6 +445,7 @@ impl PvaUnit {
                                     kind: OpKind::Write,
                                     cycles_left: vector
                                         .length()
+                                        // pva-lint: allow(nonconst-div): stage_words_per_cycle is a power of two by config validation (bus width); a shift
                                         .div_ceil(self.config.stage_words_per_cycle),
                                 };
                                 self.stats.data_cycles += 1;

@@ -9,21 +9,16 @@
 
 use std::io::{self, Write};
 
+use sdram::CmdClass;
+
 use crate::command::OpKind;
 use crate::trace_log::TraceEvent;
 
-/// Per-bank operation encoding (one-cycle pulses).
+/// Per-bank operation encoding (one-cycle pulses): the wave codes come
+/// from the shared [`CmdClass`] table, the same source the trace log
+/// mnemonics use, so the two can never drift.
 fn op_code(op: &str) -> u8 {
-    match op {
-        "ACT" => 1,
-        "RD" => 2,
-        "RDA" => 3,
-        "WR" => 4,
-        "WRA" => 5,
-        "PRE" => 6,
-        "REF" => 7,
-        _ => 0,
-    }
+    CmdClass::from_mnemonic(op).map_or(0, CmdClass::vcd_code)
 }
 
 /// Bus activity encoding.

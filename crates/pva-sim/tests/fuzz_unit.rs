@@ -1,16 +1,18 @@
-//! Property-based fuzzing of the whole PVA unit: random batches of
-//! mixed gathered reads and scattered writes, checked element-for-
-//! element against a simple functional memory model, across geometries,
-//! scheduler options and refresh settings.
+//! Randomized fuzzing of the whole PVA unit: random batches of mixed
+//! gathered reads and scattered writes, checked element-for-element
+//! against a simple functional memory model, across geometries,
+//! scheduler options and refresh settings. Uses the deterministic
+//! in-tree [`SplitMix64`] so every failure replays exactly.
 
 use std::collections::HashMap;
 
-use proptest::prelude::*;
-use pva_core::{Geometry, Vector};
+use pva_core::{Geometry, SplitMix64, Vector};
 use pva_sim::{HostRequest, PvaConfig, PvaUnit, RowPolicy};
 use sdram::SdramConfig;
 
-/// A request recipe the strategies generate.
+const CASES: u64 = 48;
+
+/// A request recipe the generator produces.
 #[derive(Debug, Clone)]
 struct Req {
     base: u64,
@@ -20,16 +22,19 @@ struct Req {
     seed: u64,
 }
 
-fn req_strategy() -> impl Strategy<Value = Req> {
-    (0u64..8192, 1u64..64, 1u64..=32, any::<bool>(), any::<u64>()).prop_map(
-        |(base, stride, len, write, seed)| Req {
-            base,
-            stride,
-            len,
-            write,
-            seed,
-        },
-    )
+fn req(r: &mut SplitMix64) -> Req {
+    Req {
+        base: r.below(8192),
+        stride: r.range(1, 64),
+        len: r.range(1, 33),
+        write: r.coin(),
+        seed: r.next_u64(),
+    }
+}
+
+fn reqs(r: &mut SplitMix64, lo: u64, hi: u64) -> Vec<Req> {
+    let n = r.range(lo, hi);
+    (0..n).map(|_| req(r)).collect()
 }
 
 /// Functional oracle: apply the same request sequence to a flat map,
@@ -40,7 +45,7 @@ fn req_strategy() -> impl Strategy<Value = Req> {
 /// touched by more than one write request are excluded from the checks
 /// (the paper relies on a write-allocate L2 making that case
 /// impossible in practice).
-fn run_both(reqs: &[Req], cfg: PvaConfig) -> Result<(), TestCaseError> {
+fn run_both(reqs: &[Req], cfg: PvaConfig) {
     let mut unit = PvaUnit::new(cfg).expect("valid config");
     let mut oracle: HashMap<u64, u64> = HashMap::new();
     let mut write_count: HashMap<u64, u32> = HashMap::new();
@@ -67,7 +72,7 @@ fn run_both(reqs: &[Req], cfg: PvaConfig) -> Result<(), TestCaseError> {
     }
 
     let result = unit.run(host).expect("requests fit the line length");
-    prop_assert_eq!(result.completions.len(), reqs.len());
+    assert_eq!(result.completions.len(), reqs.len());
     for (idx, want) in expected_reads {
         let got = result.completions[idx]
             .data
@@ -77,7 +82,7 @@ fn run_both(reqs: &[Req], cfg: PvaConfig) -> Result<(), TestCaseError> {
             if write_count.get(addr).copied().unwrap_or(0) > 1 {
                 continue; // WAW-ambiguous address (allowed by §5.2.4)
             }
-            prop_assert_eq!(got[k], *val, "request {} element {}", idx, k);
+            assert_eq!(got[k], *val, "request {idx} element {k}");
         }
     }
     // Unambiguous oracle writes landed in memory.
@@ -85,72 +90,79 @@ fn run_both(reqs: &[Req], cfg: PvaConfig) -> Result<(), TestCaseError> {
         if write_count[&addr] > 1 {
             continue;
         }
-        prop_assert_eq!(unit.peek(addr), val, "address {:#x}", addr);
+        assert_eq!(unit.peek(addr), val, "address {addr:#x}");
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The default prototype configuration serves any mixed batch
-    /// correctly. Note: reads and writes in one batch respect program
-    /// order per §5.2.4 (RAW hazards cannot happen).
-    #[test]
-    fn default_config_serves_random_batches(reqs in prop::collection::vec(req_strategy(), 1..12)) {
-        run_both(&reqs, PvaConfig::default())?;
+/// The default prototype configuration serves any mixed batch
+/// correctly. Note: reads and writes in one batch respect program
+/// order per §5.2.4 (RAW hazards cannot happen).
+#[test]
+fn default_config_serves_random_batches() {
+    let mut r = SplitMix64::new(0xF201);
+    for _ in 0..CASES {
+        let reqs = reqs(&mut r, 1, 12);
+        run_both(&reqs, PvaConfig::default());
     }
+}
 
-    /// Every scheduler-option corner serves the same batches correctly.
-    #[test]
-    fn option_corners_are_correct(
-        reqs in prop::collection::vec(req_strategy(), 1..8),
-        ooo in any::<bool>(),
-        promote in any::<bool>(),
-        bypass in any::<bool>(),
-        policy in 0u8..4,
-    ) {
+/// Every scheduler-option corner serves the same batches correctly.
+#[test]
+fn option_corners_are_correct() {
+    let mut r = SplitMix64::new(0xF202);
+    for _ in 0..CASES {
+        let reqs = reqs(&mut r, 1, 8);
         let mut cfg = PvaConfig::default();
-        cfg.options.out_of_order = ooo;
-        cfg.options.promote_opens = promote;
-        cfg.options.bypass_paths = bypass;
-        cfg.options.row_policy = match policy {
+        cfg.options.out_of_order = r.coin();
+        cfg.options.promote_opens = r.coin();
+        cfg.options.bypass_paths = r.coin();
+        cfg.options.row_policy = match r.below(4) {
             0 => RowPolicy::MissPredictsClose,
             1 => RowPolicy::PaperLiteral,
             2 => RowPolicy::AlwaysClose,
             _ => RowPolicy::AlwaysOpen,
         };
-        run_both(&reqs, cfg)?;
+        run_both(&reqs, cfg);
     }
+}
 
-    /// Block-interleaved geometries serve the same batches correctly.
-    #[test]
-    fn block_interleave_is_correct(
-        reqs in prop::collection::vec(req_strategy(), 1..8),
-        m in 1u32..=4,
-        n in 1u32..=5,
-    ) {
+/// Block-interleaved geometries serve the same batches correctly.
+#[test]
+fn block_interleave_is_correct() {
+    let mut r = SplitMix64::new(0xF203);
+    for _ in 0..CASES {
+        let reqs = reqs(&mut r, 1, 8);
+        let m = r.range(1, 5) as u32;
+        let n = r.range(1, 6) as u32;
         let cfg = PvaConfig {
             geometry: Geometry::cacheline_interleaved(1 << m, 1 << n).unwrap(),
             ..PvaConfig::default()
         };
-        run_both(&reqs, cfg)?;
+        run_both(&reqs, cfg);
     }
+}
 
-    /// Refresh-enabled devices serve the same batches correctly.
-    #[test]
-    fn refresh_config_is_correct(reqs in prop::collection::vec(req_strategy(), 1..8)) {
+/// Refresh-enabled devices serve the same batches correctly.
+#[test]
+fn refresh_config_is_correct() {
+    let mut r = SplitMix64::new(0xF204);
+    for _ in 0..CASES {
+        let reqs = reqs(&mut r, 1, 8);
         let cfg = PvaConfig {
             sdram: SdramConfig::with_refresh(),
             ..PvaConfig::default()
         };
-        run_both(&reqs, cfg)?;
+        run_both(&reqs, cfg);
     }
+}
 
-    /// The kitchen sink: block interleave + multi-rank devices +
-    /// refresh + CVMS-grade FHC latency, all at once.
-    #[test]
-    fn combined_exotic_config_is_correct(reqs in prop::collection::vec(req_strategy(), 1..6)) {
+/// The kitchen sink: block interleave + multi-rank devices + refresh +
+/// CVMS-grade FHC latency, all at once.
+#[test]
+fn combined_exotic_config_is_correct() {
+    let mut r = SplitMix64::new(0xF205);
+    for _ in 0..CASES {
+        let reqs = reqs(&mut r, 1, 6);
         let cfg = PvaConfig {
             geometry: Geometry::cacheline_interleaved(4, 8).unwrap(),
             sdram: SdramConfig {
@@ -162,13 +174,17 @@ proptest! {
             fhc_latency: 13,
             ..PvaConfig::default()
         };
-        run_both(&reqs, cfg)?;
+        run_both(&reqs, cfg);
     }
+}
 
-    /// The simulation is deterministic: identical batches, identical
-    /// cycle counts and data.
-    #[test]
-    fn simulation_is_deterministic(reqs in prop::collection::vec(req_strategy(), 1..8)) {
+/// The simulation is deterministic: identical batches, identical
+/// cycle counts and data.
+#[test]
+fn simulation_is_deterministic() {
+    let mut r = SplitMix64::new(0xF206);
+    for _ in 0..CASES {
+        let reqs = reqs(&mut r, 1, 8);
         let build = |reqs: &[Req]| -> (u64, Vec<Option<Vec<u64>>>) {
             let mut unit = PvaUnit::new(PvaConfig::default()).expect("valid");
             let host: Vec<HostRequest> = reqs
@@ -186,37 +202,46 @@ proptest! {
                 })
                 .collect();
             let r = unit.run(host).expect("runs");
-            (r.cycles, r.completions.into_iter().map(|c| c.data).collect())
+            (
+                r.cycles,
+                r.completions.into_iter().map(|c| c.data).collect(),
+            )
         };
-        prop_assert_eq!(build(&reqs), build(&reqs));
+        assert_eq!(build(&reqs), build(&reqs));
     }
+}
 
-    /// Completion order bookkeeping: every request completes exactly
-    /// once, indices match submission order, reads carry data and writes
-    /// do not.
-    #[test]
-    fn completions_are_well_formed(reqs in prop::collection::vec(req_strategy(), 1..10)) {
+/// Completion order bookkeeping: every request completes exactly once,
+/// indices match submission order, reads carry data and writes do not.
+#[test]
+fn completions_are_well_formed() {
+    let mut r = SplitMix64::new(0xF207);
+    for _ in 0..CASES {
+        let reqs = reqs(&mut r, 1, 10);
         let mut unit = PvaUnit::new(PvaConfig::default()).expect("valid");
         let host: Vec<HostRequest> = reqs
             .iter()
             .map(|r| {
                 let v = Vector::new(r.base, r.stride, r.len).expect("nonzero");
                 if r.write {
-                    HostRequest::Write { vector: v, data: vec![0; r.len as usize] }
+                    HostRequest::Write {
+                        vector: v,
+                        data: vec![0; r.len as usize],
+                    }
                 } else {
                     HostRequest::Read { vector: v }
                 }
             })
             .collect();
         let result = unit.run(host).expect("runs");
-        prop_assert_eq!(result.completions.len(), reqs.len());
+        assert_eq!(result.completions.len(), reqs.len());
         for (i, c) in result.completions.iter().enumerate() {
-            prop_assert_eq!(c.request_index, i);
-            prop_assert!(c.completed_at >= c.issued_at);
+            assert_eq!(c.request_index, i);
+            assert!(c.completed_at >= c.issued_at);
             match reqs[i].write {
-                true => prop_assert!(c.data.is_none()),
+                true => assert!(c.data.is_none()),
                 false => {
-                    prop_assert_eq!(
+                    assert_eq!(
                         c.data.as_ref().expect("read data").len() as u64,
                         reqs[i].len
                     );

@@ -283,4 +283,135 @@ mod tests {
         a.observe(0, &SdramCmd::Activate { bank: 1, row: 1 });
         a.assert_clean();
     }
+
+    fn rules(a: &TimingAuditor) -> Vec<&str> {
+        a.violations().iter().map(|v| v.rule.as_str()).collect()
+    }
+
+    #[test]
+    fn detects_command_during_trfc() {
+        // tRFC = 8: the device is busy through cycle 7, free at cycle 8.
+        let mut a = TimingAuditor::new(SdramConfig::default());
+        a.observe(0, &SdramCmd::Refresh);
+        a.observe(7, &SdramCmd::Activate { bank: 0, row: 1 });
+        assert_eq!(rules(&a), ["command during tRFC"]);
+
+        let mut a = TimingAuditor::new(SdramConfig::default());
+        a.observe(0, &SdramCmd::Refresh);
+        a.observe(8, &SdramCmd::Activate { bank: 0, row: 1 });
+        a.assert_clean();
+    }
+
+    #[test]
+    fn detects_activate_with_row_open() {
+        let mut a = TimingAuditor::new(SdramConfig::default());
+        a.observe(0, &SdramCmd::Activate { bank: 0, row: 1 });
+        a.observe(20, &SdramCmd::Activate { bank: 0, row: 2 });
+        assert_eq!(rules(&a), ["ACTIVATE with row already open"]);
+
+        // A different bank is an independent row buffer — no violation.
+        let mut a = TimingAuditor::new(SdramConfig::default());
+        a.observe(0, &SdramCmd::Activate { bank: 0, row: 1 });
+        a.observe(20, &SdramCmd::Activate { bank: 1, row: 2 });
+        a.assert_clean();
+    }
+
+    #[test]
+    fn detects_trc() {
+        // t_rc = 10 > t_ras + t_rp = 7, so an activate after precharge
+        // completes (cycle 7) but before tRC elapses trips tRC alone.
+        let cfg = SdramConfig {
+            t_rc: 10,
+            ..SdramConfig::default()
+        };
+        let mut a = TimingAuditor::new(cfg);
+        a.observe(0, &SdramCmd::Activate { bank: 0, row: 1 });
+        a.observe(5, &SdramCmd::Precharge { bank: 0 });
+        a.observe(8, &SdramCmd::Activate { bank: 0, row: 2 });
+        assert_eq!(rules(&a), ["tRC"]);
+
+        let mut a = TimingAuditor::new(cfg);
+        a.observe(0, &SdramCmd::Activate { bank: 0, row: 1 });
+        a.observe(5, &SdramCmd::Precharge { bank: 0 });
+        a.observe(10, &SdramCmd::Activate { bank: 0, row: 2 });
+        a.assert_clean();
+    }
+
+    #[test]
+    fn detects_trp() {
+        // Precharge late (cycle 10) so tRC (7) has already elapsed when
+        // the re-activate lands inside the tRP window (done at 12).
+        let mut a = TimingAuditor::new(SdramConfig::default());
+        a.observe(0, &SdramCmd::Activate { bank: 0, row: 1 });
+        a.observe(10, &SdramCmd::Precharge { bank: 0 });
+        a.observe(11, &SdramCmd::Activate { bank: 0, row: 2 });
+        assert_eq!(rules(&a), ["tRP"]);
+
+        let mut a = TimingAuditor::new(SdramConfig::default());
+        a.observe(0, &SdramCmd::Activate { bank: 0, row: 1 });
+        a.observe(10, &SdramCmd::Precharge { bank: 0 });
+        a.observe(12, &SdramCmd::Activate { bank: 0, row: 2 });
+        a.assert_clean();
+    }
+
+    #[test]
+    fn detects_twr() {
+        // t_wr = 3: a write at cycle 3 holds off precharge until cycle 6,
+        // while tRAS (5) is already satisfied at cycle 5.
+        let cfg = SdramConfig {
+            t_wr: 3,
+            ..SdramConfig::default()
+        };
+        let mut a = TimingAuditor::new(cfg);
+        a.observe(0, &SdramCmd::Activate { bank: 0, row: 1 });
+        a.observe(
+            3,
+            &SdramCmd::Write {
+                bank: 0,
+                col: 0,
+                data: 0,
+                auto_precharge: false,
+            },
+        );
+        a.observe(5, &SdramCmd::Precharge { bank: 0 });
+        assert_eq!(rules(&a), ["tWR"]);
+
+        let mut a = TimingAuditor::new(cfg);
+        a.observe(0, &SdramCmd::Activate { bank: 0, row: 1 });
+        a.observe(
+            3,
+            &SdramCmd::Write {
+                bank: 0,
+                col: 0,
+                data: 0,
+                auto_precharge: false,
+            },
+        );
+        a.observe(6, &SdramCmd::Precharge { bank: 0 });
+        a.assert_clean();
+    }
+
+    #[test]
+    fn detects_refresh_with_open_rows() {
+        let mut a = TimingAuditor::new(SdramConfig::default());
+        a.observe(0, &SdramCmd::Activate { bank: 2, row: 1 });
+        a.observe(20, &SdramCmd::Refresh);
+        assert_eq!(rules(&a), ["REFRESH with open rows"]);
+
+        let mut a = TimingAuditor::new(SdramConfig::default());
+        a.observe(0, &SdramCmd::Activate { bank: 2, row: 1 });
+        a.observe(5, &SdramCmd::Precharge { bank: 2 });
+        a.observe(20, &SdramCmd::Refresh);
+        a.assert_clean();
+    }
+
+    #[test]
+    fn nop_is_not_a_command() {
+        // NOPs neither occupy the command bus nor advance any window.
+        let mut a = TimingAuditor::new(SdramConfig::default());
+        a.observe(0, &SdramCmd::Activate { bank: 0, row: 1 });
+        a.observe(0, &SdramCmd::Nop);
+        a.observe(1, &SdramCmd::Nop);
+        a.assert_clean();
+    }
 }

@@ -152,6 +152,91 @@ impl SdramConfig {
         (self.total_row_buffers() as u64) << (self.log2_cols + self.log2_rows)
     }
 
+    /// Checks every consistency rule and returns all violations.
+    ///
+    /// The rules are the invariants the device model and the address
+    /// mapper rely on; a config that passes cannot drive the simulator
+    /// into a state the bank FSM has no transition for. The same pass
+    /// runs in three places: here (asserted by [`Sdram::new`]), in the
+    /// `pva-analysis` binary over every preset, and in the randomized
+    /// property tests.
+    ///
+    /// [`Sdram::new`]: crate::Sdram::new
+    pub fn check(&self) -> Vec<ConfigError> {
+        let mut errs = Vec::new();
+        if self.internal_banks == 0 || !self.internal_banks.is_power_of_two() {
+            // `map()` selects the internal bank with `internal_banks - 1`
+            // as a bit mask and counts field width with trailing_zeros().
+            errs.push(ConfigError::InternalBanksNotPowerOfTwo(self.internal_banks));
+        }
+        if self.ranks == 0 {
+            errs.push(ConfigError::NoRanks);
+        }
+        if self.t_cas == 0 {
+            errs.push(ConfigError::ZeroCasLatency);
+        }
+        if self.t_ras == 0 && self.t_rcd != 0 {
+            // Uniform-latency (SRAM-like) mode: with tRAS = 0 a precharge
+            // may legally land the cycle after ACTIVATE, which the bank
+            // FSM only admits when the activate completes instantly.
+            errs.push(ConfigError::SramModeNeedsZeroRcd { t_rcd: self.t_rcd });
+        }
+        if self.t_ras > 0 && self.t_ras < self.t_rcd + self.t_cas {
+            errs.push(ConfigError::RowOpenTooShort {
+                t_ras: self.t_ras,
+                t_rcd: self.t_rcd,
+                t_cas: self.t_cas,
+            });
+        }
+        if self.t_rc < self.t_ras + self.t_rp {
+            errs.push(ConfigError::CycleTimeTooShort {
+                t_rc: self.t_rc,
+                t_ras: self.t_ras,
+                t_rp: self.t_rp,
+            });
+        }
+        if self.refresh_interval > 0 && self.t_rfc == 0 {
+            errs.push(ConfigError::RefreshWithoutRfc);
+        }
+        if self.refresh_interval > 0 && self.refresh_interval <= u64::from(self.t_rfc) {
+            errs.push(ConfigError::RefreshIntervalTooShort {
+                interval: self.refresh_interval,
+                t_rfc: self.t_rfc,
+            });
+        }
+        let ib_bits = if self.internal_banks.is_power_of_two() {
+            self.internal_banks.trailing_zeros()
+        } else {
+            0
+        };
+        let bits = self.log2_cols + ib_bits + self.log2_rows;
+        if bits > 63 {
+            errs.push(ConfigError::GeometryOverflow { bits });
+        }
+        errs
+    }
+
+    /// Validates the configuration, returning the first violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] from [`SdramConfig::check`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdram::SdramConfig;
+    /// assert!(SdramConfig::default().validate().is_ok());
+    /// let bad = SdramConfig { internal_banks: 3, ..SdramConfig::default() };
+    /// assert!(bad.validate().is_err());
+    /// ```
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        match self.check().into_iter().next() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
     /// Maps a *device-local* word address to its internal coordinates.
     ///
     /// Low bits select the column, the middle bits the internal bank
@@ -190,6 +275,125 @@ impl fmt::Display for SdramConfig {
         )
     }
 }
+
+/// A violation of the [`SdramConfig`] consistency rules, as reported by
+/// [`SdramConfig::check`] / [`SdramConfig::validate`].
+///
+/// Each variant names the invariant it protects; the payloads carry the
+/// offending values so the analysis binary can print actionable
+/// diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `internal_banks` must be a nonzero power of two: the address
+    /// mapper selects the internal bank with an `internal_banks - 1`
+    /// bit mask (the hardware uses the same wiring).
+    InternalBanksNotPowerOfTwo(u32),
+    /// `ranks` must be at least 1 — a bank controller with no chips
+    /// behind it addresses nothing.
+    NoRanks,
+    /// `t_cas` must be at least 1: data cannot return on the same edge
+    /// the column command is registered.
+    ZeroCasLatency,
+    /// `t_ras == 0` selects the uniform-latency (SRAM-like) mode and
+    /// requires `t_rcd == 0` too; otherwise a precharge could arrive
+    /// while the activate is still in flight, a state the bank FSM has
+    /// no legal transition for.
+    SramModeNeedsZeroRcd {
+        /// The nonzero `t_rcd` that conflicts with `t_ras == 0`.
+        t_rcd: u32,
+    },
+    /// `t_ras` must cover `t_rcd + t_cas`: a row must stay open long
+    /// enough for at least one access to complete inside the
+    /// activate-to-precharge window.
+    RowOpenTooShort {
+        /// Configured `t_ras`.
+        t_ras: u32,
+        /// Configured `t_rcd`.
+        t_rcd: u32,
+        /// Configured `t_cas`.
+        t_cas: u32,
+    },
+    /// `t_rc` must cover `t_ras + t_rp`: the activate-to-activate cycle
+    /// time cannot be shorter than holding the row open and then
+    /// precharging it.
+    CycleTimeTooShort {
+        /// Configured `t_rc`.
+        t_rc: u32,
+        /// Configured `t_ras`.
+        t_ras: u32,
+        /// Configured `t_rp`.
+        t_rp: u32,
+    },
+    /// Refresh is enabled (`refresh_interval > 0`) but `t_rfc == 0`: a
+    /// zero-cycle refresh would never be observable and the controller
+    /// would re-issue it forever.
+    RefreshWithoutRfc,
+    /// `refresh_interval` must exceed `t_rfc`, or the device spends
+    /// every cycle refreshing and no access can ever issue.
+    RefreshIntervalTooShort {
+        /// Configured `refresh_interval`.
+        interval: u64,
+        /// Configured `t_rfc`.
+        t_rfc: u32,
+    },
+    /// The address fields (`log2_cols + log2(internal_banks) +
+    /// log2_rows`) exceed 63 bits and would overflow the 64-bit word
+    /// address space.
+    GeometryOverflow {
+        /// Total field width in bits.
+        bits: u32,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ConfigError::InternalBanksNotPowerOfTwo(v) => {
+                write!(f, "internal_banks = {v} is not a nonzero power of two")
+            }
+            ConfigError::NoRanks => write!(f, "ranks must be at least 1"),
+            ConfigError::ZeroCasLatency => write!(f, "t_cas must be at least 1"),
+            ConfigError::SramModeNeedsZeroRcd { t_rcd } => {
+                write!(
+                    f,
+                    "t_ras = 0 (uniform-latency mode) requires t_rcd = 0, got {t_rcd}"
+                )
+            }
+            ConfigError::RowOpenTooShort {
+                t_ras,
+                t_rcd,
+                t_cas,
+            } => {
+                write!(
+                    f,
+                    "t_ras = {t_ras} is shorter than t_rcd + t_cas = {}",
+                    t_rcd + t_cas
+                )
+            }
+            ConfigError::CycleTimeTooShort { t_rc, t_ras, t_rp } => {
+                write!(
+                    f,
+                    "t_rc = {t_rc} is shorter than t_ras + t_rp = {}",
+                    t_ras + t_rp
+                )
+            }
+            ConfigError::RefreshWithoutRfc => {
+                write!(f, "refresh_interval > 0 requires t_rfc >= 1")
+            }
+            ConfigError::RefreshIntervalTooShort { interval, t_rfc } => {
+                write!(
+                    f,
+                    "refresh_interval = {interval} must exceed t_rfc = {t_rfc}"
+                )
+            }
+            ConfigError::GeometryOverflow { bits } => {
+                write!(f, "address fields span {bits} bits, overflowing u64")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Internal coordinates of a device word: which internal bank, row
 /// (page) and column it lives in.
@@ -251,6 +455,124 @@ mod tests {
             ..SdramConfig::default()
         };
         assert_eq!(c.capacity_words(), 4 << 22);
+    }
+
+    #[test]
+    fn all_presets_validate_clean() {
+        for (name, cfg) in [
+            ("default", SdramConfig::default()),
+            ("sram_like", SdramConfig::sram_like()),
+            ("with_refresh", SdramConfig::with_refresh()),
+            ("edo_like", SdramConfig::edo_like()),
+            ("sldram_like", SdramConfig::sldram_like()),
+            ("drdram_like", SdramConfig::drdram_like()),
+        ] {
+            assert_eq!(cfg.check(), vec![], "preset {name} must be consistent");
+        }
+    }
+
+    #[test]
+    fn each_rule_fires_on_its_minimal_violation() {
+        let base = SdramConfig::default;
+        let cases: Vec<(SdramConfig, ConfigError)> = vec![
+            (
+                SdramConfig {
+                    internal_banks: 3,
+                    ..base()
+                },
+                ConfigError::InternalBanksNotPowerOfTwo(3),
+            ),
+            (SdramConfig { ranks: 0, ..base() }, ConfigError::NoRanks),
+            (
+                SdramConfig { t_cas: 0, ..base() },
+                ConfigError::ZeroCasLatency,
+            ),
+            (
+                SdramConfig {
+                    t_ras: 0,
+                    t_rc: 2, // keep tRC >= tRAS + tRP
+                    ..base()
+                },
+                ConfigError::SramModeNeedsZeroRcd { t_rcd: 2 },
+            ),
+            (
+                SdramConfig { t_ras: 3, ..base() },
+                ConfigError::RowOpenTooShort {
+                    t_ras: 3,
+                    t_rcd: 2,
+                    t_cas: 2,
+                },
+            ),
+            (
+                SdramConfig { t_rc: 6, ..base() },
+                ConfigError::CycleTimeTooShort {
+                    t_rc: 6,
+                    t_ras: 5,
+                    t_rp: 2,
+                },
+            ),
+            (
+                SdramConfig {
+                    refresh_interval: 100,
+                    t_rfc: 0,
+                    ..base()
+                },
+                ConfigError::RefreshWithoutRfc,
+            ),
+            (
+                SdramConfig {
+                    refresh_interval: 8,
+                    t_rfc: 8,
+                    ..base()
+                },
+                ConfigError::RefreshIntervalTooShort {
+                    interval: 8,
+                    t_rfc: 8,
+                },
+            ),
+            (
+                SdramConfig {
+                    log2_cols: 40,
+                    log2_rows: 30,
+                    ..base()
+                },
+                ConfigError::GeometryOverflow { bits: 72 },
+            ),
+        ];
+        for (cfg, want) in cases {
+            let errs = cfg.check();
+            assert!(
+                errs.contains(&want),
+                "expected {want:?} among {errs:?} for {cfg:?}"
+            );
+            assert!(cfg.validate().is_err());
+        }
+    }
+
+    #[test]
+    fn check_reports_every_violation_at_once() {
+        let cfg = SdramConfig {
+            internal_banks: 5,
+            ranks: 0,
+            t_cas: 0,
+            ..SdramConfig::default()
+        };
+        let errs = cfg.check();
+        assert!(errs.len() >= 3, "all three violations reported: {errs:?}");
+    }
+
+    #[test]
+    fn error_display_is_readable() {
+        let e = SdramConfig {
+            internal_banks: 3,
+            ..SdramConfig::default()
+        }
+        .validate()
+        .unwrap_err();
+        assert_eq!(
+            e.to_string(),
+            "internal_banks = 3 is not a nonzero power of two"
+        );
     }
 
     #[test]

@@ -17,6 +17,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use crate::config::SdramConfig;
+use crate::fsm::{self, BankEvent, BankState, CmdClass};
 use crate::restimer::BankTimers;
 
 /// A command presented to the SDRAM at a clock edge (§2.3.3: "it is more
@@ -213,7 +214,17 @@ pub struct Sdram {
 
 impl Sdram {
     /// Creates an idle device with all rows closed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` violates a [`SdramConfig::check`] consistency
+    /// rule — an inconsistent device would produce silently wrong
+    /// timing rather than an error, so construction is the last safe
+    /// place to stop it.
     pub fn new(config: SdramConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid SdramConfig: {e}");
+        }
         let n = config.total_row_buffers() as usize;
         Sdram {
             config,
@@ -250,6 +261,54 @@ impl Sdram {
             Some(RowState::Open { row }) => Some(*row),
             _ => None,
         }
+    }
+
+    /// The observable FSM state of internal bank `bank` (see
+    /// [`crate::fsm`]): derived from the row buffer, the tRCD/tRP
+    /// restimers and the device-wide refresh counter, so it is always
+    /// consistent with what `can_issue` will admit.
+    pub fn bank_state(&self, bank: u32) -> BankState {
+        if self.refresh_busy > 0 {
+            return BankState::Refreshing;
+        }
+        let b = bank as usize;
+        match self.rows[b] {
+            RowState::Open { .. } => {
+                if self.timers[b].rcd.available() {
+                    BankState::Active
+                } else {
+                    BankState::Activating
+                }
+            }
+            RowState::Closed => {
+                if self.timers[b].rp.available() {
+                    BankState::Idle
+                } else {
+                    BankState::Precharging
+                }
+            }
+        }
+    }
+
+    /// Drives internal bank `bank` through the transition table for a
+    /// validated command: the successor state decides whether the row
+    /// buffer is open (holding `row`) or closed. `can_issue` has
+    /// already admitted the command, so the table must agree it is
+    /// legal — a mismatch is a bug in one of the two.
+    fn apply_bank_event(&mut self, bank: u32, class: CmdClass, row: u64) {
+        let prev = self.bank_state(bank);
+        let next = fsm::next_state(prev, BankEvent::Command(class)).unwrap_or_else(|| {
+            panic!(
+                "can_issue admitted {} in state {} but the transition table forbids it",
+                class.mnemonic(),
+                prev.name()
+            )
+        });
+        self.rows[bank as usize] = if next.row_open() {
+            RowState::Open { row }
+        } else {
+            RowState::Closed
+        };
     }
 
     /// Whether `cmd` could legally issue this cycle.
@@ -333,6 +392,11 @@ impl Sdram {
         match cmd {
             SdramCmd::Nop => return Ok(()),
             SdramCmd::Refresh => {
+                // Every internal bank enters Refreshing (applied before
+                // the busy counter starts so the table sees Idle).
+                for b in 0..self.config.total_row_buffers() {
+                    self.apply_bank_event(b, CmdClass::Refresh, 0);
+                }
                 // The whole device is busy for tRFC; afterwards every
                 // internal bank must wait tRP-equivalent before activate,
                 // which tRFC subsumes in this model.
@@ -343,7 +407,7 @@ impl Sdram {
             SdramCmd::Activate { bank, row } => {
                 let cfg = self.config;
                 let b = bank as usize;
-                self.rows[b] = RowState::Open { row };
+                self.apply_bank_event(bank, CmdClass::Activate, row);
                 let t = &mut self.timers[b];
                 t.rcd.arm(cfg.t_rcd);
                 t.ras.arm(cfg.t_ras);
@@ -375,6 +439,12 @@ impl Sdram {
                     .unwrap_or(self.in_flight.len());
                 self.in_flight.insert(pos, ready);
                 self.stats.reads += 1;
+                let class = if auto_precharge {
+                    CmdClass::ReadAuto
+                } else {
+                    CmdClass::Read
+                };
+                self.apply_bank_event(bank, class, row);
                 if auto_precharge {
                     self.auto_precharge(bank);
                 }
@@ -391,15 +461,21 @@ impl Sdram {
                 };
                 let local = self.local_addr(bank, row, col);
                 self.overlay.insert(local, data);
-                self.timers[bank as usize].wr.arm(self.config.t_wr);
                 self.stats.writes += 1;
+                let class = if auto_precharge {
+                    CmdClass::WriteAuto
+                } else {
+                    CmdClass::Write
+                };
+                self.apply_bank_event(bank, class, row);
+                self.timers[bank as usize].wr.arm(self.config.t_wr);
                 if auto_precharge {
                     self.auto_precharge(bank);
                 }
             }
             SdramCmd::Precharge { bank } => {
                 let b = bank as usize;
-                self.rows[b] = RowState::Closed;
+                self.apply_bank_event(bank, CmdClass::Precharge, 0);
                 self.timers[b].rp.arm(self.config.t_rp);
                 self.stats.precharges += 1;
             }
@@ -488,9 +564,12 @@ impl Sdram {
         Ok((self.rows[bank as usize], &self.timers[bank as usize]))
     }
 
+    /// Arms the precharge timer for an auto-precharging access (the
+    /// row buffer itself was already closed by the transition table in
+    /// [`Sdram::apply_bank_event`]).
     fn auto_precharge(&mut self, bank: u32) {
         let b = bank as usize;
-        self.rows[b] = RowState::Closed;
+        debug_assert!(matches!(self.rows[b], RowState::Closed));
         // The internal precharge starts once tRAS/tWR allow and takes
         // tRP; until then the bank cannot re-activate. Model this as
         // arming tRP for the residual tRAS/tWR plus tRP.

@@ -36,9 +36,11 @@
 mod audit;
 mod config;
 mod device;
+pub mod fsm;
 mod restimer;
 
 pub use audit::{TimingAuditor, Violation};
-pub use config::{InternalAddr, SdramConfig};
+pub use config::{ConfigError, InternalAddr, SdramConfig};
 pub use device::{background_pattern, IssueError, ReadReturn, Sdram, SdramCmd, SdramStats};
+pub use fsm::{BankEvent, BankState, CmdClass, Outcome, TRANSITIONS};
 pub use restimer::{BankTimers, Restimer};

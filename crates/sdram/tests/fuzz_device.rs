@@ -1,16 +1,17 @@
 //! Fuzz the SDRAM device with random-but-legal command streams and
 //! cross-check the device's restimer enforcement against the
-//! independent [`TimingAuditor`].
+//! independent [`TimingAuditor`]. Randomized with the deterministic
+//! in-tree [`SplitMix64`] so failures replay exactly.
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pva_core::SplitMix64;
 use sdram::{Sdram, SdramCmd, SdramConfig, TimingAuditor};
+
+const CASES: u64 = 64;
 
 /// Drives `steps` cycles of random legal traffic; returns the auditor
 /// and the set of (local_addr, data) writes performed.
 fn drive(seed: u64, steps: u32, cfg: SdramConfig) -> (TimingAuditor, Vec<(u64, u64)>, Sdram) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut dev = Sdram::new(cfg);
     let mut audit = TimingAuditor::new(cfg);
     let mut writes = Vec::new();
@@ -18,23 +19,23 @@ fn drive(seed: u64, steps: u32, cfg: SdramConfig) -> (TimingAuditor, Vec<(u64, u
         // Propose a few random commands; issue the first legal one.
         let mut issued = false;
         for _ in 0..8 {
-            let bank = rng.gen_range(0..cfg.internal_banks);
-            let cmd = match rng.gen_range(0..4) {
+            let bank = rng.below(cfg.internal_banks as u64) as u32;
+            let cmd = match rng.below(4) {
                 0 => SdramCmd::Activate {
                     bank,
-                    row: rng.gen_range(0..8),
+                    row: rng.below(8),
                 },
                 1 => SdramCmd::Read {
                     bank,
-                    col: rng.gen_range(0..16),
-                    auto_precharge: rng.gen_bool(0.3),
-                    tag: rng.gen(),
+                    col: rng.below(16),
+                    auto_precharge: rng.chance(3, 10),
+                    tag: rng.next_u64(),
                 },
                 2 => SdramCmd::Write {
                     bank,
-                    col: rng.gen_range(0..16),
-                    data: rng.gen(),
-                    auto_precharge: rng.gen_bool(0.3),
+                    col: rng.below(16),
+                    data: rng.next_u64(),
+                    auto_precharge: rng.chance(3, 10),
                 },
                 _ => SdramCmd::Precharge { bank },
             };
@@ -62,43 +63,48 @@ fn drive(seed: u64, steps: u32, cfg: SdramConfig) -> (TimingAuditor, Vec<(u64, u
     (audit, writes, dev)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Any stream the device accepts is clean under independent audit.
-    #[test]
-    fn device_never_violates_timing(seed in any::<u64>()) {
-        let (audit, _, _) = drive(seed, 400, SdramConfig::default());
+/// Any stream the device accepts is clean under independent audit.
+#[test]
+fn device_never_violates_timing() {
+    let mut seeds = SplitMix64::new(0x5D01);
+    for _ in 0..CASES {
+        let (audit, _, _) = drive(seeds.next_u64(), 400, SdramConfig::default());
         audit.assert_clean();
     }
+}
 
-    /// Tighter timing parameters are enforced too.
-    #[test]
-    fn device_clean_with_slow_timings(seed in any::<u64>()) {
-        let cfg = SdramConfig {
-            t_rcd: 3,
-            t_cas: 3,
-            t_rp: 3,
-            t_ras: 7,
-            t_rc: 10,
-            t_wr: 2,
-            ..SdramConfig::default()
-        };
-        let (audit, _, _) = drive(seed, 400, cfg);
+/// Tighter timing parameters are enforced too.
+#[test]
+fn device_clean_with_slow_timings() {
+    let cfg = SdramConfig {
+        t_rcd: 3,
+        t_cas: 3,
+        t_rp: 3,
+        t_ras: 7,
+        t_rc: 10,
+        t_wr: 2,
+        ..SdramConfig::default()
+    };
+    let mut seeds = SplitMix64::new(0x5D02);
+    for _ in 0..CASES {
+        let (audit, _, _) = drive(seeds.next_u64(), 400, cfg);
         audit.assert_clean();
     }
+}
 
-    /// The last write to each address is what a functional read returns.
-    #[test]
-    fn writes_are_durable(seed in any::<u64>()) {
-        let (_, writes, dev) = drive(seed, 300, SdramConfig::default());
+/// The last write to each address is what a functional read returns.
+#[test]
+fn writes_are_durable() {
+    let mut seeds = SplitMix64::new(0x5D03);
+    for _ in 0..CASES {
+        let (_, writes, dev) = drive(seeds.next_u64(), 300, SdramConfig::default());
         use std::collections::HashMap;
         let mut last: HashMap<u64, u64> = HashMap::new();
         for (addr, data) in writes {
             last.insert(addr, data);
         }
         for (addr, data) in last {
-            prop_assert_eq!(dev.peek(addr), data);
+            assert_eq!(dev.peek(addr), data);
         }
     }
 }
