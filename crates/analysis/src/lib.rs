@@ -60,6 +60,10 @@ pub const DESIGNATED: &[Target] = &[
         profile: Profile::Datapath,
     },
     Target {
+        path: "crates/sdram/src/ecc.rs",
+        profile: Profile::Datapath,
+    },
+    Target {
         path: "crates/pva-sim/src/bank_controller.rs",
         profile: Profile::ArithmeticOnly,
     },

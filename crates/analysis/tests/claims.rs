@@ -54,6 +54,19 @@ fn recursive_algorithm_needs_dividers() {
     );
 }
 
+/// The SEC-DED codec is datapath hardware (it sits between the column
+/// mux and the pins), so it is held to the full synthesizability
+/// profile: no allocation, no panics, shifts/masks/XOR trees only.
+#[test]
+fn secded_codec_is_synthesizable() {
+    let findings = lint_source(
+        "crates/sdram/src/ecc.rs",
+        &read("crates/sdram/src/ecc.rs"),
+        Profile::Datapath,
+    );
+    assert_eq!(findings, vec![], "ecc.rs must lint clean");
+}
+
 /// Every designated file lints clean under its assigned profile — the
 /// binary's exit-zero contract on a clean tree.
 #[test]

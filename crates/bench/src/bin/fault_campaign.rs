@@ -1,0 +1,91 @@
+//! Seeded fault-injection campaign: fault scenario × kernel sweep with
+//! end-to-end silent-corruption accounting.
+//!
+//! ```text
+//! cargo run --release -p pva-bench --bin fault_campaign -- [--smoke] [--ecc-off] [--seed N]
+//! ```
+//!
+//! With ECC on (the default) the binary exits nonzero if any silent
+//! corruption is observed — the CI gate for the robustness layer.
+
+use pva_bench::campaign::{run_campaign, CampaignConfig};
+
+fn main() {
+    let mut smoke = false;
+    let mut ecc = true;
+    let mut seed = 0xC0FFEEu64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--ecc-off" => ecc = false,
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed takes an integer");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: fault_campaign [--smoke] [--ecc-off] [--seed N]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut cc = if smoke {
+        CampaignConfig::smoke(seed)
+    } else {
+        CampaignConfig::full(seed)
+    };
+    cc.ecc = ecc;
+
+    let report = run_campaign(&cc);
+    println!(
+        "fault campaign: seed={seed:#x} elements={} ecc={}",
+        cc.elements, cc.ecc
+    );
+    println!(
+        "{:<10} {:<18} {:>9} {:>9} {:>9} {:>8} {:>8} {:>8} {:>6}",
+        "kernel",
+        "scenario",
+        "cycles",
+        "corrected",
+        "detected",
+        "flagged",
+        "flg-mis",
+        "silent",
+        "hung"
+    );
+    for c in &report.cells {
+        println!(
+            "{:<10} {:<18} {:>9} {:>9} {:>9} {:>8} {:>8} {:>8} {:>6}",
+            c.kernel,
+            c.scenario,
+            c.cycles,
+            c.corrected,
+            c.detected,
+            c.flagged_elements,
+            c.flagged_mismatches,
+            c.device_silent + c.silent_mismatches,
+            if c.hung { "YES" } else { "-" }
+        );
+    }
+    println!(
+        "totals: corrected={} detected={} silent={} hung-cells={}",
+        report.total_corrected(),
+        report.total_detected(),
+        report.total_silent(),
+        report.hung_cells()
+    );
+    if cc.ecc && report.total_silent() > 0 {
+        eprintln!(
+            "FAIL: {} silent corruption(s) with ECC enabled",
+            report.total_silent()
+        );
+        std::process::exit(1);
+    }
+    if report.hung_cells() > 0 {
+        eprintln!("FAIL: {} cell(s) hit the watchdog", report.hung_cells());
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,295 @@
+//! Seeded fault-injection campaign over the Table-2 kernels.
+//!
+//! Sweeps fault scenario × kernel, running each kernel's vector trace
+//! through a faulty [`PvaUnit`] while a golden map tracks every word the
+//! campaign wrote. Each gathered line is checked end to end: a wrong
+//! word covered by the completion's `faulted` flag counts as *flagged*
+//! (detected, delivered honestly); a wrong word without the flag is a
+//! *silent* corruption. With ECC on and single-bit fault mechanisms,
+//! the campaign must report zero silent corruptions — the repeatable,
+//! seeded form of the robustness acceptance criterion.
+
+use std::collections::{HashMap, HashSet};
+
+use kernels::Kernel;
+use memsys::OpKind;
+use pva_core::{PvaError, Vector};
+use pva_sim::{HostRequest, PvaConfig, PvaUnit};
+
+/// Campaign-wide knobs. Everything downstream is a pure function of
+/// these, so a report is reproducible from its config alone.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// Master fault seed (propagated into every device).
+    pub seed: u64,
+    /// Application-vector length per kernel (1024 in the paper; use a
+    /// smaller multiple of the line length for smoke runs).
+    pub elements: u64,
+    /// Element stride shared by every vector.
+    pub stride: u64,
+    /// Whether the devices encode/decode SEC-DED.
+    pub ecc: bool,
+    /// Transient flip rate for the `transient` scenario (ppm of reads).
+    pub transient_ppm: u32,
+    /// Stuck-cell rate for the `stuck` scenario (ppm of words).
+    pub stuck_ppm: u32,
+}
+
+impl CampaignConfig {
+    /// The full-size campaign at the paper's 1024-element vectors.
+    pub fn full(seed: u64) -> Self {
+        CampaignConfig {
+            seed,
+            elements: 1024,
+            stride: 1,
+            ecc: true,
+            transient_ppm: 20_000,
+            stuck_ppm: 20_000,
+        }
+    }
+
+    /// A small, fast configuration for CI smoke runs.
+    pub fn smoke(seed: u64) -> Self {
+        CampaignConfig {
+            elements: 128,
+            transient_ppm: 100_000,
+            stuck_ppm: 100_000,
+            ..Self::full(seed)
+        }
+    }
+}
+
+/// Outcome of one kernel × scenario cell.
+#[derive(Debug, Clone, Copy)]
+pub struct CellOutcome {
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Scenario label.
+    pub scenario: &'static str,
+    /// Simulated cycles across the whole trace.
+    pub cycles: u64,
+    /// Device counter: single-bit errors the SEC-DED code corrected.
+    pub corrected: u64,
+    /// Device counter: detected-uncorrectable (poisoned) reads.
+    pub detected: u64,
+    /// Device counter: wrong data delivered without the poison flag.
+    pub device_silent: u64,
+    /// Device counter: transient flips injected.
+    pub transient_faults: u64,
+    /// Device counter: words lost to refresh decay.
+    pub decayed_words: u64,
+    /// Elements delivered with the completion's `faulted` flag.
+    pub flagged_elements: u64,
+    /// End-to-end mismatches that *were* covered by a flag.
+    pub flagged_mismatches: u64,
+    /// End-to-end mismatches with no flag — silent corruption as the
+    /// application would experience it.
+    pub silent_mismatches: u64,
+    /// The watchdog aborted the cell.
+    pub hung: bool,
+}
+
+/// Aggregated campaign results.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// The configuration that produced the report.
+    pub config: CampaignConfig,
+    /// One outcome per kernel × scenario.
+    pub cells: Vec<CellOutcome>,
+}
+
+impl CampaignReport {
+    /// Total silent corruptions: device-level plus end-to-end.
+    pub fn total_silent(&self) -> u64 {
+        self.cells
+            .iter()
+            .map(|c| c.device_silent + c.silent_mismatches)
+            .sum()
+    }
+
+    /// Total ECC corrections across all cells.
+    pub fn total_corrected(&self) -> u64 {
+        self.cells.iter().map(|c| c.corrected).sum()
+    }
+
+    /// Total detected-uncorrectable reads across all cells.
+    pub fn total_detected(&self) -> u64 {
+        self.cells.iter().map(|c| c.detected).sum()
+    }
+
+    /// Number of cells the watchdog had to abort.
+    pub fn hung_cells(&self) -> usize {
+        self.cells.iter().filter(|c| c.hung).count()
+    }
+}
+
+/// The fault scenarios of the sweep, as ready-to-run unit configs.
+pub fn scenarios(cc: &CampaignConfig) -> Vec<(&'static str, PvaConfig)> {
+    let mut base = PvaConfig::default();
+    base.sdram.ecc = cc.ecc;
+    base.sdram.fault.seed = cc.seed;
+    base.watchdog_cycles = 200_000;
+    let mut out = Vec::new();
+    {
+        let mut c = base;
+        c.sdram.fault.transient_ppm = cc.transient_ppm;
+        out.push(("transient", c));
+    }
+    {
+        let mut c = base;
+        c.sdram.fault.stuck_ppm = cc.stuck_ppm;
+        out.push(("stuck", c));
+    }
+    {
+        // On-schedule refresh must keep retention satisfied under load:
+        // the expected outcome of this scenario is zero faults.
+        let mut c = base;
+        c.sdram.refresh_interval = 781;
+        c.sdram.fault.retention_cycles = 3_000;
+        out.push(("decay", c));
+    }
+    {
+        let mut c = base;
+        c.sdram.fault.hard_failed_bank = Some(0);
+        out.push(("hard-bank-remap", c));
+    }
+    {
+        let mut c = base;
+        c.sdram.fault.hard_failed_bank = Some(0);
+        c.degradation = false;
+        out.push(("hard-bank-flagged", c));
+    }
+    out
+}
+
+/// Runs the whole campaign: every base kernel under every scenario.
+pub fn run_campaign(cc: &CampaignConfig) -> CampaignReport {
+    let mut cells = Vec::new();
+    for (name, unit_cfg) in scenarios(cc) {
+        for k in Kernel::BASE {
+            cells.push(run_cell(cc, k, name, unit_cfg));
+        }
+    }
+    CampaignReport { config: *cc, cells }
+}
+
+/// Deterministic word value for address `addr`, version `v` (version 0
+/// is the priming fill; later writes bump it so overwrites are visible).
+fn synth(seed: u64, addr: u64, v: u64) -> u64 {
+    (addr ^ seed ^ (v << 56)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Runs one kernel's trace against one faulty unit, comparing every
+/// gathered word against the golden map.
+fn run_cell(
+    cc: &CampaignConfig,
+    kernel: Kernel,
+    scenario: &'static str,
+    unit_cfg: PvaConfig,
+) -> CellOutcome {
+    let bases = [0u64, 1 << 20, 2 << 20];
+    let trace = kernel.trace(&bases, cc.stride, cc.elements, unit_cfg.line_words);
+
+    // Priming pass: any vector that is read before the trace ever writes
+    // it gets filled up front (through the unit, so hard-bank remapping
+    // applies to the fill exactly as it will to the kernel's accesses).
+    let mut prime: Vec<Vector> = Vec::new();
+    {
+        let mut known: HashSet<u64> = HashSet::new();
+        for op in &trace {
+            match op.kind {
+                OpKind::Read => {
+                    if op.vector.addresses().all(|a| !known.contains(&a)) {
+                        prime.push(op.vector);
+                        known.extend(op.vector.addresses());
+                    }
+                }
+                OpKind::Write => known.extend(op.vector.addresses()),
+            }
+        }
+    }
+
+    let mut out = CellOutcome {
+        kernel: kernel.name(),
+        scenario,
+        cycles: 0,
+        corrected: 0,
+        detected: 0,
+        device_silent: 0,
+        transient_faults: 0,
+        decayed_words: 0,
+        flagged_elements: 0,
+        flagged_mismatches: 0,
+        silent_mismatches: 0,
+        hung: false,
+    };
+    let mut unit = PvaUnit::new(unit_cfg).expect("campaign configs are valid");
+    let mut golden: HashMap<u64, u64> = HashMap::new();
+
+    // Priming fills (version 0), then the kernel's own ops; trace
+    // writes carry versioned data so overwrites are distinguishable.
+    let mut ops: Vec<HostRequest> = prime
+        .into_iter()
+        .map(|v| HostRequest::Write {
+            data: v.addresses().map(|a| synth(cc.seed, a, 0)).collect(),
+            vector: v,
+        })
+        .collect();
+    for (i, op) in trace.iter().enumerate() {
+        ops.push(match op.kind {
+            OpKind::Read => HostRequest::Read { vector: op.vector },
+            OpKind::Write => HostRequest::Write {
+                vector: op.vector,
+                data: op
+                    .vector
+                    .addresses()
+                    .map(|a| synth(cc.seed, a, 1 + i as u64))
+                    .collect(),
+            },
+        });
+    }
+
+    // Ops run one at a time so each gathered line is checked before the
+    // next op, and so a hang is attributed to the op that caused it.
+    for op in ops {
+        if let HostRequest::Write { vector, data } = &op {
+            for (a, &d) in vector.addresses().zip(data.iter()) {
+                golden.insert(a, d);
+            }
+        }
+        let vector = *op.vector();
+        let result = match unit.run(vec![op]) {
+            Ok(r) => r,
+            Err(PvaError::Watchdog { .. }) => {
+                out.hung = true;
+                break;
+            }
+            Err(e) => panic!("campaign request failed: {e}"),
+        };
+        out.cycles += result.cycles;
+        let c = &result.completions[0];
+        out.flagged_elements += c.faulted.len() as u64;
+        if let Some(data) = &c.data {
+            for (j, &w) in data.iter().enumerate() {
+                let addr = vector.element(j as u64);
+                if let Some(&expected) = golden.get(&addr) {
+                    if w != expected {
+                        if c.faulted.contains(&(j as u64)) {
+                            out.flagged_mismatches += 1;
+                        } else {
+                            out.silent_mismatches += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let s = unit.sdram_stats();
+    out.corrected = s.corrected;
+    out.detected = s.detected_uncorrectable;
+    out.device_silent = s.silent;
+    out.transient_faults = s.transient_faults;
+    out.decayed_words = s.decayed_words;
+    out
+}

@@ -12,6 +12,7 @@
 use kernels::{run_cell, run_point, Alignment, CellResult, Kernel, SystemKind, STRIDES};
 use pva_sim::{PvaConfig, RowPolicy};
 
+pub mod campaign;
 pub mod report;
 
 /// One row of the figure-7/8 stride sweeps: a kernel at a stride, with

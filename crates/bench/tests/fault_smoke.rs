@@ -1,0 +1,58 @@
+//! Seeded fault-campaign smoke: the robustness acceptance criteria in
+//! test form. With ECC on, no scenario may produce a silent corruption
+//! or a hang; with ECC off at a high transient rate, silent corruption
+//! must actually show up (proving the campaign can detect it).
+
+use pva_bench::campaign::{run_campaign, CampaignConfig};
+
+#[test]
+fn ecc_campaign_has_zero_silent_corruptions() {
+    let report = run_campaign(&CampaignConfig::smoke(0xC0FFEE));
+    assert_eq!(report.hung_cells(), 0, "no cell may hang");
+    for c in &report.cells {
+        assert_eq!(
+            c.device_silent + c.silent_mismatches,
+            0,
+            "{}/{} must have no silent corruption",
+            c.kernel,
+            c.scenario
+        );
+    }
+    // The campaign exercised real faults — it did not pass vacuously.
+    assert!(report.total_corrected() > 0, "ECC corrections must occur");
+    assert!(
+        report.total_detected() > 0,
+        "the dead-bank scenarios must detect poisoned reads"
+    );
+}
+
+#[test]
+fn ecc_off_campaign_detects_silent_corruption() {
+    let mut cc = CampaignConfig::smoke(0xC0FFEE);
+    cc.ecc = false;
+    cc.transient_ppm = 500_000;
+    let report = run_campaign(&cc);
+    assert!(
+        report.total_silent() > 0,
+        "without ECC, a 50% transient rate must corrupt silently"
+    );
+}
+
+#[test]
+fn campaign_is_reproducible_from_its_seed() {
+    let a = run_campaign(&CampaignConfig::smoke(42));
+    let b = run_campaign(&CampaignConfig::smoke(42));
+    let key = |r: &pva_bench::campaign::CampaignReport| {
+        r.cells
+            .iter()
+            .map(|c| (c.cycles, c.corrected, c.detected, c.flagged_elements))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(key(&a), key(&b));
+    let c = run_campaign(&CampaignConfig::smoke(43));
+    assert_ne!(
+        key(&a),
+        key(&c),
+        "a different seed must steer the fault streams differently"
+    );
+}

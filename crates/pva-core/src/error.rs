@@ -46,6 +46,23 @@ pub enum PvaError {
     /// A unit or device configuration violated a consistency rule
     /// checked at construction. Payload names the violated rule.
     InvalidConfig(&'static str),
+    /// The simulation watchdog tripped: no transaction made forward
+    /// progress for the configured number of cycles, so the run was
+    /// aborted instead of hanging.
+    Watchdog {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+        /// Transactions still open when it fired.
+        stalled_txns: usize,
+    },
+    /// A write request's data line does not carry one word per vector
+    /// element.
+    WriteLineMismatch {
+        /// Words the vector requires (its length).
+        expected: u64,
+        /// Words the request supplied.
+        got: u64,
+    },
 }
 
 impl fmt::Display for PvaError {
@@ -77,6 +94,21 @@ impl fmt::Display for PvaError {
             PvaError::InvalidConfig(rule) => {
                 write!(f, "inconsistent configuration: {rule}")
             }
+            PvaError::Watchdog {
+                cycle,
+                stalled_txns,
+            } => {
+                write!(
+                    f,
+                    "watchdog: no forward progress by cycle {cycle} with {stalled_txns} open transactions"
+                )
+            }
+            PvaError::WriteLineMismatch { expected, got } => {
+                write!(
+                    f,
+                    "write line carries {got} words for a {expected}-element vector"
+                )
+            }
         }
     }
 }
@@ -100,6 +132,14 @@ mod tests {
             PvaError::VectorTooLong(64, 32),
             PvaError::AddressOutOfRange(0xdead),
             PvaError::InvalidConfig("request FIFO smaller than transaction IDs"),
+            PvaError::Watchdog {
+                cycle: 10_000,
+                stalled_txns: 3,
+            },
+            PvaError::WriteLineMismatch {
+                expected: 32,
+                got: 16,
+            },
         ];
         for c in cases {
             let s = c.to_string();

@@ -25,11 +25,11 @@
 //! enforced SDRAM timing (§5.2.5) and the row-management heuristic are
 //! all modelled; each is switchable for the ablation benches.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use pva_core::{BankId, FirstHit, K1Pla, LogicalView};
-use sdram::{CmdClass, Sdram, SdramCmd};
+use sdram::{CmdClass, InternalAddr, Sdram, SdramCmd};
 
 use crate::command::{OpKind, TxnId, VectorCommand};
 use crate::config::{PvaConfig, RowPolicy};
@@ -44,6 +44,27 @@ fn tag_of(txn: TxnId, element: u64) -> u64 {
 /// Decodes an SDRAM read tag.
 fn untag(tag: u64) -> (TxnId, u64) {
     (TxnId((tag >> 40) as u8), tag & ((1 << 40) - 1))
+}
+
+/// Row-address bit set on rows remapped away from a hard-failed
+/// internal bank, so they cannot collide with the spare bank's own
+/// rows (device row addresses are untruncated 64-bit values; real
+/// hardware would burn one spare-region row bit the same way).
+const REMAP_ROW_BIT: u64 = 1 << 40;
+
+/// Cap on the exponential retry-backoff shift (`backoff << attempts`),
+/// keeping the delay bounded and overflow-free.
+const MAX_BACKOFF_SHIFT: u32 = 10;
+
+/// A poisoned read awaiting re-issue: the element is re-expanded as a
+/// one-element vector context once `not_before` passes.
+#[derive(Debug, Clone, Copy)]
+struct PendingRetry {
+    txn: TxnId,
+    element: u64,
+    addr: u64,
+    /// Earliest cycle the retry may re-enter a vector context.
+    not_before: u64,
 }
 
 /// The bank's first-hit logic: a single PLA for word interleave, or
@@ -130,6 +151,14 @@ pub struct BcStats {
     pub row_hits: u64,
     /// Activates issued (row opens).
     pub activates: u64,
+    /// Poisoned reads re-issued (bounded retry with backoff).
+    pub read_retries: u64,
+    /// Elements whose retries were exhausted and whose (bad) data was
+    /// deposited flagged instead.
+    pub retries_exhausted: u64,
+    /// Accesses remapped away from a hard-failed internal bank into its
+    /// spare (graceful degradation).
+    pub remapped_accesses: u64,
 }
 
 /// One bank controller: parallelizing logic + scheduler + one SDRAM
@@ -154,6 +183,14 @@ pub struct BankController {
     /// only consulted under `RowPolicy::AlphaHistory`).
     row_history: Vec<u8>,
     stats: BcStats,
+    /// Poisoned reads waiting out their backoff before re-issue.
+    retries: Vec<PendingRetry>,
+    /// Retry attempts so far per (transaction, element).
+    retry_attempts: HashMap<(u8, u64), u32>,
+    /// Base and stride of each observed vector command, kept while its
+    /// transaction may still need element addresses recomputed for
+    /// retries.
+    vec_meta: HashMap<u8, (u64, u64)>,
     /// Trace events accumulated since the last drain (only populated
     /// when `config.record_trace`).
     events: Vec<TraceEvent>,
@@ -173,19 +210,26 @@ impl BankController {
 
     fn with_hit_logic(bank: BankId, config: PvaConfig, hit_logic: HitLogic) -> Self {
         let ib = config.sdram.total_row_buffers() as usize;
+        let mut device = Sdram::new(config.sdram);
+        // Each controller's device draws an independent (but seed-
+        // reproducible) transient-fault stream.
+        device.reseed_faults(bank.index() as u64 + 1);
         BankController {
             bank,
             config,
             hit_logic,
             fifo: VecDeque::new(),
             vcs: VecDeque::new(),
-            device: Sdram::new(config.sdram),
+            device,
             data_polarity: None,
             turnaround_left: 0,
             autoprecharge_predict: vec![false; ib],
             last_row: vec![None; ib],
             row_history: vec![0; ib],
             stats: BcStats::default(),
+            retries: Vec::new(),
+            retry_attempts: HashMap::new(),
+            vec_meta: HashMap::new(),
             events: Vec::new(),
         }
     }
@@ -232,7 +276,10 @@ impl BankController {
 
     /// Whether this controller has no queued or active work.
     pub fn idle(&self) -> bool {
-        self.fifo.is_empty() && self.vcs.is_empty() && !self.device.has_in_flight()
+        self.fifo.is_empty()
+            && self.vcs.is_empty()
+            && self.retries.is_empty()
+            && !self.device.has_in_flight()
     }
 
     /// FHP: observes a vector command broadcast at cycle `now`. Returns
@@ -245,6 +292,11 @@ impl BankController {
         now: u64,
     ) -> u64 {
         let v = &cmd.vector;
+        // Remember the vector's base/stride so a poisoned element can be
+        // re-expanded into a retry context later (recorded even on a
+        // miss: the map is keyed by the 8-bit transaction id, so it
+        // stays bounded).
+        self.vec_meta.insert(cmd.txn.0, (v.base(), v.stride()));
         let (first, index_delta, count, indices) = match &self.hit_logic {
             HitLogic::Word(pla) => {
                 let first = match pla.first_hit(v, self.bank) {
@@ -312,10 +364,36 @@ impl BankController {
     /// Advances the controller one cycle: FHC progress, VC injection,
     /// SPU scheduling, SDRAM issue, data return.
     pub fn tick(&mut self, now: u64, txns: &mut TransactionTable) {
-        // 1. Return data that reached the pins this cycle.
+        // 1. Return data that reached the pins this cycle. Poisoned
+        //    words (ECC-uncorrectable or hard-failed bank) are retried
+        //    with exponential backoff up to the configured bound, then
+        //    deposited flagged so the transaction still completes.
         for ready in self.device.take_ready_data() {
             let (txn, element) = untag(ready.tag);
-            txns.deposit(txn, element, ready.data);
+            if ready.poisoned {
+                let key = (txn.0, element);
+                let attempts = self.retry_attempts.get(&key).copied().unwrap_or(0);
+                if attempts < self.config.max_read_retries {
+                    let (base, stride) = self.vec_meta[&txn.0];
+                    let backoff = (self.config.retry_backoff_cycles as u64)
+                        << attempts.min(MAX_BACKOFF_SHIFT);
+                    self.retry_attempts.insert(key, attempts + 1);
+                    self.retries.push(PendingRetry {
+                        txn,
+                        element,
+                        addr: base + stride * element,
+                        not_before: now + backoff,
+                    });
+                    self.stats.read_retries += 1;
+                } else {
+                    self.retry_attempts.remove(&key);
+                    self.stats.retries_exhausted += 1;
+                    txns.deposit_faulted(txn, element, ready.data);
+                }
+            } else {
+                self.retry_attempts.remove(&(txn.0, element));
+                txns.deposit(txn, element, ready.data);
+            }
         }
 
         // 2. FHC: one multiply-add in flight at a time, oldest first
@@ -327,7 +405,31 @@ impl BankController {
             }
         }
 
-        // 3. Inject the FIFO head into a free vector context (in order).
+        // 3a. Re-inject one due retry as a single-element vector context
+        //     (retries take priority over fresh requests: they hold up a
+        //     transaction that is otherwise nearly complete).
+        if self.vcs.len() < self.config.vector_contexts {
+            if let Some(pos) = self.retries.iter().position(|r| r.not_before <= now) {
+                let r = self.retries.swap_remove(pos);
+                self.vcs.push_back(VectorContext {
+                    txn: r.txn,
+                    kind: OpKind::Read,
+                    addr: r.addr,
+                    addr_step: 0,
+                    element: r.element,
+                    index_delta: 0,
+                    remaining: 1,
+                    first_op_done: false,
+                    write_line: None,
+                    indices: None,
+                    pos: 0,
+                    base: 0,
+                    stride: 0,
+                });
+            }
+        }
+
+        // 3b. Inject the FIFO head into a free vector context (in order).
         if self.vcs.len() < self.config.vector_contexts {
             let consumable = self
                 .fifo
@@ -402,10 +504,26 @@ impl BankController {
     }
 
     /// Internal-bank/row/column coordinates of a context's current
-    /// element.
+    /// element, after any degradation remap.
     fn target_of(&self, vc: &VectorContext) -> (u32, u64, u64) {
         let local = self.config.geometry.bank_local_addr(vc.addr);
-        let ia = self.config.sdram.map(local);
+        self.remap(self.config.sdram.map(local))
+    }
+
+    /// Graceful degradation: accesses that map to a hard-failed internal
+    /// bank are serialized through the next healthy one, in a spare row
+    /// region tagged with [`REMAP_ROW_BIT`]. Disabled by config or when
+    /// the device has a single row buffer (nowhere to remap to).
+    fn remap(&self, ia: InternalAddr) -> (u32, u64, u64) {
+        if self.config.degradation {
+            if let Some(dead) = self.device.hard_failed_bank() {
+                let total = self.config.sdram.total_row_buffers();
+                if total > 1 && ia.bank == dead {
+                    let spare = if dead + 1 >= total { 0 } else { dead + 1 };
+                    return (spare, ia.row | REMAP_ROW_BIT, ia.col);
+                }
+            }
+        }
         (ia.bank, ia.row, ia.col)
     }
 
@@ -522,6 +640,11 @@ impl BankController {
             let class = CmdClass::of(&cmd).expect("read/write is never a NOP");
             self.device.issue(cmd).expect("validated");
             self.data_polarity = Some(kind);
+            // Device rows from `map` are narrow; only remapped targets
+            // carry the spare-region bit.
+            if row & REMAP_ROW_BIT != 0 {
+                self.stats.remapped_accesses += 1;
+            }
             match kind {
                 OpKind::Read => {
                     self.stats.elements_read += 1;
@@ -597,8 +720,8 @@ impl BankController {
                 None => vc.addr + vc.addr_step,
             };
             let local = self.config.geometry.bank_local_addr(next_addr);
-            let ia = self.config.sdram.map(local);
-            let next_same_row = ia.bank == ib && ia.row == row;
+            let (nb, nrow, _) = self.remap(self.config.sdram.map(local));
+            let next_same_row = nb == ib && nrow == row;
             if next_same_row {
                 self.stats.row_hits += 1;
             }
@@ -655,6 +778,7 @@ mod tests {
                 collected_count: 0,
                 committed_count: 0,
                 write_line: None,
+                faulted: Vec::new(),
                 phase: TxnPhase::InBanks,
             },
         );
@@ -741,6 +865,7 @@ mod tests {
                 collected_count: 0,
                 committed_count: 0,
                 write_line: Some(line.clone()),
+                faulted: Vec::new(),
                 phase: TxnPhase::InBanks,
             },
         );
@@ -856,6 +981,7 @@ mod tests {
                 collected_count: 0,
                 committed_count: 0,
                 write_line: Some(line.clone()),
+                faulted: Vec::new(),
                 phase: TxnPhase::InBanks,
             },
         );

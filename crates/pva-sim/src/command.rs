@@ -81,6 +81,10 @@ pub struct Completion {
     pub completed_at: u64,
     /// For reads: the gathered dense line, in element order.
     pub data: Option<Vec<u64>>,
+    /// Element indices of `data` whose words are known bad (ECC
+    /// detected an uncorrectable error and retries were exhausted).
+    /// Empty on a healthy read and on writes.
+    pub faulted: Vec<u64>,
 }
 
 #[cfg(test)]

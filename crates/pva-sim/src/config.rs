@@ -134,6 +134,24 @@ pub struct PvaConfig {
     /// Record a cycle-stamped [`TraceEvent`](crate::TraceEvent) log
     /// retrievable via [`PvaUnit::take_events`](crate::PvaUnit::take_events).
     pub record_trace: bool,
+    /// Cycles without any transaction forward progress before
+    /// [`step`](crate::PvaUnit::step) / [`run`](crate::PvaUnit::run)
+    /// abort with [`PvaError::Watchdog`](pva_core::PvaError::Watchdog).
+    /// `0` disables the watchdog.
+    pub watchdog_cycles: u64,
+    /// How many times a bank controller re-reads an element whose data
+    /// came back poisoned (uncorrectable ECC error or dead bank) before
+    /// giving up and flagging the element in the completion.
+    pub max_read_retries: u32,
+    /// Base backoff before a retry re-issues, in cycles; doubles each
+    /// attempt (clamped), spreading retries away from the disturbance
+    /// that poisoned the data.
+    pub retry_backoff_cycles: u32,
+    /// Graceful degradation: when the device reports a hard-failed
+    /// internal bank, remap its rows into a healthy neighbour bank
+    /// (serializing the two banks' subvector accesses through one row
+    /// buffer) instead of poisoning every access.
+    pub degradation: bool,
 }
 
 impl Default for PvaConfig {
@@ -150,6 +168,10 @@ impl Default for PvaConfig {
             sdram: SdramConfig::default(),
             options: SchedulerOptions::default(),
             record_trace: false,
+            watchdog_cycles: 1_000_000,
+            max_read_retries: 4,
+            retry_backoff_cycles: 8,
+            degradation: true,
         }
     }
 }
@@ -227,6 +249,12 @@ impl PvaConfig {
         if self.fhc_latency == 0 {
             errs.push(PvaConfigError::ZeroFhcLatency);
         }
+        if self.max_read_retries > 0 && self.retry_backoff_cycles == 0 {
+            // The retry timer reloads from this value; a zero reload
+            // re-issues the failed read on the very next cycle, which
+            // defeats the point of backing off past a disturbance.
+            errs.push(PvaConfigError::ZeroRetryBackoff);
+        }
         errs
     }
 
@@ -273,6 +301,9 @@ pub enum PvaConfigError {
     /// `fhc_latency` must be at least 1: the FHC multiply-add cannot
     /// produce its result in the cycle the operands arrive.
     ZeroFhcLatency,
+    /// `retry_backoff_cycles` must be at least 1 when read retries are
+    /// enabled: the retry timer reloads from it.
+    ZeroRetryBackoff,
 }
 
 impl PvaConfigError {
@@ -295,6 +326,9 @@ impl PvaConfigError {
                 "stage_words_per_cycle must be a nonzero power of two"
             }
             PvaConfigError::ZeroFhcLatency => "fhc_latency must be at least 1",
+            PvaConfigError::ZeroRetryBackoff => {
+                "retry_backoff_cycles must be at least 1 when retries are enabled"
+            }
         }
     }
 }
@@ -431,6 +465,13 @@ mod tests {
                     ..PvaConfig::default()
                 },
                 PvaConfigError::ZeroFhcLatency,
+            ),
+            (
+                PvaConfig {
+                    retry_backoff_cycles: 0,
+                    ..PvaConfig::default()
+                },
+                PvaConfigError::ZeroRetryBackoff,
             ),
         ];
         for (cfg, want) in cases {

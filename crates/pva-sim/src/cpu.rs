@@ -83,7 +83,9 @@ impl CpuModel {
     ///
     /// # Errors
     ///
-    /// Propagates unit configuration/validation errors.
+    /// Propagates unit configuration/validation errors, and
+    /// [`PvaError::Watchdog`] if the unit stops making forward progress
+    /// (previously an in-crate panic after a fixed cycle budget).
     pub fn drive(
         &self,
         unit_config: PvaConfig,
@@ -110,11 +112,7 @@ impl CpuModel {
                     next = Some(r);
                 }
             }
-            unit.step();
-            assert!(
-                unit.now() - start < 50_000_000,
-                "CPU-driven simulation failed to drain"
-            );
+            unit.step()?;
         }
         let _ = unit.take_completions();
         Ok(CpuRunResult {

@@ -44,6 +44,11 @@ pub struct Transaction {
     /// Dense line to scatter (writes), shared with every bank
     /// controller's register file.
     pub write_line: Option<Arc<Vec<u64>>>,
+    /// Element indices whose data is known bad: ECC-uncorrectable (or
+    /// dead-bank) reads that exhausted their retries. The words are
+    /// deposited so the transaction completes, but the completion
+    /// carries this list so the host never trusts them silently.
+    pub faulted: Vec<u64>,
     /// Current phase.
     pub phase: TxnPhase,
 }
@@ -132,6 +137,23 @@ impl TransactionTable {
         txn.collected_count += 1;
     }
 
+    /// Deposits a gathered word that is known bad (retries exhausted on
+    /// a poisoned read): the element still completes — the alternative
+    /// is a transaction that never finishes — but is recorded in the
+    /// transaction's `faulted` list for the completion to carry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double deposit or an unknown transaction, like
+    /// [`TransactionTable::deposit`].
+    pub fn deposit_faulted(&mut self, id: TxnId, element: u64, data: u64) {
+        self.deposit(id, element, data);
+        let txn = self.slots[id.0 as usize]
+            .as_mut()
+            .expect("deposit into open transaction");
+        txn.faulted.push(element);
+    }
+
     /// Records `count` committed write elements.
     ///
     /// # Panics
@@ -184,8 +206,20 @@ mod tests {
             collected_count: 0,
             committed_count: 0,
             write_line: None,
+            faulted: Vec::new(),
             phase: TxnPhase::InBanks,
         }
+    }
+
+    #[test]
+    fn faulted_deposit_completes_but_is_recorded() {
+        let mut t = TransactionTable::new(1);
+        t.open(TxnId(0), read_txn(2));
+        t.deposit(TxnId(0), 0, 10);
+        t.deposit_faulted(TxnId(0), 1, 0xBAD);
+        let txn = t.get(TxnId(0)).unwrap();
+        assert!(txn.banks_done());
+        assert_eq!(txn.faulted, vec![1]);
     }
 
     #[test]

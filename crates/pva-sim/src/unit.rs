@@ -24,6 +24,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use pva_core::{BankId, K1Pla, LogicalView, PvaError, WordAddr};
+use sdram::SdramStats;
 
 use crate::bank_controller::{BankController, BcStats};
 use crate::command::{Completion, HostRequest, OpKind, TxnId, VectorCommand};
@@ -70,6 +71,10 @@ pub struct RunResult {
     pub stats: UnitStats,
     /// Per-bank-controller statistics.
     pub bc_stats: Vec<BcStats>,
+    /// SDRAM device statistics summed over every bank — fault and ECC
+    /// outcomes (`corrected`, `detected_uncorrectable`, `silent`) live
+    /// here.
+    pub sdram: SdramStats,
 }
 
 impl RunResult {
@@ -117,6 +122,10 @@ pub struct PvaUnit {
     now: u64,
     stats: UnitStats,
     total_requests: usize,
+    /// Cycle forward progress was last observed (watchdog).
+    last_progress: u64,
+    /// Progress fingerprint as of `last_progress`.
+    progress_mark: (usize, usize, u64),
     events: Vec<TraceEvent>,
 }
 
@@ -166,6 +175,8 @@ impl PvaUnit {
             now: 0,
             stats: UnitStats::default(),
             total_requests: 0,
+            last_progress: 0,
+            progress_mark: (0, 0, 0),
             events: Vec::new(),
         })
     }
@@ -212,12 +223,10 @@ impl PvaUnit {
     ///
     /// Returns [`PvaError::VectorTooLong`] if any request exceeds the
     /// hardware line length (split with [`pva_core::Vector::chunks`]
-    /// first).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the simulation fails to make progress (an internal
-    /// deadlock — a model bug, not a caller error).
+    /// first), [`PvaError::WriteLineMismatch`] if a write's data is not
+    /// one word per element, or [`PvaError::Watchdog`] if no transaction
+    /// makes forward progress for [`PvaConfig::watchdog_cycles`] cycles
+    /// (an internal deadlock or an unrecoverable fault loop).
     pub fn run(&mut self, requests: Vec<HostRequest>) -> Result<RunResult, PvaError> {
         // Validate the whole batch before accepting any of it.
         for r in &requests {
@@ -227,15 +236,21 @@ impl PvaUnit {
                     self.config.line_words,
                 ));
             }
+            if let HostRequest::Write { vector, data } = r {
+                if data.len() as u64 != vector.length() {
+                    return Err(PvaError::WriteLineMismatch {
+                        expected: vector.length(),
+                        got: data.len() as u64,
+                    });
+                }
+            }
         }
         for r in requests {
             self.submit(r)?;
         }
         let start = self.now;
-        let deadline = self.now + 10_000_000;
         while !self.idle() {
-            self.step();
-            assert!(self.now < deadline, "simulation deadlock after 10M cycles");
+            self.step()?;
         }
         self.completions.sort_by_key(|c| c.request_index);
         Ok(RunResult {
@@ -243,7 +258,17 @@ impl PvaUnit {
             completions: std::mem::take(&mut self.completions),
             stats: self.stats,
             bc_stats: self.bcs.iter().map(|bc| *bc.stats()).collect(),
+            sdram: self.sdram_stats(),
         })
+    }
+
+    /// Summed SDRAM device statistics across every bank controller.
+    pub fn sdram_stats(&self) -> SdramStats {
+        let mut total = SdramStats::default();
+        for bc in &self.bcs {
+            total.merge(bc.device().stats());
+        }
+        total
     }
 
     /// Enqueues one host request without advancing time — the
@@ -254,11 +279,8 @@ impl PvaUnit {
     /// # Errors
     ///
     /// Returns [`PvaError::VectorTooLong`] if the request exceeds the
-    /// hardware line length.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a write's data is not one word per element.
+    /// hardware line length, or [`PvaError::WriteLineMismatch`] if a
+    /// write's data is not one word per element.
     pub fn submit(&mut self, request: HostRequest) -> Result<usize, PvaError> {
         if request.vector().length() > self.config.line_words {
             return Err(PvaError::VectorTooLong(
@@ -267,11 +289,12 @@ impl PvaUnit {
             ));
         }
         if let HostRequest::Write { vector, data } = &request {
-            assert_eq!(
-                data.len() as u64,
-                vector.length(),
-                "write line must carry one word per element"
-            );
+            if data.len() as u64 != vector.length() {
+                return Err(PvaError::WriteLineMismatch {
+                    expected: vector.length(),
+                    got: data.len() as u64,
+                });
+            }
         }
         let index = self.total_requests;
         self.pending.push_back((index, request));
@@ -280,8 +303,45 @@ impl PvaUnit {
     }
 
     /// Advances the unit one clock cycle (incremental API).
-    pub fn step(&mut self) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PvaError::Watchdog`] if no transaction has made forward
+    /// progress for [`PvaConfig::watchdog_cycles`] cycles while work is
+    /// outstanding — the simulation aborts instead of hanging. Disabled
+    /// when `watchdog_cycles` is 0.
+    pub fn step(&mut self) -> Result<(), PvaError> {
         self.tick();
+        if self.config.watchdog_cycles == 0 || self.idle() {
+            self.last_progress = self.now;
+            self.progress_mark = self.progress_fingerprint();
+            return Ok(());
+        }
+        let mark = self.progress_fingerprint();
+        if mark != self.progress_mark {
+            self.progress_mark = mark;
+            self.last_progress = self.now;
+        } else if self.now - self.last_progress >= self.config.watchdog_cycles {
+            return Err(PvaError::Watchdog {
+                cycle: self.now,
+                stalled_txns: self.txns.open_count(),
+            });
+        }
+        Ok(())
+    }
+
+    /// A change in this tuple is what the watchdog counts as forward
+    /// progress: requests draining, transactions opening/closing, or
+    /// elements being gathered/committed. Deliberately excludes raw
+    /// SDRAM command counts — an unrecoverable retry loop issues reads
+    /// forever without ever completing anything.
+    fn progress_fingerprint(&self) -> (usize, usize, u64) {
+        let moved: u64 = self
+            .txns
+            .iter_open()
+            .map(|(_, t)| t.collected_count + t.committed_count)
+            .sum();
+        (self.outstanding(), self.txns.open_count(), moved)
     }
 
     /// Whether all submitted work has fully completed.
@@ -347,11 +407,13 @@ impl PvaUnit {
                                 request_index: t.request_index,
                             });
                         }
+                        let line = t.line();
                         self.completions.push(Completion {
                             request_index: t.request_index,
                             issued_at: t.issued_at,
                             completed_at: self.now,
-                            data: Some(t.line()),
+                            data: Some(line),
+                            faulted: t.faulted,
                         });
                     }
                     OpKind::Write => {
@@ -408,6 +470,7 @@ impl PvaUnit {
                                         collected_count: 0,
                                         committed_count: 0,
                                         write_line: None,
+                                        faulted: Vec::new(),
                                         phase: TxnPhase::InBanks,
                                     },
                                 );
@@ -427,6 +490,7 @@ impl PvaUnit {
                                         collected_count: 0,
                                         committed_count: 0,
                                         write_line: Some(line),
+                                        faulted: Vec::new(),
                                         phase: TxnPhase::InBanks,
                                     },
                                 );
@@ -531,6 +595,7 @@ impl PvaUnit {
                         issued_at: t.issued_at,
                         completed_at: self.now,
                         data: None,
+                        faulted: Vec::new(),
                     });
                     self.vectors[id.0 as usize] = None;
                 }

@@ -56,7 +56,7 @@ fn incremental_api_matches_batch() {
         }
         let start = unit.now();
         while !unit.idle() {
-            unit.step();
+            unit.step().unwrap();
         }
         let completions = unit.take_completions();
         assert_eq!(completions.len(), 8);
@@ -76,7 +76,7 @@ fn outstanding_counts_drain_to_zero() {
     }
     assert_eq!(unit.outstanding(), 4);
     while !unit.idle() {
-        unit.step();
+        unit.step().unwrap();
     }
     assert_eq!(unit.outstanding(), 0);
     assert_eq!(unit.take_completions().len(), 4);

@@ -190,14 +190,22 @@ fn vector_longer_than_line_is_rejected() {
 }
 
 #[test]
-#[should_panic(expected = "one word per element")]
-fn write_with_wrong_line_length_panics() {
+fn write_with_wrong_line_length_is_rejected() {
     let mut unit = PvaUnit::new(PvaConfig::default()).unwrap();
     let v = Vector::new(0, 1, 32).unwrap();
-    let _ = unit.run(vec![HostRequest::Write {
-        vector: v,
-        data: vec![0; 3],
-    }]);
+    let err = unit
+        .run(vec![HostRequest::Write {
+            vector: v,
+            data: vec![0; 3],
+        }])
+        .unwrap_err();
+    assert_eq!(
+        err,
+        pva_core::PvaError::WriteLineMismatch {
+            expected: 32,
+            got: 3
+        }
+    );
 }
 
 #[test]

@@ -181,18 +181,33 @@ impl TimingAuditor {
         &self.violations
     }
 
+    /// Reports whether the observed command stream was clean, returning
+    /// the recorded violations otherwise — the form embedders should
+    /// use, since a violation in a user-driven simulation is a
+    /// diagnosable condition, not a programming error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violations recorded so far, if any.
+    pub fn check_clean(&self) -> Result<(), &[Violation]> {
+        if self.violations.is_empty() {
+            Ok(())
+        } else {
+            Err(&self.violations)
+        }
+    }
+
     /// Panics with a report if any violation was observed — the
-    /// assertion form used by tests.
+    /// assertion form used by tests, a thin wrapper over
+    /// [`TimingAuditor::check_clean`].
     ///
     /// # Panics
     ///
     /// Panics when at least one violation was recorded.
     pub fn assert_clean(&self) {
-        assert!(
-            self.violations.is_empty(),
-            "timing violations: {:?}",
-            self.violations
-        );
+        if let Err(violations) = self.check_clean() {
+            panic!("timing violations: {violations:?}");
+        }
     }
 
     fn push_all(&mut self, cycle: u64, bank: u32, rules: &[&'static str]) {

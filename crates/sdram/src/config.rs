@@ -2,6 +2,8 @@
 
 use core::fmt;
 
+use crate::fault::{FaultConfig, PPM};
+
 /// Timing and geometry parameters of one SDRAM device (one external bank
 /// of the PVA memory system).
 ///
@@ -49,6 +51,13 @@ pub struct SdramConfig {
     /// Average interval between required refresh commands in cycles
     /// (64 ms / 8192 rows at 100 MHz is ~781); `0` disables refresh.
     pub refresh_interval: u64,
+    /// Store a SEC-DED Hamming(72,64) check byte with every word,
+    /// correcting single-bit and detecting double-bit errors on read
+    /// (see [`crate::ecc`]). Off by default — the paper's ideal device.
+    pub ecc: bool,
+    /// Fault-injection configuration; [`FaultConfig::none`] (the
+    /// default) models the ideal, fault-free device.
+    pub fault: FaultConfig,
 }
 
 impl Default for SdramConfig {
@@ -66,6 +75,8 @@ impl Default for SdramConfig {
             ranks: 1,
             t_rfc: 8,
             refresh_interval: 0,
+            ecc: false,
+            fault: FaultConfig::none(),
         }
     }
 }
@@ -88,6 +99,8 @@ impl SdramConfig {
             ranks: 1,
             t_rfc: 0,
             refresh_interval: 0,
+            ecc: false,
+            fault: FaultConfig::none(),
         }
     }
 
@@ -212,6 +225,38 @@ impl SdramConfig {
         let bits = self.log2_cols + ib_bits + self.log2_rows;
         if bits > 63 {
             errs.push(ConfigError::GeometryOverflow { bits });
+        }
+        if u64::from(self.fault.transient_ppm) > PPM {
+            errs.push(ConfigError::FaultRateOutOfRange {
+                rate: "transient_ppm",
+                ppm: self.fault.transient_ppm,
+            });
+        }
+        if u64::from(self.fault.stuck_ppm) > PPM {
+            errs.push(ConfigError::FaultRateOutOfRange {
+                rate: "stuck_ppm",
+                ppm: self.fault.stuck_ppm,
+            });
+        }
+        if let Some(bank) = self.fault.hard_failed_bank {
+            if bank >= self.total_row_buffers() {
+                errs.push(ConfigError::HardFailedBankOutOfRange {
+                    bank,
+                    banks: self.total_row_buffers(),
+                });
+            }
+        }
+        if self.fault.retention_cycles > 0
+            && self.refresh_interval > 0
+            && self.fault.retention_cycles <= self.refresh_interval
+        {
+            // A retention window shorter than the refresh period decays
+            // every row between refreshes; the device could never hold
+            // data and the decay model degenerates to "always corrupt".
+            errs.push(ConfigError::RetentionWithinRefreshInterval {
+                retention: self.fault.retention_cycles,
+                interval: self.refresh_interval,
+            });
         }
         errs
     }
@@ -343,6 +388,31 @@ pub enum ConfigError {
         /// Total field width in bits.
         bits: u32,
     },
+    /// A parts-per-million fault rate exceeds one million — it is not
+    /// a probability.
+    FaultRateOutOfRange {
+        /// Which rate field is out of range.
+        rate: &'static str,
+        /// The offending value.
+        ppm: u32,
+    },
+    /// `fault.hard_failed_bank` names an internal bank the device does
+    /// not have.
+    HardFailedBankOutOfRange {
+        /// The configured failed bank.
+        bank: u32,
+        /// Number of row buffers (`ranks * internal_banks`).
+        banks: u32,
+    },
+    /// `fault.retention_cycles` does not exceed `refresh_interval`:
+    /// every row would decay between consecutive refreshes, so the
+    /// device could never retain data even when refreshed on schedule.
+    RetentionWithinRefreshInterval {
+        /// Configured retention window.
+        retention: u64,
+        /// Configured refresh interval.
+        interval: u64,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -388,6 +458,24 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::GeometryOverflow { bits } => {
                 write!(f, "address fields span {bits} bits, overflowing u64")
+            }
+            ConfigError::FaultRateOutOfRange { rate, ppm } => {
+                write!(f, "fault rate {rate} = {ppm} exceeds 1_000_000 ppm")
+            }
+            ConfigError::HardFailedBankOutOfRange { bank, banks } => {
+                write!(
+                    f,
+                    "hard_failed_bank = {bank} but the device has only {banks} row buffers"
+                )
+            }
+            ConfigError::RetentionWithinRefreshInterval {
+                retention,
+                interval,
+            } => {
+                write!(
+                    f,
+                    "retention_cycles = {retention} must exceed refresh_interval = {interval}"
+                )
             }
         }
     }
@@ -537,6 +625,43 @@ mod tests {
                     ..base()
                 },
                 ConfigError::GeometryOverflow { bits: 72 },
+            ),
+            (
+                SdramConfig {
+                    fault: crate::FaultConfig {
+                        transient_ppm: 1_000_001,
+                        ..crate::FaultConfig::none()
+                    },
+                    ..base()
+                },
+                ConfigError::FaultRateOutOfRange {
+                    rate: "transient_ppm",
+                    ppm: 1_000_001,
+                },
+            ),
+            (
+                SdramConfig {
+                    fault: crate::FaultConfig {
+                        hard_failed_bank: Some(4),
+                        ..crate::FaultConfig::none()
+                    },
+                    ..base()
+                },
+                ConfigError::HardFailedBankOutOfRange { bank: 4, banks: 4 },
+            ),
+            (
+                SdramConfig {
+                    refresh_interval: 781,
+                    fault: crate::FaultConfig {
+                        retention_cycles: 500,
+                        ..crate::FaultConfig::none()
+                    },
+                    ..base()
+                },
+                ConfigError::RetentionWithinRefreshInterval {
+                    retention: 500,
+                    interval: 781,
+                },
             ),
         ];
         for (cfg, want) in cases {

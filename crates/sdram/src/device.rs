@@ -16,7 +16,9 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use crate::config::SdramConfig;
+use crate::config::{ConfigError, SdramConfig};
+use crate::ecc;
+use crate::fault::FaultEngine;
 use crate::fsm::{self, BankEvent, BankState, CmdClass};
 use crate::restimer::BankTimers;
 
@@ -141,6 +143,9 @@ pub struct ReadReturn {
     pub data: u64,
     /// Cycle at which the data appeared on the device pins.
     pub at_cycle: u64,
+    /// The data is known bad: the read hit a hard-failed bank, or ECC
+    /// detected an uncorrectable error. Consumers must not commit it.
+    pub poisoned: bool,
 }
 
 /// Row-buffer state of one internal bank.
@@ -168,6 +173,41 @@ pub struct SdramStats {
     pub row_hits: u64,
     /// AUTO REFRESH commands accepted.
     pub refreshes: u64,
+    /// Reads whose single-bit error the SEC-DED code corrected.
+    pub corrected: u64,
+    /// Reads whose error was detected but not correctable (poisoned
+    /// data delivered with the `poisoned` flag set).
+    pub detected_uncorrectable: u64,
+    /// Reads that delivered wrong data *without* the `poisoned` flag —
+    /// silent corruption (always possible with ECC off; with ECC on
+    /// only ≥3 simultaneous bit errors can cause it).
+    pub silent: u64,
+    /// Transient bit flips injected by the fault engine.
+    pub transient_faults: u64,
+    /// Stored words that lost a bit to refresh decay.
+    pub decayed_words: u64,
+    /// Writes dropped because they addressed a hard-failed bank.
+    pub dropped_writes: u64,
+}
+
+impl SdramStats {
+    /// Adds `other`'s counters into `self` — aggregation across the
+    /// devices of a multi-bank system.
+    pub fn merge(&mut self, other: &SdramStats) {
+        self.activates += other.activates;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.precharges += other.precharges;
+        self.auto_precharges += other.auto_precharges;
+        self.row_hits += other.row_hits;
+        self.refreshes += other.refreshes;
+        self.corrected += other.corrected;
+        self.detected_uncorrectable += other.detected_uncorrectable;
+        self.silent += other.silent;
+        self.transient_faults += other.transient_faults;
+        self.decayed_words += other.decayed_words;
+        self.dropped_writes += other.dropped_writes;
+    }
 }
 
 /// One SDRAM device: state machine, timers, and functional storage.
@@ -201,6 +241,20 @@ pub struct Sdram {
     timers: Vec<BankTimers>,
     /// Written words, keyed by device-local address.
     overlay: HashMap<u64, u64>,
+    /// SEC-DED check bytes of written words (only kept when
+    /// `config.ecc` is on); unwritten words implicitly carry the check
+    /// byte of their background pattern.
+    check_overlay: HashMap<u64, u8>,
+    /// Words that lost a bit to refresh decay: local address → flipped
+    /// data bit. A write (or poke) to the word recharges the cell and
+    /// clears the entry.
+    decayed: HashMap<u64, u32>,
+    /// Cycle each (bank, row) was last charge-restored by an ACTIVATE.
+    row_restore: HashMap<(u32, u64), u64>,
+    /// Cycle of the last AUTO REFRESH (device-wide charge restore).
+    last_refresh_at: u64,
+    /// Deterministic fault injector.
+    faults: FaultEngine,
     /// Reads in flight: (ready_at, tag, data), ordered by ready_at.
     in_flight: VecDeque<ReadReturn>,
     now: u64,
@@ -222,22 +276,51 @@ impl Sdram {
     /// timing rather than an error, so construction is the last safe
     /// place to stop it.
     pub fn new(config: SdramConfig) -> Self {
-        if let Err(e) = config.validate() {
-            panic!("invalid SdramConfig: {e}");
+        match Self::try_new(config) {
+            Ok(dev) => dev,
+            Err(e) => panic!("invalid SdramConfig: {e}"),
         }
+    }
+
+    /// Creates an idle device, or reports why the configuration is
+    /// inconsistent — the non-panicking form of [`Sdram::new`] for
+    /// embedders that take configs from users.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] from [`SdramConfig::check`].
+    pub fn try_new(config: SdramConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
         let n = config.total_row_buffers() as usize;
-        Sdram {
+        Ok(Sdram {
             config,
             rows: vec![RowState::Closed; n],
             timers: vec![BankTimers::new(); n],
             overlay: HashMap::new(),
+            check_overlay: HashMap::new(),
+            decayed: HashMap::new(),
+            row_restore: HashMap::new(),
+            last_refresh_at: 0,
+            faults: FaultEngine::new(config.fault),
             in_flight: VecDeque::new(),
             now: 0,
             issued_this_cycle: false,
             refresh_busy: 0,
             since_refresh: 0,
             stats: SdramStats::default(),
-        }
+        })
+    }
+
+    /// Re-derives the transient-fault stream from the config seed and
+    /// `salt`, so each device in a multi-controller system sees an
+    /// independent but reproducible upset sequence.
+    pub fn reseed_faults(&mut self, salt: u64) {
+        self.faults.reseed(salt);
+    }
+
+    /// The internal bank configured as hard-failed, if any.
+    pub const fn hard_failed_bank(&self) -> Option<u32> {
+        self.config.fault.hard_failed_bank
     }
 
     /// The device configuration.
@@ -397,6 +480,11 @@ impl Sdram {
                 for b in 0..self.config.total_row_buffers() {
                     self.apply_bank_event(b, CmdClass::Refresh, 0);
                 }
+                // A refresh recharges whatever the cells hold *now*: a
+                // row whose retention window already lapsed has decayed
+                // and the refresh only perpetuates the corrupted value.
+                self.decay_lapsed_rows();
+                self.last_refresh_at = self.now;
                 // The whole device is busy for tRFC; afterwards every
                 // internal bank must wait tRP-equivalent before activate,
                 // which tRFC subsumes in this model.
@@ -405,6 +493,10 @@ impl Sdram {
                 self.stats.refreshes += 1;
             }
             SdramCmd::Activate { bank, row } => {
+                // Opening the row restores its charge — but if the
+                // retention window already lapsed, the damage is done.
+                self.decay_row_if_lapsed(bank, row);
+                self.row_restore.insert((bank, row), self.now);
                 let cfg = self.config;
                 let b = bank as usize;
                 self.apply_bank_event(bank, CmdClass::Activate, row);
@@ -425,11 +517,12 @@ impl Sdram {
                     RowState::Closed => unreachable!("validated open"),
                 };
                 let local = self.local_addr(bank, row, col);
-                let data = self.peek(local);
+                let (data, poisoned) = self.read_word(bank, local);
                 let ready = ReadReturn {
                     tag,
                     data,
                     at_cycle: self.now + self.config.t_cas as u64,
+                    poisoned,
                 };
                 // Keep the queue ordered by completion time.
                 let pos = self
@@ -460,7 +553,13 @@ impl Sdram {
                     RowState::Closed => unreachable!("validated open"),
                 };
                 let local = self.local_addr(bank, row, col);
-                self.overlay.insert(local, data);
+                if self.config.fault.hard_failed_bank == Some(bank) {
+                    // A dead subarray absorbs the write electrically but
+                    // stores nothing.
+                    self.stats.dropped_writes += 1;
+                } else {
+                    self.store_word(local, data);
+                }
                 self.stats.writes += 1;
                 let class = if auto_precharge {
                     CmdClass::WriteAuto
@@ -536,9 +635,126 @@ impl Sdram {
     }
 
     /// Functional write of a device-local word (no timing), for test
-    /// setup.
+    /// setup. Recharges the cell (clears any decay) and refreshes the
+    /// stored check byte, exactly like a timed WRITE.
     pub fn poke(&mut self, local_addr: u64, data: u64) {
+        self.store_word(local_addr, data);
+    }
+
+    /// Stores a word: overlay value, fresh check byte, cell recharged.
+    fn store_word(&mut self, local_addr: u64, data: u64) {
         self.overlay.insert(local_addr, data);
+        self.decayed.remove(&local_addr);
+        if self.config.ecc {
+            self.check_overlay.insert(local_addr, ecc::encode(data));
+        }
+    }
+
+    /// The stored check byte of a word: the overlay entry if the word
+    /// was written with ECC on, else the check byte its content encodes
+    /// to (unwritten background words are implicitly well-encoded).
+    fn stored_check(&self, local_addr: u64) -> u8 {
+        self.check_overlay
+            .get(&local_addr)
+            .copied()
+            .unwrap_or_else(|| ecc::encode(self.peek(local_addr)))
+    }
+
+    /// Reads one word through the fault and ECC layers, returning the
+    /// delivered data and whether it is flagged bad (`poisoned`).
+    fn read_word(&mut self, bank: u32, local_addr: u64) -> (u64, bool) {
+        let truth = self.peek(local_addr);
+        if self.config.fault.hard_failed_bank == Some(bank) {
+            // A dead subarray drives garbage; the controller-side ECC
+            // (or the bank-failure detection itself) flags the loss.
+            self.stats.detected_uncorrectable += 1;
+            let garbage = background_pattern(local_addr ^ u64::from(bank).rotate_left(32));
+            return (garbage, true);
+        }
+        let mut data = truth;
+        let mut check = if self.config.ecc {
+            self.stored_check(local_addr)
+        } else {
+            0
+        };
+        if let Some(&bit) = self.decayed.get(&local_addr) {
+            data ^= 1u64 << bit;
+        }
+        if let Some((bit, value)) = self.faults.stuck_bit(local_addr) {
+            let (d0, c0) = apply_stuck(data, check, bit, value);
+            data = d0;
+            check = c0;
+        }
+        if let Some(bit) = self.faults.transient_flip() {
+            let (d0, c0) = ecc::flip_codeword_bit(data, check, bit);
+            data = d0;
+            check = c0;
+            self.stats.transient_faults += 1;
+        }
+        let (delivered, poisoned) = if self.config.ecc {
+            match ecc::decode(data, check) {
+                ecc::Decoded::Clean => (data, false),
+                ecc::Decoded::Corrected { data: fixed } => {
+                    self.stats.corrected += 1;
+                    (fixed, false)
+                }
+                ecc::Decoded::Uncorrectable => {
+                    self.stats.detected_uncorrectable += 1;
+                    (data, true)
+                }
+            }
+        } else {
+            (data, false)
+        };
+        if !poisoned && delivered != truth {
+            self.stats.silent += 1;
+        }
+        (delivered, poisoned)
+    }
+
+    /// Cycle the charge of `(bank, row)` was last restored: the later
+    /// of its last ACTIVATE and the last device-wide AUTO REFRESH.
+    fn last_restore(&self, bank: u32, row: u64) -> u64 {
+        self.row_restore
+            .get(&(bank, row))
+            .copied()
+            .unwrap_or(0)
+            .max(self.last_refresh_at)
+    }
+
+    /// Applies refresh decay to `(bank, row)` if its retention window
+    /// has lapsed: each stored word of the row loses its (per-word
+    /// deterministic) weakest bit.
+    fn decay_row_if_lapsed(&mut self, bank: u32, row: u64) {
+        let retention = self.config.fault.retention_cycles;
+        if retention == 0 {
+            return;
+        }
+        if self.now.saturating_sub(self.last_restore(bank, row)) <= retention {
+            return;
+        }
+        for col in 0..(1u64 << self.config.log2_cols) {
+            let local = self.local_addr(bank, row, col);
+            if self.overlay.contains_key(&local) && !self.decayed.contains_key(&local) {
+                self.decayed.insert(local, self.faults.decay_bit(local));
+                self.stats.decayed_words += 1;
+            }
+        }
+    }
+
+    /// Decays every tracked row whose retention window lapsed. Called
+    /// on AUTO REFRESH; cheap in the healthy case — when the previous
+    /// refresh was itself within the retention window, no row can have
+    /// lapsed and the scan is skipped.
+    fn decay_lapsed_rows(&mut self) {
+        let retention = self.config.fault.retention_cycles;
+        if retention == 0 || self.now.saturating_sub(self.last_refresh_at) <= retention {
+            return;
+        }
+        let lapsed: Vec<(u32, u64)> = self.row_restore.keys().copied().collect();
+        for (bank, row) in lapsed {
+            self.decay_row_if_lapsed(bank, row);
+        }
     }
 
     /// Composes internal coordinates back into a device-local address
@@ -586,6 +802,20 @@ impl Sdram {
 /// address bits so neighbouring words differ.
 pub fn background_pattern(local_addr: u64) -> u64 {
     local_addr.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xA5A5_5A5A_0F0F_F0F0
+}
+
+/// Forces codeword bit `bit` (`0..64` data, `64..72` check) to `value`
+/// — the read-side effect of a stuck-at cell.
+fn apply_stuck(data: u64, check: u8, bit: u32, value: bool) -> (u64, u8) {
+    if bit < 64 {
+        let mask = 1u64 << bit;
+        let d = if value { data | mask } else { data & !mask };
+        (d, check)
+    } else {
+        let mask = 1u8 << (bit & 7);
+        let c = if value { check | mask } else { check & !mask };
+        (data, c)
+    }
 }
 
 #[cfg(test)]

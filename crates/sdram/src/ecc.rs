@@ -1,0 +1,228 @@
+//! SEC-DED Hamming(72,64) codec for the SDRAM data path.
+//!
+//! Every 64-bit device word is stored alongside an 8-bit check byte:
+//! seven positional Hamming parity bits plus one overall parity bit.
+//! The code corrects any single-bit error in the 72-bit codeword and
+//! detects (without mis-correcting) any double-bit error — the standard
+//! SEC-DED arrangement used by ECC DIMMs.
+//!
+//! The codeword is laid out positionally, positions `1..=71`: positions
+//! that are powers of two (1, 2, 4, 8, 16, 32, 64) hold the seven check
+//! bits, and the remaining 64 positions hold the data bits in ascending
+//! order (data bit 0 at position 3, bit 1 at position 5, ...). The
+//! stored check value is simply the XOR of the positions of all set
+//! data bits, so the read-side syndrome — stored check XOR recomputed
+//! check — is the position of a single flipped bit, or zero when the
+//! codeword is consistent. The eighth bit extends minimum distance to
+//! four: an odd overall parity with a zero (or out-of-range) syndrome
+//! distinguishes a correctable single flip from a detected double flip.
+//!
+//! This module models combinational datapath hardware — an encoder in
+//! the write path and a decoder in the read path — and is therefore
+//! held to the `pva-analysis` synthesizability lint (Datapath profile):
+//! no allocation, no panics, no data-dependent division.
+
+/// Number of bit positions in the codeword (data + check), positions
+/// `1..=71` plus the overall parity bit.
+pub const CODEWORD_BITS: u32 = 72;
+
+/// Mask selecting the seven positional check bits of the check byte.
+const SYNDROME_MASK: u8 = 0x7f;
+
+/// Bit of the check byte holding the overall (whole-codeword) parity.
+const OVERALL_BIT: u8 = 0x80;
+
+/// Outcome of decoding one stored `(data, check)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decoded {
+    /// The codeword is consistent; the data is returned as stored.
+    Clean,
+    /// A single bit was flipped (in the data, a check bit, or the
+    /// overall parity bit) and has been corrected; `data` is the
+    /// repaired word.
+    Corrected {
+        /// The corrected data word.
+        data: u64,
+    },
+    /// Two bits (or an odd number of flips landing on an impossible
+    /// position) were flipped: the error is detected but cannot be
+    /// corrected, and the data must not be trusted.
+    Uncorrectable,
+}
+
+/// XOR of the codeword positions of all set data bits — the seven
+/// positional check bits, which double as the syndrome generator.
+fn positional_check(data: u64) -> u8 {
+    let mut check: u8 = 0;
+    let mut k: u32 = 0;
+    let mut pos: u32 = 1;
+    while pos < CODEWORD_BITS {
+        if !pos.is_power_of_two() {
+            if (data >> k) & 1 != 0 {
+                check ^= (pos as u8) & SYNDROME_MASK;
+            }
+            k += 1;
+        }
+        pos += 1;
+    }
+    check
+}
+
+/// Encodes a data word into its 8-bit check byte (seven positional
+/// parities plus the overall parity over all 72 codeword bits).
+///
+/// # Examples
+///
+/// ```
+/// use sdram::ecc;
+/// let c = ecc::encode(0xdead_beef_0123_4567);
+/// assert_eq!(ecc::decode(0xdead_beef_0123_4567, c), ecc::Decoded::Clean);
+/// ```
+pub fn encode(data: u64) -> u8 {
+    let check = positional_check(data);
+    let ones = data.count_ones() + u32::from(check).count_ones();
+    let overall = if ones & 1 != 0 { OVERALL_BIT } else { 0 };
+    check | overall
+}
+
+/// Maps a codeword position (`1..=71`, not a power of two) back to the
+/// index of the data bit stored there.
+fn data_index_of(position: u32) -> u32 {
+    let mut k: u32 = 0;
+    let mut pos: u32 = 1;
+    while pos < position {
+        if !pos.is_power_of_two() {
+            k += 1;
+        }
+        pos += 1;
+    }
+    k
+}
+
+/// Decodes a stored `(data, check)` pair, correcting a single-bit
+/// error and detecting a double-bit error.
+///
+/// # Examples
+///
+/// ```
+/// use sdram::ecc::{self, Decoded};
+/// let word = 0x0123_4567_89ab_cdef;
+/// let check = ecc::encode(word);
+/// // Single data-bit flip: corrected.
+/// assert_eq!(ecc::decode(word ^ 4, check), Decoded::Corrected { data: word });
+/// // Double flip: detected, not mis-corrected.
+/// assert_eq!(ecc::decode(word ^ 3, check), Decoded::Uncorrectable);
+/// ```
+pub fn decode(data: u64, check: u8) -> Decoded {
+    let recomputed = positional_check(data);
+    let syndrome = u32::from((check & SYNDROME_MASK) ^ recomputed);
+    let ones = data.count_ones() + u32::from(check & SYNDROME_MASK).count_ones();
+    let stored_overall = u32::from(check & OVERALL_BIT != 0);
+    let parity_error = (ones + stored_overall) & 1 != 0;
+    match (syndrome, parity_error) {
+        (0, false) => Decoded::Clean,
+        // Odd number of flips at a consistent syndrome: the overall
+        // parity bit itself flipped; the data is intact.
+        (0, true) => Decoded::Corrected { data },
+        // Even number of flips with a nonzero syndrome: double error.
+        (_, false) => Decoded::Uncorrectable,
+        (s, true) => {
+            if s >= CODEWORD_BITS {
+                // A syndrome pointing past the codeword cannot come
+                // from one flip: report it rather than mis-correct.
+                Decoded::Uncorrectable
+            } else if s.is_power_of_two() {
+                // A check bit flipped; the data is intact.
+                Decoded::Corrected { data }
+            } else {
+                Decoded::Corrected {
+                    data: data ^ (1u64 << data_index_of(s)),
+                }
+            }
+        }
+    }
+}
+
+/// Flips bit `bit` (`0..72`) of a stored codeword: bits `0..64` are
+/// data bits, bits `64..72` are check-byte bits. Used by the fault
+/// engine so injected errors can land anywhere in the codeword.
+pub fn flip_codeword_bit(data: u64, check: u8, bit: u32) -> (u64, u8) {
+    if bit < 64 {
+        (data ^ (1u64 << bit), check)
+    } else {
+        (data, check ^ (1u8 << (bit & 7)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_roundtrip() {
+        for word in [0u64, u64::MAX, 0xdead_beef, 0x8000_0000_0000_0001] {
+            assert_eq!(decode(word, encode(word)), Decoded::Clean);
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_corrected() {
+        let word = 0x0123_4567_89ab_cdefu64;
+        let check = encode(word);
+        for bit in 0..CODEWORD_BITS {
+            let (d, c) = flip_codeword_bit(word, check, bit);
+            assert_eq!(
+                decode(d, c),
+                Decoded::Corrected { data: word },
+                "flip of codeword bit {bit} must correct back"
+            );
+        }
+    }
+
+    #[test]
+    fn every_double_bit_flip_is_detected() {
+        let word = 0xfeed_face_cafe_f00du64;
+        let check = encode(word);
+        for a in 0..CODEWORD_BITS {
+            for b in (a + 1)..CODEWORD_BITS {
+                let (d1, c1) = flip_codeword_bit(word, check, a);
+                let (d2, c2) = flip_codeword_bit(d1, c1, b);
+                assert_eq!(
+                    decode(d2, c2),
+                    Decoded::Uncorrectable,
+                    "flips of bits {a} and {b} must be detected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_single_flips_over_many_words() {
+        let mut rng = pva_core::SplitMix64::new(0x5ec_ded);
+        for _ in 0..500 {
+            let word = rng.next_u64();
+            let check = encode(word);
+            let bit = rng.below(u64::from(CODEWORD_BITS)) as u32;
+            let (d, c) = flip_codeword_bit(word, check, bit);
+            assert_eq!(decode(d, c), Decoded::Corrected { data: word });
+        }
+    }
+
+    #[test]
+    fn data_positions_cover_all_64_bits() {
+        // Positions 1..=71 minus the seven powers of two hold exactly
+        // the 64 data bits, in order.
+        let mut count = 0;
+        let mut last = None;
+        for pos in 1..CODEWORD_BITS {
+            if !pos.is_power_of_two() {
+                let k = data_index_of(pos);
+                assert_eq!(Some(k), Some(count));
+                last = Some(k);
+                count += 1;
+            }
+        }
+        assert_eq!(count, 64);
+        assert_eq!(last, Some(63));
+    }
+}

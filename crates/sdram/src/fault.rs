@@ -1,0 +1,246 @@
+//! Deterministic fault injection for the SDRAM device model.
+//!
+//! The paper's experiments assume an ideal device; this module lets the
+//! simulator model the ways real SDRAM fails, so the PVA-side recovery
+//! machinery (ECC, retry, watchdog, degradation) has something real to
+//! recover from. Four fault kinds are modeled:
+//!
+//! - **Transient flips**: each READ independently flips one random bit
+//!   of the returned codeword with probability `transient_ppm` parts
+//!   per million (an alpha-particle / cosmic-ray upset).
+//! - **Stuck-at cells**: a deterministic `stuck_ppm` fraction of word
+//!   locations has one bit welded to a fixed value (a manufacturing
+//!   weak cell). Which words, which bit, and which value are pure
+//!   functions of the seed and the address, so the same config always
+//!   yields the same defect map.
+//! - **Refresh decay**: a row whose charge has not been restored (by
+//!   ACTIVATE or AUTO REFRESH) within `retention_cycles` loses its
+//!   weakest bit per word — see the decay bookkeeping in `device.rs`.
+//! - **Hard bank failure**: one internal bank returns garbage on every
+//!   read and drops every write, modeling a dead subarray.
+//!
+//! All randomness comes from the in-tree SplitMix64 stream, so an
+//! entire fault campaign replays bit-identically from its seed.
+
+use pva_core::SplitMix64;
+
+use crate::ecc;
+
+/// One million — the denominator for the parts-per-million fault rates.
+pub const PPM: u64 = 1_000_000;
+
+/// Mixing constant (the SplitMix64 golden-gamma) used to derive
+/// per-address and per-controller fault streams from the base seed.
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Fault-injection configuration for one SDRAM device.
+///
+/// The default is [`FaultConfig::none`]: no faults, matching the
+/// ideal device the paper assumes. Rates are integers in parts per
+/// million so the config stays `Eq` and hashable (no floats).
+///
+/// # Examples
+///
+/// ```
+/// use sdram::FaultConfig;
+/// let f = FaultConfig { transient_ppm: 100, ..FaultConfig::none() };
+/// assert!(f.any_enabled());
+/// assert!(!FaultConfig::none().any_enabled());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultConfig {
+    /// Seed for the deterministic fault streams. Two devices with the
+    /// same seed and rates develop identical faults.
+    pub seed: u64,
+    /// Probability, in parts per million per READ, of a transient
+    /// single-bit flip in the returned codeword. `0` disables.
+    pub transient_ppm: u32,
+    /// Fraction, in parts per million, of word locations carrying a
+    /// stuck-at bit. `0` disables.
+    pub stuck_ppm: u32,
+    /// Retention window in cycles: a row not restored within this many
+    /// cycles decays (one bit per stored word). `0` disables decay.
+    pub retention_cycles: u64,
+    /// Internal bank (effective row-buffer index) that has failed
+    /// hard: reads return flagged garbage, writes are dropped.
+    pub hard_failed_bank: Option<u32>,
+}
+
+impl FaultConfig {
+    /// The ideal device: no faults of any kind.
+    pub const fn none() -> Self {
+        FaultConfig {
+            seed: 0,
+            transient_ppm: 0,
+            stuck_ppm: 0,
+            retention_cycles: 0,
+            hard_failed_bank: None,
+        }
+    }
+
+    /// True when any fault kind is enabled.
+    pub const fn any_enabled(&self) -> bool {
+        self.transient_ppm > 0
+            || self.stuck_ppm > 0
+            || self.retention_cycles > 0
+            || self.hard_failed_bank.is_some()
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::none()
+    }
+}
+
+/// The per-device fault engine: owns the transient-upset stream and
+/// derives the deterministic stuck-cell and decay maps.
+#[derive(Debug, Clone)]
+pub struct FaultEngine {
+    config: FaultConfig,
+    rng: SplitMix64,
+}
+
+impl FaultEngine {
+    /// Creates an engine for the given config, seeded from
+    /// `config.seed`.
+    pub fn new(config: FaultConfig) -> Self {
+        FaultEngine {
+            config,
+            rng: SplitMix64::new(config.seed ^ GOLDEN),
+        }
+    }
+
+    /// Re-derives the transient stream from the base seed and a salt,
+    /// so each bank controller in a multi-device system sees an
+    /// independent (but still reproducible) upset sequence. The
+    /// deterministic stuck-cell and decay maps are unaffected.
+    pub fn reseed(&mut self, salt: u64) {
+        self.rng = SplitMix64::new(self.config.seed ^ salt.wrapping_mul(GOLDEN));
+    }
+
+    /// Decides whether this READ suffers a transient upset; if so,
+    /// returns which codeword bit (`0..72`) flips. Consumes the
+    /// transient stream, so call exactly once per read event.
+    pub fn transient_flip(&mut self) -> Option<u32> {
+        if self.config.transient_ppm == 0 {
+            return None;
+        }
+        if self.rng.chance(u64::from(self.config.transient_ppm), PPM) {
+            Some(self.rng.below(u64::from(ecc::CODEWORD_BITS)) as u32)
+        } else {
+            None
+        }
+    }
+
+    /// The stuck-at defect at a word location, if any: `(bit, value)`
+    /// welds codeword bit `bit` (`0..72`) to `value`. Pure in
+    /// `(seed, local_addr)` — the defect map never changes.
+    pub fn stuck_bit(&self, local_addr: u64) -> Option<(u32, bool)> {
+        if self.config.stuck_ppm == 0 {
+            return None;
+        }
+        let mut cell = SplitMix64::new(
+            self.config
+                .seed
+                .wrapping_add(local_addr.wrapping_mul(GOLDEN)),
+        );
+        if cell.chance(u64::from(self.config.stuck_ppm), PPM) {
+            let bit = cell.below(u64::from(ecc::CODEWORD_BITS)) as u32;
+            Some((bit, cell.coin()))
+        } else {
+            None
+        }
+    }
+
+    /// The "weakest" data bit (`0..64`) of a word — the one that decays
+    /// first when the retention window is violated. Pure in
+    /// `(seed, local_addr)`.
+    pub fn decay_bit(&self, local_addr: u64) -> u32 {
+        let mut cell = SplitMix64::new(
+            self.config
+                .seed
+                .wrapping_add(local_addr.wrapping_mul(GOLDEN))
+                .rotate_left(17),
+        );
+        cell.below(64) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inert() {
+        let mut e = FaultEngine::new(FaultConfig::none());
+        assert_eq!(e.transient_flip(), None);
+        assert_eq!(e.stuck_bit(123), None);
+    }
+
+    #[test]
+    fn stuck_map_is_deterministic() {
+        let cfg = FaultConfig {
+            seed: 99,
+            stuck_ppm: 500_000,
+            ..FaultConfig::none()
+        };
+        let a = FaultEngine::new(cfg);
+        let b = FaultEngine::new(cfg);
+        let mut hits = 0;
+        for addr in 0..2000u64 {
+            assert_eq!(a.stuck_bit(addr), b.stuck_bit(addr));
+            if a.stuck_bit(addr).is_some() {
+                hits += 1;
+            }
+        }
+        // 50% rate over 2000 words: comfortably inside (800, 1200).
+        assert!((800..1200).contains(&hits), "stuck hits = {hits}");
+    }
+
+    #[test]
+    fn transient_stream_replays_from_seed() {
+        let cfg = FaultConfig {
+            seed: 7,
+            transient_ppm: 250_000,
+            ..FaultConfig::none()
+        };
+        let mut a = FaultEngine::new(cfg);
+        let mut b = FaultEngine::new(cfg);
+        let flips_a: Vec<_> = (0..100).map(|_| a.transient_flip()).collect();
+        let flips_b: Vec<_> = (0..100).map(|_| b.transient_flip()).collect();
+        assert_eq!(flips_a, flips_b);
+        assert!(flips_a.iter().any(Option::is_some));
+        assert!(flips_a.iter().any(Option::is_none));
+    }
+
+    #[test]
+    fn reseed_gives_distinct_streams() {
+        let cfg = FaultConfig {
+            seed: 7,
+            transient_ppm: 500_000,
+            ..FaultConfig::none()
+        };
+        let mut a = FaultEngine::new(cfg);
+        let mut b = FaultEngine::new(cfg);
+        a.reseed(1);
+        b.reseed(2);
+        let fa: Vec<_> = (0..64).map(|_| a.transient_flip()).collect();
+        let fb: Vec<_> = (0..64).map(|_| b.transient_flip()).collect();
+        assert_ne!(fa, fb);
+    }
+
+    #[test]
+    fn decay_bit_is_stable_and_in_range() {
+        let e = FaultEngine::new(FaultConfig {
+            seed: 3,
+            retention_cycles: 100,
+            ..FaultConfig::none()
+        });
+        for addr in 0..512u64 {
+            let bit = e.decay_bit(addr);
+            assert!(bit < 64);
+            assert_eq!(bit, e.decay_bit(addr));
+        }
+    }
+}

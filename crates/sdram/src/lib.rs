@@ -13,6 +13,9 @@
 //! * [`Restimer`] / [`BankTimers`] — the §5.2.5 timing counters.
 //! * [`TimingAuditor`] — an independent checker used to cross-validate
 //!   the device in tests.
+//! * [`FaultConfig`] / [`ecc`] — deterministic fault injection and the
+//!   SEC-DED Hamming(72,64) codec that corrects what it can and flags
+//!   the rest (`ReadReturn::poisoned`).
 //!
 //! # Example: overlap across internal banks
 //!
@@ -36,11 +39,14 @@
 mod audit;
 mod config;
 mod device;
+pub mod ecc;
+mod fault;
 pub mod fsm;
 mod restimer;
 
 pub use audit::{TimingAuditor, Violation};
 pub use config::{ConfigError, InternalAddr, SdramConfig};
 pub use device::{background_pattern, IssueError, ReadReturn, Sdram, SdramCmd, SdramStats};
+pub use fault::{FaultConfig, PPM};
 pub use fsm::{BankEvent, BankState, CmdClass, Outcome, TRANSITIONS};
 pub use restimer::{BankTimers, Restimer};
