@@ -151,7 +151,7 @@ fn related_work() {
     let bases = Alignment::BankStagger.bases(2, 1 << 22);
     let trace = Kernel::Copy.trace(&bases, 4, 256, 32);
     bench("related/smc_like_copy_s4", || {
-        memsys::SmcLike::default().run_trace(&trace)
+        memsys::SmcLike::default().run_trace(&trace).cycles
     });
 }
 
@@ -160,7 +160,7 @@ fn ablations_and_tech() {
     let bases = Alignment::Coincident.bases(3, 1 << 22);
     let trace = Kernel::Vaxpy.trace(&bases, 16, 256, 32);
     bench("ablations/row_conflict_probe", || {
-        memsys::PvaSystem::sdram().run_trace(&trace)
+        memsys::PvaSystem::sdram().run_trace(&trace).cycles
     });
     bench("ablations/tech_edo_like_s16", || {
         let mut unit = PvaUnit::new(PvaConfig {

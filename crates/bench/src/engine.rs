@@ -1,0 +1,475 @@
+//! The experiment engine: declarative scenarios, a work-stealing
+//! thread pool, and structured run records.
+//!
+//! A [`Scenario`] declares a grid of independent [`CellSpec`]s plus a
+//! pure `render` function that turns the cell results into the exact
+//! text the old per-figure binaries printed. The engine fans the cells
+//! of one or many scenarios across worker threads (results are ordered
+//! by cell index, so the output is identical at any `--jobs` value) and
+//! assembles a [`RunRecord`] per scenario for the `BENCH_<name>.json`
+//! side channel.
+
+use std::collections::VecDeque;
+use std::sync::{mpsc, Mutex};
+use std::time::Instant;
+
+use crate::json::{self, Value};
+
+/// Schema identifier stamped into every emitted record.
+pub const SCHEMA: &str = "pva-bench-record-v1";
+
+/// The measured output of one cell.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CellData {
+    /// Simulated cycles attributed to this cell (0 for analytic cells).
+    pub cycles: u64,
+    /// Bytes moved across the memory interface by this cell.
+    pub bytes: u64,
+    /// Scenario-specific numbers the `render` function needs beyond
+    /// cycles/bytes (floats are stashed via `f64::to_bits`).
+    pub aux: Vec<u64>,
+    /// Pre-rendered text fragment, for monolithic scenarios whose
+    /// render is the identity.
+    pub text: String,
+}
+
+impl CellData {
+    /// A cell that is just a cycle count plus bytes moved.
+    pub fn cycles(cycles: u64, bytes: u64) -> Self {
+        CellData {
+            cycles,
+            bytes,
+            ..CellData::default()
+        }
+    }
+
+    /// A cell with auxiliary values for the renderer.
+    pub fn with_aux(cycles: u64, bytes: u64, aux: Vec<u64>) -> Self {
+        CellData {
+            cycles,
+            bytes,
+            aux,
+            ..CellData::default()
+        }
+    }
+
+    /// A monolithic cell carrying fully rendered text.
+    pub fn text(cycles: u64, bytes: u64, text: String) -> Self {
+        CellData {
+            cycles,
+            bytes,
+            text,
+            ..CellData::default()
+        }
+    }
+}
+
+/// The work closure of a cell.
+pub type Work = Box<dyn FnOnce() -> CellData + Send>;
+
+/// One independent unit of work in a scenario's grid.
+pub struct CellSpec {
+    /// Memory system (or configuration) the cell exercises.
+    pub system: String,
+    /// Grid coordinates, e.g. `"copy/s16"`.
+    pub label: String,
+    /// The computation.
+    pub work: Work,
+}
+
+impl CellSpec {
+    /// Builds a cell.
+    pub fn new(
+        system: impl Into<String>,
+        label: impl Into<String>,
+        work: impl FnOnce() -> CellData + Send + 'static,
+    ) -> Self {
+        CellSpec {
+            system: system.into(),
+            label: label.into(),
+            work: Box::new(work),
+        }
+    }
+}
+
+/// A declarative experiment: a named grid of cells plus a renderer
+/// that reproduces the legacy figure/table text byte-for-byte.
+pub struct Scenario {
+    /// Canonical name; also the golden/text/JSON file stem.
+    pub name: &'static str,
+    /// Short CLI alias (`pva-bench fig7`), or `""`.
+    pub alias: &'static str,
+    /// One-line description for `pva-bench list`.
+    pub title: &'static str,
+    /// Included in the `--smoke` subset?
+    pub smoke: bool,
+    /// Has a committed golden at `results/<name>.txt`?
+    pub golden: bool,
+    /// Produces the cell grid.
+    pub build: fn() -> Vec<CellSpec>,
+    /// Renders the cell results (in build order) into the report text.
+    pub render: fn(&[CellData]) -> String,
+}
+
+/// One cell's row in a [`RunRecord`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRecord {
+    /// Memory system / configuration name.
+    pub system: String,
+    /// Grid coordinates.
+    pub label: String,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Bytes moved.
+    pub bytes: u64,
+    /// Wall-clock nanoseconds spent computing the cell.
+    pub wall_ns: u64,
+}
+
+/// The structured result of running one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Schema identifier ([`SCHEMA`]).
+    pub schema: String,
+    /// Scenario name.
+    pub scenario: String,
+    /// Scenario title.
+    pub title: String,
+    /// Per-cell measurements, in grid order.
+    pub cells: Vec<CellRecord>,
+    /// Sum of cell cycles.
+    pub total_cycles: u64,
+    /// Sum of cell bytes.
+    pub total_bytes: u64,
+    /// Sum of cell wall times (CPU-seconds of simulation, independent
+    /// of the worker count).
+    pub wall_ns: u64,
+    /// Simulation throughput: `total_cycles / wall seconds`.
+    pub sim_cycles_per_sec: f64,
+    /// Scenario-specific derived figures (e.g. the throughput
+    /// scenario's fast-path speedup), attached after the run; empty for
+    /// most scenarios.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl RunRecord {
+    /// Serializes the record as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let cells: Vec<Value> = self
+            .cells
+            .iter()
+            .map(|c| {
+                Value::Obj(vec![
+                    ("system".into(), Value::Str(c.system.clone())),
+                    ("label".into(), Value::Str(c.label.clone())),
+                    ("cycles".into(), Value::Num(c.cycles as f64)),
+                    ("bytes".into(), Value::Num(c.bytes as f64)),
+                    ("wall_ns".into(), Value::Num(c.wall_ns as f64)),
+                ])
+            })
+            .collect();
+        Value::Obj(vec![
+            ("schema".into(), Value::Str(self.schema.clone())),
+            ("scenario".into(), Value::Str(self.scenario.clone())),
+            ("title".into(), Value::Str(self.title.clone())),
+            ("cells".into(), Value::Arr(cells)),
+            ("total_cycles".into(), Value::Num(self.total_cycles as f64)),
+            ("total_bytes".into(), Value::Num(self.total_bytes as f64)),
+            ("wall_ns".into(), Value::Num(self.wall_ns as f64)),
+            (
+                "sim_cycles_per_sec".into(),
+                Value::Num(self.sim_cycles_per_sec),
+            ),
+            (
+                "metrics".into(),
+                Value::Obj(
+                    self.metrics
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::Num(*v)))
+                        .collect(),
+                ),
+            ),
+        ])
+        .to_json()
+    }
+
+    /// Parses and schema-validates a record.
+    pub fn from_json(text: &str) -> Result<RunRecord, String> {
+        let v = json::parse(text).map_err(|e| e.to_string())?;
+        let field = |k: &str| v.get(k).ok_or_else(|| format!("missing field '{k}'"));
+        let str_field = |k: &str| {
+            field(k)?
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("field '{k}' is not a string"))
+        };
+        let u64_field = |val: &Value, k: &str| {
+            val.get(k)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("field '{k}' is not an unsigned integer"))
+        };
+        let schema = str_field("schema")?;
+        if schema != SCHEMA {
+            return Err(format!("unknown schema '{schema}' (expected '{SCHEMA}')"));
+        }
+        let cells = field("cells")?
+            .as_arr()
+            .ok_or("field 'cells' is not an array")?
+            .iter()
+            .map(|c| {
+                Ok(CellRecord {
+                    system: c
+                        .get("system")
+                        .and_then(Value::as_str)
+                        .ok_or("cell field 'system' is not a string")?
+                        .to_string(),
+                    label: c
+                        .get("label")
+                        .and_then(Value::as_str)
+                        .ok_or("cell field 'label' is not a string")?
+                        .to_string(),
+                    cycles: u64_field(c, "cycles")?,
+                    bytes: u64_field(c, "bytes")?,
+                    wall_ns: u64_field(c, "wall_ns")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(RunRecord {
+            schema,
+            scenario: str_field("scenario")?,
+            title: str_field("title")?,
+            cells,
+            total_cycles: u64_field(&v, "total_cycles")?,
+            total_bytes: u64_field(&v, "total_bytes")?,
+            wall_ns: u64_field(&v, "wall_ns")?,
+            sim_cycles_per_sec: field("sim_cycles_per_sec")?
+                .as_f64()
+                .ok_or("field 'sim_cycles_per_sec' is not a number")?,
+            metrics: match v.get("metrics") {
+                None => Vec::new(),
+                Some(Value::Obj(pairs)) => pairs
+                    .iter()
+                    .map(|(k, val)| {
+                        val.as_f64()
+                            .map(|f| (k.clone(), f))
+                            .ok_or_else(|| format!("metric '{k}' is not a number"))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+                Some(_) => return Err("field 'metrics' is not an object".into()),
+            },
+        })
+    }
+}
+
+/// A completed scenario: rendered text, structured record, and the raw
+/// cell data (for callers that post-process, e.g. the throughput gate).
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub name: &'static str,
+    /// Whether a committed golden exists for the text.
+    pub golden: bool,
+    /// The exact text the legacy binary printed.
+    pub text: String,
+    /// The structured record.
+    pub record: RunRecord,
+    /// Raw cell results, in grid order.
+    pub data: Vec<CellData>,
+}
+
+/// Runs a batch of scenarios, fanning every cell of every scenario
+/// across `jobs` workers. Results are deterministic in content and
+/// order for any `jobs >= 1`.
+pub fn run_scenarios(scenarios: &[&Scenario], jobs: usize) -> Vec<ScenarioReport> {
+    let mut works: Vec<Work> = Vec::new();
+    let mut meta: Vec<(usize, String, String)> = Vec::new();
+    for (si, s) in scenarios.iter().enumerate() {
+        for cell in (s.build)() {
+            works.push(cell.work);
+            meta.push((si, cell.system, cell.label));
+        }
+    }
+    let mut results: VecDeque<(CellData, u64)> = run_jobs(works, jobs).into();
+
+    let mut reports = Vec::new();
+    let mut cursor = 0usize;
+    for (si, s) in scenarios.iter().enumerate() {
+        let mut data = Vec::new();
+        let mut cells = Vec::new();
+        while cursor < meta.len() && meta[cursor].0 == si {
+            let (d, wall_ns) = results.pop_front().expect("one result per cell");
+            cells.push(CellRecord {
+                system: meta[cursor].1.clone(),
+                label: meta[cursor].2.clone(),
+                cycles: d.cycles,
+                bytes: d.bytes,
+                wall_ns,
+            });
+            data.push(d);
+            cursor += 1;
+        }
+        let total_cycles: u64 = cells.iter().map(|c| c.cycles).sum();
+        let total_bytes: u64 = cells.iter().map(|c| c.bytes).sum();
+        let wall_ns: u64 = cells.iter().map(|c| c.wall_ns).sum();
+        let text = (s.render)(&data);
+        reports.push(ScenarioReport {
+            name: s.name,
+            golden: s.golden,
+            text,
+            record: RunRecord {
+                schema: SCHEMA.to_string(),
+                scenario: s.name.to_string(),
+                title: s.title.to_string(),
+                cells,
+                total_cycles,
+                total_bytes,
+                wall_ns,
+                sim_cycles_per_sec: if wall_ns == 0 {
+                    0.0
+                } else {
+                    total_cycles as f64 / (wall_ns as f64 / 1e9)
+                },
+                metrics: Vec::new(),
+            },
+            data,
+        });
+    }
+    reports
+}
+
+/// Executes the closures on a work-stealing pool and returns
+/// `(result, wall_ns)` in submission order.
+///
+/// Jobs are dealt round-robin onto per-worker deques; a worker pops
+/// from the front of its own deque and steals from the back of the
+/// others when it runs dry. With a fixed job set (no job enqueues new
+/// work) "all deques empty" is a correct termination test.
+fn run_jobs(works: Vec<Work>, jobs: usize) -> Vec<(CellData, u64)> {
+    let n = works.len();
+    if jobs <= 1 || n <= 1 {
+        return works
+            .into_iter()
+            .map(|w| {
+                let t0 = Instant::now();
+                let d = w();
+                (d, t0.elapsed().as_nanos() as u64)
+            })
+            .collect();
+    }
+    let workers = jobs.min(n);
+    let queues: Vec<Mutex<VecDeque<(usize, Work)>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, w) in works.into_iter().enumerate() {
+        queues[i % workers].lock().unwrap().push_back((i, w));
+    }
+    let (tx, rx) = mpsc::channel::<(usize, CellData, u64)>();
+    std::thread::scope(|scope| {
+        let queues = &queues;
+        for wi in 0..workers {
+            let tx = tx.clone();
+            scope.spawn(move || loop {
+                let own = queues[wi].lock().unwrap().pop_front();
+                let job = own.or_else(|| {
+                    (1..workers).find_map(|d| queues[(wi + d) % workers].lock().unwrap().pop_back())
+                });
+                match job {
+                    Some((i, w)) => {
+                        let t0 = Instant::now();
+                        let d = w();
+                        let ns = t0.elapsed().as_nanos() as u64;
+                        // The receiver outlives the scope; send cannot fail.
+                        tx.send((i, d, ns)).expect("collector alive");
+                    }
+                    None => break,
+                }
+            });
+        }
+        drop(tx);
+    });
+    let mut slots: Vec<Option<(CellData, u64)>> = (0..n).map(|_| None).collect();
+    for (i, d, ns) in rx {
+        slots[i] = Some((d, ns));
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every job reports exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scenario() -> Scenario {
+        Scenario {
+            name: "tiny",
+            alias: "",
+            title: "tiny test scenario",
+            smoke: false,
+            golden: false,
+            build: || {
+                (0..17u64)
+                    .map(|i| {
+                        CellSpec::new("sys", format!("cell{i}"), move || {
+                            CellData::cycles(i * 100, i)
+                        })
+                    })
+                    .collect()
+            },
+            render: |cells| {
+                let total: u64 = cells.iter().map(|c| c.cycles).sum();
+                format!("total {total}\n")
+            },
+        }
+    }
+
+    #[test]
+    fn pool_preserves_order_at_any_width() {
+        let s = tiny_scenario();
+        for jobs in [1, 2, 8, 32] {
+            let reports = run_scenarios(&[&s], jobs);
+            assert_eq!(reports.len(), 1);
+            let r = &reports[0];
+            assert_eq!(r.text, "total 13600\n");
+            assert_eq!(r.record.cells.len(), 17);
+            for (i, c) in r.record.cells.iter().enumerate() {
+                assert_eq!(c.label, format!("cell{i}"));
+                assert_eq!(c.cycles, i as u64 * 100);
+            }
+            assert_eq!(r.record.total_cycles, 13600);
+            assert_eq!(r.record.total_bytes, 136);
+        }
+    }
+
+    #[test]
+    fn record_json_round_trips() {
+        let reports = run_scenarios(&[&tiny_scenario()], 4);
+        let rec = &reports[0].record;
+        let parsed = RunRecord::from_json(&rec.to_json()).expect("valid record");
+        assert_eq!(&parsed, rec);
+    }
+
+    #[test]
+    fn from_json_rejects_bad_schema_and_shape() {
+        assert!(RunRecord::from_json("{}").is_err());
+        let wrong = r#"{"schema": "other-v9", "scenario": "x", "title": "y",
+            "cells": [], "total_cycles": 0, "total_bytes": 0,
+            "wall_ns": 0, "sim_cycles_per_sec": 0}"#;
+        let err = RunRecord::from_json(wrong).unwrap_err();
+        assert!(err.contains("unknown schema"), "{err}");
+        let bad_cell = r#"{"schema": "pva-bench-record-v1", "scenario": "x",
+            "title": "y", "cells": [{"system": "s"}], "total_cycles": 0,
+            "total_bytes": 0, "wall_ns": 0, "sim_cycles_per_sec": 0}"#;
+        assert!(RunRecord::from_json(bad_cell).is_err());
+    }
+
+    #[test]
+    fn multi_scenario_batch_keeps_scenario_boundaries() {
+        let a = tiny_scenario();
+        let b = tiny_scenario();
+        let reports = run_scenarios(&[&a, &b], 3);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].record.cells.len(), 17);
+        assert_eq!(reports[1].record.cells.len(), 17);
+        assert_eq!(reports[0].text, reports[1].text);
+    }
+}

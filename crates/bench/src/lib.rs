@@ -13,7 +13,10 @@ use kernels::{run_cell, run_point, Alignment, CellResult, Kernel, SystemKind, ST
 use pva_sim::{PvaConfig, RowPolicy};
 
 pub mod campaign;
+pub mod engine;
+pub mod json;
 pub mod report;
+pub mod scenarios;
 
 /// One row of the figure-7/8 stride sweeps: a kernel at a stride, with
 /// min/max cycles per system over the five alignments.
@@ -182,88 +185,99 @@ pub struct AblationRow {
     pub rw_mix_s16: u64,
 }
 
-/// Ablations of the §5.2 design choices: out-of-order issue, open/
-/// precharge promotion, bypass paths, and the four row policies.
-pub fn ablations() -> Vec<AblationRow> {
-    use pva_core::Vector;
-    use pva_sim::{HostRequest, PvaUnit};
-
-    let mut rows = Vec::new();
-    let mut push = |label: &'static str, cfg: PvaConfig| {
-        // Probe 1: single-command latency, stride 5 (non-power-of-two).
-        let latency_s5 = {
-            let mut unit = PvaUnit::new(cfg).expect("valid config");
-            let v = Vector::new(0, 5, 32).expect("valid vector");
-            unit.run(vec![HostRequest::Read { vector: v }])
-                .expect("runs")
-                .cycles
-        };
-        // Probe 2: vaxpy stride 16 coincident (bank-bound, row-conflict
-        // heavy — the scheduler's home turf).
-        let vaxpy_s16 = {
-            use memsys::MemorySystem;
-            let k = Kernel::Vaxpy;
-            let bases = Alignment::Coincident.bases(k.array_count(), kernels::ARRAY_REGION);
-            let trace = k.trace(&bases, 16, kernels::ELEMENTS, kernels::LINE_WORDS);
-            memsys::PvaSystem::with_config(label, cfg).run_trace(&trace)
-        };
-        // Probe 3: alternating read/write commands all hitting one bank.
-        let rw_mix_s16 = {
-            let mut unit = PvaUnit::new(cfg).expect("valid config");
-            let reqs: Vec<HostRequest> = (0..8u64)
-                .map(|i| {
-                    let v = Vector::new(i * 512 * 16, 16, 32).expect("valid vector");
-                    if i % 2 == 0 {
-                        HostRequest::Read { vector: v }
-                    } else {
-                        HostRequest::Write {
-                            vector: v,
-                            data: vec![0; 32],
-                        }
-                    }
-                })
-                .collect();
-            unit.run(reqs).expect("runs").cycles
-        };
-        rows.push(AblationRow {
-            label,
-            latency_s5,
-            vaxpy_s16,
-            rw_mix_s16,
-        });
-    };
-
-    push("baseline (all features)", PvaConfig::default());
+/// The ablation configurations of §5.2, in presentation order.
+pub fn ablation_configs() -> Vec<(&'static str, PvaConfig)> {
+    let mut out = vec![("baseline (all features)", PvaConfig::default())];
 
     let mut c = PvaConfig::default();
     c.options.out_of_order = false;
-    push("no out-of-order issue", c);
+    out.push(("no out-of-order issue", c));
 
     let mut c = PvaConfig::default();
     c.options.promote_opens = false;
-    push("no open/precharge promotion", c);
+    out.push(("no open/precharge promotion", c));
 
     let mut c = PvaConfig::default();
     c.options.bypass_paths = false;
-    push("no bypass paths", c);
+    out.push(("no bypass paths", c));
 
     let mut c = PvaConfig::default();
     c.options.row_policy = RowPolicy::PaperLiteral;
-    push("row policy: paper-literal", c);
+    out.push(("row policy: paper-literal", c));
 
     let mut c = PvaConfig::default();
     c.options.row_policy = RowPolicy::AlwaysClose;
-    push("row policy: always close", c);
+    out.push(("row policy: always close", c));
 
     let mut c = PvaConfig::default();
     c.options.row_policy = RowPolicy::AlwaysOpen;
-    push("row policy: always open", c);
+    out.push(("row policy: always open", c));
 
     let mut c = PvaConfig::default();
     c.options.row_policy = RowPolicy::AlphaHistory;
-    push("row policy: 21174 4-bit history", c);
+    out.push(("row policy: 21174 4-bit history", c));
 
-    rows
+    out
+}
+
+/// Ablation probe 1: single-command gather latency at stride 5
+/// (non-power-of-two — FHC + §5.2.3 bypass paths).
+pub fn ablation_latency_s5(cfg: PvaConfig) -> u64 {
+    use pva_core::Vector;
+    use pva_sim::{HostRequest, PvaUnit};
+    let mut unit = PvaUnit::new(cfg).expect("valid config");
+    let v = Vector::new(0, 5, 32).expect("valid vector");
+    unit.run(vec![HostRequest::Read { vector: v }])
+        .expect("runs")
+        .cycles
+}
+
+/// Ablation probe 2: vaxpy at stride 16, coincident alignment
+/// (bank-bound, row-conflict heavy — the scheduler's home turf).
+pub fn ablation_vaxpy_s16(label: &'static str, cfg: PvaConfig) -> u64 {
+    use memsys::MemorySystem;
+    let k = Kernel::Vaxpy;
+    let bases = Alignment::Coincident.bases(k.array_count(), kernels::ARRAY_REGION);
+    let trace = k.trace(&bases, 16, kernels::ELEMENTS, kernels::LINE_WORDS);
+    memsys::PvaSystem::with_config(label, cfg)
+        .run_trace(&trace)
+        .cycles
+}
+
+/// Ablation probe 3: alternating read/write commands all hitting one
+/// bank (polarity rule + out-of-order issue).
+pub fn ablation_rw_mix_s16(cfg: PvaConfig) -> u64 {
+    use pva_core::Vector;
+    use pva_sim::{HostRequest, PvaUnit};
+    let mut unit = PvaUnit::new(cfg).expect("valid config");
+    let reqs: Vec<HostRequest> = (0..8u64)
+        .map(|i| {
+            let v = Vector::new(i * 512 * 16, 16, 32).expect("valid vector");
+            if i % 2 == 0 {
+                HostRequest::Read { vector: v }
+            } else {
+                HostRequest::Write {
+                    vector: v,
+                    data: vec![0; 32],
+                }
+            }
+        })
+        .collect();
+    unit.run(reqs).expect("runs").cycles
+}
+
+/// Ablations of the §5.2 design choices: out-of-order issue, open/
+/// precharge promotion, bypass paths, and the four row policies.
+pub fn ablations() -> Vec<AblationRow> {
+    ablation_configs()
+        .into_iter()
+        .map(|(label, cfg)| AblationRow {
+            label,
+            latency_s5: ablation_latency_s5(cfg),
+            vaxpy_s16: ablation_vaxpy_s16(label, cfg),
+            rw_mix_s16: ablation_rw_mix_s16(cfg),
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,281 @@
+//! `pva-bench` — the unified experiment CLI.
+//!
+//! ```text
+//! pva-bench list
+//! pva-bench <scenario> [--jobs N] [--json DIR]
+//! pva-bench all [--smoke] [--jobs N] [--json DIR] [--out DIR] [--verify DIR]
+//!               [--min-speedup X]
+//! pva-bench validate FILE...
+//! ```
+//!
+//! A single scenario prints exactly what its legacy binary printed
+//! (goldens live in `results/`). `all` fans every cell of every
+//! selected scenario across a work-stealing pool, writes per-scenario
+//! text (`--out`) and `BENCH_<name>.json` records (`--json`), and can
+//! diff the text against committed goldens (`--verify`). `--min-speedup`
+//! gates on the `throughput` scenario's fast-path speedup.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use pva_bench::engine::{run_scenarios, RunRecord, Scenario, ScenarioReport};
+use pva_bench::scenarios::{find, scenarios, throughput_metrics, throughput_speedup};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pva-bench list\n\
+         \x20      pva-bench <scenario> [--jobs N] [--json DIR]\n\
+         \x20      pva-bench all [--smoke] [--jobs N] [--json DIR] [--out DIR]\n\
+         \x20                    [--verify DIR] [--min-speedup X]\n\
+         \x20      pva-bench validate FILE...\n\
+         run `pva-bench list` for scenario names"
+    );
+    std::process::exit(2);
+}
+
+struct Options {
+    jobs: usize,
+    smoke: bool,
+    json_dir: Option<String>,
+    out_dir: Option<String>,
+    verify_dir: Option<String>,
+    min_speedup: Option<f64>,
+}
+
+fn parse_options(args: &[String]) -> Options {
+    let mut o = Options {
+        jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        smoke: false,
+        json_dir: None,
+        out_dir: None,
+        verify_dir: None,
+        min_speedup: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("{flag} takes a value");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match a.as_str() {
+            "--smoke" => o.smoke = true,
+            "--jobs" => {
+                o.jobs = value("--jobs").parse().unwrap_or_else(|_| {
+                    eprintln!("--jobs takes a positive integer");
+                    std::process::exit(2);
+                });
+                if o.jobs == 0 {
+                    eprintln!("--jobs takes a positive integer");
+                    std::process::exit(2);
+                }
+            }
+            "--json" => o.json_dir = Some(value("--json")),
+            "--out" => o.out_dir = Some(value("--out")),
+            "--verify" => o.verify_dir = Some(value("--verify")),
+            "--min-speedup" => {
+                o.min_speedup = Some(value("--min-speedup").parse().unwrap_or_else(|_| {
+                    eprintln!("--min-speedup takes a number");
+                    std::process::exit(2);
+                }))
+            }
+            _ => usage(),
+        }
+    }
+    o
+}
+
+/// Attaches scenario-specific derived metrics to the structured
+/// records (currently: the throughput scenario's fast-path speedup).
+fn attach_metrics(reports: &mut [ScenarioReport]) {
+    if let Some(r) = reports.iter_mut().find(|r| r.name == "throughput") {
+        r.record.metrics = throughput_metrics(&r.data);
+    }
+}
+
+fn write_outputs(reports: &[ScenarioReport], opts: &Options) -> Result<(), String> {
+    if let Some(dir) = &opts.json_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+        for r in reports {
+            let path = format!("{dir}/BENCH_{}.json", r.name);
+            std::fs::write(&path, r.record.to_json())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+        }
+    }
+    if let Some(dir) = &opts.out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+        for r in reports {
+            let path = format!("{dir}/{}.txt", r.name);
+            std::fs::write(&path, &r.text).map_err(|e| format!("writing {path}: {e}"))?;
+        }
+    }
+    Ok(())
+}
+
+/// Diffs rendered text against `<dir>/<name>.txt` goldens; returns the
+/// names that mismatched.
+fn verify(reports: &[ScenarioReport], dir: &str) -> Vec<String> {
+    let mut bad = Vec::new();
+    for r in reports.iter().filter(|r| r.golden) {
+        let path = format!("{dir}/{}.txt", r.name);
+        match std::fs::read_to_string(&path) {
+            Ok(golden) if golden == r.text => {}
+            Ok(_) => bad.push(format!("{} (differs from {path})", r.name)),
+            Err(e) => bad.push(format!("{} (cannot read {path}: {e})", r.name)),
+        }
+    }
+    bad
+}
+
+fn gate_speedup(reports: &[ScenarioReport], floor: f64) -> Result<f64, String> {
+    let t = reports
+        .iter()
+        .find(|r| r.name == "throughput")
+        .ok_or("--min-speedup given but the throughput scenario did not run")?;
+    let speedup = throughput_speedup(&t.data);
+    if speedup < floor {
+        return Err(format!(
+            "fast-path speedup {speedup:.2}x is below the --min-speedup floor {floor:.2}x"
+        ));
+    }
+    Ok(speedup)
+}
+
+fn cmd_all(opts: &Options) -> ExitCode {
+    let all = scenarios();
+    let selected: Vec<&Scenario> = all.iter().filter(|s| !opts.smoke || s.smoke).collect();
+    eprintln!(
+        "running {} scenario(s) on {} worker(s){}",
+        selected.len(),
+        opts.jobs,
+        if opts.smoke { " [smoke subset]" } else { "" }
+    );
+    let mut reports = run_scenarios(&selected, opts.jobs);
+    attach_metrics(&mut reports);
+    if let Err(e) = write_outputs(&reports, opts) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let mut t = pva_bench::report::Table::new(vec![
+        "scenario",
+        "cells",
+        "sim cycles",
+        "bytes moved",
+        "wall ms",
+        "Mcycles/s",
+    ]);
+    for r in &reports {
+        t.row(vec![
+            r.name.to_string(),
+            r.record.cells.len().to_string(),
+            r.record.total_cycles.to_string(),
+            r.record.total_bytes.to_string(),
+            format!("{:.1}", r.record.wall_ns as f64 / 1e6),
+            format!("{:.2}", r.record.sim_cycles_per_sec / 1e6),
+        ]);
+    }
+    println!("{t}");
+
+    let mut ok = true;
+    if let Some(dir) = &opts.verify_dir {
+        let bad = verify(&reports, dir);
+        if bad.is_empty() {
+            let checked = reports.iter().filter(|r| r.golden).count();
+            println!("verify: {checked} scenario(s) byte-identical to {dir}/");
+        } else {
+            ok = false;
+            for b in &bad {
+                eprintln!("verify FAILED: {b}");
+            }
+        }
+    }
+    if let Some(floor) = opts.min_speedup {
+        match gate_speedup(&reports, floor) {
+            Ok(s) => println!("throughput gate: fast-path speedup {s:.2}x >= {floor:.2}x"),
+            Err(e) => {
+                ok = false;
+                eprintln!("error: {e}");
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_one(name: &str, opts: &Options) -> ExitCode {
+    let Some(s) = find(name) else {
+        eprintln!("unknown scenario '{name}'; run `pva-bench list`");
+        return ExitCode::from(2);
+    };
+    let mut reports = run_scenarios(&[&s], opts.jobs);
+    attach_metrics(&mut reports);
+    if let Err(e) = write_outputs(&reports, opts) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    print!("{}", reports[0].text);
+    let _ = std::io::stdout().flush();
+    ExitCode::SUCCESS
+}
+
+fn cmd_list() -> ExitCode {
+    let mut t = pva_bench::report::Table::new(vec!["name", "alias", "smoke", "description"]);
+    for s in scenarios() {
+        t.row(vec![
+            s.name.to_string(),
+            s.alias.to_string(),
+            if s.smoke { "yes" } else { "" }.to_string(),
+            s.title.to_string(),
+        ]);
+    }
+    println!("{t}");
+    ExitCode::SUCCESS
+}
+
+fn cmd_validate(files: &[String]) -> ExitCode {
+    if files.is_empty() {
+        usage();
+    }
+    let mut ok = true;
+    for f in files {
+        let verdict = std::fs::read_to_string(f)
+            .map_err(|e| e.to_string())
+            .and_then(|text| RunRecord::from_json(&text).map_err(|e| e.to_string()));
+        match verdict {
+            Ok(rec) => println!(
+                "{f}: ok ({}, {} cells, {} cycles)",
+                rec.scenario,
+                rec.cells.len(),
+                rec.total_cycles
+            ),
+            Err(e) => {
+                ok = false;
+                eprintln!("{f}: INVALID: {e}");
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None => usage(),
+        Some("list") => cmd_list(),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("all") => cmd_all(&parse_options(&args[1..])),
+        Some(name) if name.starts_with('-') => usage(),
+        Some(name) => cmd_one(name, &parse_options(&args[1..])),
+    }
+}

@@ -1,0 +1,1697 @@
+//! The scenario registry: every table and figure of the evaluation as
+//! a declarative [`Scenario`], plus the `throughput` self-measurement.
+//!
+//! Each scenario's `render` reproduces — byte for byte — the stdout of
+//! the per-figure binary it replaced (goldens are committed under
+//! `results/`). Heavy sweeps are decomposed into one cell per
+//! (kernel, stride, system)-shaped grid point so the engine can fan
+//! them across cores; analytic or cheap studies run as a single cell.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use cache::{run_reference_stream, CacheConfig, CacheSim, Reference};
+use kernels::{
+    run_cell, run_point, run_point_outcome, Alignment, Kernel, SystemKind, ARRAY_REGION, ELEMENTS,
+    LINE_WORDS, STRIDES,
+};
+use memsys::{MemorySystem, PvaSystem, SerialGather, SmcLike, TraceOp, WORD_BYTES};
+use pva_core::{scaling_sweep, BankId, BitReversedVector, Geometry, IndirectVector, K1Pla, Vector};
+use pva_sim::{
+    mixed_workload, run_indirect_gather, unit_complexity, CpuConfig, CpuModel, HostRequest, OpKind,
+    PvaConfig,
+};
+use sdram::SdramConfig;
+
+use crate::engine::{CellData, CellSpec, Scenario};
+use crate::report::Table;
+use crate::{ablation_configs, ablation_latency_s5, ablation_rw_mix_s16, ablation_vaxpy_s16};
+
+/// All registered scenarios, in the presentation order of
+/// `scripts/reproduce.sh`.
+pub fn scenarios() -> Vec<Scenario> {
+    vec![
+        table1(),
+        table2(),
+        fig7(),
+        fig8(),
+        fig9(),
+        fig10(),
+        fig11(),
+        headline(),
+        ablation(),
+        ext_indirect(),
+        ext_bitrev(),
+        ext_cache_pollution(),
+        related_cvms(),
+        related_smc(),
+        tech_sweep(),
+        scaling_banks(),
+        design_space(),
+        cpu_sensitivity(),
+        throughput(),
+    ]
+}
+
+/// Looks a scenario up by name or alias.
+pub fn find(name: &str) -> Option<Scenario> {
+    scenarios()
+        .into_iter()
+        .find(|s| s.name == name || (!s.alias.is_empty() && s.alias == name))
+}
+
+// ---------------------------------------------------------------------
+// Figures 7/8: stride sweeps.
+
+const FIG7_KERNELS: [Kernel; 3] = [Kernel::Copy, Kernel::Saxpy, Kernel::Scale];
+const FIG8_KERNELS: [Kernel; 3] = [Kernel::Swap, Kernel::Tridiag, Kernel::Vaxpy];
+
+fn stride_sweep_cells(kernels: &'static [Kernel]) -> Vec<CellSpec> {
+    let mut cells = Vec::new();
+    for &k in kernels {
+        for &s in &STRIDES {
+            for &sys in &SystemKind::ALL {
+                cells.push(CellSpec::new(
+                    sys.name(),
+                    format!("{}/s{}", k.name(), s),
+                    move || {
+                        let c = run_cell(k, s, sys);
+                        CellData::with_aux(c.min, c.bytes, vec![c.min, c.max])
+                    },
+                ));
+            }
+        }
+    }
+    cells
+}
+
+fn render_stride_sweep(title: &str, kernels: &[Kernel], cells: &[CellData]) -> String {
+    let mut t = Table::new(vec![
+        "kernel",
+        "stride",
+        "pva-sdram min",
+        "pva-sdram max",
+        "pva-sram min",
+        "pva-sram max",
+        "cacheline",
+        "serial-gather",
+    ]);
+    let mut idx = 0;
+    for &k in kernels {
+        for &s in &STRIDES {
+            let g = &cells[idx..idx + 4];
+            idx += 4;
+            t.row(vec![
+                k.name().to_string(),
+                s.to_string(),
+                g[0].aux[0].to_string(),
+                g[0].aux[1].to_string(),
+                g[1].aux[0].to_string(),
+                g[1].aux[1].to_string(),
+                g[2].aux[0].to_string(),
+                g[3].aux[0].to_string(),
+            ]);
+        }
+    }
+    format!("{title}\n\n{t}\n")
+}
+
+fn fig7() -> Scenario {
+    Scenario {
+        name: "fig7_stride_sweep",
+        alias: "fig7",
+        title: "Figure 7: copy/saxpy/scale vs stride on the four systems",
+        smoke: false,
+        golden: true,
+        build: || stride_sweep_cells(&FIG7_KERNELS),
+        render: |cells| {
+            render_stride_sweep(
+                "Figure 7 — cycles per 1024-element kernel, varying stride",
+                &FIG7_KERNELS,
+                cells,
+            )
+        },
+    }
+}
+
+fn fig8() -> Scenario {
+    Scenario {
+        name: "fig8_stride_sweep",
+        alias: "fig8",
+        title: "Figure 8: swap/tridiag/vaxpy vs stride on the four systems",
+        smoke: false,
+        golden: true,
+        build: || stride_sweep_cells(&FIG8_KERNELS),
+        render: |cells| {
+            render_stride_sweep(
+                "Figure 8 — cycles per 1024-element kernel, varying stride (continued)",
+                &FIG8_KERNELS,
+                cells,
+            )
+        },
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figures 9/10: fixed-stride comparisons.
+
+const FIG9_STRIDES: [u64; 2] = [1, 4];
+const FIG10_STRIDES: [u64; 3] = [8, 16, 19];
+
+fn fixed_stride_cells(strides: &'static [u64]) -> Vec<CellSpec> {
+    let mut cells = Vec::new();
+    for &s in strides {
+        for &k in &Kernel::ALL {
+            for &sys in &SystemKind::ALL {
+                cells.push(CellSpec::new(
+                    sys.name(),
+                    format!("{}/s{}", k.name(), s),
+                    move || {
+                        let c = run_cell(k, s, sys);
+                        CellData::cycles(c.min, c.bytes)
+                    },
+                ));
+            }
+        }
+    }
+    cells
+}
+
+fn render_fixed_stride(figure: u64, strides: &[u64], cells: &[CellData]) -> String {
+    let mut out = String::new();
+    let mut idx = 0;
+    for &s in strides {
+        let mut t = Table::new(vec![
+            "kernel",
+            "pva-sdram",
+            "pva-sram",
+            "cacheline",
+            "cl % of pva",
+            "serial-gather",
+            "sg % of pva",
+        ]);
+        for &k in &Kernel::ALL {
+            let g = &cells[idx..idx + 4];
+            idx += 4;
+            let pva_min = g[0].cycles;
+            let pct = |c: u64| format!("{:.0}%", 100.0 * c as f64 / pva_min as f64);
+            t.row(vec![
+                k.name().to_string(),
+                g[0].cycles.to_string(),
+                g[1].cycles.to_string(),
+                g[2].cycles.to_string(),
+                pct(g[2].cycles),
+                g[3].cycles.to_string(),
+                pct(g[3].cycles),
+            ]);
+        }
+        let _ = writeln!(
+            out,
+            "Figure {figure} — all kernels at stride {s} (cycles, min over alignments)\n"
+        );
+        let _ = writeln!(out, "{t}");
+    }
+    out
+}
+
+fn fig9() -> Scenario {
+    Scenario {
+        name: "fig9_fixed_stride",
+        alias: "fig9",
+        title: "Figure 9: all kernels at strides 1 and 4",
+        smoke: false,
+        golden: true,
+        build: || fixed_stride_cells(&FIG9_STRIDES),
+        render: |cells| render_fixed_stride(9, &FIG9_STRIDES, cells),
+    }
+}
+
+fn fig10() -> Scenario {
+    Scenario {
+        name: "fig10_fixed_stride",
+        alias: "fig10",
+        title: "Figure 10: all kernels at strides 8, 16 and 19",
+        smoke: false,
+        golden: true,
+        build: || fixed_stride_cells(&FIG10_STRIDES),
+        render: |cells| render_fixed_stride(10, &FIG10_STRIDES, cells),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 11: vaxpy alignment detail, SDRAM vs SRAM.
+
+fn vaxpy_detail_cells() -> Vec<CellSpec> {
+    let mut cells = Vec::new();
+    for &stride in &STRIDES {
+        for a in Alignment::ALL {
+            for sys in [SystemKind::PvaSdram, SystemKind::PvaSram] {
+                cells.push(CellSpec::new(
+                    sys.name(),
+                    format!("s{}/{}", stride, a.name()),
+                    move || {
+                        let o = run_point_outcome(Kernel::Vaxpy, stride, a, sys);
+                        CellData::cycles(o.cycles, o.bytes_transferred)
+                    },
+                ));
+            }
+        }
+    }
+    cells
+}
+
+fn fig11() -> Scenario {
+    Scenario {
+        name: "fig11_vaxpy_detail",
+        alias: "fig11",
+        title: "Figure 11: vaxpy alignment sensitivity, PVA-SDRAM vs PVA-SRAM",
+        smoke: false,
+        golden: true,
+        build: vaxpy_detail_cells,
+        render: |cells| {
+            let base = cells[0].cycles; // stride 1, first alignment, SDRAM
+            let mut t = Table::new(vec![
+                "stride",
+                "alignment",
+                "pva-sdram",
+                "norm to leftmost",
+                "pva-sram",
+                "sdram/sram",
+            ]);
+            let mut worst = 1.0f64;
+            let mut idx = 0;
+            for &stride in &STRIDES {
+                for a in Alignment::ALL {
+                    let sdram = cells[idx].cycles;
+                    let sram = cells[idx + 1].cycles;
+                    idx += 2;
+                    let ratio = sdram as f64 / sram as f64;
+                    worst = worst.max(ratio);
+                    t.row(vec![
+                        stride.to_string(),
+                        a.name().to_string(),
+                        sdram.to_string(),
+                        format!("{:.0}%", 100.0 * sdram as f64 / base as f64),
+                        sram.to_string(),
+                        format!("{ratio:.3}"),
+                    ]);
+                }
+            }
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "Figure 11 — vaxpy on PVA-SDRAM vs PVA-SRAM across alignments\n"
+            );
+            let _ = writeln!(out, "{t}");
+            let _ = writeln!(
+                out,
+                "worst-case SDRAM/SRAM ratio: {worst:.3}  (paper: at most ~1.15, \
+                 with two cases below 1.0 from an implementation artifact)"
+            );
+            out
+        },
+    }
+}
+
+// ---------------------------------------------------------------------
+// Headline claims.
+
+const HEADLINE_SYSTEMS: [SystemKind; 3] = [
+    SystemKind::PvaSdram,
+    SystemKind::CachelineSerial,
+    SystemKind::SerialGather,
+];
+
+fn headline() -> Scenario {
+    Scenario {
+        name: "headline_speedups",
+        alias: "headline",
+        title: "The abstract's headline claims, recomputed on the full design space",
+        smoke: false,
+        golden: true,
+        build: || {
+            let mut cells = Vec::new();
+            for &k in &Kernel::ALL {
+                for &s in &STRIDES {
+                    for &sys in &HEADLINE_SYSTEMS {
+                        cells.push(CellSpec::new(
+                            sys.name(),
+                            format!("{}/s{}", k.name(), s),
+                            move || {
+                                let c = run_cell(k, s, sys);
+                                CellData::cycles(c.min, c.bytes)
+                            },
+                        ));
+                    }
+                }
+            }
+            cells.extend(vaxpy_detail_cells());
+            cells
+        },
+        render: |cells| {
+            let mut vs_cl: (f64, &'static str, u64) = (0.0, "", 0);
+            let mut vs_sg: (f64, &'static str, u64) = (0.0, "", 0);
+            let mut parity = f64::MAX;
+            let mut idx = 0;
+            for &k in &Kernel::ALL {
+                for &s in &STRIDES {
+                    let pva = cells[idx].cycles as f64;
+                    let cl = cells[idx + 1].cycles as f64;
+                    let sg = cells[idx + 2].cycles as f64;
+                    idx += 3;
+                    if cl / pva > vs_cl.0 {
+                        vs_cl = (cl / pva, k.name(), s);
+                    }
+                    if sg / pva > vs_sg.0 {
+                        vs_sg = (sg / pva, k.name(), s);
+                    }
+                    if s == 1 {
+                        parity = parity.min(cl / pva);
+                    }
+                }
+            }
+            let mut gap: f64 = 1.0;
+            while idx < cells.len() {
+                gap = gap.max(cells[idx].cycles as f64 / cells[idx + 1].cycles as f64);
+                idx += 2;
+            }
+            let mut out = String::new();
+            let _ = writeln!(out, "Headline claims, recomputed on this reproduction\n");
+            let _ = writeln!(
+                out,
+                "max speedup vs cache-line serial system : {:.1}x  (at {} stride {})",
+                vs_cl.0, vs_cl.1, vs_cl.2
+            );
+            let _ = writeln!(out, "  paper claim                            : 32.8x");
+            let _ = writeln!(
+                out,
+                "max speedup vs gathering serial system  : {:.1}x  (at {} stride {})",
+                vs_sg.0, vs_sg.1, vs_sg.2
+            );
+            let _ = writeln!(out, "  paper claim                            : 3.3x");
+            let _ = writeln!(
+                out,
+                "worst unit-stride cacheline/pva ratio   : {parity:.2}  (>= ~0.9 means line fills unhurt)"
+            );
+            let _ = writeln!(
+                out,
+                "  paper claim                            : 1.00-1.09 (100%-109%)"
+            );
+            let _ = writeln!(out, "worst-case SDRAM/SRAM gap (fig. 11)     : {gap:.3}");
+            let _ = writeln!(out, "  paper claim                            : <= ~1.15");
+            out
+        },
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scheduler ablations.
+
+fn ablation() -> Scenario {
+    Scenario {
+        name: "ablation_scheduler",
+        alias: "ablation",
+        title: "Ablations of the §5.2 scheduler design choices",
+        smoke: false,
+        golden: true,
+        build: || {
+            let mut cells = Vec::new();
+            for (label, cfg) in ablation_configs() {
+                cells.push(CellSpec::new(label, "latency_s5", move || {
+                    CellData::cycles(ablation_latency_s5(cfg), 0)
+                }));
+                cells.push(CellSpec::new(label, "vaxpy_s16", move || {
+                    CellData::cycles(ablation_vaxpy_s16(label, cfg), 0)
+                }));
+                cells.push(CellSpec::new(label, "rw_mix_s16", move || {
+                    CellData::cycles(ablation_rw_mix_s16(cfg), 0)
+                }));
+            }
+            cells
+        },
+        render: |cells| {
+            let labels: Vec<&'static str> =
+                ablation_configs().into_iter().map(|(l, _)| l).collect();
+            let mut t = Table::new(vec![
+                "configuration",
+                "latency s5",
+                "vs base",
+                "vaxpy s16",
+                "vs base",
+                "rw-mix s16",
+                "vs base",
+            ]);
+            let base = &cells[0..3];
+            let pct = |x: u64, b: u64| format!("{:+.1}%", 100.0 * (x as f64 - b as f64) / b as f64);
+            for (i, label) in labels.iter().enumerate() {
+                let g = &cells[i * 3..i * 3 + 3];
+                t.row(vec![
+                    label.to_string(),
+                    g[0].cycles.to_string(),
+                    pct(g[0].cycles, base[0].cycles),
+                    g[1].cycles.to_string(),
+                    pct(g[1].cycles, base[1].cycles),
+                    g[2].cycles.to_string(),
+                    pct(g[2].cycles, base[2].cycles),
+                ]);
+            }
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "Scheduler ablations — scheduler-bound probes (cycles)\n"
+            );
+            let _ = writeln!(out, "{t}");
+            let _ = writeln!(
+                out,
+                "probes are scheduler-bound (single-command latency / single-bank stride 16);"
+            );
+            let _ = writeln!(
+                out,
+                "fully-pipelined multi-bank workloads are BC-bus-bound and insensitive to these switches"
+            );
+            out
+        },
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tables 1 and 2 (analytic, monolithic cells).
+
+fn table1() -> Scenario {
+    Scenario {
+        name: "table1_complexity",
+        alias: "table1",
+        title: "Table 1: hardware complexity proxy and PLA scaling",
+        smoke: true,
+        golden: true,
+        build: || {
+            vec![CellSpec::new("analysis", "complexity", || {
+                let r = unit_complexity(&PvaConfig::default());
+                let mut out = String::new();
+                let _ = writeln!(
+                    out,
+                    "Table 1 proxy — per-bank-controller storage (prototype, 16 banks)\n"
+                );
+                let mut t = Table::new(vec!["module", "state bits", "table bits", "RAM bytes"]);
+                for m in &r.per_bc {
+                    t.row(vec![
+                        m.module.to_string(),
+                        m.state_bits.to_string(),
+                        m.table_bits.to_string(),
+                        m.ram_bytes.to_string(),
+                    ]);
+                }
+                let _ = writeln!(out, "{t}");
+                let _ = writeln!(
+                    out,
+                    "unit totals: {} state bits, {} table bits, {} RAM bytes",
+                    r.total_state_bits, r.total_table_bits, r.total_ram_bytes
+                );
+                let _ = writeln!(
+                    out,
+                    "paper's Table 1: 1039 D flip-flops + 32 latches, 5488 NAND2 (logic), 2K bytes on-chip RAM"
+                );
+                let _ = writeln!(
+                    out,
+                    "  -> the staging RAM (2048 bytes) is reproduced exactly;"
+                );
+                let _ = writeln!(
+                    out,
+                    "     state bits land in the same order of magnitude as the paper's flip-flop count\n"
+                );
+                let _ = writeln!(
+                    out,
+                    "PLA scaling (section 4.3.1): K1 PLA vs full-Ki PLA, total bits\n"
+                );
+                let mut t = Table::new(vec!["banks", "K1 PLA bits", "full-Ki PLA bits", "ratio"]);
+                for (banks, k1, full) in scaling_sweep(8) {
+                    t.row(vec![
+                        banks.to_string(),
+                        k1.to_string(),
+                        full.to_string(),
+                        format!("{:.1}", full as f64 / k1 as f64),
+                    ]);
+                }
+                let _ = writeln!(out, "{t}");
+                let _ = writeln!(
+                    out,
+                    "full-Ki grows ~quadratically (ratio doubles per bank doubling): PLA-only designs cap near 16 banks."
+                );
+                CellData::text(0, 0, out)
+            })]
+        },
+        render: |cells| cells[0].text.clone(),
+    }
+}
+
+fn table2() -> Scenario {
+    Scenario {
+        name: "table2_kernels",
+        alias: "table2",
+        title: "Table 2: evaluation kernels with trace self-checks",
+        smoke: true,
+        golden: true,
+        build: || {
+            vec![CellSpec::new("analysis", "kernels", || {
+                let mut out = String::new();
+                let _ = writeln!(out, "Table 2 — kernels used to evaluate the design\n");
+                let mut t = Table::new(vec![
+                    "kernel",
+                    "arrays",
+                    "cmds/chunk",
+                    "unroll",
+                    "access pattern",
+                ]);
+                for k in Kernel::ALL {
+                    t.row(vec![
+                        k.name().to_string(),
+                        k.array_count().to_string(),
+                        k.accesses().len().to_string(),
+                        k.unroll().to_string(),
+                        k.source().to_string(),
+                    ]);
+                }
+                let _ = writeln!(out, "{t}");
+                let _ = writeln!(
+                    out,
+                    "trace self-check (stride 4, {ELEMENTS} elements, {LINE_WORDS}-word commands):"
+                );
+                let mut elements = 0u64;
+                for k in Kernel::ALL {
+                    let bases: Vec<u64> = (0..k.array_count() as u64).map(|i| i << 22).collect();
+                    let trace = k.trace(&bases, 4, ELEMENTS, LINE_WORDS);
+                    let reads = trace.iter().filter(|op| op.kind == OpKind::Read).count();
+                    let writes = trace.len() - reads;
+                    let _ = writeln!(
+                        out,
+                        "  {:8} {} commands ({} reads, {} writes)",
+                        k.name(),
+                        trace.len(),
+                        reads,
+                        writes
+                    );
+                    assert_eq!(
+                        trace.len() as u64,
+                        (ELEMENTS / LINE_WORDS) * k.accesses().len() as u64
+                    );
+                    elements += trace.len() as u64 * LINE_WORDS;
+                }
+                let _ = writeln!(out, "all traces consistent with Table 2 access patterns");
+                CellData::text(0, elements * WORD_BYTES, out)
+            })]
+        },
+        render: |cells| cells[0].text.clone(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// §7 extensions.
+
+fn indirect_patterns() -> Vec<(&'static str, Vec<u64>)> {
+    vec![
+        ("dense-run", (0..64).collect()),
+        ("every-16th (one bank)", (0..64).map(|i| i * 16).collect()),
+        (
+            "random-ish spread",
+            (0..64).map(|i| (i * 2654435761u64) % 65536).collect(),
+        ),
+        (
+            "csr row walk",
+            (0..64).map(|i| i * 7 + (i % 5) * 1000).collect(),
+        ),
+    ]
+}
+
+/// Serial comparator for the indirect study: one element per cycle plus
+/// per-element row management on a single device.
+fn indirect_serial_cycles(iv: &IndirectVector) -> u64 {
+    6 * iv.length() / 4 + iv.length()
+}
+
+fn ext_indirect() -> Scenario {
+    Scenario {
+        name: "ext_indirect",
+        alias: "indirect",
+        title: "Extension: two-phase vector-indirect gather vs element-serial",
+        smoke: true,
+        golden: true,
+        build: || {
+            indirect_patterns()
+                .into_iter()
+                .map(|(name, offsets)| {
+                    CellSpec::new("pva-indirect", name, move || {
+                        let cfg = PvaConfig::default();
+                        let iv = IndirectVector::new(0x10000, offsets).unwrap();
+                        let timing = run_indirect_gather(cfg, &iv, 0).unwrap();
+                        let serial = indirect_serial_cycles(&iv);
+                        CellData::with_aux(
+                            timing.total_cycles,
+                            iv.length() * WORD_BYTES,
+                            vec![
+                                timing.phase1_cycles,
+                                timing.broadcast_cycles,
+                                timing.phase2_cycles,
+                                timing.stage_cycles,
+                                timing.total_cycles,
+                                serial,
+                            ],
+                        )
+                    })
+                })
+                .collect()
+        },
+        render: |cells| {
+            let mut t = Table::new(vec![
+                "pattern",
+                "phase1",
+                "broadcast",
+                "phase2",
+                "stage",
+                "pva total",
+                "serial",
+                "speedup",
+            ]);
+            for ((name, _), c) in indirect_patterns().iter().zip(cells) {
+                t.row(vec![
+                    name.to_string(),
+                    c.aux[0].to_string(),
+                    c.aux[1].to_string(),
+                    c.aux[2].to_string(),
+                    c.aux[3].to_string(),
+                    c.aux[4].to_string(),
+                    c.aux[5].to_string(),
+                    format!("{:.2}x", c.aux[5] as f64 / c.aux[4] as f64),
+                ]);
+            }
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "Vector-indirect gather: two-phase PVA vs element-serial (64 elements)\n"
+            );
+            let _ = writeln!(out, "{t}");
+            let _ = writeln!(
+                out,
+                "spread claims parallelize across banks; single-bank claims serialize (as §7 predicts)"
+            );
+            out
+        },
+    }
+}
+
+const BITREV_SIZES: [u32; 3] = [6, 8, 10];
+
+fn ext_bitrev() -> Scenario {
+    Scenario {
+        name: "ext_bitrev",
+        alias: "bitrev",
+        title: "Extension: bit-reversed (FFT reorder) gather",
+        smoke: false,
+        golden: true,
+        build: || {
+            BITREV_SIZES
+                .iter()
+                .map(|&k| {
+                    CellSpec::new("pva-indirect", format!("log2n={k}"), move || {
+                        let cfg = PvaConfig::default();
+                        let g = Geometry::word_interleaved(16).unwrap();
+                        let v = BitReversedVector::new(0, k).unwrap();
+                        let claims: Vec<usize> = (0..16)
+                            .map(|b| v.subvector_indices(BankId::new(b), &g).count())
+                            .collect();
+                        let mut pva_total = 0u64;
+                        for line_start in (0..v.length()).step_by(32) {
+                            let offsets: Vec<u64> = (line_start..line_start + 32)
+                                .map(|i| v.element(i))
+                                .collect();
+                            let iv = IndirectVector::new(0, offsets).unwrap();
+                            let timing = run_indirect_gather(cfg, &iv, 1 << 20).unwrap();
+                            pva_total += timing.broadcast_cycles
+                                + timing.phase2_cycles
+                                + timing.stage_cycles;
+                        }
+                        let lines_per_gather = 32.min(v.length());
+                        let cacheline = (v.length() / 32) * lines_per_gather * 20;
+                        CellData::with_aux(
+                            pva_total,
+                            v.length() * WORD_BYTES,
+                            vec![
+                                v.length(),
+                                *claims.iter().max().unwrap() as u64,
+                                *claims.iter().min().unwrap() as u64,
+                                pva_total,
+                                cacheline,
+                            ],
+                        )
+                    })
+                })
+                .collect()
+        },
+        render: |cells| {
+            let mut t = Table::new(vec![
+                "log2 n",
+                "elements",
+                "max claim/bank",
+                "min claim/bank",
+                "pva cycles",
+                "cacheline cycles",
+                "speedup",
+            ]);
+            for (&k, c) in BITREV_SIZES.iter().zip(cells) {
+                t.row(vec![
+                    k.to_string(),
+                    c.aux[0].to_string(),
+                    c.aux[1].to_string(),
+                    c.aux[2].to_string(),
+                    c.aux[3].to_string(),
+                    c.aux[4].to_string(),
+                    format!("{:.2}x", c.aux[4] as f64 / c.aux[3] as f64),
+                ]);
+            }
+            let mut out = String::new();
+            let _ = writeln!(out, "Bit-reversal gather (FFT reorder) through the PVA\n");
+            let _ = writeln!(out, "{t}");
+            let _ = writeln!(
+                out,
+                "claims are balanced across banks, so the reorder parallelizes despite its poor cache locality"
+            );
+            out
+        },
+    }
+}
+
+// Cache-pollution study (monolithic helpers shared by both paths).
+
+const POLLUTION_ITERS: u64 = 1024;
+const POLLUTION_X_BASE: u64 = 1 << 22;
+const POLLUTION_Y_BASE: u64 = 0;
+const POLLUTION_Y_WORDS: u64 = 4096; // half the 8192-word L2
+
+fn pollution_mixed_refs(stride: u64) -> Vec<Reference> {
+    let mut refs = Vec::new();
+    for i in 0..POLLUTION_ITERS {
+        refs.push(Reference::Load(POLLUTION_X_BASE + i * stride));
+        refs.push(Reference::Load(POLLUTION_Y_BASE + (i % POLLUTION_Y_WORDS)));
+    }
+    refs
+}
+
+fn pollution_y_hit_rate(l2: &mut CacheSim) -> f64 {
+    let before = *l2.stats();
+    for w in 0..POLLUTION_Y_WORDS {
+        l2.access(Reference::Load(POLLUTION_Y_BASE + w));
+    }
+    let after = *l2.stats();
+    (after.hits - before.hits) as f64 / POLLUTION_Y_WORDS as f64
+}
+
+fn pollution_cached_path(stride: u64) -> (f64, u64, u64) {
+    let mut l2 = CacheSim::new(CacheConfig::default());
+    for w in 0..POLLUTION_Y_WORDS {
+        l2.access(Reference::Load(POLLUTION_Y_BASE + w));
+    }
+    let mut mem = PvaSystem::sdram();
+    let r = run_reference_stream(&mut l2, &mut mem, &pollution_mixed_refs(stride), false);
+    let y_hits = pollution_y_hit_rate(&mut l2);
+    let words_moved = (r.fills + r.writebacks) * 32;
+    (y_hits, words_moved, r.memory_cycles)
+}
+
+fn pollution_pva_path(stride: u64) -> (f64, u64, u64) {
+    let mut l2 = CacheSim::new(CacheConfig::default());
+    for w in 0..POLLUTION_Y_WORDS {
+        l2.access(Reference::Load(POLLUTION_Y_BASE + w));
+    }
+    let mut mem = PvaSystem::sdram();
+    let mut trace: Vec<TraceOp> = Vec::new();
+    let x = Vector::new(POLLUTION_X_BASE, stride, POLLUTION_ITERS).expect("valid vector");
+    for chunk in x.chunks(32) {
+        trace.push(TraceOp::read(chunk));
+    }
+    let r = run_reference_stream(
+        &mut l2,
+        &mut mem,
+        &(0..POLLUTION_ITERS)
+            .map(|i| Reference::Load(POLLUTION_Y_BASE + (i % POLLUTION_Y_WORDS)))
+            .collect::<Vec<_>>(),
+        false,
+    );
+    let gather_cycles = mem.run_trace(&trace).cycles;
+    let y_hits = pollution_y_hit_rate(&mut l2);
+    let words_moved = (r.fills + r.writebacks) * 32 + POLLUTION_ITERS;
+    (y_hits, words_moved, r.memory_cycles + gather_cycles)
+}
+
+const POLLUTION_STRIDES: [u64; 6] = [2, 4, 8, 16, 32, 64];
+
+fn ext_cache_pollution() -> Scenario {
+    Scenario {
+        name: "ext_cache_pollution",
+        alias: "pollution",
+        title: "Extension: cache pollution by strided access, cached vs PVA path",
+        smoke: false,
+        golden: true,
+        build: || {
+            POLLUTION_STRIDES
+                .iter()
+                .map(|&stride| {
+                    CellSpec::new("cached-vs-pva", format!("s{stride}"), move || {
+                        let (ch, cw, cc) = pollution_cached_path(stride);
+                        let (ph, pw, pc) = pollution_pva_path(stride);
+                        CellData::with_aux(
+                            cc + pc,
+                            (cw + pw) * WORD_BYTES,
+                            vec![ch.to_bits(), cw, cc, ph.to_bits(), pw, pc],
+                        )
+                    })
+                })
+                .collect()
+        },
+        render: |cells| {
+            let mut t = Table::new(vec![
+                "stride",
+                "cached: y hits",
+                "cached: bus words",
+                "cached: cycles",
+                "pva: y hits",
+                "pva: bus words",
+                "pva: cycles",
+            ]);
+            for (&stride, c) in POLLUTION_STRIDES.iter().zip(cells) {
+                t.row(vec![
+                    stride.to_string(),
+                    format!("{:.0}%", f64::from_bits(c.aux[0]) * 100.0),
+                    c.aux[1].to_string(),
+                    c.aux[2].to_string(),
+                    format!("{:.0}%", f64::from_bits(c.aux[3]) * 100.0),
+                    c.aux[4].to_string(),
+                    c.aux[5].to_string(),
+                ]);
+            }
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "Cache pollution by strided access (1024 iterations; x strided, y dense/cached)\n"
+            );
+            let _ = writeln!(out, "{t}");
+            let _ = writeln!(
+                out,
+                "the cached path moves a whole line per strided element and evicts the dense"
+            );
+            let _ = writeln!(
+                out,
+                "working set; the PVA path moves only the used words and leaves y resident —"
+            );
+            let _ = writeln!(
+                out,
+                "the two bullet points of the paper's introduction, measured"
+            );
+            out
+        },
+    }
+}
+
+// ---------------------------------------------------------------------
+// Related-work comparisons.
+
+fn cvms_latency(cfg: PvaConfig, stride: u64) -> u64 {
+    let mut unit = pva_sim::PvaUnit::new(cfg).expect("valid config");
+    let v = Vector::new(0, stride, 32).expect("valid vector");
+    unit.run(vec![HostRequest::Read { vector: v }])
+        .expect("runs")
+        .cycles
+}
+
+fn cvms_throughput(cfg: PvaConfig, stride: u64, commands: u64) -> u64 {
+    let mut unit = pva_sim::PvaUnit::new(cfg).expect("valid config");
+    let reqs: Vec<HostRequest> = (0..commands)
+        .map(|i| HostRequest::Read {
+            vector: Vector::new(i * 32 * stride, stride, 32).expect("valid vector"),
+        })
+        .collect();
+    unit.run(reqs).expect("runs").cycles
+}
+
+const CVMS_STRIDES: [u64; 4] = [4, 8, 5, 19];
+
+fn related_cvms() -> Scenario {
+    Scenario {
+        name: "related_cvms",
+        alias: "cvms",
+        title: "Related work: PVA vs CVMS-like subcommand generation",
+        smoke: true,
+        golden: true,
+        build: || {
+            CVMS_STRIDES
+                .iter()
+                .map(|&stride| {
+                    CellSpec::new("pva-vs-cvms", format!("s{stride}"), move || {
+                        let pl = cvms_latency(PvaConfig::default(), stride);
+                        let cl = cvms_latency(PvaConfig::cvms_like(), stride);
+                        let pt = cvms_throughput(PvaConfig::default(), stride, 8);
+                        let ct = cvms_throughput(PvaConfig::cvms_like(), stride, 8);
+                        CellData::with_aux(
+                            pl + cl + pt + ct,
+                            (32 + 32 + 8 * 32 + 8 * 32) * WORD_BYTES,
+                            vec![pl, cl, pt, ct],
+                        )
+                    })
+                })
+                .collect()
+        },
+        render: |cells| {
+            let mut t = Table::new(vec![
+                "stride",
+                "pva latency",
+                "cvms latency",
+                "delta",
+                "pva 8-cmd",
+                "cvms 8-cmd",
+            ]);
+            for (&stride, c) in CVMS_STRIDES.iter().zip(cells) {
+                t.row(vec![
+                    format!(
+                        "{stride}{}",
+                        if stride.is_power_of_two() {
+                            " (pow2)"
+                        } else {
+                            ""
+                        }
+                    ),
+                    c.aux[0].to_string(),
+                    c.aux[1].to_string(),
+                    format!("{:+}", c.aux[1] as i64 - c.aux[0] as i64),
+                    c.aux[2].to_string(),
+                    c.aux[3].to_string(),
+                ]);
+            }
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "PVA vs CVMS-like subcommand generation (section 3.1)\n"
+            );
+            let _ = writeln!(out, "{t}");
+            let _ = writeln!(
+                out,
+                "power-of-two strides: identical (both generate subcommands in 2 cycles);"
+            );
+            let _ = writeln!(
+                out,
+                "other strides: the CVMS pays ~12 extra cycles of latency per command,"
+            );
+            let _ = writeln!(
+                out,
+                "largely hidden once commands pipeline (the paper's latency-hiding point)"
+            );
+            out
+        },
+    }
+}
+
+fn smc_trace(stride: u64) -> Vec<TraceOp> {
+    let bases = Alignment::BankStagger.bases(Kernel::Copy.array_count(), 1 << 22);
+    Kernel::Copy.trace(&bases, stride, ELEMENTS, LINE_WORDS)
+}
+
+fn related_smc() -> Scenario {
+    Scenario {
+        name: "related_smc",
+        alias: "smc",
+        title: "Related work: PVA vs SMC-like stream controller",
+        smoke: false,
+        golden: true,
+        build: || {
+            let mut cells: Vec<CellSpec> = STRIDES
+                .iter()
+                .map(|&s| {
+                    CellSpec::new("pva-vs-smc", format!("s{s}"), move || {
+                        let tr = smc_trace(s);
+                        let pva = PvaSystem::sdram().run_trace(&tr);
+                        let smc = SmcLike::default().run_trace(&tr);
+                        let ser = SerialGather::default().run_trace(&tr);
+                        CellData::with_aux(
+                            pva.cycles + smc.cycles + ser.cycles,
+                            pva.bytes_transferred + smc.bytes_transferred + ser.bytes_transferred,
+                            vec![pva.cycles, smc.cycles, ser.cycles],
+                        )
+                    })
+                })
+                .collect();
+            cells.push(CellSpec::new("pva-vs-smc", "single-s19", || {
+                let one = [TraceOp::read(Vector::new(0, 19, 32).expect("valid"))];
+                let pva = PvaSystem::sdram().run_trace(&one).cycles;
+                let smc = SmcLike::default().run_trace(&one).cycles;
+                CellData::with_aux(pva + smc, 2 * 32 * WORD_BYTES, vec![pva, smc])
+            }));
+            cells
+        },
+        render: |cells| {
+            let mut t = Table::new(vec![
+                "stride",
+                "pva-sdram",
+                "smc-like",
+                "smc/pva",
+                "serial-gather",
+            ]);
+            for (&s, c) in STRIDES.iter().zip(cells) {
+                t.row(vec![
+                    s.to_string(),
+                    c.aux[0].to_string(),
+                    c.aux[1].to_string(),
+                    format!("{:.2}x", c.aux[1] as f64 / c.aux[0] as f64),
+                    c.aux[2].to_string(),
+                ]);
+            }
+            let single = &cells[STRIDES.len()];
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "PVA vs SMC-like stream controller (copy kernel, 1024 elements)\n"
+            );
+            let _ = writeln!(out, "{t}");
+            let _ = writeln!(
+                out,
+                "single stride-19 gather: pva {} vs smc {} cycles",
+                single.aux[0], single.aux[1]
+            );
+            let _ = writeln!(
+                out,
+                "\nthe SMC's dynamic ordering beats the naive serial gatherer, but its serial"
+            );
+            let _ = writeln!(
+                out,
+                "issue caps it near 1 element/cycle; the PVA's broadcast parallelism wins"
+            );
+            let _ = writeln!(out, "wherever more than one bank holds vector elements");
+            out
+        },
+    }
+}
+
+// ---------------------------------------------------------------------
+// Technology / scaling / design-space / CPU-sensitivity sweeps.
+
+fn gathered_reads(cfg: PvaConfig, stride: u64) -> u64 {
+    let mut unit = pva_sim::PvaUnit::new(cfg).expect("valid config");
+    let reqs: Vec<HostRequest> = (0..16u64)
+        .map(|i| HostRequest::Read {
+            vector: Vector::new(i * 32 * stride, stride, 32).expect("valid vector"),
+        })
+        .collect();
+    unit.run(reqs).expect("runs").cycles
+}
+
+fn tech_list() -> Vec<(&'static str, SdramConfig)> {
+    vec![
+        ("edo-like (1 row buffer)", SdramConfig::edo_like()),
+        ("sdram (4 internal banks)", SdramConfig::default()),
+        ("sldram-like (8 banks)", SdramConfig::sldram_like()),
+        ("drdram-like (32 banks)", SdramConfig::drdram_like()),
+        ("ideal sram", SdramConfig::sram_like()),
+    ]
+}
+
+fn tech_row_conflict(sdram: SdramConfig) -> u64 {
+    let cfg = PvaConfig {
+        sdram,
+        ..PvaConfig::default()
+    };
+    let k = Kernel::Vaxpy;
+    let bases = Alignment::Coincident.bases(k.array_count(), ARRAY_REGION);
+    let trace = k.trace(&bases, 16, ELEMENTS, LINE_WORDS);
+    PvaSystem::with_config("tech", cfg).run_trace(&trace).cycles
+}
+
+fn tech_sweep() -> Scenario {
+    Scenario {
+        name: "tech_sweep",
+        alias: "tech",
+        title: "DRAM technology sweep: the PVA over EDO/SDRAM/SLDRAM/DRDRAM/SRAM",
+        smoke: false,
+        golden: true,
+        build: || {
+            tech_list()
+                .into_iter()
+                .map(|(name, sdram)| {
+                    CellSpec::new(name, "tech", move || {
+                        let run = |stride| {
+                            gathered_reads(
+                                PvaConfig {
+                                    sdram,
+                                    ..PvaConfig::default()
+                                },
+                                stride,
+                            )
+                        };
+                        let (s1, s16, s19) = (run(1), run(16), run(19));
+                        let rc = tech_row_conflict(sdram);
+                        CellData::with_aux(s1 + s16 + s19 + rc, 0, vec![s1, s16, s19, rc])
+                    })
+                })
+                .collect()
+        },
+        render: |cells| {
+            let mut t = Table::new(vec![
+                "device",
+                "stride 1",
+                "stride 16",
+                "stride 19",
+                "vaxpy s16 (row conflicts)",
+            ]);
+            for ((name, _), c) in tech_list().iter().zip(cells) {
+                t.row(vec![
+                    name.to_string(),
+                    c.aux[0].to_string(),
+                    c.aux[1].to_string(),
+                    c.aux[2].to_string(),
+                    c.aux[3].to_string(),
+                ]);
+            }
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "DRAM technology sweep — 16 gathered reads through the PVA (cycles)\n"
+            );
+            let _ = writeln!(out, "{t}");
+            let _ = writeln!(
+                out,
+                "on pure vector bursts (first three columns) the PVA's scheduling amortizes row"
+            );
+            let _ = writeln!(
+                out,
+                "opens so thoroughly that even a single-row-buffer EDO-like device keeps pace —"
+            );
+            let _ = writeln!(
+                out,
+                "the latency-hiding claim of the paper in its strongest form; device differences"
+            );
+            let _ = writeln!(
+                out,
+                "surface only under row *conflicts* (last column), where internal-bank overlap"
+            );
+            let _ = writeln!(
+                out,
+                "and the core timings separate the technologies, SRAM bounding them below"
+            );
+            out
+        },
+    }
+}
+
+const BANK_COUNTS: [u64; 6] = [2, 4, 8, 16, 32, 64];
+
+fn scaling_banks() -> Scenario {
+    Scenario {
+        name: "scaling_banks",
+        alias: "banks",
+        title: "Bank-count scaling: throughput and K1-PLA cost vs banks",
+        smoke: false,
+        golden: true,
+        build: || {
+            BANK_COUNTS
+                .iter()
+                .map(|&m| {
+                    CellSpec::new("pva-sdram", format!("banks={m}"), move || {
+                        let run = |stride| {
+                            gathered_reads(
+                                PvaConfig {
+                                    geometry: Geometry::word_interleaved(m).expect("power of two"),
+                                    ..PvaConfig::default()
+                                },
+                                stride,
+                            )
+                        };
+                        let (s1, s3, s8) = (run(1), run(3), run(8));
+                        let g = Geometry::word_interleaved(m).expect("power of two");
+                        let bits = K1Pla::new(&g).complexity().total_bits;
+                        CellData::with_aux(s1 + s3 + s8, 0, vec![s1, s3, s8, bits])
+                    })
+                })
+                .collect()
+        },
+        render: |cells| {
+            let mut t = Table::new(vec![
+                "banks",
+                "stride 1",
+                "stride 3",
+                "stride 8",
+                "K1 PLA bits/BC",
+            ]);
+            for (&m, c) in BANK_COUNTS.iter().zip(cells) {
+                t.row(vec![
+                    m.to_string(),
+                    c.aux[0].to_string(),
+                    c.aux[1].to_string(),
+                    c.aux[2].to_string(),
+                    c.aux[3].to_string(),
+                ]);
+            }
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "Bank-count scaling — 16 gathered reads (cycles) and K1-PLA bits\n"
+            );
+            let _ = writeln!(out, "{t}");
+            let _ = writeln!(
+                out,
+                "small systems are bank-limited (stride 8 on 4 banks = single bank);"
+            );
+            let _ = writeln!(
+                out,
+                "beyond 16 banks the 17-cycle/command staging bus dominates, so extra banks"
+            );
+            let _ = writeln!(
+                out,
+                "buy robustness to bad strides, not raw throughput — while K1-PLA cost stays linear"
+            );
+            out
+        },
+    }
+}
+
+const DS_VCS: [usize; 4] = [1, 2, 4, 8];
+const DS_IDS: [usize; 4] = [2, 4, 8, 16];
+const DS_RATES: [u64; 4] = [1, 2, 4, 8];
+
+fn design_space() -> Scenario {
+    Scenario {
+        name: "design_space",
+        alias: "design",
+        title: "Design-space sweep: vector contexts, transaction ids, staging rate",
+        smoke: true,
+        golden: true,
+        build: || {
+            let mut cells = Vec::new();
+            let probe = |cfg: PvaConfig| {
+                let s19 = gathered_reads(cfg, 19);
+                let s16 = gathered_reads(cfg, 16);
+                CellData::with_aux(s19 + s16, 0, vec![s19, s16])
+            };
+            for vcs in DS_VCS {
+                cells.push(CellSpec::new(
+                    "pva-sdram",
+                    format!("vcs={vcs}"),
+                    move || {
+                        probe(PvaConfig {
+                            vector_contexts: vcs,
+                            ..PvaConfig::default()
+                        })
+                    },
+                ));
+            }
+            for ids in DS_IDS {
+                cells.push(CellSpec::new(
+                    "pva-sdram",
+                    format!("ids={ids}"),
+                    move || {
+                        probe(PvaConfig {
+                            transaction_ids: ids,
+                            request_fifo_entries: ids,
+                            ..PvaConfig::default()
+                        })
+                    },
+                ));
+            }
+            for rate in DS_RATES {
+                cells.push(CellSpec::new(
+                    "pva-sdram",
+                    format!("rate={rate}"),
+                    move || {
+                        probe(PvaConfig {
+                            stage_words_per_cycle: rate,
+                            ..PvaConfig::default()
+                        })
+                    },
+                ));
+            }
+            cells
+        },
+        render: |cells| {
+            let mut out = String::new();
+            let _ = writeln!(out, "PVA design-space sweep — 16 gathered reads (cycles)\n");
+            let _ = writeln!(
+                out,
+                "vector contexts per bank controller (txn ids = 8, stage rate = 2):"
+            );
+            let mut t = Table::new(vec!["VCs", "stride 19", "stride 16"]);
+            for (i, vcs) in DS_VCS.iter().enumerate() {
+                let c = &cells[i];
+                t.row(vec![
+                    vcs.to_string(),
+                    c.aux[0].to_string(),
+                    c.aux[1].to_string(),
+                ]);
+            }
+            let _ = writeln!(out, "{t}");
+            let _ = writeln!(
+                out,
+                "outstanding transaction ids (VCs = 4, stage rate = 2):"
+            );
+            let mut t = Table::new(vec!["txn ids", "stride 19", "stride 16"]);
+            for (i, ids) in DS_IDS.iter().enumerate() {
+                let c = &cells[4 + i];
+                t.row(vec![
+                    ids.to_string(),
+                    c.aux[0].to_string(),
+                    c.aux[1].to_string(),
+                ]);
+            }
+            let _ = writeln!(out, "{t}");
+            let _ = writeln!(
+                out,
+                "BC-bus staging rate in words/cycle (VCs = 4, txn ids = 8):"
+            );
+            let mut t = Table::new(vec!["words/cycle", "stride 19", "stride 16"]);
+            for (i, rate) in DS_RATES.iter().enumerate() {
+                let c = &cells[8 + i];
+                t.row(vec![
+                    rate.to_string(),
+                    c.aux[0].to_string(),
+                    c.aux[1].to_string(),
+                ]);
+            }
+            let _ = writeln!(out, "{t}");
+            let _ = writeln!(
+                out,
+                "at parallel strides the staging rate is the binding resource (the 17-cycle"
+            );
+            let _ = writeln!(
+                out,
+                "floor halves when the bus doubles); at single-bank strides the SDRAM command"
+            );
+            let _ = writeln!(
+                out,
+                "rate binds and none of the front-end knobs help — matching the paper's choice"
+            );
+            let _ = writeln!(
+                out,
+                "to spend area on per-bank parallelism rather than deeper queues"
+            );
+            out
+        },
+    }
+}
+
+fn cpu_reads(n: u64, stride: u64) -> Vec<HostRequest> {
+    (0..n)
+        .map(|i| HostRequest::Read {
+            vector: Vector::new(i * 32 * stride, stride, 32).expect("valid"),
+        })
+        .collect()
+}
+
+const CPU_OUTSTANDING: [usize; 4] = [1, 2, 4, 8];
+const CPU_GAPS: [u64; 5] = [0, 8, 17, 34, 68];
+const CPU_PCTS: [u64; 5] = [0, 25, 50, 75, 100];
+
+fn cpu_sensitivity() -> Scenario {
+    Scenario {
+        name: "cpu_sensitivity",
+        alias: "cpu",
+        title: "CPU sensitivity: outstanding misses, issue gap, vectorizable fraction",
+        smoke: false,
+        golden: true,
+        build: || {
+            let mut cells = vec![CellSpec::new("cacheline-serial", "baseline", || {
+                let c = run_point(
+                    Kernel::Scale,
+                    19,
+                    Alignment::BankStagger,
+                    SystemKind::CachelineSerial,
+                );
+                CellData::cycles(c, 0)
+            })];
+            for k in CPU_OUTSTANDING {
+                cells.push(CellSpec::new(
+                    "cpu-pva",
+                    format!("outstanding={k}"),
+                    move || {
+                        let r = CpuModel::new(CpuConfig {
+                            max_outstanding: k,
+                            ..CpuConfig::default()
+                        })
+                        .drive(PvaConfig::default(), &cpu_reads(32, 19))
+                        .expect("runs");
+                        CellData::with_aux(r.cycles, 0, vec![r.cycles, r.stall_cycles])
+                    },
+                ));
+            }
+            for gap in CPU_GAPS {
+                cells.push(CellSpec::new("cpu-pva", format!("gap={gap}"), move || {
+                    let r = CpuModel::new(CpuConfig {
+                        cycles_between_requests: gap,
+                        max_outstanding: 8,
+                    })
+                    .drive(PvaConfig::default(), &cpu_reads(32, 19))
+                    .expect("runs");
+                    CellData::with_aux(r.cycles, 0, vec![r.cycles])
+                }));
+            }
+            for pct in CPU_PCTS {
+                cells.push(CellSpec::new(
+                    "cpu-pva",
+                    format!("vector={pct}%"),
+                    move || {
+                        let w = mixed_workload(32, pct, 19);
+                        let r = CpuModel::new(CpuConfig::default())
+                            .drive(PvaConfig::default(), &w)
+                            .expect("runs");
+                        CellData::with_aux(r.cycles, 0, vec![r.cycles])
+                    },
+                ));
+            }
+            cells
+        },
+        render: |cells| {
+            let baseline_cl = cells[0].cycles / 2;
+            // (scale = 64 commands; the probe is 32 reads, so halve.)
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "CPU sensitivity — 32 stride-19 gathers vs the cache-line baseline\n"
+            );
+            let _ = writeln!(
+                out,
+                "outstanding L2 misses permitted (infinitely fast issue):"
+            );
+            let mut t = Table::new(vec![
+                "outstanding",
+                "pva cycles",
+                "stalls",
+                "speedup vs cacheline",
+            ]);
+            for (i, k) in CPU_OUTSTANDING.iter().enumerate() {
+                let c = &cells[1 + i];
+                t.row(vec![
+                    k.to_string(),
+                    c.aux[0].to_string(),
+                    c.aux[1].to_string(),
+                    format!("{:.1}x", baseline_cl as f64 / c.aux[0] as f64),
+                ]);
+            }
+            let _ = writeln!(out, "{t}");
+            let _ = writeln!(out, "compute cycles between requests (8 outstanding):");
+            let mut t = Table::new(vec!["gap", "pva cycles", "speedup vs cacheline"]);
+            for (i, gap) in CPU_GAPS.iter().enumerate() {
+                let c = &cells[5 + i];
+                t.row(vec![
+                    gap.to_string(),
+                    c.aux[0].to_string(),
+                    format!("{:.1}x", baseline_cl as f64 / c.aux[0] as f64),
+                ]);
+            }
+            let _ = writeln!(out, "{t}");
+            let _ = writeln!(
+                out,
+                "fraction of accesses that are vectorizable (rest are unit-stride fills):"
+            );
+            let mut t = Table::new(vec![
+                "% vector",
+                "pva-path cycles",
+                "all-cacheline cycles",
+                "speedup",
+            ]);
+            for (i, pct) in CPU_PCTS.iter().enumerate() {
+                let c = &cells[10 + i];
+                let strided = (32 * pct / 100) as f64;
+                let cl = strided * 19.0 * 20.0 + (32.0 - strided) * 20.0;
+                t.row(vec![
+                    format!("{pct}%"),
+                    c.aux[0].to_string(),
+                    format!("{cl:.0}"),
+                    format!("{:.1}x", cl / c.aux[0] as f64),
+                ]);
+            }
+            let _ = writeln!(out, "{t}");
+            let _ = writeln!(
+                out,
+                "peak speedups need many outstanding misses and dense vector traffic —"
+            );
+            let _ = writeln!(
+                out,
+                "exactly the qualification the paper attaches to its own numbers"
+            );
+            out
+        },
+    }
+}
+
+// ---------------------------------------------------------------------
+// Simulator throughput: fast-path vs reference model.
+
+const THROUGHPUT_REPS: u64 = 15;
+
+/// Measures the reference and fast-path models *paired in time*: for
+/// each (kernel, stride) point the two systems alternate rep by rep,
+/// so slow drift (hypervisor steal, frequency scaling) hits both sides
+/// of the ratio equally. Each side is scored by its fastest rep —
+/// noise only ever adds time, so min-of-N estimates the true per-run
+/// cost. The cell's `aux` carries `[model_cycles, ref_wall_ns,
+/// fast_wall_ns]`; `cycles`/`bytes` count both models' simulated work.
+fn throughput_probe() -> CellData {
+    let ref_cfg = PvaConfig {
+        fast_sim: false,
+        ..PvaConfig::default()
+    };
+    let fast_cfg = PvaConfig::default();
+    let mut cycles = 0u64;
+    let mut bytes = 0u64;
+    let mut ref_wall = 0u64;
+    let mut fast_wall = 0u64;
+    for &kernel in &FIG7_KERNELS {
+        for &stride in &STRIDES {
+            let bases = Alignment::BankStagger.bases(kernel.array_count(), ARRAY_REGION);
+            let trace = kernel.trace(&bases, stride, ELEMENTS, LINE_WORDS);
+            let mut ref_sys = PvaSystem::with_config("probe-ref", ref_cfg);
+            let mut fast_sys = PvaSystem::with_config("probe-fast", fast_cfg);
+            // One untimed warm-up per side keeps one-time allocation
+            // and paging costs out of the measured window.
+            ref_sys.run_trace(&trace);
+            fast_sys.run_trace(&trace);
+            let mut best_ref = u64::MAX;
+            let mut best_fast = u64::MAX;
+            for _ in 0..THROUGHPUT_REPS {
+                ref_sys.reset();
+                let t0 = Instant::now();
+                let r = ref_sys.run_trace(&trace);
+                best_ref = best_ref.min(t0.elapsed().as_nanos() as u64);
+
+                fast_sys.reset();
+                let t0 = Instant::now();
+                let f = fast_sys.run_trace(&trace);
+                best_fast = best_fast.min(t0.elapsed().as_nanos() as u64);
+
+                debug_assert_eq!(r.cycles, f.cycles, "models must agree cycle-for-cycle");
+                cycles += r.cycles + f.cycles;
+                bytes += r.bytes_transferred + f.bytes_transferred;
+            }
+            ref_wall += best_ref * THROUGHPUT_REPS;
+            fast_wall += best_fast * THROUGHPUT_REPS;
+        }
+    }
+    // Both models simulate the same cycle counts, so each side's share
+    // is exactly half the combined total.
+    CellData::with_aux(cycles, bytes, vec![cycles / 2, ref_wall, fast_wall])
+}
+
+/// Simulated-cycles-per-second of one side of the paired probe cell.
+fn sim_rate(c: &CellData, wall_ns: u64) -> f64 {
+    c.aux[0] as f64 / (wall_ns.max(1) as f64 / 1e9)
+}
+
+/// The fast-vs-reference speedup from a throughput scenario's cells.
+pub fn throughput_speedup(cells: &[CellData]) -> f64 {
+    let c = &cells[0];
+    sim_rate(c, c.aux[2]) / sim_rate(c, c.aux[1])
+}
+
+/// Derived figures for the throughput scenario's `BENCH_*.json` record:
+/// per-model simulated-cycles-per-second and the fast-path speedup.
+pub fn throughput_metrics(cells: &[CellData]) -> Vec<(String, f64)> {
+    let c = &cells[0];
+    vec![
+        ("sim_cycles_per_sec_reference".into(), sim_rate(c, c.aux[1])),
+        ("sim_cycles_per_sec_fast".into(), sim_rate(c, c.aux[2])),
+        ("fast_path_speedup".into(), throughput_speedup(cells)),
+    ]
+}
+
+fn throughput() -> Scenario {
+    Scenario {
+        name: "throughput",
+        alias: "",
+        title: "Simulator throughput: idle-cycle-skipping fast path vs reference model",
+        smoke: true,
+        golden: false,
+        build: || {
+            vec![CellSpec::new("paired ref/fast probe", "fig7-probe", || {
+                throughput_probe()
+            })]
+        },
+        render: |cells| {
+            let c = &cells[0];
+            let mut t = Table::new(vec!["configuration", "sim cycles", "wall ms", "Mcycles/s"]);
+            for (name, wall) in [
+                ("reference (fast_sim off)", c.aux[1]),
+                ("fast path (default)", c.aux[2]),
+            ] {
+                t.row(vec![
+                    name.to_string(),
+                    c.aux[0].to_string(),
+                    format!("{:.1}", wall as f64 / 1e6),
+                    format!("{:.2}", sim_rate(c, wall) / 1e6),
+                ]);
+            }
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "Simulator throughput — figure-7 kernels x stride sweep, {THROUGHPUT_REPS} reps per point\n"
+            );
+            let _ = writeln!(out, "{t}");
+            let _ = writeln!(
+                out,
+                "fast-path speedup: {:.2}x (simulated cycles per second, fast vs reference;",
+                throughput_speedup(cells)
+            );
+            let _ = writeln!(
+                out,
+                "cycle counts are bit-identical between the two models by construction)"
+            );
+            out
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_and_aliases_are_unique() {
+        let all = scenarios();
+        let mut names: Vec<&str> = all
+            .iter()
+            .map(|s| s.name)
+            .chain(all.iter().map(|s| s.alias).filter(|a| !a.is_empty()))
+            .collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate scenario name or alias");
+        assert_eq!(all.len(), 19);
+    }
+
+    #[test]
+    fn find_resolves_names_and_aliases() {
+        assert_eq!(find("fig7").unwrap().name, "fig7_stride_sweep");
+        assert_eq!(find("fig7_stride_sweep").unwrap().name, "fig7_stride_sweep");
+        assert_eq!(find("throughput").unwrap().name, "throughput");
+        assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn smoke_subset_is_nonempty_and_contains_throughput() {
+        let smoke: Vec<_> = scenarios().into_iter().filter(|s| s.smoke).collect();
+        assert!(smoke.len() >= 3);
+        assert!(smoke.iter().any(|s| s.name == "throughput"));
+    }
+}

@@ -277,7 +277,7 @@ pub fn run_reference_stream(
     let memory_cycles = if trace.is_empty() {
         0
     } else {
-        memory.run_trace(&trace)
+        memory.run_trace(&trace).cycles
     };
     let after = *cache.stats();
     StreamRunResult {

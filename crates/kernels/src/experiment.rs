@@ -85,25 +85,42 @@ pub struct CellResult {
     pub min: u64,
     /// Slowest alignment.
     pub max: u64,
+    /// Bytes moved by the fastest alignment's run.
+    pub bytes: u64,
+}
+
+/// Runs one data point, returning the full memory-system outcome
+/// (cycles plus bytes moved and command statistics).
+pub fn run_point_outcome(
+    kernel: Kernel,
+    stride: u64,
+    alignment: Alignment,
+    system: SystemKind,
+) -> memsys::RunOutcome {
+    let bases = alignment.bases(kernel.array_count(), ARRAY_REGION);
+    let trace = kernel.trace(&bases, stride, ELEMENTS, LINE_WORDS);
+    system.build().run_trace(&trace)
 }
 
 /// Runs one data point.
 pub fn run_point(kernel: Kernel, stride: u64, alignment: Alignment, system: SystemKind) -> u64 {
-    let bases = alignment.bases(kernel.array_count(), ARRAY_REGION);
-    let trace = kernel.trace(&bases, stride, ELEMENTS, LINE_WORDS);
-    system.build().run_trace(&trace)
+    run_point_outcome(kernel, stride, alignment, system).cycles
 }
 
 /// Runs a (kernel, stride, system) cell over all five alignments.
 pub fn run_cell(kernel: Kernel, stride: u64, system: SystemKind) -> CellResult {
     let mut min = u64::MAX;
     let mut max = 0;
+    let mut bytes = 0;
     for a in Alignment::ALL {
-        let c = run_point(kernel, stride, a, system);
-        min = min.min(c);
-        max = max.max(c);
+        let o = run_point_outcome(kernel, stride, a, system);
+        if o.cycles < min {
+            min = o.cycles;
+            bytes = o.bytes_transferred;
+        }
+        max = max.max(o.cycles);
     }
-    CellResult { min, max }
+    CellResult { min, max, bytes }
 }
 
 /// The full 240-points-per-system sweep of §6.2.

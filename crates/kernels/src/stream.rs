@@ -102,7 +102,7 @@ impl StreamKernel {
     /// cycle (4-byte words, STREAM byte counting).
     pub fn bandwidth(&self, system: &mut dyn MemorySystem, elements: u64) -> f64 {
         let trace = self.trace(elements, 32, 1 << 22);
-        let cycles = system.run_trace(&trace);
+        let cycles = system.run_trace(&trace).cycles;
         (elements * self.words_per_element() * 4) as f64 / cycles as f64
     }
 }

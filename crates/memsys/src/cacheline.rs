@@ -11,7 +11,7 @@
 
 use std::collections::BTreeSet;
 
-use crate::trace::{MemorySystem, TraceOp};
+use crate::trace::{trace_elements, MemorySystem, RunOutcome, RunStats, TraceOp, WORD_BYTES};
 
 /// Configuration of the idealized line-fill system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,10 +55,13 @@ impl CachelineConfig {
 /// let mut sys = CachelineSerial::default();
 /// // A unit-stride 32-word vector touches exactly one line: 20 cycles.
 /// let t = [TraceOp::read(Vector::new(0, 1, 32)?)];
-/// assert_eq!(sys.run_trace(&t), 20);
-/// // Stride 16 touches 16 lines: 320 cycles for the same 32 words.
+/// assert_eq!(sys.run_trace(&t).cycles, 20);
+/// // Stride 16 touches 16 lines: 320 cycles for the same 32 words —
+/// // and 16x the bus traffic, which the outcome makes visible.
 /// let t = [TraceOp::read(Vector::new(0, 16, 32)?)];
-/// assert_eq!(sys.run_trace(&t), 320);
+/// let out = sys.run_trace(&t);
+/// assert_eq!(out.cycles, 320);
+/// assert_eq!(out.bytes_transferred, 16 * 32 * 4);
 /// # Ok::<(), pva_core::PvaError>(())
 /// ```
 #[derive(Debug, Clone, Default)]
@@ -85,11 +88,26 @@ impl MemorySystem for CachelineSerial {
         "cacheline-serial-sdram"
     }
 
-    fn run_trace(&mut self, trace: &[TraceOp]) -> u64 {
-        trace
-            .iter()
-            .map(|op| self.lines_touched(op) * self.config.fill_cycles())
-            .sum()
+    fn run_trace(&mut self, trace: &[TraceOp]) -> RunOutcome {
+        let lines: u64 = trace.iter().map(|op| self.lines_touched(op)).sum();
+        RunOutcome {
+            cycles: lines * self.config.fill_cycles(),
+            // Whole lines cross the bus whether their words are useful
+            // or not — the waste the PVA exists to remove.
+            bytes_transferred: lines * self.config.line_words * WORD_BYTES,
+            stats: RunStats {
+                commands: trace.len() as u64,
+                elements: trace_elements(trace),
+                // One RAS per fill; precharges overlap with other
+                // modules per the paper's idealization.
+                activates: lines,
+                precharges: 0,
+            },
+        }
+    }
+
+    fn reset(&mut self) {
+        // Closed-form model: stateless between runs.
     }
 }
 
@@ -128,7 +146,13 @@ mod tests {
     fn trace_costs_sum() {
         let mut sys = CachelineSerial::default();
         let t = [read(0, 1, 32), read(4096, 16, 32)];
-        assert_eq!(sys.run_trace(&t), 20 + 320);
+        let out = sys.run_trace(&t);
+        assert_eq!(out.cycles, 20 + 320);
+        // 17 lines of 32 words fetched for 64 useful elements.
+        assert_eq!(out.bytes_transferred, 17 * 32 * 4);
+        assert_eq!(out.stats.elements, 64);
+        assert_eq!(out.stats.commands, 2);
+        assert_eq!(out.stats.activates, 17);
     }
 
     #[test]

@@ -19,14 +19,18 @@
 //! for them (they are *idealized* comparators in the paper too — the
 //! gate-level simulation was only of the PVA).
 //!
+//! Systems are assembled through the [`SystemRegistry`] builder and
+//! each trace run reports a structured [`RunOutcome`]:
+//!
 //! ```
-//! use memsys::{all_systems, MemorySystem, TraceOp};
+//! use memsys::{MemorySystem, SystemRegistry, TraceOp};
 //! use pva_core::Vector;
 //!
 //! let trace = [TraceOp::read(Vector::new(0, 16, 32)?)];
-//! for mut sys in all_systems() {
-//!     let cycles = sys.run_trace(&trace);
-//!     assert!(cycles > 0, "{} must take time", sys.name());
+//! for mut sys in SystemRegistry::with_defaults().build() {
+//!     let out = sys.run_trace(&trace);
+//!     assert!(out.cycles > 0, "{} must take time", sys.name());
+//!     assert!(out.bytes_transferred >= 32 * 4, "words must move");
 //! }
 //! # Ok::<(), pva_core::PvaError>(())
 //! ```
@@ -36,29 +40,21 @@
 
 mod cacheline;
 mod pva_systems;
+mod registry;
 mod serial_gather;
 mod smc;
 mod trace;
 
 pub use cacheline::{CachelineConfig, CachelineSerial};
 pub use pva_systems::PvaSystem;
+pub use registry::SystemRegistry;
 pub use serial_gather::{SerialGather, SerialGatherConfig};
 pub use smc::SmcLike;
-pub use trace::{MemorySystem, TraceOp};
+pub use trace::{MemorySystem, RunOutcome, RunStats, TraceOp, WORD_BYTES};
 
 /// Re-export of the operation direction used in [`TraceOp`], so
 /// downstream crates can match on it without depending on `pva-sim`.
 pub use pva_sim::OpKind;
-
-/// All four systems of §6.1, boxed for uniform sweeping.
-pub fn all_systems() -> Vec<Box<dyn MemorySystem>> {
-    vec![
-        Box::new(PvaSystem::sdram()),
-        Box::new(PvaSystem::sram()),
-        Box::new(CachelineSerial::default()),
-        Box::new(SerialGather::default()),
-    ]
-}
 
 #[cfg(test)]
 mod tests {
@@ -66,12 +62,29 @@ mod tests {
     use pva_core::Vector;
 
     #[test]
-    fn all_systems_have_distinct_names() {
-        let names: Vec<&str> = all_systems().iter().map(|s| s.name()).collect();
+    fn default_registry_has_distinct_names() {
+        let systems = SystemRegistry::with_defaults().build();
+        let names: Vec<&str> = systems.iter().map(|s| s.name()).collect();
         let mut unique = names.clone();
         unique.sort_unstable();
         unique.dedup();
         assert_eq!(unique.len(), names.len());
+    }
+
+    #[test]
+    fn reset_then_rerun_is_identical() {
+        let trace: Vec<TraceOp> = (0..4)
+            .map(|i| TraceOp::read(Vector::new(i * 512, 16, 32).unwrap()))
+            .collect();
+        for mut sys in SystemRegistry::with_defaults()
+            .smc(SmcLike::default())
+            .build()
+        {
+            let first = sys.run_trace(&trace);
+            sys.reset();
+            let second = sys.run_trace(&trace);
+            assert_eq!(first, second, "{}", sys.name());
+        }
     }
 
     #[test]
@@ -81,8 +94,8 @@ mod tests {
         let trace: Vec<TraceOp> = (0..8)
             .map(|i| TraceOp::read(Vector::new(i * 512, 16, 32).unwrap()))
             .collect();
-        let pva = PvaSystem::sdram().run_trace(&trace);
-        let cls = CachelineSerial::default().run_trace(&trace);
+        let pva = PvaSystem::sdram().run_trace(&trace).cycles;
+        let cls = CachelineSerial::default().run_trace(&trace).cycles;
         assert!(cls > 2 * pva, "cacheline {cls} vs pva {pva}");
     }
 
@@ -92,8 +105,8 @@ mod tests {
         let trace: Vec<TraceOp> = (0..16)
             .map(|i| TraceOp::read(Vector::new(i * 32, 1, 32).unwrap()))
             .collect();
-        let pva = PvaSystem::sdram().run_trace(&trace) as f64;
-        let cls = CachelineSerial::default().run_trace(&trace) as f64;
+        let pva = PvaSystem::sdram().run_trace(&trace).cycles as f64;
+        let cls = CachelineSerial::default().run_trace(&trace).cycles as f64;
         let ratio = cls / pva;
         assert!((0.8..=1.4).contains(&ratio), "ratio {ratio}");
     }
@@ -103,8 +116,8 @@ mod tests {
         let trace: Vec<TraceOp> = (0..16)
             .map(|i| TraceOp::read(Vector::new(i * 640, 19, 32).unwrap()))
             .collect();
-        let pva = PvaSystem::sdram().run_trace(&trace);
-        let ser = SerialGather::default().run_trace(&trace);
+        let pva = PvaSystem::sdram().run_trace(&trace).cycles;
+        let ser = SerialGather::default().run_trace(&trace).cycles;
         assert!(ser > pva, "serial {ser} vs pva {pva}");
     }
 }

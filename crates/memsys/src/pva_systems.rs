@@ -9,7 +9,7 @@
 
 use pva_sim::{HostRequest, OpKind, PvaConfig, PvaUnit};
 
-use crate::trace::{MemorySystem, TraceOp};
+use crate::trace::{MemorySystem, RunOutcome, RunStats, TraceOp, WORD_BYTES};
 
 /// A [`MemorySystem`] wrapping the cycle-level PVA unit.
 #[derive(Debug, Clone)]
@@ -51,7 +51,7 @@ impl MemorySystem for PvaSystem {
         self.name
     }
 
-    fn run_trace(&mut self, trace: &[TraceOp]) -> u64 {
+    fn run_trace(&mut self, trace: &[TraceOp]) -> RunOutcome {
         let mut unit = PvaUnit::new(self.config).expect("valid configuration");
         let requests: Vec<HostRequest> = trace
             .iter()
@@ -63,9 +63,29 @@ impl MemorySystem for PvaSystem {
                 },
             })
             .collect();
-        unit.run(requests)
-            .expect("trace ops fit the line length")
-            .cycles
+        let result = unit.run(requests).expect("trace ops fit the line length");
+        // Elements from the bank controllers (includes retried reads —
+        // those words crossed the pins too); row traffic from the
+        // summed device stats.
+        let elements: u64 = result
+            .bc_stats
+            .iter()
+            .map(|bc| bc.elements_read + bc.elements_written)
+            .sum();
+        RunOutcome {
+            cycles: result.cycles,
+            bytes_transferred: elements * WORD_BYTES,
+            stats: RunStats {
+                commands: result.stats.commands,
+                elements,
+                activates: result.sdram.activates,
+                precharges: result.sdram.precharges + result.sdram.auto_precharges,
+            },
+        }
+    }
+
+    fn reset(&mut self) {
+        // A fresh unit is built per run; there is nothing to clear.
     }
 }
 
@@ -81,7 +101,13 @@ mod tests {
             TraceOp::read(Vector::new(0, 1, 32).unwrap()),
             TraceOp::write(Vector::new(4096, 1, 32).unwrap()),
         ];
-        assert!(sys.run_trace(&t) > 0);
+        let out = sys.run_trace(&t);
+        assert!(out.cycles > 0);
+        // 32 reads + 32 writes of 4-byte words.
+        assert_eq!(out.stats.elements, 64);
+        assert_eq!(out.bytes_transferred, 64 * 4);
+        assert!(out.stats.commands >= 2);
+        assert!(out.stats.activates > 0);
         assert_eq!(sys.name(), "pva-sdram");
     }
 
@@ -98,8 +124,8 @@ mod tests {
         let t: Vec<TraceOp> = (0..8)
             .map(|i| TraceOp::read(Vector::new(i * 640, 19, 32).unwrap()))
             .collect();
-        let sdram = PvaSystem::sdram().run_trace(&t);
-        let sram = PvaSystem::sram().run_trace(&t);
+        let sdram = PvaSystem::sdram().run_trace(&t).cycles;
+        let sram = PvaSystem::sram().run_trace(&t).cycles;
         let (lo, hi) = (sdram.min(sram) as f64, sdram.max(sram) as f64);
         assert!(hi <= lo * 1.2, "sdram {sdram} vs sram {sram}");
     }

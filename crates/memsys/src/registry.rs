@@ -1,0 +1,146 @@
+//! [`SystemRegistry`]: a builder for the list of memory systems a sweep
+//! runs over, replacing the old fixed `all_systems()` free function so
+//! experiments can inject non-default configurations and optionally
+//! include the related-work [`SmcLike`] comparator.
+
+use pva_sim::PvaConfig;
+
+use crate::cacheline::{CachelineConfig, CachelineSerial};
+use crate::pva_systems::PvaSystem;
+use crate::serial_gather::{SerialGather, SerialGatherConfig};
+use crate::smc::SmcLike;
+use crate::trace::MemorySystem;
+
+/// Builder for a heterogeneous list of boxed [`MemorySystem`]s.
+///
+/// # Examples
+///
+/// The default §6.1 line-up:
+///
+/// ```
+/// use memsys::SystemRegistry;
+///
+/// let systems = SystemRegistry::with_defaults().build();
+/// assert_eq!(systems.len(), 4);
+/// ```
+///
+/// A custom sweep — tweaked line-fill cost, plus the SMC comparator:
+///
+/// ```
+/// use memsys::{CachelineConfig, SmcLike, SystemRegistry};
+///
+/// let mut cfg = CachelineConfig::default();
+/// cfg.burst = 32; // 32-bit bus: twice the burst cycles
+/// let systems = SystemRegistry::new()
+///     .cacheline(cfg)
+///     .smc(SmcLike::default())
+///     .build();
+/// assert_eq!(systems.len(), 2);
+/// ```
+#[derive(Default)]
+pub struct SystemRegistry {
+    systems: Vec<Box<dyn MemorySystem>>,
+}
+
+impl SystemRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        SystemRegistry::default()
+    }
+
+    /// The four systems of §6.1 with their default configurations, in
+    /// the paper's plotting order.
+    pub fn with_defaults() -> Self {
+        SystemRegistry::new()
+            .pva_sdram(PvaConfig::default())
+            .pva_sram()
+            .cacheline(CachelineConfig::default())
+            .serial_gather(SerialGatherConfig::default())
+    }
+
+    /// Adds the PVA prototype over SDRAM with an explicit configuration.
+    pub fn pva_sdram(mut self, config: PvaConfig) -> Self {
+        self.systems
+            .push(Box::new(PvaSystem::with_config("pva-sdram", config)));
+        self
+    }
+
+    /// Adds the idealized PVA-over-SRAM comparator.
+    pub fn pva_sram(mut self) -> Self {
+        self.systems.push(Box::new(PvaSystem::sram()));
+        self
+    }
+
+    /// Adds the cache-line serial system with an explicit configuration.
+    pub fn cacheline(mut self, config: CachelineConfig) -> Self {
+        self.systems.push(Box::new(CachelineSerial::new(config)));
+        self
+    }
+
+    /// Adds the gathering serial system with an explicit configuration.
+    pub fn serial_gather(mut self, config: SerialGatherConfig) -> Self {
+        self.systems.push(Box::new(SerialGather::new(config)));
+        self
+    }
+
+    /// Adds the related-work SMC-like comparator (§3.1), which is not
+    /// part of the paper's four-way evaluation and therefore opt-in.
+    pub fn smc(mut self, smc: SmcLike) -> Self {
+        self.systems.push(Box::new(smc));
+        self
+    }
+
+    /// Adds any other [`MemorySystem`] implementation.
+    pub fn custom(mut self, system: Box<dyn MemorySystem>) -> Self {
+        self.systems.push(system);
+        self
+    }
+
+    /// Finishes the builder, yielding the systems in insertion order.
+    pub fn build(self) -> Vec<Box<dyn MemorySystem>> {
+        self.systems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_the_four_paper_systems() {
+        let names: Vec<&str> = SystemRegistry::with_defaults()
+            .build()
+            .iter()
+            .map(|s| s.name())
+            .collect();
+        assert_eq!(
+            names,
+            [
+                "pva-sdram",
+                "pva-sram",
+                "cacheline-serial-sdram",
+                "serial-gather-sdram"
+            ]
+        );
+    }
+
+    #[test]
+    fn smc_is_opt_in() {
+        let with = SystemRegistry::with_defaults().smc(SmcLike::default());
+        assert_eq!(with.build().len(), 5);
+    }
+
+    #[test]
+    fn configs_are_injected_not_cloned_defaults() {
+        let cfg = CachelineConfig {
+            burst: 32,
+            ..CachelineConfig::default()
+        };
+        let mut systems = SystemRegistry::new().cacheline(cfg).build();
+        let t = [crate::TraceOp::read(
+            pva_core::Vector::new(0, 1, 32).unwrap(),
+        )];
+        // 2 + 2 + 32 = 36 cycles per fill instead of the default 20.
+        assert_eq!(systems[0].run_trace(&t).cycles, 36);
+    }
+}

@@ -19,7 +19,7 @@
 //!
 //! and commands execute serially (it is a *serial* controller).
 
-use crate::trace::{MemorySystem, TraceOp};
+use crate::trace::{trace_elements, MemorySystem, RunOutcome, RunStats, TraceOp, WORD_BYTES};
 
 /// Configuration of the serial gathering system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,7 +55,7 @@ impl Default for SerialGatherConfig {
 /// // for any stride — it only moves the words the application needs.
 /// for stride in [1u64, 4, 16, 19] {
 ///     let t = [TraceOp::read(Vector::new(0, stride, 32)?)];
-///     assert_eq!(sys.run_trace(&t), 38);
+///     assert_eq!(sys.run_trace(&t).cycles, 38);
 /// }
 /// # Ok::<(), pva_core::PvaError>(())
 /// ```
@@ -81,11 +81,28 @@ impl MemorySystem for SerialGather {
         "serial-gather-sdram"
     }
 
-    fn run_trace(&mut self, trace: &[TraceOp]) -> u64 {
-        trace
-            .iter()
-            .map(|op| self.command_cycles(op.vector.length()))
-            .sum()
+    fn run_trace(&mut self, trace: &[TraceOp]) -> RunOutcome {
+        let elements = trace_elements(trace);
+        RunOutcome {
+            cycles: trace
+                .iter()
+                .map(|op| self.command_cycles(op.vector.length()))
+                .sum(),
+            // A gathering system moves only the useful words.
+            bytes_transferred: elements * WORD_BYTES,
+            stats: RunStats {
+                commands: trace.len() as u64,
+                elements,
+                // One visible RAS and one precharge per command; the
+                // rest overlap per the paper's idealization.
+                activates: trace.len() as u64,
+                precharges: trace.len() as u64,
+            },
+        }
+    }
+
+    fn reset(&mut self) {
+        // Closed-form model: stateless between runs.
     }
 }
 
@@ -100,6 +117,7 @@ mod tests {
         let c1 = sys.run_trace(&[TraceOp::read(Vector::new(0, 1, 32).unwrap())]);
         let c19 = sys.run_trace(&[TraceOp::read(Vector::new(7, 19, 32).unwrap())]);
         assert_eq!(c1, c19);
+        assert_eq!(c1.bytes_transferred, 32 * 4);
     }
 
     #[test]
@@ -113,8 +131,8 @@ mod tests {
     fn commands_are_serial() {
         let mut sys = SerialGather::default();
         let v = Vector::new(0, 2, 32).unwrap();
-        let one = sys.run_trace(&[TraceOp::read(v)]);
-        let four = sys.run_trace(&[TraceOp::read(v); 4]);
+        let one = sys.run_trace(&[TraceOp::read(v)]).cycles;
+        let four = sys.run_trace(&[TraceOp::read(v); 4]).cycles;
         assert_eq!(four, 4 * one);
     }
 }

@@ -22,7 +22,7 @@
 use pva_core::Geometry;
 use sdram::{Sdram, SdramCmd, SdramConfig};
 
-use crate::trace::{MemorySystem, TraceOp};
+use crate::trace::{trace_elements, MemorySystem, RunOutcome, RunStats, TraceOp, WORD_BYTES};
 
 /// One in-service stream: the remaining element addresses of a vector
 /// command, FIFO order.
@@ -50,7 +50,7 @@ impl StreamBuffer {
 ///
 /// let mut sys = SmcLike::default();
 /// let t = [TraceOp::read(Vector::new(0, 19, 32)?)];
-/// assert!(sys.run_trace(&t) > 32); // 1 element/cycle + row overhead
+/// assert!(sys.run_trace(&t).cycles > 32); // 1 element/cycle + row overhead
 /// # Ok::<(), pva_core::PvaError>(())
 /// ```
 #[derive(Debug, Clone)]
@@ -87,7 +87,7 @@ impl MemorySystem for SmcLike {
         "smc-like-serial"
     }
 
-    fn run_trace(&mut self, trace: &[TraceOp]) -> u64 {
+    fn run_trace(&mut self, trace: &[TraceOp]) -> RunOutcome {
         // One SDRAM device per external bank, all fed by one serial
         // command stream (one command per cycle total).
         let banks = self.geometry.banks() as usize;
@@ -177,7 +177,27 @@ impl MemorySystem for SmcLike {
             active.retain(|s| !s.addrs.is_empty());
         }
         // Drain CAS latency of the final reads.
-        cycles + self.sdram.t_cas as u64
+        let elements = trace_elements(trace);
+        let (mut activates, mut precharges) = (0u64, 0u64);
+        for dev in &devices {
+            let s = dev.stats();
+            activates += s.activates;
+            precharges += s.precharges + s.auto_precharges;
+        }
+        RunOutcome {
+            cycles: cycles + self.sdram.t_cas as u64,
+            bytes_transferred: elements * WORD_BYTES,
+            stats: RunStats {
+                commands: trace.len() as u64,
+                elements,
+                activates,
+                precharges,
+            },
+        }
+    }
+
+    fn reset(&mut self) {
+        // Devices and stream buffers are rebuilt per run.
     }
 }
 
@@ -200,7 +220,7 @@ mod tests {
             read(8192, 19, 32),
             read(12288, 19, 32),
         ];
-        let c = sys.run_trace(&t);
+        let c = sys.run_trace(&t).cycles;
         assert!(c >= 128, "serial floor: {c}");
         assert!(c < 300, "reordering keeps overhead modest: {c}");
     }
@@ -210,7 +230,7 @@ mod tests {
         // Stride 16: consecutive local addresses, same row. One
         // activate, then 1 element/cycle.
         let mut sys = SmcLike::default();
-        let one = sys.run_trace(&[read(0, 16, 32)]);
+        let one = sys.run_trace(&[read(0, 16, 32)]).cycles;
         assert!(one < 32 + 12, "row reuse: {one}");
     }
 
@@ -222,8 +242,8 @@ mod tests {
         let mut sys = SmcLike::default();
         let a = read(0, 16, 32); // bank 0
         let b = read(1, 16, 32); // bank 1
-        let together = sys.run_trace(&[a, b]);
-        let single = sys.run_trace(&[a]);
+        let together = sys.run_trace(&[a, b]).cycles;
+        let single = sys.run_trace(&[a]).cycles;
         assert!(together < 2 * single, "overlap: {together} vs 2 x {single}");
     }
 
@@ -234,8 +254,8 @@ mod tests {
         // SMC's serial issue.
         use crate::pva_systems::PvaSystem;
         let trace: Vec<TraceOp> = (0..8).map(|i| read(i * 640, 19, 32)).collect();
-        let smc = SmcLike::default().run_trace(&trace);
-        let pva = PvaSystem::sdram().run_trace(&trace);
+        let smc = SmcLike::default().run_trace(&trace).cycles;
+        let pva = PvaSystem::sdram().run_trace(&trace).cycles;
         assert!(smc > pva, "smc {smc} vs pva {pva}");
     }
 }

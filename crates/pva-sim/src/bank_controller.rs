@@ -191,6 +191,17 @@ pub struct BankController {
     /// transaction may still need element addresses recomputed for
     /// retries.
     vec_meta: HashMap<u8, (u64, u64)>,
+    /// When the last [`tick`](BankController::tick) did no work: the
+    /// earliest future cycle at which this controller could act (`None`
+    /// = no pending event, or the tick did work). Consumed by the
+    /// unit's next-event fast path immediately after the tick.
+    wake_hint: Option<u64>,
+    /// Scratch for [`schedule`](BankController::schedule)'s per-VC
+    /// target list (reused across cycles when `fast_sim` is on).
+    targets_scratch: Vec<(u32, u64, u64)>,
+    /// FIFO entries still waiting on the FHC multiply-add; lets the
+    /// fast path skip the per-cycle FIFO scan once all are ready.
+    fhc_pending: usize,
     /// Trace events accumulated since the last drain (only populated
     /// when `config.record_trace`).
     events: Vec<TraceEvent>,
@@ -230,6 +241,9 @@ impl BankController {
             retries: Vec::new(),
             retry_attempts: HashMap::new(),
             vec_meta: HashMap::new(),
+            wake_hint: None,
+            targets_scratch: Vec::new(),
+            fhc_pending: 0,
             events: Vec::new(),
         }
     }
@@ -280,6 +294,17 @@ impl BankController {
             && self.vcs.is_empty()
             && self.retries.is_empty()
             && !self.device.has_in_flight()
+    }
+
+    /// Stronger than [`idle`](BankController::idle): nothing queued AND
+    /// the device itself is fully at rest, so a tick can only replay
+    /// the same empty decision.
+    fn quiet(&self) -> bool {
+        self.fifo.is_empty()
+            && self.vcs.is_empty()
+            && self.retries.is_empty()
+            && self.turnaround_left == 0
+            && self.device.quiet()
     }
 
     /// FHP: observes a vector command broadcast at cycle `now`. Returns
@@ -357,51 +382,60 @@ impl BankController {
             self.fifo.len() <= self.config.request_fifo_entries,
             "register file sized to outstanding transactions can never overflow"
         );
+        if !addr_ready {
+            self.fhc_pending += 1;
+        }
         self.stats.requests_queued += 1;
         count
     }
 
     /// Advances the controller one cycle: FHC progress, VC injection,
-    /// SPU scheduling, SDRAM issue, data return.
-    pub fn tick(&mut self, now: u64, txns: &mut TransactionTable) {
+    /// SPU scheduling, SDRAM issue, data return. Returns whether the
+    /// controller changed any state beyond pure counter advancement —
+    /// `false` means the identical decision replays every cycle until
+    /// the event reported by [`wake_hint`](BankController::wake_hint).
+    pub fn tick(&mut self, now: u64, txns: &mut TransactionTable) -> bool {
+        // Fully idle controllers dominate single-bank strides (15 of 16
+        // every cycle on stride 16). With nothing queued and the device
+        // at rest the full tick below is provably a no-op, so only the
+        // clock and the wake hint need maintaining.
+        if self.config.fast_sim && self.quiet() {
+            self.wake_hint = self.compute_wake(now);
+            self.device.tick();
+            return false;
+        }
+
+        let mut did_work = false;
+
         // 1. Return data that reached the pins this cycle. Poisoned
         //    words (ECC-uncorrectable or hard-failed bank) are retried
         //    with exponential backoff up to the configured bound, then
         //    deposited flagged so the transaction still completes.
-        for ready in self.device.take_ready_data() {
-            let (txn, element) = untag(ready.tag);
-            if ready.poisoned {
-                let key = (txn.0, element);
-                let attempts = self.retry_attempts.get(&key).copied().unwrap_or(0);
-                if attempts < self.config.max_read_retries {
-                    let (base, stride) = self.vec_meta[&txn.0];
-                    let backoff = (self.config.retry_backoff_cycles as u64)
-                        << attempts.min(MAX_BACKOFF_SHIFT);
-                    self.retry_attempts.insert(key, attempts + 1);
-                    self.retries.push(PendingRetry {
-                        txn,
-                        element,
-                        addr: base + stride * element,
-                        not_before: now + backoff,
-                    });
-                    self.stats.read_retries += 1;
-                } else {
-                    self.retry_attempts.remove(&key);
-                    self.stats.retries_exhausted += 1;
-                    txns.deposit_faulted(txn, element, ready.data);
-                }
-            } else {
-                self.retry_attempts.remove(&(txn.0, element));
-                txns.deposit(txn, element, ready.data);
+        if self.config.fast_sim {
+            while let Some(ready) = self.device.pop_ready() {
+                self.handle_ready(ready, now, txns);
+                did_work = true;
+            }
+        } else {
+            for ready in self.device.take_ready_data() {
+                self.handle_ready(ready, now, txns);
+                did_work = true;
             }
         }
 
         // 2. FHC: one multiply-add in flight at a time, oldest first
         //    (the workptr scan of §5.2.2), overlapped with scheduling.
-        if let Some(entry) = self.fifo.iter_mut().find(|e| !e.addr_ready) {
-            entry.fhc_cycles_left = entry.fhc_cycles_left.saturating_sub(1);
-            if entry.fhc_cycles_left == 0 {
-                entry.addr_ready = true;
+        //    The pending count proves the scan empty without walking
+        //    the FIFO (the fast path skips it; the reference model
+        //    keeps the per-cycle scan).
+        if self.fhc_pending > 0 || !self.config.fast_sim {
+            if let Some(entry) = self.fifo.iter_mut().find(|e| !e.addr_ready) {
+                entry.fhc_cycles_left = entry.fhc_cycles_left.saturating_sub(1);
+                if entry.fhc_cycles_left == 0 {
+                    entry.addr_ready = true;
+                    self.fhc_pending -= 1;
+                }
+                did_work = true;
             }
         }
 
@@ -426,6 +460,7 @@ impl BankController {
                     base: 0,
                     stride: 0,
                 });
+                did_work = true;
             }
         }
 
@@ -458,6 +493,7 @@ impl BankController {
                     base: v.base(),
                     stride: v.stride(),
                 });
+                did_work = true;
             }
         }
 
@@ -468,14 +504,122 @@ impl BankController {
         // 4. SPU scheduling: pick at most one SDRAM command. A due
         //    periodic refresh preempts normal work (§2.2: the contents
         //    must be refreshed typically every 64 ms).
+        let row_hits_before = self.stats.row_hits;
         if self.turnaround_left > 0 {
             self.turnaround_left -= 1;
+            did_work = true;
         } else if !self.service_refresh() {
             self.schedule(txns);
         }
+        // A command acceptance (from schedule *or* service_refresh) is
+        // work; service_refresh "owning the slot" without issuing is
+        // not — that state replays until the blocking timer expires.
+        // Scheduling can also mutate state without issuing: starting a
+        // bus turnaround, or observing a row hit on a still-blocked
+        // access — both count as work so the skip logic never elides a
+        // cycle whose replay would not be a pure no-op.
+        did_work |= self.device.command_issued_this_cycle()
+            || self.turnaround_left > 0
+            || self.stats.row_hits != row_hits_before;
+
+        // The hint must see the device *before* its tick: a restimer at
+        // 1 decrements to 0 now, and the next cycle is the first to see
+        // it available.
+        self.wake_hint = if did_work {
+            None
+        } else {
+            self.compute_wake(now)
+        };
 
         // 5. Clock the device.
         self.device.tick();
+        did_work
+    }
+
+    /// Routes one returned data word: deposit, or retry if poisoned.
+    fn handle_ready(&mut self, ready: sdram::ReadReturn, now: u64, txns: &mut TransactionTable) {
+        let (txn, element) = untag(ready.tag);
+        if ready.poisoned {
+            let key = (txn.0, element);
+            let attempts = self.retry_attempts.get(&key).copied().unwrap_or(0);
+            if attempts < self.config.max_read_retries {
+                let (base, stride) = self.vec_meta[&txn.0];
+                let backoff =
+                    (self.config.retry_backoff_cycles as u64) << attempts.min(MAX_BACKOFF_SHIFT);
+                self.retry_attempts.insert(key, attempts + 1);
+                self.retries.push(PendingRetry {
+                    txn,
+                    element,
+                    addr: base + stride * element,
+                    not_before: now + backoff,
+                });
+                self.stats.read_retries += 1;
+            } else {
+                self.retry_attempts.remove(&key);
+                self.stats.retries_exhausted += 1;
+                txns.deposit_faulted(txn, element, ready.data);
+            }
+        } else {
+            // Clearing a retry record only matters if one exists; the
+            // fast path skips the hash on the (overwhelmingly common)
+            // clean-data return when no retries are outstanding at all.
+            if !self.config.fast_sim || !self.retry_attempts.is_empty() {
+                self.retry_attempts.remove(&(txn.0, element));
+            }
+            txns.deposit(txn, element, ready.data);
+        }
+    }
+
+    /// The wake hint produced by the last tick: `Some(cycle)` when the
+    /// tick did no work and `cycle` is the earliest tick that could —
+    /// every tick in between is guaranteed to replay the same no-op
+    /// decision. Valid only immediately after the producing tick.
+    pub const fn wake_hint(&self) -> Option<u64> {
+        self.wake_hint
+    }
+
+    /// Earliest future cycle at which this controller could act, given
+    /// that the tick in progress did no work. Must be called *before*
+    /// the device tick (the device clock still reads the current
+    /// cycle). `None` when no event is pending at all.
+    fn compute_wake(&self, now: u64) -> Option<u64> {
+        let mut wake: Option<u64> = None;
+        let mut consider = |at: u64| {
+            wake = Some(match wake {
+                Some(w) if w <= at => w,
+                _ => at,
+            });
+        };
+        // Injection candidates only matter while a context slot is
+        // free; when all slots are busy, the unblocking event is a
+        // device-side one (covered below).
+        if self.vcs.len() < self.config.vector_contexts {
+            if let Some(e) = self.fifo.front() {
+                consider(e.injectable_at);
+            }
+            for r in &self.retries {
+                consider(r.not_before);
+            }
+        }
+        if let Some(at) = self.device.next_data_at() {
+            consider(at);
+        }
+        if let Some(at) = self.device.next_resource_wake() {
+            consider(at);
+        }
+        // Candidates are at or after the next cycle by construction (a
+        // due event would have been work this tick); clamp defensively.
+        wake.map(|w| w.max(now + 1))
+    }
+
+    /// Bulk-advances the controller across `cycles` quiescent cycles —
+    /// equivalent to `cycles` ticks that each did no work. Only the
+    /// pure counters move: busy-cycle stats and the device clock.
+    pub fn advance(&mut self, cycles: u64) {
+        if !self.vcs.is_empty() {
+            self.stats.busy_cycles += cycles;
+        }
+        self.device.advance(cycles);
     }
 
     /// Drives the device toward a due AUTO REFRESH: closes open rows,
@@ -531,9 +675,21 @@ impl BankController {
     /// blocked contexts (oldest first), else issue the highest-priority
     /// ready read/write that respects the polarity rule.
     fn schedule(&mut self, txns: &mut TransactionTable) {
-        // Precompute VC targets.
-        let targets: Vec<(u32, u64, u64)> = self.vcs.iter().map(|vc| self.target_of(vc)).collect();
+        // Precompute VC targets. The fast path keeps the buffer's
+        // capacity across cycles; the reference path reallocates each
+        // call, preserving the original model for baseline measurement.
+        let mut targets = std::mem::take(&mut self.targets_scratch);
+        targets.clear();
+        targets.extend(self.vcs.iter().map(|vc| self.target_of(vc)));
+        self.schedule_with(&targets, txns);
+        if self.config.fast_sim {
+            self.targets_scratch = targets;
+        }
+    }
 
+    /// The body of [`schedule`](BankController::schedule), split so the
+    /// target list can live outside `self` during the borrow.
+    fn schedule_with(&mut self, targets: &[(u32, u64, u64)], txns: &mut TransactionTable) {
         // Polarity rule of §5.2.4: a VC may issue a read/write only if no
         // older VC carries the opposite direction. Computed up front:
         // phase A must know which VCs can actually consume an open row.
@@ -548,7 +704,7 @@ impl BankController {
         // opens and precharges above read and write operations, as long
         // as they do not conflict with the open rows being used by some
         // other VC").
-        if self.config.options.promote_opens || self.first_ready(&targets, window).is_none() {
+        if self.config.options.promote_opens || self.first_ready(targets, window).is_none() {
             for i in 0..self.vcs.len() {
                 let (ib, row, _) = targets[i];
                 match self.device.open_row(ib) {
@@ -607,7 +763,7 @@ impl BankController {
                 }
             }
             let last_for_vc = self.vcs[i].remaining == 1;
-            let auto = self.decide_auto_precharge(i, ib, row, &targets, last_for_vc);
+            let auto = self.decide_auto_precharge(i, ib, row, targets, last_for_vc);
             let txn = self.vcs[i].txn;
             let element = self.vcs[i].element;
             let cmd = match kind {

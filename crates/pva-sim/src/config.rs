@@ -152,6 +152,13 @@ pub struct PvaConfig {
     /// (serializing the two banks' subvector accesses through one row
     /// buffer) instead of poisoning every access.
     pub degradation: bool,
+    /// Simulator (not hardware) switch: enable the next-event fast path
+    /// — quiescent cycles are jumped in bulk instead of ticked one by
+    /// one, and per-cycle scratch buffers are reused instead of
+    /// reallocated. Cycle counts and statistics are identical either
+    /// way (the equivalence tests prove it); `false` keeps the plain
+    /// reference model for cross-checking and throughput baselines.
+    pub fast_sim: bool,
 }
 
 impl Default for PvaConfig {
@@ -172,6 +179,7 @@ impl Default for PvaConfig {
             max_read_retries: 4,
             retry_backoff_cycles: 8,
             degradation: true,
+            fast_sim: true,
         }
     }
 }

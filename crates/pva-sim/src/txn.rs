@@ -81,6 +81,13 @@ impl Transaction {
 #[derive(Debug, Default)]
 pub struct TransactionTable {
     slots: Vec<Option<Transaction>>,
+    /// Open-slot count, maintained incrementally (mirrors what a scan
+    /// of `slots` would find).
+    open: usize,
+    /// Sum of `collected_count + committed_count` over the *open*
+    /// transactions, maintained incrementally: deposits and commits add,
+    /// closing a transaction removes its contribution.
+    moved: u64,
 }
 
 impl TransactionTable {
@@ -88,6 +95,8 @@ impl TransactionTable {
     pub fn new(ids: usize) -> Self {
         TransactionTable {
             slots: (0..ids).map(|_| None).collect(),
+            open: 0,
+            moved: 0,
         }
     }
 
@@ -107,6 +116,8 @@ impl TransactionTable {
     pub fn open(&mut self, id: TxnId, txn: Transaction) {
         let slot = &mut self.slots[id.0 as usize];
         assert!(slot.is_none(), "transaction {id} already open");
+        self.moved += txn.collected_count + txn.committed_count;
+        self.open += 1;
         *slot = Some(txn);
     }
 
@@ -135,6 +146,7 @@ impl TransactionTable {
         assert!(slot.is_none(), "element {element} deposited twice");
         *slot = Some(data);
         txn.collected_count += 1;
+        self.moved += 1;
     }
 
     /// Deposits a gathered word that is known bad (retries exhausted on
@@ -164,6 +176,7 @@ impl TransactionTable {
             .as_mut()
             .expect("commit into open transaction");
         txn.committed_count += count;
+        self.moved += count;
         debug_assert!(txn.committed_count <= txn.length);
     }
 
@@ -173,9 +186,12 @@ impl TransactionTable {
     ///
     /// Panics if the slot is empty.
     pub fn close(&mut self, id: TxnId) -> Transaction {
-        self.slots[id.0 as usize]
+        let txn = self.slots[id.0 as usize]
             .take()
-            .expect("closing an open transaction")
+            .expect("closing an open transaction");
+        self.open -= 1;
+        self.moved -= txn.collected_count + txn.committed_count;
+        txn
     }
 
     /// Iterates over open transactions.
@@ -189,6 +205,21 @@ impl TransactionTable {
     /// Number of open transactions.
     pub fn open_count(&self) -> usize {
         self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// O(1) progress counters `(open, moved)`: the open-transaction
+    /// count and the summed `collected_count + committed_count` over
+    /// them — exactly what a scan would compute, maintained
+    /// incrementally for the fast-path watchdog fingerprint.
+    pub fn progress_counters(&self) -> (usize, u64) {
+        debug_assert_eq!(self.open, self.open_count());
+        debug_assert_eq!(
+            self.moved,
+            self.iter_open()
+                .map(|(_, t)| t.collected_count + t.committed_count)
+                .sum::<u64>()
+        );
+        (self.open, self.moved)
     }
 }
 

@@ -126,6 +126,13 @@ pub struct PvaUnit {
     last_progress: u64,
     /// Progress fingerprint as of `last_progress`.
     progress_mark: (usize, usize, u64),
+    /// Scratch for [`finish_transactions`](PvaUnit::finish_transactions)
+    /// (capacity reused across cycles when `fast_sim` is on).
+    finish_scratch: Vec<(TxnId, OpKind)>,
+    /// Count of read transactions in [`TxnPhase::ReadyToStage`] — lets
+    /// the fast path prove the staging-arbitration scan empty without
+    /// walking the transaction table every idle-bus cycle.
+    ready_reads: usize,
     events: Vec<TraceEvent>,
 }
 
@@ -177,6 +184,8 @@ impl PvaUnit {
             total_requests: 0,
             last_progress: 0,
             progress_mark: (0, 0, 0),
+            finish_scratch: Vec::new(),
+            ready_reads: 0,
             events: Vec::new(),
         })
     }
@@ -250,7 +259,10 @@ impl PvaUnit {
         }
         let start = self.now;
         while !self.idle() {
-            self.step()?;
+            let did_work = self.step_inner()?;
+            if self.config.fast_sim && !did_work {
+                self.skip_quiescent();
+            }
         }
         self.completions.sort_by_key(|c| c.request_index);
         Ok(RunResult {
@@ -311,11 +323,20 @@ impl PvaUnit {
     /// outstanding — the simulation aborts instead of hanging. Disabled
     /// when `watchdog_cycles` is 0.
     pub fn step(&mut self) -> Result<(), PvaError> {
-        self.tick();
+        self.step_inner().map(|_| ())
+    }
+
+    /// [`step`](PvaUnit::step), additionally reporting whether the
+    /// cycle changed any state beyond pure counter advancement. `false`
+    /// means every subsequent cycle replays identically until the next
+    /// bank-controller wake event — the precondition for
+    /// [`skip_quiescent`](PvaUnit::skip_quiescent).
+    fn step_inner(&mut self) -> Result<bool, PvaError> {
+        let did_work = self.tick();
         if self.config.watchdog_cycles == 0 || self.idle() {
             self.last_progress = self.now;
             self.progress_mark = self.progress_fingerprint();
-            return Ok(());
+            return Ok(did_work);
         }
         let mark = self.progress_fingerprint();
         if mark != self.progress_mark {
@@ -327,7 +348,53 @@ impl PvaUnit {
                 stalled_txns: self.txns.open_count(),
             });
         }
-        Ok(())
+        Ok(did_work)
+    }
+
+    /// Next-event idle skipping: called right after a cycle that did no
+    /// work, jumps straight to the earliest cycle any bank controller
+    /// could act, advancing only the pure counters (cycle/idle stats,
+    /// device clocks and restimers) in bulk. Cycle-exact by
+    /// construction: every skipped cycle would have replayed the same
+    /// no-op decision, and the jump is clamped so a pending watchdog
+    /// still fires at the identical cycle.
+    fn skip_quiescent(&mut self) {
+        if self.idle() {
+            return;
+        }
+        debug_assert_eq!(self.bus, BusActivity::Idle, "a working bus is never quiet");
+        let mut wake: Option<u64> = None;
+        for bc in &self.bcs {
+            if let Some(w) = bc.wake_hint() {
+                wake = Some(match wake {
+                    Some(cur) if cur <= w => cur,
+                    _ => w,
+                });
+            }
+        }
+        // No pending event anywhere: nothing to skip to — leave the
+        // serial loop (and its watchdog) to handle the stall.
+        let Some(w) = wake else { return };
+        let mut gap = w.saturating_sub(self.now);
+        if self.config.watchdog_cycles > 0 {
+            // The serial model fires the watchdog at the first post-tick
+            // cycle where now - last_progress >= watchdog_cycles; never
+            // jump past the cycle before it.
+            let limit =
+                (self.last_progress + self.config.watchdog_cycles).saturating_sub(self.now + 1);
+            gap = gap.min(limit);
+        }
+        if gap == 0 {
+            return;
+        }
+        // Each skipped cycle would have been: an idle bus arbitration,
+        // a no-op tick in every bank controller, and a device tick.
+        self.stats.cycles += gap;
+        self.stats.idle_cycles += gap;
+        self.now += gap;
+        for bc in &mut self.bcs {
+            bc.advance(gap);
+        }
     }
 
     /// A change in this tuple is what the watchdog counts as forward
@@ -336,6 +403,15 @@ impl PvaUnit {
     /// SDRAM command counts — an unrecoverable retry loop issues reads
     /// forever without ever completing anything.
     fn progress_fingerprint(&self) -> (usize, usize, u64) {
+        if self.config.fast_sim {
+            // O(1) form of the scan below, from the transaction table's
+            // incrementally-maintained counters (asserted equal to a
+            // fresh scan in debug builds). The reference model keeps
+            // the per-cycle walk as the baseline cost.
+            let (open, moved) = self.txns.progress_counters();
+            let outstanding = self.pending.len() + open + self.write_broadcasts.len();
+            return (outstanding, open, moved);
+        }
         let moved: u64 = self
             .txns
             .iter_open()
@@ -365,19 +441,23 @@ impl PvaUnit {
         out
     }
 
-    /// Advances the whole unit one cycle.
-    fn tick(&mut self) {
-        self.bus_step();
+    /// Advances the whole unit one cycle. Returns whether any component
+    /// (bus, bank controller, transaction table) changed state beyond
+    /// pure counter advancement.
+    fn tick(&mut self) -> bool {
+        let mut work = self.bus_step();
         for bc in &mut self.bcs {
-            bc.tick(self.now, &mut self.txns);
+            work |= bc.tick(self.now, &mut self.txns);
         }
-        self.finish_transactions();
+        work |= self.finish_transactions();
         self.stats.cycles += 1;
         self.now += 1;
+        work
     }
 
-    /// One vector-bus arbitration step.
-    fn bus_step(&mut self) {
+    /// One vector-bus arbitration step. Returns `false` only when the
+    /// bus idled with nothing to broadcast, stage, or accept.
+    fn bus_step(&mut self) -> bool {
         match self.bus {
             BusActivity::Staging {
                 txn,
@@ -392,7 +472,7 @@ impl PvaUnit {
                         kind,
                         cycles_left: left,
                     };
-                    return;
+                    return true;
                 }
                 self.bus = BusActivity::Idle;
                 match kind {
@@ -421,21 +501,35 @@ impl PvaUnit {
                         self.write_broadcasts.push_back(txn);
                     }
                 }
+                true
             }
             BusActivity::Idle => {
                 // Priority 1: broadcast a staged write's VEC_WRITE.
                 if let Some(txn) = self.write_broadcasts.pop_front() {
                     self.broadcast(txn);
-                    return;
+                    return true;
                 }
                 // Priority 2: stage a completed read (drains txn ids).
-                let ready = self
-                    .txns
-                    .iter_open()
-                    .filter(|(_, t)| t.kind == OpKind::Read && t.phase == TxnPhase::ReadyToStage)
-                    .min_by_key(|(_, t)| t.issued_at)
-                    .map(|(id, t)| (id, t.length));
+                // The fast path proves the scan empty from the
+                // ready-read counter; the reference model walks the
+                // table every idle-bus cycle.
+                let ready = if self.config.fast_sim && self.ready_reads == 0 {
+                    debug_assert!(!self
+                        .txns
+                        .iter_open()
+                        .any(|(_, t)| t.kind == OpKind::Read && t.phase == TxnPhase::ReadyToStage));
+                    None
+                } else {
+                    self.txns
+                        .iter_open()
+                        .filter(|(_, t)| {
+                            t.kind == OpKind::Read && t.phase == TxnPhase::ReadyToStage
+                        })
+                        .min_by_key(|(_, t)| t.issued_at)
+                        .map(|(id, t)| (id, t.length))
+                };
                 if let Some((id, len)) = ready {
+                    self.ready_reads -= 1;
                     self.txns.get_mut(id).expect("open").phase = TxnPhase::Staging;
                     if self.config.record_trace {
                         self.events.push(TraceEvent::StageStart {
@@ -452,7 +546,7 @@ impl PvaUnit {
                     };
                     // This cycle already carries the first data beat.
                     self.bus_step();
-                    return;
+                    return true;
                 }
                 // Priority 3: accept the next host request.
                 if let Some(free) = self.txns.free_id() {
@@ -522,10 +616,11 @@ impl PvaUnit {
                                 }
                             }
                         }
-                        return;
+                        return true;
                     }
                 }
                 self.stats.idle_cycles += 1;
+                false
             }
         }
     }
@@ -567,18 +662,24 @@ impl PvaUnit {
     }
 
     /// Moves transactions whose banks finished into their next phase and
-    /// completes writes.
-    fn finish_transactions(&mut self) {
-        let done: Vec<(TxnId, OpKind)> = self
-            .txns
-            .iter_open()
-            .filter(|(_, t)| t.phase == TxnPhase::InBanks && t.banks_done())
-            .map(|(id, t)| (id, t.kind))
-            .collect();
-        for (id, kind) in done {
+    /// completes writes. Returns whether any transaction moved.
+    fn finish_transactions(&mut self) -> bool {
+        // The fast path keeps the buffer's capacity across cycles; the
+        // reference path reallocates each call.
+        let mut done = std::mem::take(&mut self.finish_scratch);
+        done.clear();
+        done.extend(
+            self.txns
+                .iter_open()
+                .filter(|(_, t)| t.phase == TxnPhase::InBanks && t.banks_done())
+                .map(|(id, t)| (id, t.kind)),
+        );
+        let moved = !done.is_empty();
+        for &(id, kind) in &done {
             match kind {
                 OpKind::Read => {
                     self.txns.get_mut(id).expect("open").phase = TxnPhase::ReadyToStage;
+                    self.ready_reads += 1;
                 }
                 OpKind::Write => {
                     // Transaction-complete line deasserts: data committed.
@@ -601,5 +702,9 @@ impl PvaUnit {
                 }
             }
         }
+        if self.config.fast_sim {
+            self.finish_scratch = done;
+        }
+        moved
     }
 }

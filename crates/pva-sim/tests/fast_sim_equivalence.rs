@@ -1,0 +1,170 @@
+//! The next-event fast path (`PvaConfig::fast_sim`) must be cycle-exact:
+//! every run — cycles, completions, bus stats, per-bank stats, device
+//! stats — must be bit-identical to the plain per-cycle reference model,
+//! across strides, mixed read/write traffic, refresh, faults and the
+//! watchdog.
+
+use pva_core::{PvaError, Vector};
+use pva_sim::{HostRequest, PvaConfig, PvaUnit, RunResult};
+
+fn run_with(cfg: PvaConfig, requests: &[HostRequest]) -> Result<RunResult, PvaError> {
+    let mut unit = PvaUnit::new(cfg).expect("valid config");
+    unit.run(requests.to_vec())
+}
+
+fn assert_identical(cfg: PvaConfig, requests: &[HostRequest], label: &str) {
+    let mut fast_cfg = cfg;
+    fast_cfg.fast_sim = true;
+    let mut ref_cfg = cfg;
+    ref_cfg.fast_sim = false;
+    let fast = run_with(fast_cfg, requests).expect("fast run succeeds");
+    let slow = run_with(ref_cfg, requests).expect("reference run succeeds");
+    assert_eq!(fast.cycles, slow.cycles, "{label}: cycles");
+    assert_eq!(
+        fast.completions.len(),
+        slow.completions.len(),
+        "{label}: completion count"
+    );
+    for (f, s) in fast.completions.iter().zip(&slow.completions) {
+        assert_eq!(f.request_index, s.request_index, "{label}: request order");
+        assert_eq!(f.issued_at, s.issued_at, "{label}: issue cycle");
+        assert_eq!(f.completed_at, s.completed_at, "{label}: completion cycle");
+        assert_eq!(f.data, s.data, "{label}: gathered data");
+        assert_eq!(f.faulted, s.faulted, "{label}: fault flags");
+    }
+    let (fs, ss) = (fast.stats, slow.stats);
+    assert_eq!(fs.cycles, ss.cycles, "{label}: stat cycles");
+    assert_eq!(
+        fs.request_cycles, ss.request_cycles,
+        "{label}: request cycles"
+    );
+    assert_eq!(fs.data_cycles, ss.data_cycles, "{label}: data cycles");
+    assert_eq!(fs.idle_cycles, ss.idle_cycles, "{label}: idle cycles");
+    assert_eq!(fs.commands, ss.commands, "{label}: commands");
+    for (i, (f, s)) in fast.bc_stats.iter().zip(&slow.bc_stats).enumerate() {
+        assert_eq!(f.busy_cycles, s.busy_cycles, "{label}: bc {i} busy cycles");
+        assert_eq!(f.elements_read, s.elements_read, "{label}: bc {i} reads");
+        assert_eq!(
+            f.elements_written, s.elements_written,
+            "{label}: bc {i} writes"
+        );
+        assert_eq!(f.turnarounds, s.turnarounds, "{label}: bc {i} turnarounds");
+        assert_eq!(f.row_hits, s.row_hits, "{label}: bc {i} row hits");
+        assert_eq!(f.activates, s.activates, "{label}: bc {i} activates");
+        assert_eq!(f.read_retries, s.read_retries, "{label}: bc {i} retries");
+    }
+    assert_eq!(fast.sdram, slow.sdram, "{label}: device stats");
+}
+
+fn read(base: u64, stride: u64, len: u64) -> HostRequest {
+    HostRequest::Read {
+        vector: Vector::new(base, stride, len).expect("valid vector"),
+    }
+}
+
+fn write(base: u64, stride: u64, len: u64) -> HostRequest {
+    HostRequest::Write {
+        vector: Vector::new(base, stride, len).expect("valid vector"),
+        data: (0..len).map(|i| 0xC0DE_0000 + i).collect(),
+    }
+}
+
+#[test]
+fn single_reads_match_across_strides() {
+    for stride in [1u64, 2, 4, 8, 16, 19, 48] {
+        assert_identical(
+            PvaConfig::default(),
+            &[read(0x400, stride, 32)],
+            &format!("stride {stride}"),
+        );
+    }
+}
+
+#[test]
+fn batched_mixed_traffic_matches() {
+    let reqs: Vec<HostRequest> = (0..8u64)
+        .map(|i| {
+            let base = i * 512 * 16;
+            if i % 2 == 0 {
+                read(base, 16, 32)
+            } else {
+                write(base, 16, 32)
+            }
+        })
+        .collect();
+    assert_identical(PvaConfig::default(), &reqs, "rw mix stride 16");
+}
+
+#[test]
+fn sram_backend_matches() {
+    assert_identical(
+        PvaConfig::sram_backend(),
+        &[read(0, 19, 32), write(1 << 20, 19, 32)],
+        "sram backend",
+    );
+}
+
+#[test]
+fn refresh_heavy_config_matches() {
+    let mut cfg = PvaConfig::default();
+    cfg.sdram.refresh_interval = 781;
+    // Sparse single-bank traffic leaves long quiescent windows that the
+    // fast path must not jump past a due refresh.
+    let reqs: Vec<HostRequest> = (0..6u64).map(|i| read(i * 512 * 16, 16, 8)).collect();
+    assert_identical(cfg, &reqs, "refresh interval 781");
+}
+
+#[test]
+fn faulty_device_with_retries_matches() {
+    let mut cfg = PvaConfig::default();
+    cfg.sdram.fault.transient_ppm = 100_000;
+    cfg.sdram.fault.seed = 7;
+    assert_identical(
+        cfg,
+        &[read(0, 1, 32), read(1 << 16, 19, 32)],
+        "transient faults",
+    );
+
+    let mut cfg = PvaConfig::default();
+    cfg.sdram.ecc = false;
+    cfg.sdram.fault.hard_failed_bank = Some(0);
+    cfg.degradation = false;
+    cfg.watchdog_cycles = 50_000;
+    assert_identical(cfg, &[read(0, 1, 32)], "hard-failed bank, flagged");
+}
+
+#[test]
+fn block_interleaved_geometry_matches() {
+    let cfg = PvaConfig {
+        geometry: pva_core::Geometry::new(16, 4, 1).expect("valid geometry"),
+        ..PvaConfig::default()
+    };
+    assert_identical(
+        cfg,
+        &[read(0, 3, 32), write(1 << 18, 5, 32)],
+        "block interleave",
+    );
+}
+
+#[test]
+fn watchdog_fires_at_identical_cycle() {
+    // An unrecoverable retry loop: poisoned data, retries never succeed.
+    let mut cfg = PvaConfig::default();
+    cfg.sdram.ecc = false;
+    cfg.sdram.fault.hard_failed_bank = Some(0);
+    cfg.degradation = false;
+    cfg.max_read_retries = u32::MAX;
+    cfg.watchdog_cycles = 3_000;
+    let fire = |fast: bool| -> (u64, usize) {
+        let mut c = cfg;
+        c.fast_sim = fast;
+        match run_with(c, &[read(0, 16, 32)]) {
+            Err(PvaError::Watchdog {
+                cycle,
+                stalled_txns,
+            }) => (cycle, stalled_txns),
+            other => panic!("expected watchdog, got {other:?}"),
+        }
+    };
+    assert_eq!(fire(true), fire(false), "watchdog cycle and stall count");
+}

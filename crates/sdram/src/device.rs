@@ -263,6 +263,10 @@ pub struct Sdram {
     refresh_busy: u32,
     /// Cycles elapsed since the last AUTO REFRESH.
     since_refresh: u64,
+    /// Upper bound on the largest remaining count across every
+    /// restimer, maintained at each arm site: `0` proves all timers
+    /// expired, letting [`tick`](Sdram::tick) skip the decrement loop.
+    timer_bound: u32,
     stats: SdramStats,
 }
 
@@ -307,6 +311,7 @@ impl Sdram {
             issued_this_cycle: false,
             refresh_busy: 0,
             since_refresh: 0,
+            timer_bound: 0,
             stats: SdramStats::default(),
         })
     }
@@ -504,6 +509,7 @@ impl Sdram {
                 t.rcd.arm(cfg.t_rcd);
                 t.ras.arm(cfg.t_ras);
                 t.rc.arm(cfg.t_rc);
+                self.note_armed(cfg.t_rcd.max(cfg.t_ras).max(cfg.t_rc));
                 self.stats.activates += 1;
             }
             SdramCmd::Read {
@@ -568,6 +574,7 @@ impl Sdram {
                 };
                 self.apply_bank_event(bank, class, row);
                 self.timers[bank as usize].wr.arm(self.config.t_wr);
+                self.note_armed(self.config.t_wr);
                 if auto_precharge {
                     self.auto_precharge(bank);
                 }
@@ -576,6 +583,7 @@ impl Sdram {
                 let b = bank as usize;
                 self.apply_bank_event(bank, CmdClass::Precharge, 0);
                 self.timers[b].rp.arm(self.config.t_rp);
+                self.note_armed(self.config.t_rp);
                 self.stats.precharges += 1;
             }
         }
@@ -589,9 +597,110 @@ impl Sdram {
         self.issued_this_cycle = false;
         self.refresh_busy = self.refresh_busy.saturating_sub(1);
         self.since_refresh += 1;
-        for t in &mut self.timers {
-            t.tick();
+        if self.timer_bound > 0 {
+            for t in &mut self.timers {
+                t.tick();
+            }
+            self.timer_bound -= 1;
         }
+    }
+
+    /// Advances the device `cycles` cycles at once — exactly equivalent
+    /// to `cycles` calls to [`tick`](Sdram::tick). Used by the next-event
+    /// fast path of the simulator to jump over quiescent windows.
+    pub fn advance(&mut self, cycles: u64) {
+        self.now += cycles;
+        if cycles > 0 {
+            self.issued_this_cycle = false;
+        }
+        let n32 = u32::try_from(cycles).unwrap_or(u32::MAX);
+        self.refresh_busy = self.refresh_busy.saturating_sub(n32);
+        self.since_refresh += cycles;
+        if self.timer_bound > 0 {
+            for t in &mut self.timers {
+                t.advance(cycles);
+            }
+            self.timer_bound = self.timer_bound.saturating_sub(n32);
+        }
+    }
+
+    /// Raises the cached timer upper bound after arming a restimer.
+    fn note_armed(&mut self, cycles: u32) {
+        self.timer_bound = self.timer_bound.max(cycles);
+    }
+
+    /// Whether a command was accepted at the current clock edge.
+    pub const fn command_issued_this_cycle(&self) -> bool {
+        self.issued_this_cycle
+    }
+
+    /// The cycle the earliest in-flight read reaches the pins, if any.
+    pub fn next_data_at(&self) -> Option<u64> {
+        self.in_flight.front().map(|r| r.at_cycle)
+    }
+
+    /// The earliest future cycle at which any device-side resource
+    /// changes state on its own: a restimer expiring, an in-progress
+    /// AUTO REFRESH finishing, or the periodic refresh interval lapsing.
+    /// `None` when nothing is pending (the device would sit unchanged
+    /// forever without new commands). In-flight read data is reported
+    /// separately by [`Sdram::next_data_at`].
+    pub fn next_resource_wake(&self) -> Option<u64> {
+        let mut wake: Option<u64> = None;
+        let mut consider = |at: u64| {
+            wake = Some(wake.map_or(at, |w: u64| w.min(at)));
+        };
+        // Conservative: wake at the *earliest* nonzero expiry among all
+        // timers — early wakes are harmless, late ones are not. A zero
+        // bound proves every timer already expired.
+        if self.timer_bound > 0 {
+            for t in &self.timers {
+                for r in [
+                    t.rcd.remaining(),
+                    t.ras.remaining(),
+                    t.rp.remaining(),
+                    t.rc.remaining(),
+                    t.wr.remaining(),
+                ] {
+                    if r > 0 {
+                        consider(self.now + r as u64);
+                    }
+                }
+            }
+        }
+        if self.refresh_busy > 0 {
+            consider(self.now + self.refresh_busy as u64);
+        }
+        if self.config.refresh_interval > 0 {
+            let until_due = self
+                .config
+                .refresh_interval
+                .saturating_sub(self.since_refresh)
+                .max(1);
+            consider(self.now + until_due);
+        }
+        wake
+    }
+
+    /// Removes and returns the earliest read whose data is on the pins
+    /// at or before the current cycle — the allocation-free form of
+    /// [`Sdram::take_ready_data`] for per-cycle hot paths.
+    pub fn pop_ready(&mut self) -> Option<ReadReturn> {
+        match self.in_flight.front() {
+            Some(front) if front.at_cycle <= self.now => self.in_flight.pop_front(),
+            _ => None,
+        }
+    }
+
+    /// Whether the device is fully at rest: no in-flight data, no
+    /// running or due refresh, and every restimer expired. A quiet
+    /// device cannot change state on its own except for the periodic
+    /// refresh deadline, which [`Sdram::next_resource_wake`] reports.
+    pub fn quiet(&self) -> bool {
+        self.timer_bound == 0
+            && self.in_flight.is_empty()
+            && self.refresh_busy == 0
+            && !self.refresh_due()
     }
 
     /// Whether a periodic refresh is due (`refresh_interval` elapsed
@@ -794,6 +903,7 @@ impl Sdram {
             .remaining()
             .max(self.timers[b].wr.remaining());
         self.timers[b].rp.arm(residual + self.config.t_rp);
+        self.note_armed(residual + self.config.t_rp);
         self.stats.auto_precharges += 1;
     }
 }
@@ -1050,6 +1160,78 @@ mod tests {
             let ia = d.config().map(a);
             assert_eq!(d.local_addr(ia.bank, ia.row, ia.col), a);
         }
+    }
+
+    #[test]
+    fn advance_matches_repeated_tick() {
+        // Same command history, one device bulk-advanced, one ticked.
+        let mut a = dev();
+        let mut b = dev();
+        for d in [&mut a, &mut b] {
+            d.issue(SdramCmd::Activate { bank: 0, row: 1 }).unwrap();
+        }
+        a.advance(6);
+        for _ in 0..6 {
+            b.tick();
+        }
+        assert_eq!(a.now(), b.now());
+        assert_eq!(a.bank_state(0), b.bank_state(0));
+        for d in [&mut a, &mut b] {
+            d.issue(SdramCmd::Read {
+                bank: 0,
+                col: 0,
+                auto_precharge: false,
+                tag: 7,
+            })
+            .unwrap();
+        }
+        a.advance(2);
+        for _ in 0..2 {
+            b.tick();
+        }
+        assert_eq!(a.take_ready_data(), b.take_ready_data());
+    }
+
+    #[test]
+    fn pop_ready_matches_take_ready_data() {
+        let mut d = dev();
+        d.issue(SdramCmd::Activate { bank: 0, row: 0 }).unwrap();
+        d.tick();
+        d.tick();
+        for i in 0..3u64 {
+            d.issue(SdramCmd::Read {
+                bank: 0,
+                col: i,
+                auto_precharge: false,
+                tag: i,
+            })
+            .unwrap();
+            d.tick();
+        }
+        assert_eq!(d.next_data_at(), Some(2 + 2));
+        d.tick();
+        d.tick();
+        let mut tags = Vec::new();
+        while let Some(r) = d.pop_ready() {
+            tags.push(r.tag);
+        }
+        assert_eq!(tags, vec![0, 1, 2]);
+        assert!(!d.has_in_flight());
+        assert_eq!(d.next_data_at(), None);
+    }
+
+    #[test]
+    fn next_resource_wake_reports_earliest_expiry() {
+        let mut d = dev();
+        assert_eq!(d.next_resource_wake(), None);
+        d.issue(SdramCmd::Activate { bank: 0, row: 0 }).unwrap();
+        // tRCD=2 is the earliest armed timer (tRAS=5, tRC=7 later).
+        assert_eq!(d.next_resource_wake(), Some(2));
+        d.tick();
+        assert_eq!(d.next_resource_wake(), Some(2));
+        d.tick();
+        // tRCD expired; tRAS=5 is next.
+        assert_eq!(d.next_resource_wake(), Some(5));
     }
 
     #[test]

@@ -52,6 +52,13 @@ impl Restimer {
         self.remaining = self.remaining.saturating_sub(1);
     }
 
+    /// Advances `cycles` clock cycles at once — exactly equivalent to
+    /// `cycles` calls to [`tick`](Restimer::tick).
+    pub fn advance(&mut self, cycles: u64) {
+        let n = u32::try_from(cycles).unwrap_or(u32::MAX);
+        self.remaining = self.remaining.saturating_sub(n);
+    }
+
     /// The "resource available" line.
     pub const fn available(&self) -> bool {
         self.remaining == 0
@@ -104,6 +111,27 @@ impl BankTimers {
         self.rp.tick();
         self.rc.tick();
         self.wr.tick();
+    }
+
+    /// Advances all counters `cycles` cycles at once (equivalent to
+    /// `cycles` calls to [`tick`](BankTimers::tick)).
+    pub fn advance(&mut self, cycles: u64) {
+        self.rcd.advance(cycles);
+        self.ras.advance(cycles);
+        self.rp.advance(cycles);
+        self.rc.advance(cycles);
+        self.wr.advance(cycles);
+    }
+
+    /// The largest remaining count across the five counters — the
+    /// number of ticks after which every timer is guaranteed available.
+    pub fn max_remaining(&self) -> u32 {
+        self.rcd
+            .remaining()
+            .max(self.ras.remaining())
+            .max(self.rp.remaining())
+            .max(self.rc.remaining())
+            .max(self.wr.remaining())
     }
 
     /// Whether an ACTIVATE may be issued now.
@@ -182,6 +210,38 @@ mod tests {
             bt.tick();
         }
         assert!(bt.can_activate());
+    }
+
+    #[test]
+    fn advance_matches_repeated_tick() {
+        for n in [0u64, 1, 2, 3, 7, 100] {
+            let mut a = BankTimers::new();
+            let mut b = BankTimers::new();
+            for t in [&mut a, &mut b] {
+                t.rcd.arm(2);
+                t.ras.arm(5);
+                t.rc.arm(7);
+                t.wr.arm(3);
+            }
+            a.advance(n);
+            for _ in 0..n {
+                b.tick();
+            }
+            assert_eq!(a.rcd.remaining(), b.rcd.remaining(), "n={n}");
+            assert_eq!(a.ras.remaining(), b.ras.remaining(), "n={n}");
+            assert_eq!(a.rp.remaining(), b.rp.remaining(), "n={n}");
+            assert_eq!(a.rc.remaining(), b.rc.remaining(), "n={n}");
+            assert_eq!(a.wr.remaining(), b.wr.remaining(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn max_remaining_covers_all_timers() {
+        let mut t = BankTimers::new();
+        assert_eq!(t.max_remaining(), 0);
+        t.rc.arm(7);
+        t.rcd.arm(2);
+        assert_eq!(t.max_remaining(), 7);
     }
 
     #[test]

@@ -42,7 +42,7 @@ fn main() -> Result<(), PvaError> {
     // 3. Baseline: strided line fills through a conventional system.
     let v = Vector::new(REAL, STRIDE, ELEMENTS)?;
     let trace: Vec<TraceOp> = v.chunks(32).map(TraceOp::read).collect();
-    let baseline = CachelineSerial::default().run_trace(&trace);
+    let baseline = CachelineSerial::default().run_trace(&trace).cycles;
     println!("3. cache-line fills:      {baseline:>6} cycles (no vector knowledge)");
 
     println!(

@@ -11,7 +11,7 @@
 
 use pva::core::{split_vector, MmcTlb, PvaError, Vector};
 use pva::kernels::LINE_WORDS;
-use pva::memsys::{all_systems, TraceOp};
+use pva::memsys::{SystemRegistry, TraceOp};
 
 const N: u64 = 256; // matrix dimension (words)
 
@@ -32,8 +32,14 @@ fn main() -> Result<(), PvaError> {
             vector.stride(),
             trace.len()
         );
-        for mut sys in all_systems() {
-            println!("  {:22} {:>8} cycles", sys.name(), sys.run_trace(&trace));
+        for mut sys in SystemRegistry::with_defaults().build() {
+            let out = sys.run_trace(&trace);
+            println!(
+                "  {:22} {:>8} cycles  {:>8} bytes moved",
+                sys.name(),
+                out.cycles,
+                out.bytes_transferred
+            );
         }
         println!();
     }

@@ -26,8 +26,8 @@ fn main() -> Result<(), PvaError> {
 
     // 2. The same access on the conventional systems.
     let trace = [TraceOp::read(v)];
-    let cacheline = CachelineSerial::default().run_trace(&trace);
-    let serial = SerialGather::default().run_trace(&trace);
+    let cacheline = CachelineSerial::default().run_trace(&trace).cycles;
+    let serial = SerialGather::default().run_trace(&trace).cycles;
     println!("cache-line interleaved serial SDRAM:  {cacheline} cycles (19 whole lines fetched)");
     println!("gathering pipelined serial SDRAM:     {serial} cycles (element by element)");
     println!(

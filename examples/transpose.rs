@@ -68,7 +68,7 @@ fn main() -> Result<(), PvaError> {
             trace.push(TraceOp::write(chunk));
         }
     }
-    let conventional = CachelineSerial::default().run_trace(&trace);
+    let conventional = CachelineSerial::default().run_trace(&trace).cycles;
     println!(
         "cache-line system: {conventional} cycles ({:.1}x slower)",
         conventional as f64 / cycles as f64

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Regenerates every table/figure of the paper plus the extension studies
-# into results/, runs the full test suite, and dumps the 960-point sweep.
+# into results/ (text goldens + BENCH_*.json run records), runs the full
+# test suite, and dumps the 960-point sweep.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 1)}"
 
 echo "== building (release) =="
 cargo build --workspace --release
@@ -10,18 +13,21 @@ cargo build --workspace --release
 echo "== tests =="
 cargo test --workspace --release
 
+echo "== scenarios (pva-bench all, $JOBS worker(s)) =="
 mkdir -p results
-BINS=(
-  table1_complexity table2_kernels
-  fig7_stride_sweep fig8_stride_sweep fig9_fixed_stride fig10_fixed_stride
-  fig11_vaxpy_detail headline_speedups ablation_scheduler
-  ext_indirect ext_bitrev ext_cache_pollution
-  related_cvms related_smc tech_sweep scaling_banks design_space cpu_sensitivity
-)
-for b in "${BINS[@]}"; do
-  echo "== $b =="
-  cargo run -p pva-bench --release --bin "$b" | tee "results/$b.txt"
-done
+# --verify first: prove the engine reproduces the committed goldens
+# byte-for-byte before overwriting them, and gate the simulator's
+# fast-path speedup.
+cargo run -p pva-bench --release -- all --jobs "$JOBS" \
+  --verify results --min-speedup 1.1
+cargo run -p pva-bench --release -- all --jobs "$JOBS" \
+  --out results --json results
+
+echo "== record validation =="
+cargo run -p pva-bench --release -- validate results/BENCH_*.json
+
+echo "== fault campaign (smoke) =="
+cargo run -p pva-bench --release --bin fault_campaign -- --smoke
 
 echo "== sweep csv =="
 cargo run --release --bin pva-explore -- sweep-csv results/sweep.csv

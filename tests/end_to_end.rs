@@ -3,7 +3,7 @@
 
 use pva::core::{split_vector, MmcTlb, Superpage, Vector};
 use pva::kernels::{run_cell, run_point, Alignment, Kernel, SystemKind, STRIDES};
-use pva::memsys::{all_systems, TraceOp};
+use pva::memsys::{SystemRegistry, TraceOp};
 use pva::sim::{HostRequest, PvaConfig, PvaUnit};
 
 #[test]
@@ -110,7 +110,7 @@ fn split_vector_feeds_the_unit_correctly() {
 
 #[test]
 fn trace_cycle_counts_are_positive_and_scale_with_work() {
-    for mut sys in all_systems() {
+    for mut sys in SystemRegistry::with_defaults().build() {
         let small: Vec<TraceOp> = (0..2)
             .map(|i| TraceOp::read(Vector::new(i * 4096, 4, 32).unwrap()))
             .collect();
@@ -118,8 +118,14 @@ fn trace_cycle_counts_are_positive_and_scale_with_work() {
             .map(|i| TraceOp::read(Vector::new(i * 4096, 4, 32).unwrap()))
             .collect();
         let cs = sys.run_trace(&small);
+        sys.reset();
         let cl = sys.run_trace(&large);
-        assert!(cl > cs, "{}: {cl} vs {cs}", sys.name());
+        assert!(cl.cycles > cs.cycles, "{}", sys.name());
+        assert!(
+            cl.bytes_transferred > cs.bytes_transferred,
+            "{}",
+            sys.name()
+        );
     }
 }
 
