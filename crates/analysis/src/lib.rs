@@ -71,6 +71,14 @@ pub const DESIGNATED: &[Target] = &[
         path: "crates/pva-sim/src/unit.rs",
         profile: Profile::ArithmeticOnly,
     },
+    // The event queue backs the fast simulation path, not the modeled
+    // hardware — but it sits on the simulator's innermost loop, so its
+    // per-operation arithmetic is held to the same shifts-and-masks
+    // bar to keep it allocation-free and branch-cheap.
+    Target {
+        path: "crates/pva-sim/src/sched.rs",
+        profile: Profile::ArithmeticOnly,
+    },
 ];
 
 /// Locates the workspace root from the analysis crate's own manifest

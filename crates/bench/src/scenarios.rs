@@ -18,8 +18,8 @@ use kernels::{
 use memsys::{MemorySystem, PvaSystem, SerialGather, SmcLike, TraceOp, WORD_BYTES};
 use pva_core::{scaling_sweep, BankId, BitReversedVector, Geometry, IndirectVector, K1Pla, Vector};
 use pva_sim::{
-    mixed_workload, run_indirect_gather, unit_complexity, CpuConfig, CpuModel, HostRequest, OpKind,
-    PvaConfig,
+    mixed_workload, run_indirect_gather, unit_complexity, CpuConfig, CpuModel, EventStats,
+    HostRequest, OpKind, PvaConfig, JUMP_BUCKETS,
 };
 use sdram::SdramConfig;
 
@@ -1545,8 +1545,13 @@ const THROUGHPUT_REPS: u64 = 15;
 /// so slow drift (hypervisor steal, frequency scaling) hits both sides
 /// of the ratio equally. Each side is scored by its fastest rep —
 /// noise only ever adds time, so min-of-N estimates the true per-run
-/// cost. The cell's `aux` carries `[model_cycles, ref_wall_ns,
-/// fast_wall_ns]`; `cycles`/`bytes` count both models' simulated work.
+/// cost. The cell's `aux` carries
+/// `[model_cycles, ref_wall_ns, fast_wall_ns,
+///   executed_cycles, skipped_cycles, jumps, events_popped,
+///   jump_hist[0..JUMP_BUCKETS]]`
+/// where the event-loop counters are one sweep's worth from the fast
+/// model (runs are deterministic, so every rep agrees);
+/// `cycles`/`bytes` count both models' simulated work.
 fn throughput_probe() -> CellData {
     let ref_cfg = PvaConfig {
         fast_sim: false,
@@ -1557,6 +1562,7 @@ fn throughput_probe() -> CellData {
     let mut bytes = 0u64;
     let mut ref_wall = 0u64;
     let mut fast_wall = 0u64;
+    let mut events = EventStats::default();
     for &kernel in &FIG7_KERNELS {
         for &stride in &STRIDES {
             let bases = Alignment::BankStagger.bases(kernel.array_count(), ARRAY_REGION);
@@ -1584,13 +1590,24 @@ fn throughput_probe() -> CellData {
                 cycles += r.cycles + f.cycles;
                 bytes += r.bytes_transferred + f.bytes_transferred;
             }
+            events.absorb(fast_sys.event_stats());
             ref_wall += best_ref * THROUGHPUT_REPS;
             fast_wall += best_fast * THROUGHPUT_REPS;
         }
     }
     // Both models simulate the same cycle counts, so each side's share
     // is exactly half the combined total.
-    CellData::with_aux(cycles, bytes, vec![cycles / 2, ref_wall, fast_wall])
+    let mut aux = vec![
+        cycles / 2,
+        ref_wall,
+        fast_wall,
+        events.executed_cycles,
+        events.skipped_cycles,
+        events.jumps,
+        events.events_popped,
+    ];
+    aux.extend(events.jump_hist);
+    CellData::with_aux(cycles, bytes, aux)
 }
 
 /// Simulated-cycles-per-second of one side of the paired probe cell.
@@ -1605,14 +1622,36 @@ pub fn throughput_speedup(cells: &[CellData]) -> f64 {
 }
 
 /// Derived figures for the throughput scenario's `BENCH_*.json` record:
-/// per-model simulated-cycles-per-second and the fast-path speedup.
+/// per-model simulated-cycles-per-second, the fast-path speedup, the
+/// event-loop density (wake-ups popped per thousand simulated cycles —
+/// the cost the event queue pays for the cycles it skips), and the
+/// jump-size histogram (bucket `i` counts bulk time-advances of
+/// `2^i..2^(i+1)-1` cycles; the last bucket is open-ended).
 pub fn throughput_metrics(cells: &[CellData]) -> Vec<(String, f64)> {
     let c = &cells[0];
-    vec![
+    let sweep_cycles = c.aux[0] / THROUGHPUT_REPS;
+    let mut m = vec![
         ("sim_cycles_per_sec_reference".into(), sim_rate(c, c.aux[1])),
-        ("sim_cycles_per_sec_fast".into(), sim_rate(c, c.aux[2])),
+        ("sim_cycles_per_sec_event".into(), sim_rate(c, c.aux[2])),
         ("fast_path_speedup".into(), throughput_speedup(cells)),
-    ]
+        (
+            "executed_cycle_fraction".into(),
+            c.aux[3] as f64 / sweep_cycles.max(1) as f64,
+        ),
+        (
+            "events_per_kcycle".into(),
+            c.aux[6] as f64 * 1e3 / sweep_cycles.max(1) as f64,
+        ),
+    ];
+    for (i, &count) in c.aux[7..7 + JUMP_BUCKETS].iter().enumerate() {
+        let label = if i + 1 == JUMP_BUCKETS {
+            format!("jump_hist_{}_plus", 1u64 << i)
+        } else {
+            format!("jump_hist_{}_{}", 1u64 << i, (1u64 << (i + 1)) - 1)
+        };
+        m.push((label, count as f64));
+    }
+    m
 }
 
 fn throughput() -> Scenario {
@@ -1632,7 +1671,7 @@ fn throughput() -> Scenario {
             let mut t = Table::new(vec!["configuration", "sim cycles", "wall ms", "Mcycles/s"]);
             for (name, wall) in [
                 ("reference (fast_sim off)", c.aux[1]),
-                ("fast path (default)", c.aux[2]),
+                ("event-driven (default)", c.aux[2]),
             ] {
                 t.row(vec![
                     name.to_string(),
@@ -1654,8 +1693,29 @@ fn throughput() -> Scenario {
             );
             let _ = writeln!(
                 out,
-                "cycle counts are bit-identical between the two models by construction)"
+                "cycle counts are bit-identical between the two models by construction)\n"
             );
+            let sweep = (c.aux[0] / THROUGHPUT_REPS).max(1);
+            let _ = writeln!(
+                out,
+                "event loop: {:.1}% of cycles executed, {} wake-ups ({:.0} per kcycle), {} jumps",
+                100.0 * c.aux[3] as f64 / sweep as f64,
+                c.aux[6],
+                c.aux[6] as f64 * 1e3 / sweep as f64,
+                c.aux[5],
+            );
+            let hist: Vec<String> = c.aux[7..7 + JUMP_BUCKETS]
+                .iter()
+                .enumerate()
+                .map(|(i, n)| {
+                    if i + 1 == JUMP_BUCKETS {
+                        format!("{}+:{n}", 1u64 << i)
+                    } else {
+                        format!("{}-{}:{n}", 1u64 << i, (1u64 << (i + 1)) - 1)
+                    }
+                })
+                .collect();
+            let _ = writeln!(out, "jump sizes (cycles): {}", hist.join("  "));
             out
         },
     }

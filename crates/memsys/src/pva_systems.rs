@@ -7,7 +7,7 @@
 //!   SRAM"); comparing the two measures how well the scheduler hides
 //!   SDRAM's activate/precharge overheads (§6.3.1 / figure 11).
 
-use pva_sim::{HostRequest, OpKind, PvaConfig, PvaUnit};
+use pva_sim::{EventStats, HostRequest, OpKind, PvaConfig, PvaUnit};
 
 use crate::trace::{MemorySystem, RunOutcome, RunStats, TraceOp, WORD_BYTES};
 
@@ -16,6 +16,10 @@ use crate::trace::{MemorySystem, RunOutcome, RunStats, TraceOp, WORD_BYTES};
 pub struct PvaSystem {
     config: PvaConfig,
     name: &'static str,
+    /// Event-loop counters from the most recent run (all zero before
+    /// the first run, and for the reference model, which has no event
+    /// queue).
+    events: EventStats,
 }
 
 impl PvaSystem {
@@ -24,6 +28,7 @@ impl PvaSystem {
         PvaSystem {
             config: PvaConfig::default(),
             name: "pva-sdram",
+            events: EventStats::default(),
         }
     }
 
@@ -32,17 +37,29 @@ impl PvaSystem {
         PvaSystem {
             config: PvaConfig::sram_backend(),
             name: "pva-sram",
+            events: EventStats::default(),
         }
     }
 
     /// A custom-configured PVA system (used by the ablation benches).
     pub fn with_config(name: &'static str, config: PvaConfig) -> Self {
-        PvaSystem { config, name }
+        PvaSystem {
+            config,
+            name,
+            events: EventStats::default(),
+        }
     }
 
     /// The underlying configuration.
     pub const fn config(&self) -> &PvaConfig {
         &self.config
+    }
+
+    /// Event-loop counters from the most recent run: executed versus
+    /// skipped cycles, wake-ups popped, and the jump-size histogram.
+    /// All zero for the reference model.
+    pub const fn event_stats(&self) -> &EventStats {
+        &self.events
     }
 }
 
@@ -52,36 +69,47 @@ impl MemorySystem for PvaSystem {
     }
 
     fn run_trace(&mut self, trace: &[TraceOp]) -> RunOutcome {
+        let (outcome, complete) = self.run_until(trace, u64::MAX);
+        debug_assert!(complete, "an unbounded run always drains");
+        outcome
+    }
+
+    fn run_until(&mut self, trace: &[TraceOp], deadline: u64) -> (RunOutcome, bool) {
         let mut unit = PvaUnit::new(self.config).expect("valid configuration");
-        let requests: Vec<HostRequest> = trace
-            .iter()
-            .map(|op| match op.kind {
+        for op in trace {
+            let request = match op.kind {
                 OpKind::Read => HostRequest::Read { vector: op.vector },
                 OpKind::Write => HostRequest::Write {
                     vector: op.vector,
                     data: vec![0u64; op.vector.length() as usize],
                 },
-            })
-            .collect();
-        let result = unit.run(requests).expect("trace ops fit the line length");
+            };
+            unit.submit(request).expect("trace ops fit the line length");
+        }
+        let complete = unit
+            .run_until(deadline)
+            .expect("no watchdog trip inside the budget");
+        self.events = *unit.event_stats();
         // Elements from the bank controllers (includes retried reads —
         // those words crossed the pins too); row traffic from the
         // summed device stats.
-        let elements: u64 = result
-            .bc_stats
+        let elements: u64 = unit
+            .bc_stats()
             .iter()
             .map(|bc| bc.elements_read + bc.elements_written)
             .sum();
-        RunOutcome {
-            cycles: result.cycles,
+        let sdram = unit.sdram_stats();
+        let outcome = RunOutcome {
+            cycles: unit.now(),
             bytes_transferred: elements * WORD_BYTES,
             stats: RunStats {
-                commands: result.stats.commands,
+                commands: unit.stats().commands,
                 elements,
-                activates: result.sdram.activates,
-                precharges: result.sdram.precharges + result.sdram.auto_precharges,
+                activates: sdram.activates,
+                precharges: sdram.precharges + sdram.auto_precharges,
             },
-        }
+        };
+        (outcome, complete)
     }
 
     fn reset(&mut self) {
@@ -117,6 +145,51 @@ mod tests {
         let mut sys = PvaSystem::sdram();
         let t = [TraceOp::read(Vector::new(0, 19, 32).unwrap())];
         assert_eq!(sys.run_trace(&t), sys.run_trace(&t));
+    }
+
+    #[test]
+    fn run_until_bounds_the_clock_and_flags_completion() {
+        let mut sys = PvaSystem::sdram();
+        let t = [
+            TraceOp::read(Vector::new(0, 19, 32).unwrap()),
+            TraceOp::write(Vector::new(1 << 16, 19, 32).unwrap()),
+        ];
+        let full = sys.run_trace(&t);
+        // A generous budget drains the trace and matches the unbounded run.
+        let (bounded, complete) = sys.run_until(&t, full.cycles + 100);
+        assert!(complete);
+        assert_eq!(bounded, full);
+        // A tight budget stops at the deadline with partial stats.
+        let deadline = full.cycles / 2;
+        let (partial, complete) = sys.run_until(&t, deadline);
+        assert!(!complete);
+        assert_eq!(partial.cycles, deadline);
+        assert!(partial.stats.elements < full.stats.elements);
+    }
+
+    #[test]
+    fn run_until_partial_outcomes_match_the_reference_stepper() {
+        // The bounded fast path must agree with the bounded reference
+        // model at every deadline, not just at the end of the trace.
+        let fast_cfg = PvaConfig {
+            fast_sim: true,
+            ..PvaConfig::default()
+        };
+        let ref_cfg = PvaConfig {
+            fast_sim: false,
+            ..PvaConfig::default()
+        };
+        let mut fast = PvaSystem::with_config("fast", fast_cfg);
+        let mut slow = PvaSystem::with_config("ref", ref_cfg);
+        let t: Vec<TraceOp> = (0..4)
+            .map(|i| TraceOp::read(Vector::new(i * 512 * 16, 16, 32).unwrap()))
+            .collect();
+        let full = slow.run_trace(&t).cycles;
+        for deadline in [0, 1, 7, full / 3, full / 2, full - 1, full, full + 50] {
+            let f = fast.run_until(&t, deadline);
+            let s = slow.run_until(&t, deadline);
+            assert_eq!(f, s, "deadline {deadline}");
+        }
     }
 
     #[test]

@@ -47,6 +47,7 @@ mod bitrev;
 mod error;
 mod firsthit;
 mod geometry;
+mod hash;
 mod indirect;
 mod logical;
 mod paging;
@@ -63,6 +64,7 @@ pub use firsthit::{
     VectorSolver,
 };
 pub use geometry::{BankId, Geometry, WordAddr};
+pub use hash::{FastHasher, FastMap};
 pub use indirect::{per_bank_counts, IndirectVector};
 pub use logical::LogicalView;
 pub use paging::{

@@ -25,10 +25,10 @@
 //! enforced SDRAM timing (§5.2.5) and the row-management heuristic are
 //! all modelled; each is switchable for the ablation benches.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
-use pva_core::{BankId, FirstHit, K1Pla, LogicalView};
+use pva_core::{BankId, FastMap, FirstHit, K1Pla, LogicalView};
 use sdram::{CmdClass, InternalAddr, Sdram, SdramCmd};
 
 use crate::command::{OpKind, TxnId, VectorCommand};
@@ -132,6 +132,12 @@ struct VectorContext {
     /// Vector base and stride, for index-list address generation.
     base: u64,
     stride: u64,
+    /// Cached internal-bank/row/column of `addr` (post-remap). The
+    /// mapping inputs are fixed per run (geometry, interleave, the
+    /// configured hard-failed bank), so this only changes when `addr`
+    /// does — maintained at context creation and element advance, and
+    /// asserted against a fresh mapping in debug builds.
+    target: (u32, u64, u64),
 }
 
 /// Per-bank-controller statistics.
@@ -186,11 +192,11 @@ pub struct BankController {
     /// Poisoned reads waiting out their backoff before re-issue.
     retries: Vec<PendingRetry>,
     /// Retry attempts so far per (transaction, element).
-    retry_attempts: HashMap<(u8, u64), u32>,
+    retry_attempts: FastMap<(u8, u64), u32>,
     /// Base and stride of each observed vector command, kept while its
     /// transaction may still need element addresses recomputed for
     /// retries.
-    vec_meta: HashMap<u8, (u64, u64)>,
+    vec_meta: FastMap<u8, (u64, u64)>,
     /// When the last [`tick`](BankController::tick) did no work: the
     /// earliest future cycle at which this controller could act (`None`
     /// = no pending event, or the tick did work). Consumed by the
@@ -199,6 +205,13 @@ pub struct BankController {
     /// Scratch for [`schedule`](BankController::schedule)'s per-VC
     /// target list (reused across cycles when `fast_sim` is on).
     targets_scratch: Vec<(u32, u64, u64)>,
+    /// Per-cycle `row_hits` increment of the last tick, when that tick
+    /// changed *nothing but* the row-hit counter (a blocked access
+    /// observing its open row). Such a tick replays identically — same
+    /// increment included — every cycle until the wake hint, so the
+    /// fast path applies the increment arithmetically per skipped
+    /// cycle in [`advance`](BankController::advance).
+    replay_row_hits: u64,
     /// FIFO entries still waiting on the FHC multiply-add; lets the
     /// fast path skip the per-cycle FIFO scan once all are ready.
     fhc_pending: usize,
@@ -239,10 +252,11 @@ impl BankController {
             row_history: vec![0; ib],
             stats: BcStats::default(),
             retries: Vec::new(),
-            retry_attempts: HashMap::new(),
-            vec_meta: HashMap::new(),
+            retry_attempts: FastMap::default(),
+            vec_meta: FastMap::default(),
             wake_hint: None,
             targets_scratch: Vec::new(),
+            replay_row_hits: 0,
             fhc_pending: 0,
             events: Vec::new(),
         }
@@ -298,8 +312,9 @@ impl BankController {
 
     /// Stronger than [`idle`](BankController::idle): nothing queued AND
     /// the device itself is fully at rest, so a tick can only replay
-    /// the same empty decision.
-    fn quiet(&self) -> bool {
+    /// the same empty decision. The unit's event loop uses this to park
+    /// a controller with no wake hint until a broadcast re-arms it.
+    pub(crate) fn quiet(&self) -> bool {
         self.fifo.is_empty()
             && self.vcs.is_empty()
             && self.retries.is_empty()
@@ -400,6 +415,7 @@ impl BankController {
         // at rest the full tick below is provably a no-op, so only the
         // clock and the wake hint need maintaining.
         if self.config.fast_sim && self.quiet() {
+            self.replay_row_hits = 0;
             self.wake_hint = self.compute_wake(now);
             self.device.tick();
             return false;
@@ -445,6 +461,7 @@ impl BankController {
         if self.vcs.len() < self.config.vector_contexts {
             if let Some(pos) = self.retries.iter().position(|r| r.not_before <= now) {
                 let r = self.retries.swap_remove(pos);
+                let target = self.target_of_addr(r.addr);
                 self.vcs.push_back(VectorContext {
                     txn: r.txn,
                     kind: OpKind::Read,
@@ -459,6 +476,7 @@ impl BankController {
                     pos: 0,
                     base: 0,
                     stride: 0,
+                    target,
                 });
                 did_work = true;
             }
@@ -478,6 +496,7 @@ impl BankController {
                     // pva-lint: allow(nonconst-div): index_delta = 2^(m-s) by Theorem 4.4; a shift in hardware
                     None => (v.length() - e.first_index).div_ceil(e.index_delta),
                 };
+                let target = self.target_of_addr(e.first_addr);
                 self.vcs.push_back(VectorContext {
                     txn: e.cmd.txn,
                     kind: e.cmd.kind,
@@ -492,6 +511,7 @@ impl BankController {
                     pos: 0,
                     base: v.base(),
                     stride: v.stride(),
+                    target,
                 });
                 did_work = true;
             }
@@ -518,13 +538,16 @@ impl BankController {
         // bus turnaround, or observing a row hit on a still-blocked
         // access — both count as work so the skip logic never elides a
         // cycle whose replay would not be a pure no-op.
-        did_work |= self.device.command_issued_this_cycle()
-            || self.turnaround_left > 0
-            || self.stats.row_hits != row_hits_before;
+        did_work |= self.device.command_issued_this_cycle() || self.turnaround_left > 0;
+        let row_hit_delta = self.stats.row_hits - row_hits_before;
 
         // The hint must see the device *before* its tick: a restimer at
         // 1 decrements to 0 now, and the next cycle is the first to see
-        // it available.
+        // it available. A tick whose only effect was the row-hit
+        // observation still publishes a hint: the observation replays —
+        // counter increment included — every cycle until the hint, and
+        // `advance` applies the skipped increments.
+        self.replay_row_hits = if did_work { 0 } else { row_hit_delta };
         self.wake_hint = if did_work {
             None
         } else {
@@ -533,7 +556,7 @@ impl BankController {
 
         // 5. Clock the device.
         self.device.tick();
-        did_work
+        did_work || row_hit_delta > 0
     }
 
     /// Routes one returned data word: deposit, or retry if poisoned.
@@ -604,7 +627,28 @@ impl BankController {
         if let Some(at) = self.device.next_data_at() {
             consider(at);
         }
-        if let Some(at) = self.device.next_resource_wake() {
+        // Precise scheduler wakes: for each context, the expiry of
+        // exactly the timers gating its next action (activate when its
+        // bank is closed, access when its row is open, precharge when
+        // another row occupies the bank). Early wakes are harmless (the
+        // tick replays as a no-op); a wake in the past means the action
+        // is timing-legal already and only a non-timer condition blocks
+        // it — every such condition is resolved by another context's
+        // work tick or by the refresh poll below, so it contributes no
+        // candidate. Waking on *any* armed timer would also be correct
+        // but triggers a no-op tick per unrelated expiry.
+        for vc in &self.vcs {
+            let (ib, row, _) = self.target_of(vc);
+            let at = match self.device.open_row(ib) {
+                None => self.device.activate_ready_at(ib),
+                Some(open) if open == row => self.device.access_ready_at(ib),
+                Some(_) => self.device.precharge_ready_at(ib),
+            };
+            if at > now {
+                consider(at);
+            }
+        }
+        if let Some(at) = self.device.next_refresh_wake() {
             consider(at);
         }
         // Candidates are at or after the next cycle by construction (a
@@ -619,6 +663,9 @@ impl BankController {
         if !self.vcs.is_empty() {
             self.stats.busy_cycles += cycles;
         }
+        // Skipped replays of a blocked-access observation each count
+        // their row hit, exactly as the reference's per-cycle ticks do.
+        self.stats.row_hits += self.replay_row_hits * cycles;
         self.device.advance(cycles);
     }
 
@@ -650,7 +697,12 @@ impl BankController {
     /// Internal-bank/row/column coordinates of a context's current
     /// element, after any degradation remap.
     fn target_of(&self, vc: &VectorContext) -> (u32, u64, u64) {
-        let local = self.config.geometry.bank_local_addr(vc.addr);
+        self.target_of_addr(vc.addr)
+    }
+
+    /// [`target_of`](BankController::target_of) for a raw word address.
+    fn target_of_addr(&self, addr: u64) -> (u32, u64, u64) {
+        let local = self.config.geometry.bank_local_addr(addr);
         self.remap(self.config.sdram.map(local))
     }
 
@@ -680,7 +732,15 @@ impl BankController {
         // call, preserving the original model for baseline measurement.
         let mut targets = std::mem::take(&mut self.targets_scratch);
         targets.clear();
-        targets.extend(self.vcs.iter().map(|vc| self.target_of(vc)));
+        if self.config.fast_sim {
+            targets.extend(self.vcs.iter().map(|vc| vc.target));
+            debug_assert!(
+                self.vcs.iter().all(|vc| vc.target == self.target_of(vc)),
+                "cached VC target diverged from a fresh mapping"
+            );
+        } else {
+            targets.extend(self.vcs.iter().map(|vc| self.target_of(vc)));
+        }
         self.schedule_with(&targets, txns);
         if self.config.fast_sim {
             self.targets_scratch = targets;
@@ -709,8 +769,10 @@ impl BankController {
                 let (ib, row, _) = targets[i];
                 match self.device.open_row(ib) {
                     None => {
+                        // issue() validates and rejects without side
+                        // effects, so one call both checks and commits.
                         let cmd = SdramCmd::Activate { bank: ib, row };
-                        if self.device.can_issue(&cmd).is_ok() {
+                        if self.device.issue(cmd).is_ok() {
                             // Predictor is set on the very first operation
                             // of a new vector context (§5.2.2), using the
                             // last row open *before* this activate.
@@ -719,7 +781,6 @@ impl BankController {
                                 self.vcs[i].first_op_done = true;
                             }
                             self.last_row[ib as usize] = Some(row);
-                            self.device.issue(cmd).expect("validated");
                             self.stats.activates += 1;
                             self.log_op(CmdClass::Activate, ib, row);
                             return;
@@ -735,8 +796,7 @@ impl BankController {
                         let other_hits = (0..window)
                             .any(|j| j != i && targets[j].0 == ib && targets[j].1 == open);
                         let cmd = SdramCmd::Precharge { bank: ib };
-                        if !other_hits && self.device.can_issue(&cmd).is_ok() {
-                            self.device.issue(cmd).expect("validated");
+                        if !other_hits && self.device.issue(cmd).is_ok() {
                             self.log_op(CmdClass::Precharge, ib, open);
                             return;
                         }
@@ -763,7 +823,20 @@ impl BankController {
                 }
             }
             let last_for_vc = self.vcs[i].remaining == 1;
-            let auto = self.decide_auto_precharge(i, ib, row, targets, last_for_vc);
+            // The next element's mapping feeds both the row-management
+            // decision and the context advance below — computed once.
+            let next = if last_for_vc {
+                None
+            } else {
+                let vc = &self.vcs[i];
+                let next_addr = match &vc.indices {
+                    Some(idx) => vc.base + vc.stride * idx[vc.pos + 1],
+                    None => vc.addr + vc.addr_step,
+                };
+                Some((next_addr, self.target_of_addr(next_addr)))
+            };
+            let next_same_row = next.map(|(_, t)| t.0 == ib && t.1 == row);
+            let auto = self.decide_auto_precharge(i, ib, row, targets, next_same_row);
             let txn = self.vcs[i].txn;
             let element = self.vcs[i].element;
             let cmd = match kind {
@@ -786,15 +859,14 @@ impl BankController {
                     }
                 }
             };
-            if self.device.can_issue(&cmd).is_err() {
+            let class = CmdClass::of(&cmd).expect("read/write is never a NOP");
+            if self.device.issue(cmd).is_err() {
                 continue; // tRCD still pending; try a younger VC.
             }
             if !self.vcs[i].first_op_done {
                 self.set_predictor(i, ib, row);
                 self.vcs[i].first_op_done = true;
             }
-            let class = CmdClass::of(&cmd).expect("read/write is never a NOP");
-            self.device.issue(cmd).expect("validated");
             self.data_polarity = Some(kind);
             // Device rows from `map` are narrow; only remapped targets
             // carry the spare-region bit.
@@ -818,13 +890,16 @@ impl BankController {
             vc.remaining -= 1;
             if vc.remaining == 0 {
                 self.vcs.remove(i);
-            } else if let Some(idx) = &vc.indices {
-                vc.pos += 1;
-                vc.element = idx[vc.pos];
-                vc.addr = vc.base + vc.stride * vc.element;
             } else {
-                vc.addr += vc.addr_step;
-                vc.element += vc.index_delta;
+                let (next_addr, target) = next.expect("non-last element has a next");
+                vc.addr = next_addr;
+                vc.target = target;
+                if let Some(idx) = &vc.indices {
+                    vc.pos += 1;
+                    vc.element = idx[vc.pos];
+                } else {
+                    vc.element += vc.index_delta;
+                }
             }
             return;
         }
@@ -857,7 +932,7 @@ impl BankController {
         ib: u32,
         row: u64,
         targets: &[(u32, u64, u64)],
-        last_for_vc: bool,
+        next_same_row: Option<bool>,
     ) -> bool {
         // bank_morehit_predict: another VC has a pending access to this
         // same open row.
@@ -867,17 +942,9 @@ impl BankController {
         // internal bank.
         let close_predict =
             (0..self.vcs.len()).any(|j| j != vc_idx && targets[j].0 == ib && targets[j].1 != row);
-        if !last_for_vc {
+        if let Some(next_same_row) = next_same_row {
             // Vector request not complete: keep the row if our own next
             // element hits it (or someone else will).
-            let vc = &self.vcs[vc_idx];
-            let next_addr = match &vc.indices {
-                Some(idx) => vc.base + vc.stride * idx[vc.pos + 1],
-                None => vc.addr + vc.addr_step,
-            };
-            let local = self.config.geometry.bank_local_addr(next_addr);
-            let (nb, nrow, _) = self.remap(self.config.sdram.map(local));
-            let next_same_row = nb == ib && nrow == row;
             if next_same_row {
                 self.stats.row_hits += 1;
             }

@@ -37,6 +37,7 @@ mod complexity;
 mod config;
 mod cpu;
 mod indirect;
+mod sched;
 mod trace_log;
 mod txn;
 mod unit;
@@ -50,6 +51,7 @@ pub use config::{
 };
 pub use cpu::{mixed_workload, CpuConfig, CpuModel, CpuRunResult};
 pub use indirect::{run_indirect_gather, run_indirect_scatter, IndirectTiming};
+pub use sched::{EventStats, JUMP_BUCKETS};
 pub use trace_log::TraceEvent;
 pub use txn::{Transaction, TransactionTable, TxnPhase};
 pub use unit::{PvaUnit, RunResult, UnitStats};

@@ -88,6 +88,11 @@ pub struct TransactionTable {
     /// transactions, maintained incrementally: deposits and commits add,
     /// closing a transaction removes its contribution.
     moved: u64,
+    /// Number of open transactions whose banks have finished (last
+    /// element deposited or committed) but whose phase transition has
+    /// not been handled yet — lets the per-cycle completion scan prove
+    /// itself empty in O(1).
+    banks_done: usize,
 }
 
 impl TransactionTable {
@@ -97,6 +102,7 @@ impl TransactionTable {
             slots: (0..ids).map(|_| None).collect(),
             open: 0,
             moved: 0,
+            banks_done: 0,
         }
     }
 
@@ -147,6 +153,9 @@ impl TransactionTable {
         *slot = Some(data);
         txn.collected_count += 1;
         self.moved += 1;
+        if txn.collected_count == txn.length {
+            self.banks_done += 1;
+        }
     }
 
     /// Deposits a gathered word that is known bad (retries exhausted on
@@ -178,6 +187,9 @@ impl TransactionTable {
         txn.committed_count += count;
         self.moved += count;
         debug_assert!(txn.committed_count <= txn.length);
+        if count > 0 && txn.committed_count == txn.length {
+            self.banks_done += 1;
+        }
     }
 
     /// Closes slot `id`, returning the finished transaction.
@@ -205,6 +217,20 @@ impl TransactionTable {
     /// Number of open transactions.
     pub fn open_count(&self) -> usize {
         self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Open transactions whose banks finished but whose phase
+    /// transition is still pending — `0` proves the per-cycle
+    /// completion scan would find nothing.
+    pub fn banks_done_count(&self) -> usize {
+        self.banks_done
+    }
+
+    /// Records that `n` finished-in-banks transactions had their phase
+    /// transition handled (called by the completion scan).
+    pub fn consume_banks_done(&mut self, n: usize) {
+        debug_assert!(n <= self.banks_done);
+        self.banks_done -= n;
     }
 
     /// O(1) progress counters `(open, moved)`: the open-transaction

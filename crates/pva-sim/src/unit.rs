@@ -29,6 +29,7 @@ use sdram::SdramStats;
 use crate::bank_controller::{BankController, BcStats};
 use crate::command::{Completion, HostRequest, OpKind, TxnId, VectorCommand};
 use crate::config::PvaConfig;
+use crate::sched::{EventQueue, EventStats};
 use crate::trace_log::TraceEvent;
 use crate::txn::{Transaction, TransactionTable, TxnPhase};
 
@@ -129,10 +130,20 @@ pub struct PvaUnit {
     /// Scratch for [`finish_transactions`](PvaUnit::finish_transactions)
     /// (capacity reused across cycles when `fast_sim` is on).
     finish_scratch: Vec<(TxnId, OpKind)>,
+    /// Reusable buffer for the controllers due at the executing cycle.
+    due_scratch: Vec<u32>,
     /// Count of read transactions in [`TxnPhase::ReadyToStage`] — lets
     /// the fast path prove the staging-arbitration scan empty without
     /// walking the transaction table every idle-bus cycle.
     ready_reads: usize,
+    /// Pending per-controller wake-ups for the event-driven fast path.
+    sched: EventQueue,
+    /// Cycles each bank controller has consumed — lags `now` while the
+    /// event loop lazily skips a controller, re-synced (via
+    /// [`BankController::advance`]) before its next tick.
+    bc_clock: Vec<u64>,
+    /// How the event-driven loop spent its time (fast path only).
+    event_stats: EventStats,
     events: Vec<TraceEvent>,
 }
 
@@ -185,7 +196,11 @@ impl PvaUnit {
             last_progress: 0,
             progress_mark: (0, 0, 0),
             finish_scratch: Vec::new(),
+            due_scratch: Vec::new(),
             ready_reads: 0,
+            sched: EventQueue::default(),
+            bc_clock: Vec::new(),
+            event_stats: EventStats::default(),
             events: Vec::new(),
         })
     }
@@ -258,12 +273,7 @@ impl PvaUnit {
             self.submit(r)?;
         }
         let start = self.now;
-        while !self.idle() {
-            let did_work = self.step_inner()?;
-            if self.config.fast_sim && !did_work {
-                self.skip_quiescent();
-            }
-        }
+        self.drive(u64::MAX)?;
         self.completions.sort_by_key(|c| c.request_index);
         Ok(RunResult {
             cycles: self.now - start,
@@ -281,6 +291,55 @@ impl PvaUnit {
             total.merge(bc.device().stats());
         }
         total
+    }
+
+    /// Bus-level statistics accumulated so far (incremental API;
+    /// [`PvaUnit::run`] returns a snapshot in its [`RunResult`]).
+    pub const fn stats(&self) -> &UnitStats {
+        &self.stats
+    }
+
+    /// Per-bank-controller statistics accumulated so far.
+    pub fn bc_stats(&self) -> Vec<BcStats> {
+        self.bcs.iter().map(|bc| *bc.stats()).collect()
+    }
+
+    /// How the event-driven fast path spent its time, cumulative over
+    /// every [`run`](PvaUnit::run)/[`run_until`](PvaUnit::run_until)
+    /// call on this unit. All-zero when the reference stepper ran
+    /// (`fast_sim` off).
+    pub const fn event_stats(&self) -> &EventStats {
+        &self.event_stats
+    }
+
+    /// Advances the unit until all submitted work completes **or** the
+    /// global clock reaches `deadline`, whichever comes first — the
+    /// batched form of [`step`](PvaUnit::step) that lets the fast path
+    /// jump idle stretches instead of ticking through them. Returns
+    /// whether the unit fully drained. Completions accumulate for
+    /// [`take_completions`](PvaUnit::take_completions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PvaError::Watchdog`] exactly as
+    /// [`run`](PvaUnit::run) would, at the identical cycle — the
+    /// deadline only bounds time, it never masks a hang that fires
+    /// within it.
+    pub fn run_until(&mut self, deadline: u64) -> Result<bool, PvaError> {
+        self.drive(deadline)?;
+        Ok(self.idle())
+    }
+
+    /// Advances until idle or `deadline`: serially (reference model) or
+    /// via the event loop (`fast_sim`).
+    fn drive(&mut self, deadline: u64) -> Result<(), PvaError> {
+        if !self.config.fast_sim {
+            while !self.idle() && self.now < deadline {
+                self.step_inner()?;
+            }
+            return Ok(());
+        }
+        self.run_events(deadline)
     }
 
     /// Enqueues one host request without advancing time — the
@@ -327,16 +386,21 @@ impl PvaUnit {
     }
 
     /// [`step`](PvaUnit::step), additionally reporting whether the
-    /// cycle changed any state beyond pure counter advancement. `false`
-    /// means every subsequent cycle replays identically until the next
-    /// bank-controller wake event — the precondition for
-    /// [`skip_quiescent`](PvaUnit::skip_quiescent).
+    /// cycle changed any state beyond pure counter advancement.
     fn step_inner(&mut self) -> Result<bool, PvaError> {
         let did_work = self.tick();
+        self.watchdog_check()?;
+        Ok(did_work)
+    }
+
+    /// Post-tick watchdog bookkeeping, shared by the serial stepper and
+    /// the event loop: tracks the progress fingerprint and aborts when
+    /// nothing has moved for [`PvaConfig::watchdog_cycles`] cycles.
+    fn watchdog_check(&mut self) -> Result<(), PvaError> {
         if self.config.watchdog_cycles == 0 || self.idle() {
             self.last_progress = self.now;
             self.progress_mark = self.progress_fingerprint();
-            return Ok(did_work);
+            return Ok(());
         }
         let mark = self.progress_fingerprint();
         if mark != self.progress_mark {
@@ -348,53 +412,205 @@ impl PvaUnit {
                 stalled_txns: self.txns.open_count(),
             });
         }
-        Ok(did_work)
+        Ok(())
     }
 
-    /// Next-event idle skipping: called right after a cycle that did no
-    /// work, jumps straight to the earliest cycle any bank controller
-    /// could act, advancing only the pure counters (cycle/idle stats,
-    /// device clocks and restimers) in bulk. Cycle-exact by
-    /// construction: every skipped cycle would have replayed the same
-    /// no-op decision, and the jump is clamped so a pending watchdog
-    /// still fires at the identical cycle.
-    fn skip_quiescent(&mut self) {
-        if self.idle() {
-            return;
-        }
-        debug_assert_eq!(self.bus, BusActivity::Idle, "a working bus is never quiet");
-        let mut wake: Option<u64> = None;
-        for bc in &self.bcs {
-            if let Some(w) = bc.wake_hint() {
-                wake = Some(match wake {
-                    Some(cur) if cur <= w => cur,
-                    _ => w,
-                });
+    /// Earliest cycle the front end (bus + transaction table) does
+    /// non-counter work without any bank controller acting first, given
+    /// the current cycle has not yet executed. `Some(now)` when the bus
+    /// has a broadcast, staging grant, or request acceptance to perform
+    /// this very cycle; `Some(later)` when the bus is mid-transfer —
+    /// the intermediate data beats are pure counter advancement and
+    /// only the final beat (transaction close / `VEC_WRITE` hand-off)
+    /// changes state; `None` when the front end is blocked until a
+    /// controller deposits. Front-end state only changes at executed
+    /// cycles, so the event loop may jump the gaps this exposes.
+    fn front_wake(&self) -> Option<u64> {
+        match self.bus {
+            BusActivity::Staging { cycles_left, .. } => Some(self.now + cycles_left - 1),
+            BusActivity::Idle => {
+                if !self.write_broadcasts.is_empty()
+                    || self.ready_reads > 0
+                    || (!self.pending.is_empty()
+                        && self.txns.open_count() < self.config.transaction_ids)
+                {
+                    Some(self.now)
+                } else {
+                    None
+                }
             }
         }
-        // No pending event anywhere: nothing to skip to — leave the
-        // serial loop (and its watchdog) to handle the stall.
-        let Some(w) = wake else { return };
-        let mut gap = w.saturating_sub(self.now);
-        if self.config.watchdog_cycles > 0 {
-            // The serial model fires the watchdog at the first post-tick
-            // cycle where now - last_progress >= watchdog_cycles; never
-            // jump past the cycle before it.
-            let limit =
-                (self.last_progress + self.config.watchdog_cycles).saturating_sub(self.now + 1);
-            gap = gap.min(limit);
+    }
+
+    /// The event-driven fast path: instead of ticking every component
+    /// every cycle, executes only cycles where the front end is live or
+    /// a bank controller is due, and bulk-advances across the provably
+    /// idle gaps. Cycle-exact with the reference stepper by
+    /// construction:
+    ///
+    /// * a controller whose tick did no work reports the earliest cycle
+    ///   the decision could change ([`BankController::wake_hint`]);
+    ///   every cycle before it replays the same no-op;
+    /// * a broadcast re-arms the controllers it hits at the broadcast
+    ///   cycle itself (the reference model runs their first-hit logic
+    ///   that same tick);
+    /// * skipped cycles advance only the pure counters — cycle/idle
+    ///   stats here, device clocks and restimers lazily per controller
+    ///   on its next wake;
+    /// * jumps are clamped so a pending watchdog fires at the identical
+    ///   cycle, and to `deadline` for bounded runs.
+    fn run_events(&mut self, deadline: u64) -> Result<(), PvaError> {
+        // Arm every controller for the current cycle: the first
+        // executed cycle ticks them all exactly like the reference
+        // model, and their wake hints take over from there.
+        self.sched.reset(self.bcs.len());
+        self.bc_clock.clear();
+        self.bc_clock.resize(self.bcs.len(), self.now);
+        for b in 0..self.bcs.len() {
+            self.sched.wake(b, self.now);
         }
+        while !self.idle() && self.now < deadline {
+            // Busy-stretch fast path: controllers re-woken at `t + 1`
+            // during the last executed cycle are due *now*, so the
+            // earliest event is the current cycle and the jump logic
+            // below could only ever produce a zero-length skip. The
+            // watchdog needs no clamp either — it only bounds jumps,
+            // and `exec_cycle` runs its per-cycle check regardless.
+            if self.sched.has_due_next() {
+                self.exec_cycle()?;
+                continue;
+            }
+            let candidate = match (self.front_wake(), self.sched.next_event()) {
+                (Some(f), Some(e)) => Some(f.min(e)),
+                (Some(f), None) => Some(f),
+                (None, Some(e)) => Some(e),
+                (None, None) => None,
+            };
+            let mut target = match candidate {
+                Some(c) => c,
+                // Every controller is parked and the front end is
+                // blocked, yet work is outstanding: a genuine stall.
+                // Jump straight to the watchdog's firing cycle (or
+                // crawl, matching the reference hang, when disabled).
+                None if self.config.watchdog_cycles == 0 => self.now,
+                None => {
+                    self.last_progress
+                        .saturating_add(self.config.watchdog_cycles)
+                        - 1
+                }
+            };
+            if self.config.watchdog_cycles > 0 {
+                // The reference fires at the first post-tick cycle with
+                // now - last_progress >= watchdog_cycles; never jump
+                // past the cycle whose execution reaches it.
+                target = target.min(
+                    self.last_progress
+                        .saturating_add(self.config.watchdog_cycles)
+                        - 1,
+                );
+            }
+            if target >= deadline {
+                // Nothing can happen before the deadline: skip to it.
+                self.skip_to(deadline);
+                break;
+            }
+            self.skip_to(target);
+            self.exec_cycle()?;
+        }
+        // Re-align every lazily-skipped controller with the unit clock
+        // so the incremental API (`step`) and later batched calls see a
+        // uniform time base, and disarm the queue (broadcasts issued
+        // through `step` must not touch it).
+        for (bc, clock) in self.bcs.iter_mut().zip(&mut self.bc_clock) {
+            let lag = self.now - *clock;
+            if lag > 0 {
+                bc.advance(lag);
+            }
+            *clock = self.now;
+        }
+        self.sched.reset(0);
+        Ok(())
+    }
+
+    /// Bulk-advances the unit clock to `target` without executing the
+    /// intervening cycles. Each one would have been either an idle bus
+    /// arbitration or an intermediate staging data beat, plus a no-op
+    /// tick in every controller; controller clocks catch up lazily at
+    /// their next wake.
+    fn skip_to(&mut self, target: u64) {
+        let gap = target - self.now;
         if gap == 0 {
             return;
         }
-        // Each skipped cycle would have been: an idle bus arbitration,
-        // a no-op tick in every bank controller, and a device tick.
         self.stats.cycles += gap;
-        self.stats.idle_cycles += gap;
-        self.now += gap;
-        for bc in &mut self.bcs {
-            bc.advance(gap);
+        if let BusActivity::Staging { cycles_left, .. } = &mut self.bus {
+            // Mid-transfer beats: move the beat counter in bulk. The
+            // final beat does real work, so the jump never covers it.
+            debug_assert!(gap < *cycles_left, "the closing beat must execute");
+            *cycles_left -= gap;
+            self.stats.data_cycles += gap;
+        } else {
+            self.stats.idle_cycles += gap;
         }
+        self.now = target;
+        self.event_stats.skipped_cycles += gap;
+        self.event_stats.record_jump(gap);
+    }
+
+    /// Executes one full cycle of the event loop: bus arbitration, all
+    /// due bank controllers (in index order, like the reference), and
+    /// transaction bookkeeping, then reschedules each ticked controller
+    /// from its outcome.
+    fn exec_cycle(&mut self) -> Result<(), PvaError> {
+        let t = self.now;
+        // A broadcast inside bus_step wakes the hit controllers at `t`,
+        // so they are popped below within this same cycle.
+        self.bus_step();
+        let mut bc_work = false;
+        // One batched drain: controller ticks never wake another
+        // controller at the same cycle (hints clamp to `now + 1`;
+        // broadcasts happen in `bus_step` above), so the due set is
+        // fixed before the first tick runs.
+        let mut due = std::mem::take(&mut self.due_scratch);
+        self.sched.drain_due(t, &mut due);
+        self.event_stats.events_popped += due.len() as u64;
+        for &b in &due {
+            let b = b as usize;
+            let lag = t - self.bc_clock[b];
+            if lag > 0 {
+                self.bcs[b].advance(lag);
+            }
+            self.bc_clock[b] = t + 1;
+            let worked = self.bcs[b].tick(t, &mut self.txns);
+            bc_work |= worked;
+            // A published hint takes priority even over a tick that
+            // "worked": it means the work was a pure per-cycle replay
+            // (a blocked access observing its row hit) that `advance`
+            // reproduces arithmetically across the gap.
+            if let Some(w) = self.bcs[b].wake_hint() {
+                self.sched.wake(b, w);
+            } else if worked {
+                self.sched.wake(b, t + 1);
+            } else if !self.bcs[b].quiet() {
+                // No hint but not at rest (a state the hint sources do
+                // not cover): fall back to per-cycle stepping rather
+                // than risk sleeping through a transition.
+                self.sched.wake(b, t + 1);
+            }
+            // Quiet with no hint: parked until a broadcast re-arms it.
+        }
+        self.due_scratch = due;
+        // Phase transitions require a deposit or commit this very cycle
+        // (they happen the cycle the last element lands), and every
+        // deposit/commit marks its controller's tick as work — no
+        // controller work means the scan is provably empty.
+        if bc_work {
+            self.finish_transactions();
+        }
+        self.stats.cycles += 1;
+        self.now += 1;
+        self.event_stats.executed_cycles += 1;
+        self.watchdog_check()
     }
 
     /// A change in this tuple is what the watchdog counts as forward
@@ -548,9 +764,12 @@ impl PvaUnit {
                     self.bus_step();
                     return true;
                 }
-                // Priority 3: accept the next host request.
-                if let Some(free) = self.txns.free_id() {
-                    if let Some((index, req)) = self.pending.pop_front() {
+                // Priority 3: accept the next host request (the
+                // pending check first: it is free, while the free-slot
+                // scan walks the table).
+                if !self.pending.is_empty() {
+                    if let Some(free) = self.txns.free_id() {
+                        let (index, req) = self.pending.pop_front().expect("non-empty");
                         match req {
                             HostRequest::Read { vector } => {
                                 self.txns.open(
@@ -653,8 +872,16 @@ impl PvaUnit {
             });
         }
         let mut covered = 0;
-        for bc in &mut self.bcs {
-            covered += bc.observe_command(&cmd, line.clone(), self.now);
+        for (b, bc) in self.bcs.iter_mut().enumerate() {
+            let served = bc.observe_command(&cmd, line.clone(), self.now);
+            covered += served;
+            if served > 0 {
+                // The reference model runs the hit controllers'
+                // first-hit logic this very tick; the event loop must
+                // pop them at the broadcast cycle too (no-op when the
+                // loop is not running — the queue is disarmed).
+                self.sched.wake_if_armed(b, self.now);
+            }
         }
         debug_assert_eq!(covered, vector.length(), "banks must cover the vector");
         self.stats.request_cycles += 1;
@@ -664,6 +891,15 @@ impl PvaUnit {
     /// Moves transactions whose banks finished into their next phase and
     /// completes writes. Returns whether any transaction moved.
     fn finish_transactions(&mut self) -> bool {
+        // The fast path proves the scan empty from the banks-done
+        // counter; the reference model walks the table every cycle.
+        if self.config.fast_sim && self.txns.banks_done_count() == 0 {
+            debug_assert!(!self
+                .txns
+                .iter_open()
+                .any(|(_, t)| t.phase == TxnPhase::InBanks && t.banks_done()));
+            return false;
+        }
         // The fast path keeps the buffer's capacity across cycles; the
         // reference path reallocates each call.
         let mut done = std::mem::take(&mut self.finish_scratch);
@@ -675,6 +911,7 @@ impl PvaUnit {
                 .map(|(id, t)| (id, t.kind)),
         );
         let moved = !done.is_empty();
+        self.txns.consume_banks_done(done.len());
         for &(id, kind) in &done {
             match kind {
                 OpKind::Read => {

@@ -4,8 +4,9 @@
 //! across strides, mixed read/write traffic, refresh, faults and the
 //! watchdog.
 
+use kernels::{Alignment, Kernel, ARRAY_REGION, LINE_WORDS, STRIDES};
 use pva_core::{PvaError, Vector};
-use pva_sim::{HostRequest, PvaConfig, PvaUnit, RunResult};
+use pva_sim::{HostRequest, OpKind, PvaConfig, PvaUnit, RunResult};
 
 fn run_with(cfg: PvaConfig, requests: &[HostRequest]) -> Result<RunResult, PvaError> {
     let mut unit = PvaUnit::new(cfg).expect("valid config");
@@ -167,4 +168,142 @@ fn watchdog_fires_at_identical_cycle() {
         }
     };
     assert_eq!(fire(true), fire(false), "watchdog cycle and stall count");
+}
+
+#[test]
+fn decaying_rows_match() {
+    // Retention decay across an idle-heavy run: a row written early
+    // must lose bits identically in both models when revisited past
+    // the retention window — a fast-path jump that mis-lands around a
+    // retention deadline would flip different bits.
+    //
+    // Time only passes while work is in flight, so a retry storm on a
+    // hard-failed internal bank stretches the clock (exponential
+    // backoff leaves long idle gaps the fast path jumps over) while a
+    // healthy bank's row quietly decays. The revisit runs as a second
+    // batch on the same unit — the clock persists across runs.
+    let run2 = |fast: bool| -> (RunResult, RunResult) {
+        let mut cfg = PvaConfig {
+            fast_sim: fast,
+            ..PvaConfig::default()
+        };
+        cfg.sdram.ecc = false; // poisoned reads stay poisoned -> retries
+        cfg.sdram.fault.hard_failed_bank = Some(0);
+        cfg.degradation = false; // no spare remap: every retry fails
+        cfg.max_read_retries = 7;
+        cfg.retry_backoff_cycles = 16;
+        cfg.sdram.fault.retention_cycles = 500;
+        cfg.sdram.fault.seed = 11;
+        let mut unit = PvaUnit::new(cfg).expect("valid config");
+        // 8193 = external bank 1, internal bank 1: clear of the failed
+        // internal bank 0 on every device.
+        let p1 = unit
+            .run(vec![write(8193, 16, 32), read(0, 16, 32)])
+            .expect("phase 1 completes");
+        let p2 = unit
+            .run(vec![read(8193, 16, 32)])
+            .expect("phase 2 completes");
+        (p1, p2)
+    };
+    let (f1, f2) = run2(true);
+    let (s1, s2) = run2(false);
+    assert_eq!(f1.cycles, s1.cycles, "phase-1 cycles");
+    assert_eq!(f2.cycles, s2.cycles, "phase-2 cycles");
+    assert_eq!(
+        f2.completions[0].data, s2.completions[0].data,
+        "decayed data"
+    );
+    assert_eq!(f2.sdram, s2.sdram, "device stats");
+    assert!(
+        f2.sdram.decayed_words > 0,
+        "the retention window must actually lapse"
+    );
+    assert!(
+        f1.cycles > 500,
+        "the retry storm must stretch the clock past the window"
+    );
+}
+
+#[test]
+fn combined_fault_campaign_matches() {
+    // Every fault mechanism at once — transient flips on reads, slow
+    // retention decay under refresh, and a hard-failed internal bank
+    // remapped into the spare by the degradation layer.
+    let mut cfg = PvaConfig::default();
+    cfg.sdram.fault.transient_ppm = 50_000;
+    cfg.sdram.fault.retention_cycles = 2_000;
+    cfg.sdram.fault.hard_failed_bank = Some(1);
+    cfg.sdram.fault.seed = 23;
+    cfg.sdram.refresh_interval = 781;
+    let reqs: Vec<HostRequest> = (0..6u64)
+        .map(|i| {
+            let base = i * 512 * 16;
+            if i % 3 == 2 {
+                write(base, 8, 32)
+            } else {
+                read(base, 8, 32)
+            }
+        })
+        .collect();
+    assert_identical(cfg, &reqs, "transient + decay + hard bank");
+}
+
+/// Converts a kernel trace into host requests (writes carry a
+/// deterministic payload, as the memsys adapter's do).
+fn requests_of(trace: &[memsys::TraceOp]) -> Vec<HostRequest> {
+    trace
+        .iter()
+        .map(|op| match op.kind {
+            OpKind::Read => HostRequest::Read { vector: op.vector },
+            OpKind::Write => HostRequest::Write {
+                vector: op.vector,
+                data: vec![0u64; op.vector.length() as usize],
+            },
+        })
+        .collect()
+}
+
+#[test]
+fn fig7_kernel_stride_sweep_matches() {
+    // The full figure-7 grid the throughput gate measures: every
+    // kernel x stride cell must agree between the two models, not just
+    // the hand-picked single-vector cases above.
+    const FIG7_KERNELS: [Kernel; 3] = [Kernel::Copy, Kernel::Saxpy, Kernel::Scale];
+    // A quarter-length sweep keeps the debug-build runtime reasonable
+    // while preserving every per-cell access pattern.
+    const ELEMENTS: u64 = 256;
+    for kernel in FIG7_KERNELS {
+        for stride in STRIDES {
+            let bases = Alignment::BankStagger.bases(kernel.array_count(), ARRAY_REGION);
+            let trace = kernel.trace(&bases, stride, ELEMENTS, LINE_WORDS);
+            assert_identical(
+                PvaConfig::default(),
+                &requests_of(&trace),
+                &format!("{kernel}/s{stride}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn event_accounting_covers_every_cycle() {
+    // The fast path's ledger must balance: every simulated cycle is
+    // either executed or part of a recorded jump, and the jump
+    // histogram's population matches the jump count.
+    let mut unit = PvaUnit::new(PvaConfig::default()).expect("valid config");
+    let reqs: Vec<HostRequest> = (0..6u64).map(|i| read(i * 512 * 16, 16, 32)).collect();
+    let r = unit.run(reqs).expect("run succeeds");
+    let ev = unit.event_stats();
+    assert_eq!(
+        ev.executed_cycles + ev.skipped_cycles,
+        r.cycles,
+        "executed + skipped covers the run"
+    );
+    assert_eq!(
+        ev.jump_hist.iter().sum::<u64>(),
+        ev.jumps,
+        "histogram population equals the jump count"
+    );
+    assert!(ev.skipped_cycles > 0, "sparse traffic must skip cycles");
+    assert!(ev.events_popped > 0, "wake-ups drive every executed tick");
 }

@@ -14,7 +14,9 @@
 //! misbehaviour — the auditor in [`crate::audit`] cross-checks this in
 //! tests.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use pva_core::FastMap;
 
 use crate::config::{ConfigError, SdramConfig};
 use crate::ecc;
@@ -240,17 +242,17 @@ pub struct Sdram {
     rows: Vec<RowState>,
     timers: Vec<BankTimers>,
     /// Written words, keyed by device-local address.
-    overlay: HashMap<u64, u64>,
+    overlay: FastMap<u64, u64>,
     /// SEC-DED check bytes of written words (only kept when
     /// `config.ecc` is on); unwritten words implicitly carry the check
     /// byte of their background pattern.
-    check_overlay: HashMap<u64, u8>,
+    check_overlay: FastMap<u64, u8>,
     /// Words that lost a bit to refresh decay: local address → flipped
     /// data bit. A write (or poke) to the word recharges the cell and
     /// clears the entry.
-    decayed: HashMap<u64, u32>,
+    decayed: FastMap<u64, u32>,
     /// Cycle each (bank, row) was last charge-restored by an ACTIVATE.
-    row_restore: HashMap<(u32, u64), u64>,
+    row_restore: FastMap<(u32, u64), u64>,
     /// Cycle of the last AUTO REFRESH (device-wide charge restore).
     last_refresh_at: u64,
     /// Deterministic fault injector.
@@ -263,10 +265,10 @@ pub struct Sdram {
     refresh_busy: u32,
     /// Cycles elapsed since the last AUTO REFRESH.
     since_refresh: u64,
-    /// Upper bound on the largest remaining count across every
-    /// restimer, maintained at each arm site: `0` proves all timers
-    /// expired, letting [`tick`](Sdram::tick) skip the decrement loop.
-    timer_bound: u32,
+    /// Upper bound on the latest restimer expiry cycle, maintained at
+    /// each arm site: `now >= timer_deadline` proves all timers
+    /// expired without scanning them.
+    timer_deadline: u64,
     stats: SdramStats,
 }
 
@@ -300,10 +302,10 @@ impl Sdram {
             config,
             rows: vec![RowState::Closed; n],
             timers: vec![BankTimers::new(); n],
-            overlay: HashMap::new(),
-            check_overlay: HashMap::new(),
-            decayed: HashMap::new(),
-            row_restore: HashMap::new(),
+            overlay: FastMap::default(),
+            check_overlay: FastMap::default(),
+            decayed: FastMap::default(),
+            row_restore: FastMap::default(),
             last_refresh_at: 0,
             faults: FaultEngine::new(config.fault),
             in_flight: VecDeque::new(),
@@ -311,7 +313,7 @@ impl Sdram {
             issued_this_cycle: false,
             refresh_busy: 0,
             since_refresh: 0,
-            timer_bound: 0,
+            timer_deadline: 0,
             stats: SdramStats::default(),
         })
     }
@@ -362,14 +364,14 @@ impl Sdram {
         let b = bank as usize;
         match self.rows[b] {
             RowState::Open { .. } => {
-                if self.timers[b].rcd.available() {
+                if self.timers[b].rcd.available(self.now) {
                     BankState::Active
                 } else {
                     BankState::Activating
                 }
             }
             RowState::Closed => {
-                if self.timers[b].rp.available() {
+                if self.timers[b].rp.available(self.now) {
                     BankState::Idle
                 } else {
                     BankState::Precharging
@@ -418,7 +420,7 @@ impl Sdram {
                     return Err(IssueError::RefreshNeedsIdleBanks);
                 }
                 for (i, t) in self.timers.iter().enumerate() {
-                    if !t.rp.available() {
+                    if !t.rp.available(self.now) {
                         return Err(IssueError::TimingViolation {
                             bank: i as u32,
                             timer: "tRP",
@@ -432,10 +434,10 @@ impl Sdram {
                 if matches!(state, RowState::Open { .. }) {
                     return Err(IssueError::RowAlreadyOpen { bank });
                 }
-                if !timers.rp.available() {
+                if !timers.rp.available(self.now) {
                     return Err(IssueError::TimingViolation { bank, timer: "tRP" });
                 }
-                if !timers.rc.available() {
+                if !timers.rc.available(self.now) {
                     return Err(IssueError::TimingViolation { bank, timer: "tRC" });
                 }
                 Ok(())
@@ -445,7 +447,7 @@ impl Sdram {
                 if !matches!(state, RowState::Open { .. }) {
                     return Err(IssueError::RowNotOpen { bank });
                 }
-                if !timers.rcd.available() {
+                if !timers.rcd.available(self.now) {
                     return Err(IssueError::TimingViolation {
                         bank,
                         timer: "tRCD",
@@ -455,13 +457,13 @@ impl Sdram {
             }
             SdramCmd::Precharge { bank } => {
                 let (_, timers) = self.bank(bank)?;
-                if !timers.ras.available() {
+                if !timers.ras.available(self.now) {
                     return Err(IssueError::TimingViolation {
                         bank,
                         timer: "tRAS",
                     });
                 }
-                if !timers.wr.available() {
+                if !timers.wr.available(self.now) {
                     return Err(IssueError::TimingViolation { bank, timer: "tWR" });
                 }
                 Ok(())
@@ -500,16 +502,21 @@ impl Sdram {
             SdramCmd::Activate { bank, row } => {
                 // Opening the row restores its charge — but if the
                 // retention window already lapsed, the damage is done.
-                self.decay_row_if_lapsed(bank, row);
-                self.row_restore.insert((bank, row), self.now);
+                // Restore tracking only matters under the decay model;
+                // without it the map would just grow per activate.
+                if self.config.fault.retention_cycles > 0 {
+                    self.decay_row_if_lapsed(bank, row);
+                    self.row_restore.insert((bank, row), self.now);
+                }
                 let cfg = self.config;
                 let b = bank as usize;
                 self.apply_bank_event(bank, CmdClass::Activate, row);
+                let now = self.now;
                 let t = &mut self.timers[b];
-                t.rcd.arm(cfg.t_rcd);
-                t.ras.arm(cfg.t_ras);
-                t.rc.arm(cfg.t_rc);
-                self.note_armed(cfg.t_rcd.max(cfg.t_ras).max(cfg.t_rc));
+                t.rcd.arm(now, cfg.t_rcd as u64);
+                t.ras.arm(now, cfg.t_ras as u64);
+                t.rc.arm(now, cfg.t_rc as u64);
+                self.note_armed(now.saturating_add(cfg.t_rcd.max(cfg.t_ras).max(cfg.t_rc) as u64));
                 self.stats.activates += 1;
             }
             SdramCmd::Read {
@@ -530,13 +537,24 @@ impl Sdram {
                     at_cycle: self.now + self.config.t_cas as u64,
                     poisoned,
                 };
-                // Keep the queue ordered by completion time.
-                let pos = self
+                // Keep the queue ordered by completion time. With one
+                // command per cycle and a constant CAS latency the new
+                // return lands at the back; the scan only runs in the
+                // (config-dependent) general case.
+                if self
                     .in_flight
-                    .iter()
-                    .position(|r| r.at_cycle > ready.at_cycle)
-                    .unwrap_or(self.in_flight.len());
-                self.in_flight.insert(pos, ready);
+                    .back()
+                    .is_none_or(|r| r.at_cycle <= ready.at_cycle)
+                {
+                    self.in_flight.push_back(ready);
+                } else {
+                    let pos = self
+                        .in_flight
+                        .iter()
+                        .position(|r| r.at_cycle > ready.at_cycle)
+                        .unwrap_or(self.in_flight.len());
+                    self.in_flight.insert(pos, ready);
+                }
                 self.stats.reads += 1;
                 let class = if auto_precharge {
                     CmdClass::ReadAuto
@@ -573,8 +591,11 @@ impl Sdram {
                     CmdClass::Write
                 };
                 self.apply_bank_event(bank, class, row);
-                self.timers[bank as usize].wr.arm(self.config.t_wr);
-                self.note_armed(self.config.t_wr);
+                let now = self.now;
+                self.timers[bank as usize]
+                    .wr
+                    .arm(now, self.config.t_wr as u64);
+                self.note_armed(now.saturating_add(self.config.t_wr as u64));
                 if auto_precharge {
                     self.auto_precharge(bank);
                 }
@@ -582,8 +603,9 @@ impl Sdram {
             SdramCmd::Precharge { bank } => {
                 let b = bank as usize;
                 self.apply_bank_event(bank, CmdClass::Precharge, 0);
-                self.timers[b].rp.arm(self.config.t_rp);
-                self.note_armed(self.config.t_rp);
+                let now = self.now;
+                self.timers[b].rp.arm(now, self.config.t_rp as u64);
+                self.note_armed(now.saturating_add(self.config.t_rp as u64));
                 self.stats.precharges += 1;
             }
         }
@@ -597,36 +619,24 @@ impl Sdram {
         self.issued_this_cycle = false;
         self.refresh_busy = self.refresh_busy.saturating_sub(1);
         self.since_refresh += 1;
-        if self.timer_bound > 0 {
-            for t in &mut self.timers {
-                t.tick();
-            }
-            self.timer_bound -= 1;
-        }
     }
 
     /// Advances the device `cycles` cycles at once — exactly equivalent
     /// to `cycles` calls to [`tick`](Sdram::tick). Used by the next-event
     /// fast path of the simulator to jump over quiescent windows.
     pub fn advance(&mut self, cycles: u64) {
-        self.now += cycles;
+        self.now = self.now.saturating_add(cycles);
         if cycles > 0 {
             self.issued_this_cycle = false;
         }
         let n32 = u32::try_from(cycles).unwrap_or(u32::MAX);
         self.refresh_busy = self.refresh_busy.saturating_sub(n32);
-        self.since_refresh += cycles;
-        if self.timer_bound > 0 {
-            for t in &mut self.timers {
-                t.advance(cycles);
-            }
-            self.timer_bound = self.timer_bound.saturating_sub(n32);
-        }
+        self.since_refresh = self.since_refresh.saturating_add(cycles);
     }
 
-    /// Raises the cached timer upper bound after arming a restimer.
-    fn note_armed(&mut self, cycles: u32) {
-        self.timer_bound = self.timer_bound.max(cycles);
+    /// Raises the cached timer expiry bound after arming a restimer.
+    fn note_armed(&mut self, until: u64) {
+        self.timer_deadline = self.timer_deadline.max(until);
     }
 
     /// Whether a command was accepted at the current clock edge.
@@ -650,20 +660,20 @@ impl Sdram {
         let mut consider = |at: u64| {
             wake = Some(wake.map_or(at, |w: u64| w.min(at)));
         };
-        // Conservative: wake at the *earliest* nonzero expiry among all
-        // timers — early wakes are harmless, late ones are not. A zero
-        // bound proves every timer already expired.
-        if self.timer_bound > 0 {
+        // Conservative: wake at the *earliest* future expiry among all
+        // timers — early wakes are harmless, late ones are not. The
+        // cached bound proves every timer already expired.
+        if self.now < self.timer_deadline {
             for t in &self.timers {
-                for r in [
-                    t.rcd.remaining(),
-                    t.ras.remaining(),
-                    t.rp.remaining(),
-                    t.rc.remaining(),
-                    t.wr.remaining(),
+                for at in [
+                    t.rcd.expires_at(),
+                    t.ras.expires_at(),
+                    t.rp.expires_at(),
+                    t.rc.expires_at(),
+                    t.wr.expires_at(),
                 ] {
-                    if r > 0 {
-                        consider(self.now + r as u64);
+                    if at > self.now {
+                        consider(at);
                     }
                 }
             }
@@ -678,6 +688,48 @@ impl Sdram {
                 .saturating_sub(self.since_refresh)
                 .max(1);
             consider(self.now + until_due);
+        }
+        wake
+    }
+
+    /// First cycle an ACTIVATE on internal bank `bank` is timing-legal
+    /// (tRP and tRC both expired; may be in the past).
+    pub fn activate_ready_at(&self, bank: u32) -> u64 {
+        self.timers[bank as usize].activate_ready_at()
+    }
+
+    /// First cycle a READ/WRITE on internal bank `bank` is timing-legal
+    /// (tRCD expired; may be in the past). The row must also be open —
+    /// a state change, not a timer, so not reported here.
+    pub fn access_ready_at(&self, bank: u32) -> u64 {
+        self.timers[bank as usize].access_ready_at()
+    }
+
+    /// First cycle a PRECHARGE on internal bank `bank` is timing-legal
+    /// (tRAS and tWR both expired; may be in the past).
+    pub fn precharge_ready_at(&self, bank: u32) -> u64 {
+        self.timers[bank as usize].precharge_ready_at()
+    }
+
+    /// The earliest future cycle at which the refresh machinery changes
+    /// state on its own: an in-progress AUTO REFRESH finishing, or the
+    /// periodic refresh interval lapsing. While a refresh is *due*,
+    /// reports the next cycle — the scheduler re-evaluates every cycle
+    /// until the refresh completes (rare and bounded by `tRFC` plus the
+    /// close-out of open rows).
+    pub fn next_refresh_wake(&self) -> Option<u64> {
+        let mut wake: Option<u64> = None;
+        if self.refresh_busy > 0 {
+            wake = Some(self.now + self.refresh_busy as u64);
+        }
+        if self.config.refresh_interval > 0 {
+            let until_due = self
+                .config
+                .refresh_interval
+                .saturating_sub(self.since_refresh)
+                .max(1);
+            let at = self.now + until_due;
+            wake = Some(wake.map_or(at, |w: u64| w.min(at)));
         }
         wake
     }
@@ -697,7 +749,7 @@ impl Sdram {
     /// device cannot change state on its own except for the periodic
     /// refresh deadline, which [`Sdram::next_resource_wake`] reports.
     pub fn quiet(&self) -> bool {
-        self.timer_bound == 0
+        self.now >= self.timer_deadline
             && self.in_flight.is_empty()
             && self.refresh_busy == 0
             && !self.refresh_due()
@@ -753,7 +805,9 @@ impl Sdram {
     /// Stores a word: overlay value, fresh check byte, cell recharged.
     fn store_word(&mut self, local_addr: u64, data: u64) {
         self.overlay.insert(local_addr, data);
-        self.decayed.remove(&local_addr);
+        if !self.decayed.is_empty() {
+            self.decayed.remove(&local_addr);
+        }
         if self.config.ecc {
             self.check_overlay.insert(local_addr, ecc::encode(data));
         }
@@ -786,8 +840,10 @@ impl Sdram {
         } else {
             0
         };
-        if let Some(&bit) = self.decayed.get(&local_addr) {
-            data ^= 1u64 << bit;
+        if !self.decayed.is_empty() {
+            if let Some(&bit) = self.decayed.get(&local_addr) {
+                data ^= 1u64 << bit;
+            }
         }
         if let Some((bit, value)) = self.faults.stuck_bit(local_addr) {
             let (d0, c0) = apply_stuck(data, check, bit, value);
@@ -898,12 +954,14 @@ impl Sdram {
         // The internal precharge starts once tRAS/tWR allow and takes
         // tRP; until then the bank cannot re-activate. Model this as
         // arming tRP for the residual tRAS/tWR plus tRP.
+        let now = self.now;
         let residual = self.timers[b]
             .ras
-            .remaining()
-            .max(self.timers[b].wr.remaining());
-        self.timers[b].rp.arm(residual + self.config.t_rp);
-        self.note_armed(residual + self.config.t_rp);
+            .remaining(now)
+            .max(self.timers[b].wr.remaining(now));
+        let wait = residual.saturating_add(self.config.t_rp as u64);
+        self.timers[b].rp.arm(now, wait);
+        self.note_armed(now.saturating_add(wait));
         self.stats.auto_precharges += 1;
     }
 }

@@ -50,22 +50,81 @@ pub enum Decoded {
     Uncorrectable,
 }
 
-/// XOR of the codeword positions of all set data bits — the seven
-/// positional check bits, which double as the syndrome generator.
-fn positional_check(data: u64) -> u8 {
-    let mut check: u8 = 0;
-    let mut k: u32 = 0;
+/// Codeword position of each data bit: `DATA_POS[k]` is the `k`-th
+/// non-power-of-two position in `1..CODEWORD_BITS` (bit 0 → 3,
+/// bit 1 → 5, ...).
+const DATA_POS: [u8; 64] = build_data_positions();
+
+const fn build_data_positions() -> [u8; 64] {
+    let mut table = [0u8; 64];
+    let mut k = 0usize;
     let mut pos: u32 = 1;
     while pos < CODEWORD_BITS {
         if !pos.is_power_of_two() {
-            if (data >> k) & 1 != 0 {
-                check ^= (pos as u8) & SYNDROME_MASK;
-            }
+            table[k] = pos as u8;
             k += 1;
         }
         pos += 1;
     }
-    check
+    table
+}
+
+/// Byte-sliced positional parity: `BYTE_CHECK[i][b]` is the XOR of
+/// `DATA_POS` entries for the set bits of byte `i` holding value `b`.
+/// Each slice is one level of the encoder's XOR tree, folded into a
+/// lookup so the simulator evaluates the tree in eight loads instead of
+/// walking all 71 codeword positions per word.
+const BYTE_CHECK: [[u8; 256]; 8] = build_byte_checks();
+
+const fn build_byte_checks() -> [[u8; 256]; 8] {
+    let mut table = [[0u8; 256]; 8];
+    let mut byte = 0usize;
+    while byte < 8 {
+        let mut value = 0usize;
+        while value < 256 {
+            let mut acc = 0u8;
+            let mut j = 0usize;
+            while j < 8 {
+                if (value >> j) & 1 != 0 {
+                    acc ^= DATA_POS[byte * 8 + j] & SYNDROME_MASK;
+                }
+                j += 1;
+            }
+            table[byte][value] = acc;
+            value += 1;
+        }
+        byte += 1;
+    }
+    table
+}
+
+/// Index of the data bit stored at each codeword position (0 at the
+/// power-of-two positions, which hold check bits and are never looked
+/// up).
+const DATA_INDEX: [u8; CODEWORD_BITS as usize] = build_data_indices();
+
+const fn build_data_indices() -> [u8; CODEWORD_BITS as usize] {
+    let mut table = [0u8; CODEWORD_BITS as usize];
+    let mut k = 0usize;
+    while k < 64 {
+        table[DATA_POS[k] as usize] = k as u8;
+        k += 1;
+    }
+    table
+}
+
+/// XOR of the codeword positions of all set data bits — the seven
+/// positional check bits, which double as the syndrome generator.
+fn positional_check(data: u64) -> u8 {
+    let b = data.to_le_bytes();
+    BYTE_CHECK[0][b[0] as usize]
+        ^ BYTE_CHECK[1][b[1] as usize]
+        ^ BYTE_CHECK[2][b[2] as usize]
+        ^ BYTE_CHECK[3][b[3] as usize]
+        ^ BYTE_CHECK[4][b[4] as usize]
+        ^ BYTE_CHECK[5][b[5] as usize]
+        ^ BYTE_CHECK[6][b[6] as usize]
+        ^ BYTE_CHECK[7][b[7] as usize]
 }
 
 /// Encodes a data word into its 8-bit check byte (seven positional
@@ -88,15 +147,7 @@ pub fn encode(data: u64) -> u8 {
 /// Maps a codeword position (`1..=71`, not a power of two) back to the
 /// index of the data bit stored there.
 fn data_index_of(position: u32) -> u32 {
-    let mut k: u32 = 0;
-    let mut pos: u32 = 1;
-    while pos < position {
-        if !pos.is_power_of_two() {
-            k += 1;
-        }
-        pos += 1;
-    }
-    k
+    u32::from(DATA_INDEX[position as usize])
 }
 
 /// Decodes a stored `(data, check)` pair, correcting a single-bit
@@ -205,6 +256,51 @@ mod tests {
             let bit = rng.below(u64::from(CODEWORD_BITS)) as u32;
             let (d, c) = flip_codeword_bit(word, check, bit);
             assert_eq!(decode(d, c), Decoded::Corrected { data: word });
+        }
+    }
+
+    /// The positional definition the tables must reproduce: walk every
+    /// codeword position, XOR the non-power-of-two ones holding set
+    /// data bits.
+    fn reference_positional_check(data: u64) -> u8 {
+        let mut check: u8 = 0;
+        let mut k: u32 = 0;
+        for pos in 1..CODEWORD_BITS {
+            if !pos.is_power_of_two() {
+                if (data >> k) & 1 != 0 {
+                    check ^= (pos as u8) & SYNDROME_MASK;
+                }
+                k += 1;
+            }
+        }
+        check
+    }
+
+    #[test]
+    fn byte_sliced_tables_match_the_positional_definition() {
+        let mut rng = pva_core::SplitMix64::new(0xecc_7ab1e);
+        for word in [0u64, u64::MAX, 1, 1 << 63] {
+            assert_eq!(positional_check(word), reference_positional_check(word));
+        }
+        for _ in 0..2000 {
+            let word = rng.next_u64();
+            assert_eq!(
+                positional_check(word),
+                reference_positional_check(word),
+                "table/loop mismatch on {word:#x}"
+            );
+        }
+        // Single-bit words exercise each table entry's base position.
+        for k in 0..64 {
+            assert_eq!(positional_check(1u64 << k), DATA_POS[k as usize]);
+        }
+    }
+
+    #[test]
+    fn data_index_table_inverts_the_position_table() {
+        for (k, &pos) in DATA_POS.iter().enumerate() {
+            assert!(!u32::from(pos).is_power_of_two());
+            assert_eq!(data_index_of(u32::from(pos)), k as u32);
         }
     }
 

@@ -293,14 +293,57 @@ pub const TRANSITIONS: &[(BankState, BankEvent, Outcome)] = &[
     (Refreshing, TRfcExpired, Next(Idle)),
 ];
 
+/// Dense-index form of [`TRANSITIONS`], built at compile time so the
+/// per-command lookup on the simulator's hot path is one array access
+/// instead of a 50-entry scan. [`TRANSITIONS`] remains the single
+/// source of truth — this is derived from it, and the `pva-analysis`
+/// FSM pass plus the exhaustiveness test below guarantee every slot is
+/// filled exactly once.
+const DENSE: [[Outcome; BankEvent::ALL.len()]; BankState::ALL.len()] = build_dense();
+
+const fn state_index(state: BankState) -> usize {
+    match state {
+        BankState::Idle => 0,
+        BankState::Activating => 1,
+        BankState::Active => 2,
+        BankState::Precharging => 3,
+        BankState::Refreshing => 4,
+    }
+}
+
+const fn event_index(event: BankEvent) -> usize {
+    match event {
+        Command(CmdClass::Activate) => 0,
+        Command(CmdClass::Read) => 1,
+        Command(CmdClass::ReadAuto) => 2,
+        Command(CmdClass::Write) => 3,
+        Command(CmdClass::WriteAuto) => 4,
+        Command(CmdClass::Precharge) => 5,
+        Command(CmdClass::Refresh) => 6,
+        BankEvent::TRcdExpired => 7,
+        BankEvent::TRpExpired => 8,
+        BankEvent::TRfcExpired => 9,
+    }
+}
+
+const fn build_dense() -> [[Outcome; BankEvent::ALL.len()]; BankState::ALL.len()] {
+    // The placeholder is overwritten for every slot (the table is
+    // exhaustive); a surviving one would trip the uniqueness test.
+    let mut dense = [[Illegal("missing table entry"); BankEvent::ALL.len()]; BankState::ALL.len()];
+    let mut i = 0;
+    while i < TRANSITIONS.len() {
+        let (s, e, o) = TRANSITIONS[i];
+        dense[state_index(s)][event_index(e)] = o;
+        i += 1;
+    }
+    dense
+}
+
 /// Looks up the table entry for (`state`, `event`). The table is
 /// exhaustive, so this only returns `None` if the table itself is
 /// corrupt — which the `pva-analysis` FSM pass rules out.
 pub fn transition(state: BankState, event: BankEvent) -> Option<Outcome> {
-    TRANSITIONS
-        .iter()
-        .find(|(s, e, _)| *s == state && *e == event)
-        .map(|&(_, _, o)| o)
+    Some(DENSE[state_index(state)][event_index(event)])
 }
 
 /// The successor state for a *legal* event: `Next` transitions move,
@@ -316,6 +359,19 @@ pub fn next_state(state: BankState, event: BankEvent) -> Option<BankState> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn dense_lookup_matches_a_table_scan() {
+        for s in BankState::ALL {
+            for e in BankEvent::ALL {
+                let scanned = TRANSITIONS
+                    .iter()
+                    .find(|(ts, te, _)| *ts == s && *te == e)
+                    .map(|&(_, _, o)| o);
+                assert_eq!(transition(s, e), scanned, "state {s:?} event {e:?}");
+            }
+        }
+    }
 
     #[test]
     fn table_is_exhaustive_and_unique() {

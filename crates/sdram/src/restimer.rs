@@ -3,36 +3,42 @@
 //! The paper enforces SDRAM timing restrictions with "a set of small
 //! counters called restimers, each of which enforces one timing
 //! parameter by asserting a 'resource available' line when the
-//! corresponding operation may be performed". [`Restimer`] is exactly
-//! that: a down-counter armed when an operation starts, whose
-//! `available` line gates dependent operations.
+//! corresponding operation may be performed". [`Restimer`] models
+//! exactly that line — but holds the *absolute expiry cycle* instead
+//! of a down-counter. The two are observably identical (the hardware
+//! counter decrements once per clock; the model compares against the
+//! clock), and the deadline form needs no per-cycle maintenance: a
+//! simulator may advance the clock by any number of cycles and every
+//! timer is already correct. It also reports *when* the resource
+//! becomes available, which the event-driven scheduler uses to wake a
+//! controller at precisely the blocking timer's expiry.
+//!
+//! # Examples
+//!
+//! ```
+//! use sdram::Restimer;
+//!
+//! let mut t = Restimer::new("tRCD");
+//! assert!(t.available(0));
+//! t.arm(0, 2);                 // ACTIVATE at cycle 0: READ legal at 2
+//! assert!(!t.available(0));
+//! assert!(!t.available(1));
+//! assert!(t.available(2));
+//! assert_eq!(t.expires_at(), 2);
+//! ```
 
-/// A single timing-parameter counter.
-///
-/// # Examples
-///
-/// ```
-/// use sdram::Restimer;
-///
-/// let mut t = Restimer::new("tRCD");
-/// assert!(t.available());
-/// t.arm(2);                // ACTIVATE issued: READ legal in 2 cycles
-/// assert!(!t.available());
-/// t.tick();
-/// assert!(!t.available());
-/// t.tick();
-/// assert!(t.available());
-/// ```
+/// A single timing-parameter deadline.
 #[derive(Debug, Clone)]
 pub struct Restimer {
     name: &'static str,
-    remaining: u32,
+    /// First cycle the resource is available again.
+    until: u64,
 }
 
 impl Restimer {
     /// Creates an expired (available) restimer for the named parameter.
     pub const fn new(name: &'static str) -> Self {
-        Restimer { name, remaining: 0 }
+        Restimer { name, until: 0 }
     }
 
     /// The timing parameter this counter enforces (for diagnostics).
@@ -40,39 +46,36 @@ impl Restimer {
         self.name
     }
 
-    /// Arms the counter: the resource becomes available after `cycles`
-    /// calls to [`tick`](Restimer::tick). Arming with `0` leaves it
-    /// available. Re-arming extends only if the new deadline is later.
-    pub fn arm(&mut self, cycles: u32) {
-        self.remaining = self.remaining.max(cycles);
+    /// Arms the counter at cycle `now`: the resource becomes available
+    /// `cycles` cycles later. Arming with `0` leaves it available.
+    /// Re-arming extends only if the new deadline is later (the
+    /// hardware counter loads `max(current, new)`). Deadlines saturate
+    /// at `u64::MAX` rather than wrapping.
+    pub fn arm(&mut self, now: u64, cycles: u64) {
+        self.until = self.until.max(now.saturating_add(cycles));
     }
 
-    /// Advances one clock cycle.
-    pub fn tick(&mut self) {
-        self.remaining = self.remaining.saturating_sub(1);
+    /// The "resource available" line at cycle `now`.
+    pub const fn available(&self, now: u64) -> bool {
+        now >= self.until
     }
 
-    /// Advances `cycles` clock cycles at once — exactly equivalent to
-    /// `cycles` calls to [`tick`](Restimer::tick).
-    pub fn advance(&mut self, cycles: u64) {
-        let n = u32::try_from(cycles).unwrap_or(u32::MAX);
-        self.remaining = self.remaining.saturating_sub(n);
+    /// Cycles until available as seen from cycle `now` (0 when
+    /// available).
+    pub const fn remaining(&self, now: u64) -> u64 {
+        self.until.saturating_sub(now)
     }
 
-    /// The "resource available" line.
-    pub const fn available(&self) -> bool {
-        self.remaining == 0
-    }
-
-    /// Cycles until available (0 when available).
-    pub const fn remaining(&self) -> u32 {
-        self.remaining
+    /// The first cycle the resource is available — in the past (or
+    /// present) when already available.
+    pub const fn expires_at(&self) -> u64 {
+        self.until
     }
 }
 
 impl core::fmt::Display for Restimer {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "{}({} left)", self.name, self.remaining)
+        write!(f, "{}(until {})", self.name, self.until)
     }
 }
 
@@ -104,50 +107,48 @@ impl BankTimers {
         }
     }
 
-    /// Advances all counters one cycle.
-    pub fn tick(&mut self) {
-        self.rcd.tick();
-        self.ras.tick();
-        self.rp.tick();
-        self.rc.tick();
-        self.wr.tick();
-    }
-
-    /// Advances all counters `cycles` cycles at once (equivalent to
-    /// `cycles` calls to [`tick`](BankTimers::tick)).
-    pub fn advance(&mut self, cycles: u64) {
-        self.rcd.advance(cycles);
-        self.ras.advance(cycles);
-        self.rp.advance(cycles);
-        self.rc.advance(cycles);
-        self.wr.advance(cycles);
-    }
-
-    /// The largest remaining count across the five counters — the
-    /// number of ticks after which every timer is guaranteed available.
-    pub fn max_remaining(&self) -> u32 {
+    /// The latest expiry across the five timers — the first cycle at
+    /// which every timer is guaranteed available.
+    pub fn all_expired_at(&self) -> u64 {
         self.rcd
-            .remaining()
-            .max(self.ras.remaining())
-            .max(self.rp.remaining())
-            .max(self.rc.remaining())
-            .max(self.wr.remaining())
+            .expires_at()
+            .max(self.ras.expires_at())
+            .max(self.rp.expires_at())
+            .max(self.rc.expires_at())
+            .max(self.wr.expires_at())
     }
 
-    /// Whether an ACTIVATE may be issued now.
-    pub fn can_activate(&self) -> bool {
-        self.rp.available() && self.rc.available()
+    /// Whether an ACTIVATE may be issued at cycle `now`.
+    pub const fn can_activate(&self, now: u64) -> bool {
+        self.rp.available(now) && self.rc.available(now)
     }
 
-    /// Whether a READ/WRITE may be issued now (row must also be open —
-    /// checked by the device state machine, not the timers).
-    pub fn can_access(&self) -> bool {
-        self.rcd.available()
+    /// First cycle an ACTIVATE is timing-legal (both tRP and tRC
+    /// expired).
+    pub fn activate_ready_at(&self) -> u64 {
+        self.rp.expires_at().max(self.rc.expires_at())
     }
 
-    /// Whether a PRECHARGE may be issued now.
-    pub fn can_precharge(&self) -> bool {
-        self.ras.available() && self.wr.available()
+    /// Whether a READ/WRITE may be issued at cycle `now` (row must also
+    /// be open — checked by the device state machine, not the timers).
+    pub const fn can_access(&self, now: u64) -> bool {
+        self.rcd.available(now)
+    }
+
+    /// First cycle a READ/WRITE is timing-legal (tRCD expired).
+    pub const fn access_ready_at(&self) -> u64 {
+        self.rcd.expires_at()
+    }
+
+    /// Whether a PRECHARGE may be issued at cycle `now`.
+    pub const fn can_precharge(&self, now: u64) -> bool {
+        self.ras.available(now) && self.wr.available(now)
+    }
+
+    /// First cycle a PRECHARGE is timing-legal (both tRAS and tWR
+    /// expired).
+    pub fn precharge_ready_at(&self) -> u64 {
+        self.ras.expires_at().max(self.wr.expires_at())
     }
 }
 
@@ -164,90 +165,72 @@ mod tests {
     #[test]
     fn arm_and_expire() {
         let mut t = Restimer::new("x");
-        t.arm(3);
-        for _ in 0..2 {
-            assert!(!t.available());
-            t.tick();
-        }
-        assert!(!t.available());
-        t.tick();
-        assert!(t.available());
-        t.tick(); // ticking past zero is harmless
-        assert!(t.available());
+        t.arm(10, 3);
+        assert!(!t.available(10));
+        assert!(!t.available(12));
+        assert!(t.available(13));
+        assert!(t.available(14)); // staying past expiry is harmless
+        assert_eq!(t.remaining(10), 3);
+        assert_eq!(t.remaining(13), 0);
     }
 
     #[test]
     fn rearm_takes_max() {
         let mut t = Restimer::new("x");
-        t.arm(5);
-        t.tick();
-        t.arm(2); // earlier deadline must not shorten the wait
-        assert_eq!(t.remaining(), 4);
-        t.arm(10);
-        assert_eq!(t.remaining(), 10);
+        t.arm(0, 5);
+        t.arm(1, 2); // earlier deadline must not shorten the wait
+        assert_eq!(t.expires_at(), 5);
+        t.arm(1, 10);
+        assert_eq!(t.expires_at(), 11);
+    }
+
+    #[test]
+    fn arm_saturates_instead_of_wrapping() {
+        let mut t = Restimer::new("x");
+        t.arm(u64::MAX - 1, 17);
+        assert_eq!(t.expires_at(), u64::MAX);
+        assert!(!t.available(u64::MAX - 1));
+        // remaining() from any cycle stays finite and non-wrapping.
+        assert_eq!(t.remaining(0), u64::MAX);
     }
 
     #[test]
     fn bank_timers_gate_operations() {
         let mut bt = BankTimers::new();
-        assert!(bt.can_activate() && bt.can_access() && bt.can_precharge());
-        // Model an ACTIVATE with tRCD=2, tRAS=5, tRC=7.
-        bt.rcd.arm(2);
-        bt.ras.arm(5);
-        bt.rc.arm(7);
-        assert!(!bt.can_access() && !bt.can_precharge() && !bt.can_activate());
-        for _ in 0..2 {
-            bt.tick();
-        }
-        assert!(bt.can_access());
-        assert!(!bt.can_precharge());
-        for _ in 0..3 {
-            bt.tick();
-        }
-        assert!(bt.can_precharge());
-        assert!(!bt.can_activate());
-        for _ in 0..2 {
-            bt.tick();
-        }
-        assert!(bt.can_activate());
+        assert!(bt.can_activate(0) && bt.can_access(0) && bt.can_precharge(0));
+        // Model an ACTIVATE at cycle 0 with tRCD=2, tRAS=5, tRC=7.
+        bt.rcd.arm(0, 2);
+        bt.ras.arm(0, 5);
+        bt.rc.arm(0, 7);
+        assert!(!bt.can_access(0) && !bt.can_precharge(0) && !bt.can_activate(0));
+        assert!(bt.can_access(2));
+        assert!(!bt.can_precharge(2));
+        assert!(bt.can_precharge(5));
+        assert!(!bt.can_activate(5));
+        assert!(bt.can_activate(7));
     }
 
     #[test]
-    fn advance_matches_repeated_tick() {
-        for n in [0u64, 1, 2, 3, 7, 100] {
-            let mut a = BankTimers::new();
-            let mut b = BankTimers::new();
-            for t in [&mut a, &mut b] {
-                t.rcd.arm(2);
-                t.ras.arm(5);
-                t.rc.arm(7);
-                t.wr.arm(3);
-            }
-            a.advance(n);
-            for _ in 0..n {
-                b.tick();
-            }
-            assert_eq!(a.rcd.remaining(), b.rcd.remaining(), "n={n}");
-            assert_eq!(a.ras.remaining(), b.ras.remaining(), "n={n}");
-            assert_eq!(a.rp.remaining(), b.rp.remaining(), "n={n}");
-            assert_eq!(a.rc.remaining(), b.rc.remaining(), "n={n}");
-            assert_eq!(a.wr.remaining(), b.wr.remaining(), "n={n}");
-        }
+    fn ready_at_matches_the_gates() {
+        let mut bt = BankTimers::new();
+        bt.rcd.arm(0, 2);
+        bt.ras.arm(0, 5);
+        bt.rc.arm(0, 7);
+        bt.wr.arm(0, 9);
+        assert_eq!(bt.access_ready_at(), 2);
+        assert_eq!(bt.activate_ready_at(), 7);
+        assert_eq!(bt.precharge_ready_at(), 9);
+        assert_eq!(bt.all_expired_at(), 9);
+        // Each ready_at is the first cycle its gate opens.
+        assert!(!bt.can_access(1) && bt.can_access(2));
+        assert!(!bt.can_activate(6) && bt.can_activate(7));
+        assert!(!bt.can_precharge(8) && bt.can_precharge(9));
     }
 
     #[test]
-    fn max_remaining_covers_all_timers() {
-        let mut t = BankTimers::new();
-        assert_eq!(t.max_remaining(), 0);
-        t.rc.arm(7);
-        t.rcd.arm(2);
-        assert_eq!(t.max_remaining(), 7);
-    }
-
-    #[test]
-    fn display_shows_name() {
+    fn display_shows_name_and_deadline() {
         let mut t = Restimer::new("tRP");
-        t.arm(2);
-        assert_eq!(t.to_string(), "tRP(2 left)");
+        t.arm(0, 2);
+        assert_eq!(t.to_string(), "tRP(until 2)");
     }
 }

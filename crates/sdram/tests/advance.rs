@@ -1,0 +1,106 @@
+//! `Sdram::advance` is the fast path's bulk clock: it must be exactly
+//! equivalent to the same number of `tick` calls, for any delta — the
+//! event-driven simulator hands it jumps far beyond `u32` when a trace
+//! goes quiescent, and a wrap in any internal countdown would let a
+//! stale timer gate (or fail to gate) a later command.
+
+use sdram::{Sdram, SdramCmd, SdramConfig};
+
+fn device() -> Sdram {
+    Sdram::new(SdramConfig::default())
+}
+
+/// Snapshot of the observable device state used for tick-vs-advance
+/// comparisons.
+fn fingerprint(d: &Sdram) -> (u64, Option<u64>, bool, Vec<u64>) {
+    let banks = d.config().internal_banks;
+    (
+        d.now(),
+        d.open_row(0),
+        d.quiet(),
+        (0..banks)
+            .flat_map(|b| {
+                [
+                    d.activate_ready_at(b),
+                    d.access_ready_at(b),
+                    d.precharge_ready_at(b),
+                ]
+            })
+            .collect(),
+    )
+}
+
+#[test]
+fn advance_matches_repeated_ticks() {
+    for n in [0u64, 1, 2, 3, 7, 50] {
+        let mut ticked = device();
+        let mut jumped = device();
+        for d in [&mut ticked, &mut jumped] {
+            d.issue(SdramCmd::Activate { bank: 1, row: 9 }).unwrap();
+        }
+        for _ in 0..n {
+            ticked.tick();
+        }
+        jumped.advance(n);
+        assert_eq!(
+            fingerprint(&ticked),
+            fingerprint(&jumped),
+            "advance({n}) vs {n} ticks"
+        );
+        // Both must agree on whether the activate's tRCD has lapsed.
+        let probe = SdramCmd::Read {
+            bank: 1,
+            col: 0,
+            auto_precharge: false,
+            tag: 0,
+        };
+        assert_eq!(
+            ticked.can_issue(&probe).is_ok(),
+            jumped.can_issue(&probe).is_ok(),
+            "tRCD gating after advance({n})"
+        );
+    }
+}
+
+#[test]
+fn advance_far_beyond_u32_expires_every_timer() {
+    let mut d = device();
+    d.issue(SdramCmd::Activate { bank: 0, row: 3 }).unwrap();
+    d.advance(1 << 40);
+    assert_eq!(d.now(), 1 << 40);
+    // Every restimer armed by the activate lies deep in the past.
+    for b in 0..d.config().internal_banks {
+        assert!(d.access_ready_at(b) <= d.now(), "bank {b} access timer");
+        assert!(
+            d.precharge_ready_at(b) <= d.now(),
+            "bank {b} precharge timer"
+        );
+    }
+    // The device is fully usable at the far side of the jump.
+    d.issue(SdramCmd::Precharge { bank: 0 }).unwrap();
+    d.advance(1 << 41);
+    d.issue(SdramCmd::Activate { bank: 0, row: 4 }).unwrap();
+    assert_eq!(d.stats().activates, 2);
+}
+
+#[test]
+fn advance_saturates_at_the_end_of_time() {
+    let mut d = device();
+    d.advance(u64::MAX);
+    assert_eq!(d.now(), u64::MAX);
+    // A second maximal jump must saturate, not wrap to the past.
+    d.advance(u64::MAX);
+    assert_eq!(d.now(), u64::MAX);
+    assert!(d.quiet());
+}
+
+#[test]
+fn advance_preserves_refresh_accounting_across_huge_jumps() {
+    let mut d = Sdram::new(SdramConfig::with_refresh());
+    // A jump of many whole refresh intervals leaves refresh overdue —
+    // not wrapped back to "recently refreshed".
+    d.advance(1 << 40);
+    assert!(d.refresh_due(), "refresh pressure must survive the jump");
+    d.issue(SdramCmd::Refresh).unwrap();
+    assert_eq!(d.stats().refreshes, 1);
+}
