@@ -1,11 +1,12 @@
 //! # pva-analysis — static analysis for the PVA reproduction
 //!
-//! Three passes, all wired into CI via the `pva-analysis` binary:
+//! Five passes, all wired into CI via the `pva-analysis` binary:
 //!
 //! 1. **Synthesizability lint** ([`lint`]) — tokenizes the designated
 //!    hardware-modeled source files and flags operations with no cheap
 //!    gate-level form (non-power-of-two division/modulo, floating
-//!    point, 128-bit products, heap allocation, abort paths). This
+//!    point, 128-bit products, heap allocation, abort paths, silently
+//!    truncating casts, unannotated wrapping arithmetic). This
 //!    statically verifies the paper's §4.1.4 claim: the closed-form
 //!    `FirstHit`/`NextHit` datapath needs no divider, while the
 //!    rejected §4.1.2 recursive algorithm does.
@@ -16,9 +17,23 @@
 //! 3. **Config consistency** ([`config_check`]) — runs the
 //!    [`SdramConfig`](sdram::SdramConfig)/[`PvaConfig`](pva_sim::PvaConfig)
 //!    invariant rules over every shipped preset.
+//! 4. **Timing-protocol model checking** ([`protocol_check`]) — for
+//!    every shipped `SdramConfig` preset, exhaustively explores the
+//!    product automaton of bank state × restimer residuals, validating
+//!    each explored edge against a live [`sdram::Sdram`] device: no
+//!    command is accepted while a gating timer is unexpired, every
+//!    reachable state drains back to `Idle`, and the dense FSM lookup
+//!    agrees with the declarative table.
+//! 5. **Wake-hint soundness** ([`wake_check`]) — statically
+//!    cross-checks the wake sources enumerated by the bank controller's
+//!    `compute_wake` against the actionable-state triggers in the rest
+//!    of its tick path, so a new way for a controller to become
+//!    runnable cannot ship without a corresponding wake source (the
+//!    dynamic half is a `debug_assertions` oracle inside `pva-sim`).
 //!
 //! The binary exits nonzero on any finding, so `cargo run -p
-//! pva-analysis` is a CI gate.
+//! pva-analysis` is a CI gate; `--json` emits the findings as a
+//! machine-readable artifact.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +41,8 @@
 pub mod config_check;
 pub mod fsm_check;
 pub mod lint;
+pub mod protocol_check;
+pub mod wake_check;
 
 pub use lint::{lint_source, Finding, Profile, Rule};
 
@@ -79,14 +96,74 @@ pub const DESIGNATED: &[Target] = &[
         path: "crates/pva-sim/src/sched.rs",
         profile: Profile::ArithmeticOnly,
     },
+    // The restimers are the §5.2.5 timing counters themselves: their
+    // deadline math is per-cycle hardware bookkeeping.
+    Target {
+        path: "crates/sdram/src/restimer.rs",
+        profile: Profile::ArithmeticOnly,
+    },
 ];
 
-/// Locates the workspace root from the analysis crate's own manifest
-/// directory (`crates/analysis` → two levels up).
-pub fn workspace_root() -> std::path::PathBuf {
-    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+/// Lints one designated `target` under `root`. An unreadable file is a
+/// finding ([`Rule::Unreadable`]), never a silent pass — a renamed or
+/// deleted designated file must fail the gate loudly.
+pub fn lint_target(root: &std::path::Path, target: &Target) -> Vec<Finding> {
+    match std::fs::read_to_string(root.join(target.path)) {
+        Ok(source) => lint_source(target.path, &source, target.profile),
+        Err(e) => vec![Finding {
+            file: target.path.to_string(),
+            line: 0,
+            rule: Rule::Unreadable,
+            message: format!("designated file unreadable: {e}"),
+        }],
+    }
+}
+
+/// Locates the workspace root: the compiled-in manifest location of
+/// this crate (`crates/analysis` → two levels up) if it still looks
+/// like the workspace, else the nearest ancestor of the current
+/// directory that does. The fallback matters for relocated or
+/// distributed binaries, where the build-time path no longer exists.
+///
+/// # Errors
+///
+/// Returns a diagnostic naming every location tried when no candidate
+/// contains the workspace markers (`Cargo.toml` plus the first
+/// designated source file).
+pub fn find_workspace_root() -> Result<std::path::PathBuf, String> {
+    let compiled = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
-        .expect("crates/analysis sits two levels below the workspace root")
-        .to_path_buf()
+        .map(std::path::Path::to_path_buf);
+    let mut candidates: Vec<std::path::PathBuf> = Vec::new();
+    candidates.extend(compiled);
+    if let Ok(cwd) = std::env::current_dir() {
+        candidates.extend(cwd.ancestors().map(std::path::Path::to_path_buf));
+    }
+    for dir in &candidates {
+        if dir.join("Cargo.toml").is_file() && dir.join(DESIGNATED[0].path).is_file() {
+            return Ok(dir.clone());
+        }
+    }
+    Err(format!(
+        "workspace root not found: no candidate contains both Cargo.toml and {} \
+         (tried: {}); run from inside the pva workspace",
+        DESIGNATED[0].path,
+        candidates
+            .iter()
+            .map(|p| p.display().to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ))
+}
+
+/// Locates the workspace root, panicking when it cannot be found —
+/// the in-tree test-suite form of [`find_workspace_root`].
+///
+/// # Panics
+///
+/// Panics with the [`find_workspace_root`] diagnostic outside the
+/// workspace.
+pub fn workspace_root() -> std::path::PathBuf {
+    find_workspace_root().unwrap_or_else(|e| panic!("{e}"))
 }

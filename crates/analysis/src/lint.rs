@@ -52,20 +52,37 @@ pub enum Rule {
     /// hardware cannot abort mid-cycle. `debug_assert!` is exempt — it
     /// is a simulation-only check, compiled out of release builds.
     Panic,
+    /// Truncating `as` casts to a type narrower than the 64-bit
+    /// datapath word (`as u8`/`u16`/`u32` and signed forms): an
+    /// implicit wire truncation that silently drops bits. Width-
+    /// preserving casts (`as u64`, `as usize`) are free.
+    TruncCast,
+    /// Explicit `wrapping_*` arithmetic: modular overflow is a
+    /// deliberate hardware behaviour (a counter that wraps), so it must
+    /// be annotated where intended — unannotated it usually marks a
+    /// software-style overflow dodge. (`wrapping_div`/`wrapping_rem`
+    /// stay under [`Rule::NonConstDiv`].)
+    WrappingArith,
     /// A `pva-lint:` marker naming an unknown rule.
     BadMarker,
     /// A `pva-lint:` allow marker that suppressed nothing.
     UnusedAllow,
+    /// A designated file that could not be read at all — reported as a
+    /// finding so a renamed or deleted file fails the gate instead of
+    /// silently passing it.
+    Unreadable,
 }
 
 impl Rule {
     /// Rules that can be named in an `allow(...)` marker.
-    pub const SUPPRESSIBLE: [Rule; 5] = [
+    pub const SUPPRESSIBLE: [Rule; 7] = [
         Rule::NonConstDiv,
         Rule::Float,
         Rule::WideMul,
         Rule::Alloc,
         Rule::Panic,
+        Rule::TruncCast,
+        Rule::WrappingArith,
     ];
 
     /// The marker/report name of the rule.
@@ -76,8 +93,11 @@ impl Rule {
             Rule::WideMul => "wide-mul",
             Rule::Alloc => "alloc",
             Rule::Panic => "panic",
+            Rule::TruncCast => "trunc-cast",
+            Rule::WrappingArith => "wrapping-arith",
             Rule::BadMarker => "bad-marker",
             Rule::UnusedAllow => "unused-allow",
+            Rule::Unreadable => "unreadable",
         }
     }
 
@@ -117,6 +137,8 @@ impl Profile {
                 Rule::WideMul,
                 Rule::Alloc,
                 Rule::Panic,
+                Rule::TruncCast,
+                Rule::WrappingArith,
             ],
             Profile::ArithmeticOnly => &[Rule::NonConstDiv, Rule::Float, Rule::WideMul],
         }
@@ -222,7 +244,8 @@ pub fn lint_source(file: &str, source: &str, profile: Profile) -> Vec<Finding> {
 // ---------------------------------------------------------------------
 
 /// Returns the blanked source plus `(line, text)` for every `//` comment.
-fn strip(source: &str) -> (String, Vec<(usize, String)>) {
+/// Shared with the wake-hint pass, which mines the same stripped view.
+pub(crate) fn strip(source: &str) -> (String, Vec<(usize, String)>) {
     #[derive(PartialEq)]
     enum Mode {
         Code,
@@ -573,7 +596,7 @@ fn marker_scope(lines: &[&str], marker_line: usize) -> (usize, usize) {
 // ---------------------------------------------------------------------
 
 #[derive(Debug, Clone, PartialEq)]
-enum Tok {
+pub(crate) enum Tok {
     Ident(String),
     /// Integer literal; `None` when it overflows u128.
     Int(Option<u128>),
@@ -581,7 +604,7 @@ enum Tok {
     Punct(char),
 }
 
-fn tokenize(line: &str) -> Vec<Tok> {
+pub(crate) fn tokenize(line: &str) -> Vec<Tok> {
     let chars: Vec<char> = line.chars().collect();
     let mut toks = Vec::new();
     let mut i = 0;
@@ -710,6 +733,20 @@ const PANIC_MACROS: &[&str] = &[
     "unimplemented",
 ];
 
+/// Cast targets narrower than the modeled 64-bit datapath word.
+const NARROW_INTS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Wrapping arithmetic methods (division/remainder forms are covered by
+/// [`DIV_METHODS`] under [`Rule::NonConstDiv`] instead).
+const WRAPPING_METHODS: &[&str] = &[
+    "wrapping_add",
+    "wrapping_sub",
+    "wrapping_mul",
+    "wrapping_neg",
+    "wrapping_shl",
+    "wrapping_shr",
+];
+
 fn scan_line(toks: &[Tok], profile: Profile) -> Vec<RawFinding> {
     let rules = profile.rules();
     let mut out = Vec::new();
@@ -790,6 +827,28 @@ fn scan_line(toks: &[Tok], profile: Profile) -> Vec<RawFinding> {
                             message: format!("allocating macro `{name}!`"),
                         });
                     }
+                }
+                if on(Rule::TruncCast) && name == "as" {
+                    if let Some(Tok::Ident(target)) = next {
+                        if NARROW_INTS.contains(&target.as_str()) {
+                            out.push(RawFinding {
+                                rule: Rule::TruncCast,
+                                message: format!(
+                                    "`as {target}` silently truncates the 64-bit datapath word"
+                                ),
+                            });
+                        }
+                    }
+                }
+                if on(Rule::WrappingArith) && after_dot && WRAPPING_METHODS.contains(&name.as_str())
+                {
+                    out.push(RawFinding {
+                        rule: Rule::WrappingArith,
+                        message: format!(
+                            "`.{name}()` wraps on overflow; annotate where the modular \
+                             behaviour is the intended hardware semantics"
+                        ),
+                    });
                 }
                 if on(Rule::Panic) {
                     if before_bang && PANIC_MACROS.contains(&name.as_str()) {
@@ -971,6 +1030,54 @@ fn f(x: u64, y: u64) -> u64 { x / y }\n";
     #[test]
     fn raw_strings_are_stripped() {
         let src = "fn f() -> &'static str { r#\"a / b\"# }\n";
+        assert_eq!(lint_source("t.rs", src, Profile::Datapath), vec![]);
+    }
+
+    #[test]
+    fn truncating_cast_flagged_in_datapath_only() {
+        let src = "fn f(x: u64) -> u8 { x as u8 }\n";
+        let f = lint_source("t.rs", src, Profile::Datapath);
+        assert_eq!(rules_of(&f), vec![Rule::TruncCast]);
+        assert_eq!(lint_source("t.rs", src, Profile::ArithmeticOnly), vec![]);
+    }
+
+    #[test]
+    fn width_preserving_casts_are_free() {
+        let src = "fn f(x: u32) -> u64 { (x as u64) + (x as usize as u64) }\n";
+        assert_eq!(lint_source("t.rs", src, Profile::Datapath), vec![]);
+    }
+
+    #[test]
+    fn truncating_cast_allow_suppresses() {
+        let src =
+            "fn f(x: u64) -> u8 { x as u8 } // pva-lint: allow(trunc-cast): low byte by design\n";
+        assert_eq!(lint_source("t.rs", src, Profile::Datapath), vec![]);
+    }
+
+    #[test]
+    fn wrapping_arith_flagged_in_datapath_only() {
+        let src = "fn f(x: u64, y: u64) -> u64 { x.wrapping_add(y) }\n";
+        let f = lint_source("t.rs", src, Profile::Datapath);
+        assert_eq!(rules_of(&f), vec![Rule::WrappingArith]);
+        assert_eq!(lint_source("t.rs", src, Profile::ArithmeticOnly), vec![]);
+    }
+
+    #[test]
+    fn wrapping_div_stays_a_division_finding() {
+        // Division forms belong to NonConstDiv (a divider circuit is the
+        // objection, not the wrap).
+        let src = "fn f(x: u64, y: u64) -> u64 { x.wrapping_div(y) }\n";
+        let f = lint_source("t.rs", src, Profile::Datapath);
+        assert_eq!(rules_of(&f), vec![Rule::NonConstDiv]);
+    }
+
+    #[test]
+    fn wrapping_arith_allow_suppresses() {
+        let src = "\
+// pva-lint: allow(wrapping-arith): modular counter by design\n\
+fn f(x: u64) -> u64 {\n\
+    x.wrapping_mul(3)\n\
+}\n";
         assert_eq!(lint_source("t.rs", src, Profile::Datapath), vec![]);
     }
 }

@@ -1,69 +1,212 @@
-//! CI driver: runs all three analysis passes and exits nonzero on any
-//! finding.
+//! CI driver: runs all five analysis passes and exits nonzero on any
+//! finding. `--json` emits the findings as a machine-readable array
+//! (uploaded as a CI artifact) instead of the human report.
 
-use std::fs;
 use std::process::ExitCode;
 
-use pva_analysis::{config_check, fsm_check, lint_source, DESIGNATED};
+use pva_analysis::{config_check, fsm_check, lint_target, protocol_check, wake_check, DESIGNATED};
+
+/// One finding from any pass, normalized for reporting.
+struct Record {
+    pass: &'static str,
+    file: Option<String>,
+    line: Option<usize>,
+    rule: Option<String>,
+    message: String,
+}
 
 fn main() -> ExitCode {
-    let root = pva_analysis::workspace_root();
-    let mut total = 0usize;
-
-    println!("== synthesizability lint ==");
-    for target in DESIGNATED {
-        let path = root.join(target.path);
-        let source = match fs::read_to_string(&path) {
-            Ok(s) => s,
-            Err(e) => {
-                println!("{}: unreadable: {e}", target.path);
-                total += 1;
-                continue;
+    let mut json = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            other => {
+                eprintln!(
+                    "pva-analysis: unknown argument `{other}` (usage: pva-analysis [--json])"
+                );
+                return ExitCode::FAILURE;
             }
-        };
-        let findings = lint_source(target.path, &source, target.profile);
-        for f in &findings {
-            println!("{f}");
         }
-        total += findings.len();
+    }
+
+    let root = match pva_analysis::find_workspace_root() {
+        Ok(root) => root,
+        Err(e) => {
+            eprintln!("pva-analysis: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut records: Vec<Record> = Vec::new();
+    let section = |title: &str| {
+        if !json {
+            println!("== {title} ==");
+        }
+    };
+
+    section("synthesizability lint");
+    for target in DESIGNATED {
+        let findings = lint_target(&root, target);
+        if !json {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!(
+                "{}: {} finding(s) [{:?}]",
+                target.path,
+                findings.len(),
+                target.profile
+            );
+        }
+        records.extend(findings.into_iter().map(|f| Record {
+            pass: "lint",
+            file: Some(f.file),
+            line: Some(f.line),
+            rule: Some(f.rule.name().to_string()),
+            message: f.message,
+        }));
+    }
+
+    section("bank FSM completeness");
+    let fsm_problems = fsm_check::check();
+    if !json {
+        for p in &fsm_problems {
+            println!("fsm: {p}");
+        }
         println!(
-            "{}: {} finding(s) [{:?}]",
-            target.path,
-            findings.len(),
-            target.profile
+            "{} states x {} events: {} problem(s)",
+            sdram::BankState::ALL.len(),
+            sdram::BankEvent::ALL.len(),
+            fsm_problems.len()
         );
     }
+    records.extend(fsm_problems.into_iter().map(|p| Record {
+        pass: "fsm",
+        file: None,
+        line: None,
+        rule: None,
+        message: p,
+    }));
 
-    println!("== bank FSM completeness ==");
-    let fsm_problems = fsm_check::check();
-    for p in &fsm_problems {
-        println!("fsm: {p}");
-    }
-    total += fsm_problems.len();
-    println!(
-        "{} states x {} events: {} problem(s)",
-        sdram::BankState::ALL.len(),
-        sdram::BankEvent::ALL.len(),
-        fsm_problems.len()
-    );
-
-    println!("== config consistency ==");
+    section("config consistency");
     let cfg_problems = config_check::check();
-    for p in &cfg_problems {
-        println!("config: {p}");
+    if !json {
+        for p in &cfg_problems {
+            println!("config: {p}");
+        }
+        println!(
+            "{} preset(s): {} problem(s)",
+            config_check::sdram_presets().len() + config_check::pva_presets().len(),
+            cfg_problems.len()
+        );
     }
-    total += cfg_problems.len();
-    println!(
-        "{} preset(s): {} problem(s)",
-        config_check::sdram_presets().len() + config_check::pva_presets().len(),
-        cfg_problems.len()
-    );
+    records.extend(cfg_problems.into_iter().map(|p| Record {
+        pass: "config",
+        file: None,
+        line: None,
+        rule: None,
+        message: p,
+    }));
 
-    if total == 0 {
+    section("timing-protocol model check");
+    let protocol_problems = protocol_check::check();
+    if !json {
+        for p in &protocol_problems {
+            println!("protocol: {p}");
+        }
+        println!(
+            "{} preset(s): {} problem(s)",
+            config_check::sdram_presets().len(),
+            protocol_problems.len()
+        );
+    }
+    records.extend(protocol_problems.into_iter().map(|p| Record {
+        pass: "protocol",
+        file: None,
+        line: None,
+        rule: None,
+        message: p,
+    }));
+
+    section("wake-hint soundness");
+    let wake_problems = wake_check::check(&root);
+    if !json {
+        for p in &wake_problems {
+            println!("wake: {p}");
+        }
+        println!(
+            "{} rule(s): {} problem(s)",
+            wake_check::WAKE_RULES.len(),
+            wake_problems.len()
+        );
+    }
+    records.extend(wake_problems.into_iter().map(|p| Record {
+        pass: "wake",
+        file: Some(wake_check::CONTROLLER_SRC.to_string()),
+        line: None,
+        rule: None,
+        message: p,
+    }));
+
+    if json {
+        println!("{}", render_json(&records));
+    } else if records.is_empty() {
         println!("pva-analysis: clean");
+    } else {
+        println!("pva-analysis: {} finding(s)", records.len());
+    }
+    if records.is_empty() {
         ExitCode::SUCCESS
     } else {
-        println!("pva-analysis: {total} finding(s)");
         ExitCode::FAILURE
     }
+}
+
+/// Renders the findings as a JSON array (hand-rolled: the offline
+/// build carries no serde).
+fn render_json(records: &[Record]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {\"pass\": ");
+        json_str(&mut out, r.pass);
+        if let Some(file) = &r.file {
+            out.push_str(", \"file\": ");
+            json_str(&mut out, file);
+        }
+        if let Some(line) = r.line {
+            out.push_str(&format!(", \"line\": {line}"));
+        }
+        if let Some(rule) = &r.rule {
+            out.push_str(", \"rule\": ");
+            json_str(&mut out, rule);
+        }
+        out.push_str(", \"message\": ");
+        json_str(&mut out, &r.message);
+        out.push('}');
+    }
+    if !records.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+/// Appends `s` as a JSON string literal.
+fn json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }

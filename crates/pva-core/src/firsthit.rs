@@ -257,6 +257,7 @@ impl VectorSolver {
         }
         let i = d >> self.class.s;
         let modulus_mask = (1u64 << (self.class.m - self.class.s)) - 1;
+        // pva-lint: allow(wrapping-arith): K_i = K1 * i mod 2^(m-s); the wrap IS the modulus (Theorem 4.3)
         let ki = self.class.k1.wrapping_mul(i) & modulus_mask;
         if ki < self.vector.length() {
             FirstHit::Hit(ki)
@@ -337,7 +338,7 @@ impl Iterator for SubvectorIndices {
 ///
 /// Panics if `a` is even (no inverse exists) or `bits == 0` or
 /// `bits > 64`.
-// pva-lint: allow(panic): input guards for the design-time K1 table generator; this never runs on the per-cycle path
+// pva-lint: allow(panic, wrapping-arith): design-time K1 table generator (never on the per-cycle path); Newton–Hensel lifting is arithmetic mod 2^64, so the wraps are the modulus
 pub fn mod_inverse_pow2(a: u64, bits: u32) -> u64 {
     assert!(a % 2 == 1, "only odd values are invertible mod 2^k");
     assert!((1..=64).contains(&bits), "modulus bits must be in 1..=64");

@@ -197,6 +197,7 @@ impl Geometry {
     /// the subtraction-without-underflow of §4.2 step 3.
     pub const fn bank_distance(&self, b: BankId, b0: BankId) -> u64 {
         let m = 1u64 << self.m;
+        // pva-lint: allow(wrapping-arith): (b - b0) mod M; the wrap is the §4.2 subtraction-without-underflow
         ((b.0 as u64).wrapping_sub(b0.0 as u64)) & (m - 1)
     }
 

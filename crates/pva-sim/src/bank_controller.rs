@@ -141,7 +141,7 @@ struct VectorContext {
 }
 
 /// Per-bank-controller statistics.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BcStats {
     /// Commands this bank hit on.
     pub requests_queued: u64,
@@ -168,8 +168,10 @@ pub struct BcStats {
 }
 
 /// One bank controller: parallelizing logic + scheduler + one SDRAM
-/// device.
-#[derive(Debug)]
+/// device. `Clone` exists for the debug-build wake-soundness oracle,
+/// which replays a cloned controller cycle-by-cycle across every
+/// window the event loop is about to skip.
+#[derive(Debug, Clone)]
 pub struct BankController {
     bank: BankId,
     config: PvaConfig,

@@ -78,7 +78,8 @@ impl Transaction {
 }
 
 /// The table of outstanding transactions, indexed by [`TxnId`].
-#[derive(Debug, Default)]
+/// `Clone` exists for the debug-build wake-soundness oracle.
+#[derive(Debug, Clone, Default)]
 pub struct TransactionTable {
     slots: Vec<Option<Transaction>>,
     /// Open-slot count, maintained incrementally (mirrors what a scan

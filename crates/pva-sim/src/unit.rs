@@ -511,9 +511,13 @@ impl PvaUnit {
             }
             if target >= deadline {
                 // Nothing can happen before the deadline: skip to it.
+                #[cfg(debug_assertions)]
+                self.assert_wake_sound(deadline);
                 self.skip_to(deadline);
                 break;
             }
+            #[cfg(debug_assertions)]
+            self.assert_wake_sound(target);
             self.skip_to(target);
             self.exec_cycle()?;
         }
@@ -555,6 +559,66 @@ impl PvaUnit {
         self.now = target;
         self.event_stats.skipped_cycles += gap;
         self.event_stats.record_jump(gap);
+    }
+
+    /// Debug-build wake-hint soundness oracle: before every jump the
+    /// event loop is about to take, prove — by brute force — that the
+    /// skipped window really is dead time for every bank controller.
+    ///
+    /// For each controller, the window `[bc_clock[b], target)` is the
+    /// stretch its hint claimed nothing happens in. The oracle clones
+    /// the controller (and the transaction table) and replays the
+    /// window cycle-by-cycle, then compares against a second clone that
+    /// takes the same bulk `advance` the lazy catch-up path will take:
+    /// identical controller and device statistics, and an untouched
+    /// transaction table, mean every replayed tick was the no-op the
+    /// hint promised. A `compute_wake` source that forgets a wake
+    /// condition (a stale row-timer bound, a dropped read-return check)
+    /// trips these assertions on the first sweep that crosses it.
+    ///
+    /// This is the dynamic half of the `pva-analysis` wake-hint pass:
+    /// the static pass checks that every trigger in the controller has
+    /// a matching source in `compute_wake`; this oracle checks that the
+    /// computed cycle itself is never too late.
+    #[cfg(debug_assertions)]
+    fn assert_wake_sound(&self, target: u64) {
+        for (b, bc) in self.bcs.iter().enumerate() {
+            let from = self.bc_clock[b];
+            if target <= from {
+                continue;
+            }
+            let mut ticked = bc.clone();
+            let mut txns = self.txns.clone();
+            for t in from..target {
+                ticked.tick(t, &mut txns);
+            }
+            let mut advanced = bc.clone();
+            advanced.advance(target - from);
+            assert_eq!(
+                ticked.stats(),
+                advanced.stats(),
+                "bank controller {b}: cycle-by-cycle replay of {from}..{target} diverged \
+                 from the bulk advance — compute_wake returned an unsound hint"
+            );
+            assert_eq!(
+                ticked.device().stats(),
+                advanced.device().stats(),
+                "bank controller {b}: device activity inside the skipped window \
+                 {from}..{target} — compute_wake returned an unsound hint"
+            );
+            assert_eq!(
+                txns.progress_counters(),
+                self.txns.progress_counters(),
+                "bank controller {b}: transaction progress inside the skipped window \
+                 {from}..{target} — compute_wake returned an unsound hint"
+            );
+            assert_eq!(
+                txns.open_count(),
+                self.txns.open_count(),
+                "bank controller {b}: transaction opened/closed inside the skipped window \
+                 {from}..{target} — compute_wake returned an unsound hint"
+            );
+        }
     }
 
     /// Executes one full cycle of the event loop: bus arbitration, all

@@ -22,6 +22,7 @@ use crate::config::{ConfigError, SdramConfig};
 use crate::ecc;
 use crate::fault::FaultEngine;
 use crate::fsm::{self, BankEvent, BankState, CmdClass};
+use crate::protocol::TimerId;
 use crate::restimer::BankTimers;
 
 /// A command presented to the SDRAM at a clock edge (§2.3.3: "it is more
@@ -709,6 +710,27 @@ impl Sdram {
     /// (tRAS and tWR both expired; may be in the past).
     pub fn precharge_ready_at(&self, bank: u32) -> u64 {
         self.timers[bank as usize].precharge_ready_at()
+    }
+
+    /// Residual cycles of the named restimer on internal bank `bank`
+    /// (0 when expired) — per-timer introspection for the protocol
+    /// checker in `pva-analysis`, which cross-validates its abstract
+    /// timer state against the live device after every step.
+    pub fn timer_remaining(&self, bank: u32, timer: TimerId) -> u64 {
+        let t = &self.timers[bank as usize];
+        match timer {
+            TimerId::Rcd => t.rcd.remaining(self.now),
+            TimerId::Ras => t.ras.remaining(self.now),
+            TimerId::Rp => t.rp.remaining(self.now),
+            TimerId::Rc => t.rc.remaining(self.now),
+            TimerId::Wr => t.wr.remaining(self.now),
+        }
+    }
+
+    /// Remaining cycles of an in-progress AUTO REFRESH (0 when none),
+    /// the device-wide counterpart of [`Sdram::timer_remaining`].
+    pub const fn refresh_busy_remaining(&self) -> u64 {
+        self.refresh_busy as u64
     }
 
     /// The earliest future cycle at which the refresh machinery changes

@@ -61,7 +61,7 @@ const fn build_data_positions() -> [u8; 64] {
     let mut pos: u32 = 1;
     while pos < CODEWORD_BITS {
         if !pos.is_power_of_two() {
-            table[k] = pos as u8;
+            table[k] = pos as u8; // pva-lint: allow(trunc-cast): positions < 72 fit u8 by construction
             k += 1;
         }
         pos += 1;
@@ -107,7 +107,7 @@ const fn build_data_indices() -> [u8; CODEWORD_BITS as usize] {
     let mut table = [0u8; CODEWORD_BITS as usize];
     let mut k = 0usize;
     while k < 64 {
-        table[DATA_POS[k] as usize] = k as u8;
+        table[DATA_POS[k] as usize] = k as u8; // pva-lint: allow(trunc-cast): data-bit indices < 64 fit u8
         k += 1;
     }
     table

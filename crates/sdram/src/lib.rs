@@ -42,6 +42,7 @@ mod device;
 pub mod ecc;
 mod fault;
 pub mod fsm;
+pub mod protocol;
 mod restimer;
 
 pub use audit::{TimingAuditor, Violation};
@@ -49,4 +50,5 @@ pub use config::{ConfigError, InternalAddr, SdramConfig};
 pub use device::{background_pattern, IssueError, ReadReturn, Sdram, SdramCmd, SdramStats};
 pub use fault::{FaultConfig, PPM};
 pub use fsm::{BankEvent, BankState, CmdClass, Outcome, TRANSITIONS};
+pub use protocol::{DeadlineModel, TimerId};
 pub use restimer::{BankTimers, Restimer};

@@ -1,0 +1,195 @@
+//! Declarative timing-protocol metadata (§5.2.5, machine-checkable).
+//!
+//! The device in [`crate::device`] enforces SDRAM timing operationally:
+//! each accepted command arms [restimers](crate::Restimer) and
+//! [`Sdram::can_issue`](crate::Sdram::can_issue) consults them. This
+//! module states the *same* protocol declaratively — which timers gate
+//! each command class ([`gates`]) and how long each accepted command
+//! arms them ([`DeadlineModel`]) — so an external checker can explore
+//! the product automaton of bank state × timer residuals and prove the
+//! two descriptions agree (see `pva-analysis`'s protocol pass).
+//!
+//! Keeping the declarative form next to the operational one is the
+//! point: a future timing parameter added to the device but not here
+//! (or vice versa) turns into a checker finding, not a silent
+//! divergence.
+
+use crate::config::SdramConfig;
+use crate::fsm::CmdClass;
+
+/// One of the five per-internal-bank restimers of [`crate::BankTimers`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimerId {
+    /// READ/WRITE after ACTIVATE (`tRCD`).
+    Rcd,
+    /// PRECHARGE after ACTIVATE (`tRAS`).
+    Ras,
+    /// ACTIVATE after PRECHARGE (`tRP`).
+    Rp,
+    /// ACTIVATE after ACTIVATE (`tRC`).
+    Rc,
+    /// PRECHARGE after WRITE (`tWR`).
+    Wr,
+}
+
+impl TimerId {
+    /// Every timer, in the declaration order of [`crate::BankTimers`].
+    pub const ALL: [TimerId; 5] = [
+        TimerId::Rcd,
+        TimerId::Ras,
+        TimerId::Rp,
+        TimerId::Rc,
+        TimerId::Wr,
+    ];
+
+    /// The timing-parameter name, matching
+    /// [`Restimer::name`](crate::Restimer::name) and the
+    /// [`IssueError::TimingViolation`](crate::IssueError::TimingViolation)
+    /// payload.
+    pub const fn name(self) -> &'static str {
+        match self {
+            TimerId::Rcd => "tRCD",
+            TimerId::Ras => "tRAS",
+            TimerId::Rp => "tRP",
+            TimerId::Rc => "tRC",
+            TimerId::Wr => "tWR",
+        }
+    }
+}
+
+/// The timers that must all be expired before a command of `class` may
+/// issue on its internal bank. For [`CmdClass::Refresh`] the listed
+/// timers gate on *every* internal bank (the refresh occupies the whole
+/// device).
+pub const fn gates(class: CmdClass) -> &'static [TimerId] {
+    match class {
+        CmdClass::Activate => &[TimerId::Rp, TimerId::Rc],
+        CmdClass::Read | CmdClass::ReadAuto | CmdClass::Write | CmdClass::WriteAuto => {
+            &[TimerId::Rcd]
+        }
+        CmdClass::Precharge => &[TimerId::Ras, TimerId::Wr],
+        CmdClass::Refresh => &[TimerId::Rp],
+    }
+}
+
+/// The deadline semantics of one configuration: how many cycles each
+/// accepted command arms each restimer for. Extracted from
+/// [`SdramConfig`] so a checker can be handed a deliberately corrupted
+/// copy and prove it notices the disagreement with the live device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineModel {
+    /// ACTIVATE → READ/WRITE delay.
+    pub t_rcd: u64,
+    /// ACTIVATE → PRECHARGE delay.
+    pub t_ras: u64,
+    /// PRECHARGE → ACTIVATE delay.
+    pub t_rp: u64,
+    /// ACTIVATE → ACTIVATE delay.
+    pub t_rc: u64,
+    /// WRITE → PRECHARGE delay.
+    pub t_wr: u64,
+    /// Cycles an AUTO REFRESH occupies the whole device.
+    pub t_rfc: u64,
+}
+
+impl DeadlineModel {
+    /// The deadline semantics of `config`.
+    pub const fn of(config: &SdramConfig) -> Self {
+        DeadlineModel {
+            t_rcd: config.t_rcd as u64,
+            t_ras: config.t_ras as u64,
+            t_rp: config.t_rp as u64,
+            t_rc: config.t_rc as u64,
+            t_wr: config.t_wr as u64,
+            t_rfc: config.t_rfc as u64,
+        }
+    }
+
+    /// The nominal duration of one timing parameter.
+    pub const fn duration(&self, timer: TimerId) -> u64 {
+        match timer {
+            TimerId::Rcd => self.t_rcd,
+            TimerId::Ras => self.t_ras,
+            TimerId::Rp => self.t_rp,
+            TimerId::Rc => self.t_rc,
+            TimerId::Wr => self.t_wr,
+        }
+    }
+
+    /// The timers an accepted command of `class` arms on its internal
+    /// bank, each for its nominal [`DeadlineModel::duration`],
+    /// mirroring the device's arm sites. Auto-precharging accesses
+    /// additionally arm `tRP` through the composite rule of
+    /// [`DeadlineModel::auto_precharge_arm`]; REFRESH arms no restimer
+    /// (it occupies the device for [`DeadlineModel::refresh_busy`]
+    /// cycles instead).
+    pub const fn arms(class: CmdClass) -> &'static [TimerId] {
+        match class {
+            CmdClass::Activate => &[TimerId::Rcd, TimerId::Ras, TimerId::Rc],
+            CmdClass::Write | CmdClass::WriteAuto => &[TimerId::Wr],
+            CmdClass::Precharge => &[TimerId::Rp],
+            CmdClass::Read | CmdClass::ReadAuto | CmdClass::Refresh => &[],
+        }
+    }
+
+    /// The `tRP` arming of an auto-precharging access: the internal
+    /// precharge starts once the residual `tRAS`/`tWR` allow and then
+    /// takes `tRP`. For WRITE-with-auto-precharge the `tWR` residual is
+    /// the freshly armed `t_wr` (the device arms `tWR` before the auto
+    /// precharge).
+    pub fn auto_precharge_arm(&self, ras_residual: u64, wr_residual: u64) -> u64 {
+        ras_residual.max(wr_residual).saturating_add(self.t_rp)
+    }
+
+    /// Cycles an accepted AUTO REFRESH occupies the device
+    /// (`tRFC`, minimum one).
+    pub const fn refresh_busy(&self) -> u64 {
+        if self.t_rfc == 0 {
+            1
+        } else {
+            self.t_rfc
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gates_match_the_device_checks() {
+        // The operational `can_issue` checks these exact timers; the
+        // protocol checker in pva-analysis proves the full agreement,
+        // this test just pins the declarative table's shape.
+        assert_eq!(gates(CmdClass::Activate), &[TimerId::Rp, TimerId::Rc]);
+        assert_eq!(gates(CmdClass::Read), &[TimerId::Rcd]);
+        assert_eq!(gates(CmdClass::WriteAuto), &[TimerId::Rcd]);
+        assert_eq!(gates(CmdClass::Precharge), &[TimerId::Ras, TimerId::Wr]);
+        assert_eq!(gates(CmdClass::Refresh), &[TimerId::Rp]);
+    }
+
+    #[test]
+    fn deadline_model_mirrors_the_config() {
+        let cfg = SdramConfig::default();
+        let m = DeadlineModel::of(&cfg);
+        assert_eq!(m.duration(TimerId::Rcd), cfg.t_rcd as u64);
+        assert_eq!(m.duration(TimerId::Rc), cfg.t_rc as u64);
+        assert_eq!(m.refresh_busy(), cfg.t_rfc as u64);
+    }
+
+    #[test]
+    fn refresh_busy_is_at_least_one() {
+        let mut cfg = SdramConfig::sram_like();
+        cfg.t_rfc = 0;
+        assert_eq!(DeadlineModel::of(&cfg).refresh_busy(), 1);
+    }
+
+    #[test]
+    fn auto_precharge_composite_rule() {
+        let m = DeadlineModel::of(&SdramConfig::default());
+        // Residual tRAS 3, no tWR pending, tRP 2: bank busy 5 more.
+        assert_eq!(m.auto_precharge_arm(3, 0), 3 + m.t_rp);
+        // The later of the two residuals wins.
+        assert_eq!(m.auto_precharge_arm(1, 4), 4 + m.t_rp);
+    }
+}
