@@ -45,7 +45,7 @@ fn main() {
         cc.elements, cc.ecc
     );
     println!(
-        "{:<10} {:<18} {:>9} {:>9} {:>9} {:>8} {:>8} {:>8} {:>6}",
+        "{:<10} {:<18} {:>9} {:>9} {:>9} {:>8} {:>8} {:>8} {:>6} {:>4}",
         "kernel",
         "scenario",
         "cycles",
@@ -54,11 +54,12 @@ fn main() {
         "flagged",
         "flg-mis",
         "silent",
-        "hung"
+        "hung",
+        "try"
     );
     for c in &report.cells {
         println!(
-            "{:<10} {:<18} {:>9} {:>9} {:>9} {:>8} {:>8} {:>8} {:>6}",
+            "{:<10} {:<18} {:>9} {:>9} {:>9} {:>8} {:>8} {:>8} {:>6} {:>4}",
             c.kernel,
             c.scenario,
             c.cycles,
@@ -67,15 +68,23 @@ fn main() {
             c.flagged_elements,
             c.flagged_mismatches,
             c.device_silent + c.silent_mismatches,
-            if c.hung { "YES" } else { "-" }
+            if c.hung { "YES" } else { "-" },
+            c.attempts
+        );
+    }
+    for q in &report.quarantined {
+        println!(
+            "{:<10} {:<18} QUARANTINED after {} attempt(s): {}",
+            q.kernel, q.scenario, q.attempts, q.message
         );
     }
     println!(
-        "totals: corrected={} detected={} silent={} hung-cells={}",
+        "totals: corrected={} detected={} silent={} hung-cells={} quarantined={}",
         report.total_corrected(),
         report.total_detected(),
         report.total_silent(),
-        report.hung_cells()
+        report.hung_cells(),
+        report.quarantined.len()
     );
     if cc.ecc && report.total_silent() > 0 {
         eprintln!(
@@ -86,6 +95,13 @@ fn main() {
     }
     if report.hung_cells() > 0 {
         eprintln!("FAIL: {} cell(s) hit the watchdog", report.hung_cells());
+        std::process::exit(1);
+    }
+    if !report.quarantined.is_empty() {
+        eprintln!(
+            "FAIL: {} cell(s) quarantined (partial results above)",
+            report.quarantined.len()
+        );
         std::process::exit(1);
     }
 }

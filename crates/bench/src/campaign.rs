@@ -33,6 +33,15 @@ pub struct CampaignConfig {
     pub transient_ppm: u32,
     /// Stuck-cell rate for the `stuck` scenario (ppm of words).
     pub stuck_ppm: u32,
+    /// Attempts each cell gets before it is quarantined (at least 1):
+    /// a cell that panics is retried from scratch, and only a cell that
+    /// fails every attempt lands in
+    /// [`CampaignReport::quarantined`].
+    pub max_attempts: u32,
+    /// Chaos hook: kernel whose cells panic at the start of every
+    /// attempt. Used by the chaos tests to prove quarantine keeps the
+    /// sibling cells alive; `None` in real campaigns.
+    pub inject_panic: Option<&'static str>,
 }
 
 impl CampaignConfig {
@@ -45,6 +54,8 @@ impl CampaignConfig {
             ecc: true,
             transient_ppm: 20_000,
             stuck_ppm: 20_000,
+            max_attempts: 2,
+            inject_panic: None,
         }
     }
 
@@ -87,6 +98,22 @@ pub struct CellOutcome {
     pub silent_mismatches: u64,
     /// The watchdog aborted the cell.
     pub hung: bool,
+    /// Attempts it took to produce this outcome (1 = first try).
+    pub attempts: u32,
+}
+
+/// A cell that failed every attempt and was dropped from the results,
+/// leaving its siblings intact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedCell {
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Scenario label.
+    pub scenario: &'static str,
+    /// Attempts made before giving up.
+    pub attempts: u32,
+    /// Classified cause, e.g. `[panic] chaos: injected campaign panic`.
+    pub message: String,
 }
 
 /// Aggregated campaign results.
@@ -94,8 +121,11 @@ pub struct CellOutcome {
 pub struct CampaignReport {
     /// The configuration that produced the report.
     pub config: CampaignConfig,
-    /// One outcome per kernel × scenario.
+    /// One outcome per kernel × scenario that completed.
     pub cells: Vec<CellOutcome>,
+    /// Cells that failed every attempt; the rest of the sweep is
+    /// unaffected (graceful degradation).
+    pub quarantined: Vec<QuarantinedCell>,
 }
 
 impl CampaignReport {
@@ -159,18 +189,68 @@ pub fn scenarios(cc: &CampaignConfig) -> Vec<(&'static str, PvaConfig)> {
         c.degradation = false;
         out.push(("hard-bank-flagged", c));
     }
+    {
+        // Refresh storm (Chang et al., PAPERS.md): demand traffic has
+        // crowded AUTO REFRESH out entirely (interval 0 = the refresh
+        // engine starved), so rows ride on raw retention — and the
+        // retention window is shorter than the streaming kernels'
+        // re-activation gaps, so rows decay mid-kernel. (With refresh
+        // *enabled* this model refreshes punctually — refresh preempts
+        // scheduling — so decay cannot occur; the `decay` scenario
+        // above is that negative control.) A transient overlay
+        // occasionally lands a second flipped bit on a decayed word,
+        // turning a corrected read into a detected-uncorrectable one
+        // and driving the cranked bank-level read-retry path.
+        let mut c = base;
+        c.sdram.refresh_interval = 0;
+        c.sdram.fault.retention_cycles = 80;
+        c.sdram.fault.transient_ppm = cc.transient_ppm;
+        c.max_read_retries = 7;
+        c.retry_backoff_cycles = 16;
+        out.push(("refresh-storm", c));
+    }
     out
 }
 
 /// Runs the whole campaign: every base kernel under every scenario.
+///
+/// Each cell is isolated: a panicking cell is retried from scratch up
+/// to [`CampaignConfig::max_attempts`] times (a fresh unit and golden
+/// map per attempt, so the retry is deterministic), and a cell that
+/// fails every attempt is quarantined without aborting its siblings.
 pub fn run_campaign(cc: &CampaignConfig) -> CampaignReport {
     let mut cells = Vec::new();
+    let mut quarantined = Vec::new();
+    let max_attempts = cc.max_attempts.max(1);
     for (name, unit_cfg) in scenarios(cc) {
         for k in Kernel::BASE {
-            cells.push(run_cell(cc, k, name, unit_cfg));
+            let mut attempt = 1;
+            loop {
+                match crate::resilient::catch_classified(|| run_cell(cc, k, name, unit_cfg)) {
+                    Ok(mut cell) => {
+                        cell.attempts = attempt;
+                        cells.push(cell);
+                        break;
+                    }
+                    Err(e) if attempt >= max_attempts => {
+                        quarantined.push(QuarantinedCell {
+                            kernel: k.name(),
+                            scenario: name,
+                            attempts: attempt,
+                            message: format!("[{}] {}", e.kind, e.message),
+                        });
+                        break;
+                    }
+                    Err(_) => attempt += 1,
+                }
+            }
         }
     }
-    CampaignReport { config: *cc, cells }
+    CampaignReport {
+        config: *cc,
+        cells,
+        quarantined,
+    }
 }
 
 /// Deterministic word value for address `addr`, version `v` (version 0
@@ -187,6 +267,12 @@ fn run_cell(
     scenario: &'static str,
     unit_cfg: PvaConfig,
 ) -> CellOutcome {
+    if cc.inject_panic == Some(kernel.name()) {
+        panic!(
+            "chaos: injected campaign panic in {}/{scenario}",
+            kernel.name()
+        );
+    }
     let bases = [0u64, 1 << 20, 2 << 20];
     let trace = kernel.trace(&bases, cc.stride, cc.elements, unit_cfg.line_words);
 
@@ -222,6 +308,7 @@ fn run_cell(
         flagged_mismatches: 0,
         silent_mismatches: 0,
         hung: false,
+        attempts: 1,
     };
     let mut unit = PvaUnit::new(unit_cfg).expect("campaign configs are valid");
     let mut golden: HashMap<u64, u64> = HashMap::new();
@@ -251,7 +338,10 @@ fn run_cell(
 
     // Ops run one at a time so each gathered line is checked before the
     // next op, and so a hang is attributed to the op that caused it.
+    // The per-op deadline checkpoint keeps campaign cells cooperative
+    // when the caller armed a wall-clock budget.
     for op in ops {
+        memsys::deadline::checkpoint();
         if let HostRequest::Write { vector, data } = &op {
             for (a, &d) in vector.addresses().zip(data.iter()) {
                 golden.insert(a, d);

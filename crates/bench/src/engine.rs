@@ -8,15 +8,30 @@
 //! by cell index, so the output is identical at any `--jobs` value) and
 //! assembles a [`RunRecord`] per scenario for the `BENCH_<name>.json`
 //! side channel.
+//!
+//! Execution is resilient (see [`crate::resilient`]): each cell runs
+//! under `catch_unwind` with an optional wall-clock deadline and
+//! bounded retries, failures are quarantined into the record's
+//! `failures` section instead of aborting siblings, and — when a
+//! journal path is configured — every completion is checkpointed to a
+//! write-ahead JSONL journal ([`crate::journal`]) so a killed run
+//! resumes where it left off with identical final output.
 
 use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Mutex};
-use std::time::Instant;
 
+use crate::journal::{self, Journal};
 use crate::json::{self, Value};
+use crate::resilient::{self, CellFailure, ExecPolicy, FailureKind};
 
 /// Schema identifier stamped into every emitted record.
-pub const SCHEMA: &str = "pva-bench-record-v1";
+pub const SCHEMA: &str = "pva-bench-record-v2";
+
+/// The previous schema; still accepted by [`RunRecord::from_json`]
+/// (records without `failures`/`resumed` fields).
+pub const SCHEMA_V1: &str = "pva-bench-record-v1";
 
 /// The measured output of one cell.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -129,13 +144,15 @@ pub struct CellRecord {
 /// The structured result of running one scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunRecord {
-    /// Schema identifier ([`SCHEMA`]).
+    /// Schema identifier ([`SCHEMA`]; [`SCHEMA_V1`] when parsed from an
+    /// old record).
     pub schema: String,
     /// Scenario name.
     pub scenario: String,
     /// Scenario title.
     pub title: String,
-    /// Per-cell measurements, in grid order.
+    /// Per-cell measurements, in grid order (quarantined cells appear
+    /// zeroed; see `failures`).
     pub cells: Vec<CellRecord>,
     /// Sum of cell cycles.
     pub total_cycles: u64,
@@ -150,6 +167,11 @@ pub struct RunRecord {
     /// scenario's fast-path speedup), attached after the run; empty for
     /// most scenarios.
     pub metrics: Vec<(String, f64)>,
+    /// Number of cells restored from a checkpoint journal rather than
+    /// simulated in this process.
+    pub resumed: u64,
+    /// Cells quarantined after exhausting retries, in grid order.
+    pub failures: Vec<CellFailure>,
 }
 
 impl RunRecord {
@@ -165,6 +187,19 @@ impl RunRecord {
                     ("cycles".into(), Value::Num(c.cycles as f64)),
                     ("bytes".into(), Value::Num(c.bytes as f64)),
                     ("wall_ns".into(), Value::Num(c.wall_ns as f64)),
+                ])
+            })
+            .collect();
+        let failures: Vec<Value> = self
+            .failures
+            .iter()
+            .map(|f| {
+                Value::Obj(vec![
+                    ("system".into(), Value::Str(f.system.clone())),
+                    ("label".into(), Value::Str(f.label.clone())),
+                    ("kind".into(), Value::Str(f.kind.as_str().into())),
+                    ("attempts".into(), Value::Num(f.attempts as f64)),
+                    ("message".into(), Value::Str(f.message.clone())),
                 ])
             })
             .collect();
@@ -189,11 +224,15 @@ impl RunRecord {
                         .collect(),
                 ),
             ),
+            ("resumed".into(), Value::Num(self.resumed as f64)),
+            ("failures".into(), Value::Arr(failures)),
         ])
         .to_json()
     }
 
-    /// Parses and schema-validates a record.
+    /// Parses and schema-validates a record. Accepts the current
+    /// [`SCHEMA`] and the previous [`SCHEMA_V1`] (whose records have no
+    /// `failures`/`resumed` fields).
     pub fn from_json(text: &str) -> Result<RunRecord, String> {
         let v = json::parse(text).map_err(|e| e.to_string())?;
         let field = |k: &str| v.get(k).ok_or_else(|| format!("missing field '{k}'"));
@@ -209,8 +248,10 @@ impl RunRecord {
                 .ok_or_else(|| format!("field '{k}' is not an unsigned integer"))
         };
         let schema = str_field("schema")?;
-        if schema != SCHEMA {
-            return Err(format!("unknown schema '{schema}' (expected '{SCHEMA}')"));
+        if schema != SCHEMA && schema != SCHEMA_V1 {
+            return Err(format!(
+                "unknown schema '{schema}' (expected '{SCHEMA}' or '{SCHEMA_V1}')"
+            ));
         }
         let cells = field("cells")?
             .as_arr()
@@ -234,6 +275,39 @@ impl RunRecord {
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;
+        let failures = match v.get("failures") {
+            None => Vec::new(),
+            Some(Value::Arr(items)) => items
+                .iter()
+                .map(|f| {
+                    let kind_str = f
+                        .get("kind")
+                        .and_then(Value::as_str)
+                        .ok_or("failure field 'kind' is not a string")?;
+                    Ok(CellFailure {
+                        system: f
+                            .get("system")
+                            .and_then(Value::as_str)
+                            .ok_or("failure field 'system' is not a string")?
+                            .to_string(),
+                        label: f
+                            .get("label")
+                            .and_then(Value::as_str)
+                            .ok_or("failure field 'label' is not a string")?
+                            .to_string(),
+                        kind: FailureKind::parse(kind_str)
+                            .ok_or_else(|| format!("unknown failure kind '{kind_str}'"))?,
+                        attempts: u64_field(f, "attempts")? as u32,
+                        message: f
+                            .get("message")
+                            .and_then(Value::as_str)
+                            .ok_or("failure field 'message' is not a string")?
+                            .to_string(),
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            Some(_) => return Err("field 'failures' is not an array".into()),
+        };
         Ok(RunRecord {
             schema,
             scenario: str_field("scenario")?,
@@ -257,60 +331,385 @@ impl RunRecord {
                     .collect::<Result<Vec<_>, String>>()?,
                 Some(_) => return Err("field 'metrics' is not an object".into()),
             },
+            resumed: match v.get("resumed") {
+                None => 0,
+                Some(r) => r
+                    .as_u64()
+                    .ok_or("field 'resumed' is not an unsigned integer")?,
+            },
+            failures,
         })
+    }
+
+    /// The record with every wall-clock-derived field zeroed: cell and
+    /// total `wall_ns`, `sim_cycles_per_sec`, derived `metrics`, and
+    /// the `resumed` count. Two runs of the same scenario — including a
+    /// killed-and-resumed one — must compare equal under `canonical()`;
+    /// everything left is simulation-derived and deterministic.
+    pub fn canonical(&self) -> RunRecord {
+        let mut r = self.clone();
+        r.wall_ns = 0;
+        r.sim_cycles_per_sec = 0.0;
+        r.resumed = 0;
+        r.metrics.clear();
+        for c in &mut r.cells {
+            c.wall_ns = 0;
+        }
+        r
     }
 }
 
 /// A completed scenario: rendered text, structured record, and the raw
 /// cell data (for callers that post-process, e.g. the throughput gate).
+#[derive(Debug)]
 pub struct ScenarioReport {
     /// Scenario name.
     pub name: &'static str,
     /// Whether a committed golden exists for the text.
     pub golden: bool,
-    /// The exact text the legacy binary printed.
+    /// The exact text the legacy binary printed (or, when cells were
+    /// quarantined, a deterministic failure summary).
     pub text: String,
     /// The structured record.
     pub record: RunRecord,
-    /// Raw cell results, in grid order.
+    /// Raw cell results, in grid order (quarantined cells are
+    /// `CellData::default()`).
     pub data: Vec<CellData>,
+}
+
+/// How to execute a batch of scenarios.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Worker threads.
+    pub jobs: usize,
+    /// Isolation / retry / deadline policy.
+    pub policy: ExecPolicy,
+    /// Write-ahead journal path; `None` disables checkpointing.
+    pub journal: Option<PathBuf>,
+    /// Replay a prior journal at `journal` before executing (skipping
+    /// completed cells); ignored when the file is missing or empty.
+    pub resume: bool,
+}
+
+impl ExecConfig {
+    /// A plain configuration: `jobs` workers, default policy, no
+    /// journal.
+    pub fn with_jobs(jobs: usize) -> Self {
+        ExecConfig {
+            jobs,
+            policy: ExecPolicy::default(),
+            journal: None,
+            resume: false,
+        }
+    }
+}
+
+/// Why [`run_scenarios_checked`] gave up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The environment failed the run: unreadable or mismatched
+    /// journal, journal write error.
+    Environment(String),
+    /// A cell exhausted its retries while `strict` was set.
+    StrictFailure(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Environment(m) => f.write_str(m),
+            EngineError::StrictFailure(m) => write!(f, "strict: {m}"),
+        }
+    }
+}
+
+/// The outcome of [`run_scenarios_checked`].
+#[derive(Debug)]
+pub struct EngineRun {
+    /// Per-scenario reports, in selection order.
+    pub reports: Vec<ScenarioReport>,
+    /// Cells restored from the journal instead of simulated.
+    pub resumed_cells: usize,
+    /// Cells quarantined after exhausting retries (sum over scenarios).
+    pub failed_cells: usize,
 }
 
 /// Runs a batch of scenarios, fanning every cell of every scenario
 /// across `jobs` workers. Results are deterministic in content and
-/// order for any `jobs >= 1`.
+/// order for any `jobs >= 1`. Panics if any cell fails after retries —
+/// use [`run_scenarios_checked`] for quarantine semantics.
 pub fn run_scenarios(scenarios: &[&Scenario], jobs: usize) -> Vec<ScenarioReport> {
-    let mut works: Vec<Work> = Vec::new();
-    let mut meta: Vec<(usize, String, String)> = Vec::new();
-    for (si, s) in scenarios.iter().enumerate() {
-        for cell in (s.build)() {
-            works.push(cell.work);
-            meta.push((si, cell.system, cell.label));
+    let run = run_scenarios_checked(scenarios, &ExecConfig::with_jobs(jobs))
+        .expect("engine run succeeds");
+    if let Some(f) = run
+        .reports
+        .iter()
+        .flat_map(|r| r.record.failures.iter())
+        .next()
+    {
+        panic!(
+            "cell {}/{} failed after {} attempt(s): {}",
+            f.system, f.label, f.attempts, f.message
+        );
+    }
+    run.reports
+}
+
+enum Slot {
+    Done(CellData, u64),
+    Failed(CellFailure),
+}
+
+/// Deterministic report text for a scenario with quarantined cells (the
+/// renderer is never called on partial data — some renderers index into
+/// `aux`).
+fn failure_text(name: &str, failures: &[CellFailure]) -> String {
+    let mut out = format!(
+        "{name}: {} cell(s) quarantined; report not rendered\n",
+        failures.len()
+    );
+    for f in failures {
+        out.push_str(&format!(
+            "  [{}] {} {} after {} attempt(s): {}\n",
+            f.kind, f.system, f.label, f.attempts, f.message
+        ));
+    }
+    out
+}
+
+/// A not-yet-executed cell on the pool's deques:
+/// `(global submission index, scenario index, cell index, work)`.
+type PendingCell = (usize, usize, usize, Work);
+
+/// Runs a batch of scenarios under a full [`ExecConfig`]: resilient
+/// per-cell execution, optional write-ahead journaling, and resume.
+///
+/// Returns `Err` on environmental problems (unreadable/mismatched
+/// journal, journal write failure) and — in `strict` mode — on the
+/// first quarantined cell. Cell failures in non-strict mode are *not*
+/// errors: they are quarantined into each record's `failures` list and
+/// counted in [`EngineRun::failed_cells`].
+pub fn run_scenarios_checked(
+    scenarios: &[&Scenario],
+    cfg: &ExecConfig,
+) -> Result<EngineRun, EngineError> {
+    let env = EngineError::Environment;
+    let names: Vec<&str> = scenarios.iter().map(|s| s.name).collect();
+    if cfg.journal.is_some() {
+        let mut uniq = names.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        if uniq.len() != names.len() {
+            return Err(env(
+                "journaling requires unique scenario names in the selection".into(),
+            ));
         }
     }
-    let mut results: VecDeque<(CellData, u64)> = run_jobs(works, jobs).into();
 
+    let replay = match (&cfg.journal, cfg.resume) {
+        (Some(path), true) => journal::load(path).map_err(env)?,
+        _ => None,
+    };
+    if let Some(r) = &replay {
+        if r.selection
+            .iter()
+            .map(String::as_str)
+            .ne(names.iter().copied())
+        {
+            return Err(env(format!(
+                "journal selection [{}] does not match this run's selection [{}]; \
+                 re-run without --resume to start over",
+                r.selection.join(", "),
+                names.join(", ")
+            )));
+        }
+    }
+
+    // Partition cells: replayed (from the journal) vs pending work.
+    let mut meta: Vec<(usize, usize, String, String)> = Vec::new(); // (si, ci, system, label)
+    let mut slots: Vec<Option<Slot>> = Vec::new();
+    let mut replayed: Vec<bool> = Vec::new();
+    let mut pending: Vec<PendingCell> = Vec::new();
+    for (si, s) in scenarios.iter().enumerate() {
+        for (ci, cell) in (s.build)().into_iter().enumerate() {
+            let global = meta.len();
+            let key = (s.name.to_string(), ci);
+            let hit = replay.as_ref().and_then(|r| {
+                r.cells
+                    .get(&key)
+                    .map(|c| Slot::Done(c.data.clone(), c.wall_ns))
+                    .or_else(|| r.failures.get(&key).cloned().map(Slot::Failed))
+            });
+            match hit {
+                Some(slot) => {
+                    slots.push(Some(slot));
+                    replayed.push(true);
+                }
+                None => {
+                    slots.push(None);
+                    replayed.push(false);
+                    pending.push((global, si, ci, cell.work));
+                }
+            }
+            meta.push((si, ci, cell.system, cell.label));
+        }
+    }
+
+    let mut writer = match (&cfg.journal, &replay) {
+        (None, _) => None,
+        (Some(path), None) => Some(
+            Journal::create(path, &names)
+                .map_err(|e| env(format!("creating journal {}: {e}", path.display())))?,
+        ),
+        (Some(path), Some(r)) => Some(
+            Journal::resume(path, r.valid_bytes)
+                .map_err(|e| env(format!("resuming journal {}: {e}", path.display())))?,
+        ),
+    };
+
+    let resumed_cells = replayed.iter().filter(|&&r| r).count();
+    let mut strict_failure: Option<String> = None;
+    let mut journal_error: Option<String> = None;
+
+    if !pending.is_empty() {
+        let workers = cfg.jobs.max(1).min(pending.len());
+        let queues: Vec<Mutex<VecDeque<PendingCell>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (i, job) in pending.into_iter().enumerate() {
+            queues[i % workers].lock().unwrap().push_back(job);
+        }
+        let abort = AtomicBool::new(false);
+        type CellResult = Result<(CellData, u64), (resilient::AttemptError, u32)>;
+        let (tx, rx) = mpsc::channel::<(usize, CellResult)>();
+        std::thread::scope(|scope| {
+            let queues = &queues;
+            let abort = &abort;
+            let policy = &cfg.policy;
+            for wi in 0..workers {
+                let tx = tx.clone();
+                scope.spawn(move || loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let own = queues[wi].lock().unwrap().pop_front();
+                    let job = own.or_else(|| {
+                        (1..workers)
+                            .find_map(|d| queues[(wi + d) % workers].lock().unwrap().pop_back())
+                    });
+                    match job {
+                        Some((global, si, ci, work)) => {
+                            let s = scenarios[si];
+                            let build = s.build;
+                            let rebuild = move || build().into_iter().nth(ci).map(|c| c.work);
+                            let result = resilient::run_cell(work, rebuild, policy, s.name, ci);
+                            // The collector drains inside this scope;
+                            // send cannot fail.
+                            tx.send((global, result)).expect("collector alive");
+                        }
+                        None => break,
+                    }
+                });
+            }
+            drop(tx);
+            // Collect (and journal) on the scope's own thread while the
+            // workers run: the loop ends when every worker has exited
+            // and dropped its sender, so nothing blocks scope exit.
+            for (global, result) in rx {
+                let (si, ci, system, label) = &meta[global];
+                let name = scenarios[*si].name;
+                match result {
+                    Ok((data, wall_ns)) => {
+                        if let Some(j) = writer.as_mut() {
+                            if let Err(e) = j.record_cell(name, *ci, system, label, &data, wall_ns)
+                            {
+                                journal_error.get_or_insert(format!("journal write: {e}"));
+                            }
+                        }
+                        slots[global] = Some(Slot::Done(data, wall_ns));
+                    }
+                    Err((err, attempts)) => {
+                        let failure = CellFailure {
+                            system: system.clone(),
+                            label: label.clone(),
+                            kind: err.kind,
+                            attempts,
+                            message: err.message,
+                        };
+                        if cfg.policy.strict {
+                            // Fail fast; deliberately NOT journaled, so
+                            // a later --resume retries the cell instead
+                            // of replaying the failure forever.
+                            abort.store(true, Ordering::Relaxed);
+                            strict_failure.get_or_insert(format!(
+                                "cell {}/{} failed after {} attempt(s): {}",
+                                failure.system, failure.label, attempts, failure.message
+                            ));
+                        } else if let Some(j) = writer.as_mut() {
+                            if let Err(e) = j.record_failure(name, *ci, &failure) {
+                                journal_error.get_or_insert(format!("journal write: {e}"));
+                            }
+                        }
+                        slots[global] = Some(Slot::Failed(failure));
+                    }
+                }
+            }
+        });
+    }
+    if let Some(msg) = strict_failure {
+        return Err(EngineError::StrictFailure(msg));
+    }
+    if let Some(msg) = journal_error {
+        return Err(env(msg));
+    }
+
+    // Assemble per-scenario reports in grid order.
     let mut reports = Vec::new();
+    let mut failed_cells = 0usize;
     let mut cursor = 0usize;
     for (si, s) in scenarios.iter().enumerate() {
         let mut data = Vec::new();
         let mut cells = Vec::new();
+        let mut failures = Vec::new();
+        let mut resumed = 0u64;
         while cursor < meta.len() && meta[cursor].0 == si {
-            let (d, wall_ns) = results.pop_front().expect("one result per cell");
-            cells.push(CellRecord {
-                system: meta[cursor].1.clone(),
-                label: meta[cursor].2.clone(),
-                cycles: d.cycles,
-                bytes: d.bytes,
-                wall_ns,
-            });
-            data.push(d);
+            let (_, _, system, label) = &meta[cursor];
+            if replayed[cursor] {
+                resumed += 1;
+            }
+            match slots[cursor].take().expect("every cell resolved") {
+                Slot::Done(d, wall_ns) => {
+                    cells.push(CellRecord {
+                        system: system.clone(),
+                        label: label.clone(),
+                        cycles: d.cycles,
+                        bytes: d.bytes,
+                        wall_ns,
+                    });
+                    data.push(d);
+                }
+                Slot::Failed(f) => {
+                    cells.push(CellRecord {
+                        system: system.clone(),
+                        label: label.clone(),
+                        cycles: 0,
+                        bytes: 0,
+                        wall_ns: 0,
+                    });
+                    data.push(CellData::default());
+                    failures.push(f);
+                }
+            }
             cursor += 1;
         }
+        failed_cells += failures.len();
         let total_cycles: u64 = cells.iter().map(|c| c.cycles).sum();
         let total_bytes: u64 = cells.iter().map(|c| c.bytes).sum();
         let wall_ns: u64 = cells.iter().map(|c| c.wall_ns).sum();
-        let text = (s.render)(&data);
+        let text = if failures.is_empty() {
+            (s.render)(&data)
+        } else {
+            failure_text(s.name, &failures)
+        };
         reports.push(ScenarioReport {
             name: s.name,
             golden: s.golden,
@@ -329,75 +728,23 @@ pub fn run_scenarios(scenarios: &[&Scenario], jobs: usize) -> Vec<ScenarioReport
                     total_cycles as f64 / (wall_ns as f64 / 1e9)
                 },
                 metrics: Vec::new(),
+                resumed,
+                failures,
             },
             data,
         });
     }
-    reports
-}
-
-/// Executes the closures on a work-stealing pool and returns
-/// `(result, wall_ns)` in submission order.
-///
-/// Jobs are dealt round-robin onto per-worker deques; a worker pops
-/// from the front of its own deque and steals from the back of the
-/// others when it runs dry. With a fixed job set (no job enqueues new
-/// work) "all deques empty" is a correct termination test.
-fn run_jobs(works: Vec<Work>, jobs: usize) -> Vec<(CellData, u64)> {
-    let n = works.len();
-    if jobs <= 1 || n <= 1 {
-        return works
-            .into_iter()
-            .map(|w| {
-                let t0 = Instant::now();
-                let d = w();
-                (d, t0.elapsed().as_nanos() as u64)
-            })
-            .collect();
-    }
-    let workers = jobs.min(n);
-    let queues: Vec<Mutex<VecDeque<(usize, Work)>>> =
-        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
-    for (i, w) in works.into_iter().enumerate() {
-        queues[i % workers].lock().unwrap().push_back((i, w));
-    }
-    let (tx, rx) = mpsc::channel::<(usize, CellData, u64)>();
-    std::thread::scope(|scope| {
-        let queues = &queues;
-        for wi in 0..workers {
-            let tx = tx.clone();
-            scope.spawn(move || loop {
-                let own = queues[wi].lock().unwrap().pop_front();
-                let job = own.or_else(|| {
-                    (1..workers).find_map(|d| queues[(wi + d) % workers].lock().unwrap().pop_back())
-                });
-                match job {
-                    Some((i, w)) => {
-                        let t0 = Instant::now();
-                        let d = w();
-                        let ns = t0.elapsed().as_nanos() as u64;
-                        // The receiver outlives the scope; send cannot fail.
-                        tx.send((i, d, ns)).expect("collector alive");
-                    }
-                    None => break,
-                }
-            });
-        }
-        drop(tx);
-    });
-    let mut slots: Vec<Option<(CellData, u64)>> = (0..n).map(|_| None).collect();
-    for (i, d, ns) in rx {
-        slots[i] = Some((d, ns));
-    }
-    slots
-        .into_iter()
-        .map(|s| s.expect("every job reports exactly once"))
-        .collect()
+    Ok(EngineRun {
+        reports,
+        resumed_cells,
+        failed_cells,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     fn tiny_scenario() -> Scenario {
         Scenario {
@@ -419,6 +766,29 @@ mod tests {
                 let total: u64 = cells.iter().map(|c| c.cycles).sum();
                 format!("total {total}\n")
             },
+        }
+    }
+
+    fn panicky_scenario() -> Scenario {
+        Scenario {
+            name: "panicky",
+            alias: "",
+            title: "one cell always panics",
+            smoke: false,
+            golden: false,
+            build: || {
+                (0..5u64)
+                    .map(|i| {
+                        CellSpec::new("sys", format!("cell{i}"), move || {
+                            if i == 2 {
+                                panic!("cell 2 is broken");
+                            }
+                            CellData::cycles(i, 0)
+                        })
+                    })
+                    .collect()
+            },
+            render: |cells| format!("sum {}\n", cells.iter().map(|c| c.cycles).sum::<u64>()),
         }
     }
 
@@ -444,8 +814,36 @@ mod tests {
     fn record_json_round_trips() {
         let reports = run_scenarios(&[&tiny_scenario()], 4);
         let rec = &reports[0].record;
+        assert_eq!(rec.schema, SCHEMA);
         let parsed = RunRecord::from_json(&rec.to_json()).expect("valid record");
         assert_eq!(&parsed, rec);
+    }
+
+    #[test]
+    fn failures_round_trip_through_json() {
+        let mut rec = run_scenarios(&[&tiny_scenario()], 1)[0].record.clone();
+        rec.failures.push(CellFailure {
+            system: "sys".into(),
+            label: "cell3".into(),
+            kind: FailureKind::WatchdogTrip,
+            attempts: 3,
+            message: "no response".into(),
+        });
+        rec.resumed = 5;
+        let parsed = RunRecord::from_json(&rec.to_json()).expect("valid record");
+        assert_eq!(parsed, rec);
+    }
+
+    #[test]
+    fn from_json_accepts_v1_records() {
+        let v1 = r#"{"schema": "pva-bench-record-v1", "scenario": "x", "title": "y",
+            "cells": [{"system": "s", "label": "l", "cycles": 1, "bytes": 2,
+            "wall_ns": 3}], "total_cycles": 1, "total_bytes": 2,
+            "wall_ns": 3, "sim_cycles_per_sec": 0.5}"#;
+        let rec = RunRecord::from_json(v1).expect("v1 accepted");
+        assert_eq!(rec.schema, SCHEMA_V1);
+        assert_eq!(rec.resumed, 0);
+        assert!(rec.failures.is_empty());
     }
 
     #[test]
@@ -456,10 +854,28 @@ mod tests {
             "wall_ns": 0, "sim_cycles_per_sec": 0}"#;
         let err = RunRecord::from_json(wrong).unwrap_err();
         assert!(err.contains("unknown schema"), "{err}");
-        let bad_cell = r#"{"schema": "pva-bench-record-v1", "scenario": "x",
+        let bad_cell = r#"{"schema": "pva-bench-record-v2", "scenario": "x",
             "title": "y", "cells": [{"system": "s"}], "total_cycles": 0,
             "total_bytes": 0, "wall_ns": 0, "sim_cycles_per_sec": 0}"#;
         assert!(RunRecord::from_json(bad_cell).is_err());
+    }
+
+    #[test]
+    fn canonical_zeroes_wall_derived_fields_only() {
+        let mut rec = run_scenarios(&[&tiny_scenario()], 2)[0].record.clone();
+        rec.metrics.push(("speedup".into(), 2.0));
+        rec.resumed = 3;
+        let c = rec.canonical();
+        assert_eq!(c.wall_ns, 0);
+        assert_eq!(c.sim_cycles_per_sec, 0.0);
+        assert_eq!(c.resumed, 0);
+        assert!(c.metrics.is_empty());
+        assert!(c.cells.iter().all(|cell| cell.wall_ns == 0));
+        assert_eq!(c.total_cycles, rec.total_cycles);
+        assert_eq!(
+            c.cells.iter().map(|x| x.cycles).collect::<Vec<_>>(),
+            rec.cells.iter().map(|x| x.cycles).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -471,5 +887,110 @@ mod tests {
         assert_eq!(reports[0].record.cells.len(), 17);
         assert_eq!(reports[1].record.cells.len(), 17);
         assert_eq!(reports[0].text, reports[1].text);
+    }
+
+    #[test]
+    fn quarantine_preserves_siblings_and_grid_order() {
+        let bad = panicky_scenario();
+        let good = tiny_scenario();
+        let cfg = ExecConfig {
+            policy: ExecPolicy {
+                retries: 1,
+                backoff_base: Duration::from_millis(1),
+                ..ExecPolicy::default()
+            },
+            ..ExecConfig::with_jobs(4)
+        };
+        let run = run_scenarios_checked(&[&bad, &good], &cfg).expect("quarantine, not error");
+        assert_eq!(run.failed_cells, 1);
+        let r = &run.reports[0];
+        assert_eq!(r.record.failures.len(), 1);
+        let f = &r.record.failures[0];
+        assert_eq!(f.label, "cell2");
+        assert_eq!(f.kind, FailureKind::Panic);
+        assert_eq!(f.attempts, 2);
+        assert_eq!(f.message, "cell 2 is broken");
+        // Sibling cells of the same scenario still ran...
+        assert_eq!(r.record.cells.len(), 5);
+        assert_eq!(r.record.cells[4].cycles, 4);
+        // ...the failed one is zeroed in place...
+        assert_eq!(r.record.cells[2].cycles, 0);
+        // ...and the failure text is deterministic.
+        assert!(r.text.contains("1 cell(s) quarantined"), "{}", r.text);
+        // The healthy sibling scenario is untouched.
+        assert_eq!(run.reports[1].text, "total 13600\n");
+    }
+
+    #[test]
+    fn strict_mode_fails_fast_with_the_cell_identity() {
+        let bad = panicky_scenario();
+        let cfg = ExecConfig {
+            policy: ExecPolicy {
+                strict: true,
+                retries: 0,
+                ..ExecPolicy::default()
+            },
+            ..ExecConfig::with_jobs(2)
+        };
+        let err = run_scenarios_checked(&[&bad], &cfg).expect_err("strict fails");
+        let EngineError::StrictFailure(msg) = err else {
+            panic!("expected a strict failure, got {err:?}");
+        };
+        assert!(msg.contains("cell sys/cell2"), "{msg}");
+        assert!(msg.contains("cell 2 is broken"), "{msg}");
+    }
+
+    #[test]
+    fn journal_then_full_resume_replays_every_cell() {
+        let dir = std::env::temp_dir().join("pva-bench-engine-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("full_resume.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let s = tiny_scenario();
+        let cfg = ExecConfig {
+            journal: Some(path.clone()),
+            ..ExecConfig::with_jobs(4)
+        };
+        let first = run_scenarios_checked(&[&s], &cfg).expect("first run");
+        assert_eq!(first.resumed_cells, 0);
+        let cfg_resume = ExecConfig {
+            journal: Some(path.clone()),
+            resume: true,
+            ..ExecConfig::with_jobs(4)
+        };
+        let second = run_scenarios_checked(&[&s], &cfg_resume).expect("resume");
+        assert_eq!(second.resumed_cells, 17);
+        assert_eq!(second.reports[0].record.resumed, 17);
+        // Wall times were restored verbatim, so even the non-canonical
+        // records match (modulo the resumed counter).
+        let mut replayed = second.reports[0].record.clone();
+        replayed.resumed = 0;
+        assert_eq!(replayed, first.reports[0].record);
+        assert_eq!(second.reports[0].text, first.reports[0].text);
+    }
+
+    #[test]
+    fn resume_with_mismatched_selection_is_refused() {
+        let dir = std::env::temp_dir().join("pva-bench-engine-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mismatch.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let s = tiny_scenario();
+        let cfg = ExecConfig {
+            journal: Some(path.clone()),
+            ..ExecConfig::with_jobs(2)
+        };
+        run_scenarios_checked(&[&s], &cfg).expect("first run");
+        let other = panicky_scenario();
+        let cfg_resume = ExecConfig {
+            journal: Some(path.clone()),
+            resume: true,
+            ..ExecConfig::with_jobs(2)
+        };
+        let err = run_scenarios_checked(&[&other], &cfg_resume).expect_err("selection mismatch");
+        let EngineError::Environment(msg) = err else {
+            panic!("expected an environment error, got {err:?}");
+        };
+        assert!(msg.contains("does not match"), "{msg}");
     }
 }

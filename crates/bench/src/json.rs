@@ -75,6 +75,46 @@ impl Value {
         out
     }
 
+    /// Serializes onto a single line with no trailing newline — the
+    /// form used for journal (JSONL) lines, where one record must never
+    /// span lines.
+    pub fn to_json_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(n) => write_num(out, *n),
+            Value::Str(s) => write_str(out, s),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_compact(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Value::Null => out.push_str("null"),
@@ -166,11 +206,15 @@ pub fn parse(input: &str) -> Result<Value, ParseError> {
     Ok(v)
 }
 
-/// A parse failure with a byte offset.
+/// A parse failure with byte-offset and line/column context.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     /// Byte offset of the failure.
     pub offset: usize,
+    /// 1-based line of the failure.
+    pub line: usize,
+    /// 1-based column (in bytes) of the failure.
+    pub column: usize,
     /// What went wrong.
     pub message: String,
 }
@@ -179,10 +223,23 @@ impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "JSON parse error at byte {}: {}",
-            self.offset, self.message
+            "JSON parse error at line {}, column {} (byte {}): {}",
+            self.line, self.column, self.offset, self.message
         )
     }
+}
+
+/// 1-based (line, column) of a byte offset within `input`. Offsets past
+/// the end report the position just after the last byte.
+pub fn line_col(input: &[u8], offset: usize) -> (usize, usize) {
+    let upto = offset.min(input.len());
+    let line = 1 + input[..upto].iter().filter(|&&b| b == b'\n').count();
+    let col = 1 + upto
+        - input[..upto]
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map_or(0, |p| p + 1);
+    (line, col)
 }
 
 struct Parser<'a> {
@@ -192,8 +249,11 @@ struct Parser<'a> {
 
 impl Parser<'_> {
     fn err(&self, message: &str) -> ParseError {
+        let (line, column) = line_col(self.bytes, self.pos);
         ParseError {
             offset: self.pos,
+            line,
+            column,
             message: message.to_string(),
         }
     }
@@ -423,6 +483,37 @@ mod tests {
             parse("  [true, null, \"\\u0041\"]  ").unwrap(),
             Value::Arr(vec![Value::Bool(true), Value::Null, Value::Str("A".into())])
         );
+    }
+
+    #[test]
+    fn compact_form_is_single_line_and_round_trips() {
+        let v = parse("{\"a\": 1, \"b\": [true, null, \"x\"], \"c\": {}}").unwrap();
+        let compact = v.to_json_compact();
+        assert_eq!(compact, "{\"a\":1,\"b\":[true,null,\"x\"],\"c\":{}}");
+        assert!(!compact.contains('\n'));
+        assert_eq!(parse(&compact).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_and_column() {
+        let err = parse("{\n  \"a\": 1,\n  \"b\": ?\n}").unwrap_err();
+        assert_eq!((err.line, err.column), (3, 8));
+        let shown = err.to_string();
+        assert!(shown.contains("line 3, column 8"), "{shown}");
+        // Offsets past the end (truncated document) still locate.
+        let err = parse("[1,\n2,").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn line_col_maps_offsets() {
+        let b = b"ab\ncd\n";
+        assert_eq!(line_col(b, 0), (1, 1));
+        assert_eq!(line_col(b, 2), (1, 3));
+        assert_eq!(line_col(b, 3), (2, 1));
+        assert_eq!(line_col(b, 4), (2, 2));
+        assert_eq!(line_col(b, 6), (3, 1));
+        assert_eq!(line_col(b, 999), (3, 1));
     }
 
     #[test]

@@ -14,8 +14,10 @@ use pva_sim::{PvaConfig, RowPolicy};
 
 pub mod campaign;
 pub mod engine;
+pub mod journal;
 pub mod json;
 pub mod report;
+pub mod resilient;
 pub mod scenarios;
 
 /// One row of the figure-7/8 stride sweeps: a kernel at a stride, with

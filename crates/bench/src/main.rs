@@ -2,10 +2,14 @@
 //!
 //! ```text
 //! pva-bench list
-//! pva-bench <scenario> [--jobs N] [--json DIR]
+//! pva-bench <scenario> [--jobs N] [--json DIR] [EXEC FLAGS]
 //! pva-bench all [--smoke] [--jobs N] [--json DIR] [--out DIR] [--verify DIR]
-//!               [--min-speedup X]
+//!               [--min-speedup X] [EXEC FLAGS]
 //! pva-bench validate FILE...
+//! pva-bench diff A.json B.json
+//!
+//! EXEC FLAGS: [--journal PATH] [--resume] [--cell-timeout SECS]
+//!             [--retries N] [--strict]
 //! ```
 //!
 //! A single scenario prints exactly what its legacy binary printed
@@ -14,23 +18,92 @@
 //! text (`--out`) and `BENCH_<name>.json` records (`--json`), and can
 //! diff the text against committed goldens (`--verify`). `--min-speedup`
 //! gates on the `throughput` scenario's fast-path speedup.
+//!
+//! Execution is resilient: `--journal` checkpoints every completed cell
+//! to a write-ahead JSONL file so a killed run continues with
+//! `--resume`; `--cell-timeout` bounds each cell's wall clock (0
+//! disables); failing cells retry up to `--retries` times and are then
+//! quarantined into the record's `failures` section — or abort the run
+//! under `--strict`. `validate` checks `BENCH_*.json` records *and*
+//! journal files; `diff` compares two records canonically (ignoring
+//! wall-clock fields).
+//!
+//! Exit codes: 0 ok · 1 runtime error · 2 usage · 3 verify/diff
+//! mismatch · 4 schema-invalid input · 5 cell failures present.
 
 use std::io::Write as _;
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
-use pva_bench::engine::{run_scenarios, RunRecord, Scenario, ScenarioReport};
+use pva_bench::engine::{
+    run_scenarios_checked, EngineError, EngineRun, ExecConfig, RunRecord, Scenario, ScenarioReport,
+};
+use pva_bench::journal;
+use pva_bench::resilient::ExecPolicy;
 use pva_bench::scenarios::{find, scenarios, throughput_metrics, throughput_speedup};
+
+/// Everything went fine.
+const EXIT_OK: u8 = 0;
+/// Runtime/environment error (I/O, unreadable journal, strict-less
+/// engine failure).
+const EXIT_ERROR: u8 = 1;
+/// Bad command line.
+const EXIT_USAGE: u8 = 2;
+/// `--verify` golden mismatch, `--min-speedup` gate failure, or `diff`
+/// records differ.
+const EXIT_VERIFY: u8 = 3;
+/// `validate`/`diff` input failed to parse or validate.
+const EXIT_SCHEMA: u8 = 4;
+/// One or more cells were quarantined (also used for `--strict`
+/// aborts).
+const EXIT_CELL_FAILURES: u8 = 5;
+
+/// What went wrong during a run; folded into one documented exit code.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+struct RunStatus {
+    /// I/O or engine-environment error.
+    error: bool,
+    /// Quarantined cells present (or a strict abort).
+    cell_failures: bool,
+    /// Golden text / throughput-gate mismatch.
+    verify_mismatch: bool,
+    /// A record or journal failed schema validation.
+    schema_invalid: bool,
+}
+
+/// The documented exit-code mapping, most severe first: cell failures
+/// (5) over schema problems (4) over verify mismatches (3) over plain
+/// errors (1).
+fn exit_code(s: RunStatus) -> u8 {
+    if s.cell_failures {
+        EXIT_CELL_FAILURES
+    } else if s.schema_invalid {
+        EXIT_SCHEMA
+    } else if s.verify_mismatch {
+        EXIT_VERIFY
+    } else if s.error {
+        EXIT_ERROR
+    } else {
+        EXIT_OK
+    }
+}
 
 fn usage() -> ! {
     eprintln!(
         "usage: pva-bench list\n\
-         \x20      pva-bench <scenario> [--jobs N] [--json DIR]\n\
+         \x20      pva-bench <scenario> [--jobs N] [--json DIR] [EXEC FLAGS]\n\
          \x20      pva-bench all [--smoke] [--jobs N] [--json DIR] [--out DIR]\n\
-         \x20                    [--verify DIR] [--min-speedup X]\n\
+         \x20                    [--verify DIR] [--min-speedup X] [EXEC FLAGS]\n\
          \x20      pva-bench validate FILE...\n\
+         \x20      pva-bench diff A.json B.json\n\
+         EXEC FLAGS: [--journal PATH] [--resume] [--cell-timeout SECS]\n\
+         \x20           [--retries N] [--strict]\n\
+         exit codes: 0 ok, 1 error, 2 usage, 3 verify/diff mismatch,\n\
+         \x20           4 schema-invalid, 5 cell failures\n\
          run `pva-bench list` for scenario names"
     );
-    std::process::exit(2);
+    std::process::exit(EXIT_USAGE as i32);
 }
 
 struct Options {
@@ -40,6 +113,12 @@ struct Options {
     out_dir: Option<String>,
     verify_dir: Option<String>,
     min_speedup: Option<f64>,
+    journal: Option<String>,
+    resume: bool,
+    /// Per-cell wall-clock budget in seconds; 0 disables.
+    cell_timeout: f64,
+    retries: u32,
+    strict: bool,
 }
 
 fn parse_options(args: &[String]) -> Options {
@@ -50,6 +129,11 @@ fn parse_options(args: &[String]) -> Options {
         out_dir: None,
         verify_dir: None,
         min_speedup: None,
+        journal: None,
+        resume: false,
+        cell_timeout: 120.0,
+        retries: 2,
+        strict: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -57,7 +141,7 @@ fn parse_options(args: &[String]) -> Options {
             it.next()
                 .unwrap_or_else(|| {
                     eprintln!("{flag} takes a value");
-                    std::process::exit(2);
+                    std::process::exit(EXIT_USAGE as i32);
                 })
                 .clone()
         };
@@ -66,11 +150,11 @@ fn parse_options(args: &[String]) -> Options {
             "--jobs" => {
                 o.jobs = value("--jobs").parse().unwrap_or_else(|_| {
                     eprintln!("--jobs takes a positive integer");
-                    std::process::exit(2);
+                    std::process::exit(EXIT_USAGE as i32);
                 });
                 if o.jobs == 0 {
                     eprintln!("--jobs takes a positive integer");
-                    std::process::exit(2);
+                    std::process::exit(EXIT_USAGE as i32);
                 }
             }
             "--json" => o.json_dir = Some(value("--json")),
@@ -79,20 +163,60 @@ fn parse_options(args: &[String]) -> Options {
             "--min-speedup" => {
                 o.min_speedup = Some(value("--min-speedup").parse().unwrap_or_else(|_| {
                     eprintln!("--min-speedup takes a number");
-                    std::process::exit(2);
+                    std::process::exit(EXIT_USAGE as i32);
                 }))
             }
+            "--journal" => o.journal = Some(value("--journal")),
+            "--resume" => o.resume = true,
+            "--cell-timeout" => {
+                o.cell_timeout = value("--cell-timeout").parse().unwrap_or_else(|_| {
+                    eprintln!("--cell-timeout takes seconds (0 disables)");
+                    std::process::exit(EXIT_USAGE as i32);
+                });
+                if !o.cell_timeout.is_finite() || o.cell_timeout < 0.0 {
+                    eprintln!("--cell-timeout takes seconds (0 disables)");
+                    std::process::exit(EXIT_USAGE as i32);
+                }
+            }
+            "--retries" => {
+                o.retries = value("--retries").parse().unwrap_or_else(|_| {
+                    eprintln!("--retries takes a non-negative integer");
+                    std::process::exit(EXIT_USAGE as i32);
+                })
+            }
+            "--strict" => o.strict = true,
             _ => usage(),
         }
+    }
+    if o.resume && o.journal.is_none() {
+        eprintln!("--resume requires --journal PATH");
+        std::process::exit(EXIT_USAGE as i32);
     }
     o
 }
 
+fn exec_config(o: &Options) -> ExecConfig {
+    ExecConfig {
+        jobs: o.jobs,
+        policy: ExecPolicy {
+            cell_timeout: (o.cell_timeout > 0.0).then(|| Duration::from_secs_f64(o.cell_timeout)),
+            retries: o.retries,
+            strict: o.strict,
+            ..ExecPolicy::default()
+        },
+        journal: o.journal.as_ref().map(PathBuf::from),
+        resume: o.resume,
+    }
+}
+
 /// Attaches scenario-specific derived metrics to the structured
 /// records (currently: the throughput scenario's fast-path speedup).
+/// Scenarios with quarantined cells keep empty metrics.
 fn attach_metrics(reports: &mut [ScenarioReport]) {
     if let Some(r) = reports.iter_mut().find(|r| r.name == "throughput") {
-        r.record.metrics = throughput_metrics(&r.data);
+        if r.record.failures.is_empty() {
+            r.record.metrics = throughput_metrics(&r.data);
+        }
     }
 }
 
@@ -135,6 +259,9 @@ fn gate_speedup(reports: &[ScenarioReport], floor: f64) -> Result<f64, String> {
         .iter()
         .find(|r| r.name == "throughput")
         .ok_or("--min-speedup given but the throughput scenario did not run")?;
+    if !t.record.failures.is_empty() {
+        return Err("--min-speedup given but the throughput probe cell was quarantined".into());
+    }
     let speedup = throughput_speedup(&t.data);
     if speedup < floor {
         return Err(format!(
@@ -142,6 +269,38 @@ fn gate_speedup(reports: &[ScenarioReport], floor: f64) -> Result<f64, String> {
         ));
     }
     Ok(speedup)
+}
+
+/// Prints quarantined-cell details to stderr; returns how many there
+/// were.
+fn report_failures(reports: &[ScenarioReport]) -> usize {
+    let mut n = 0;
+    for r in reports {
+        for f in &r.record.failures {
+            n += 1;
+            eprintln!(
+                "cell FAILED: {}: [{}] {} {} after {} attempt(s): {}",
+                r.name, f.kind, f.system, f.label, f.attempts, f.message
+            );
+        }
+    }
+    n
+}
+
+fn run_checked(selected: &[&Scenario], opts: &Options) -> Result<EngineRun, (String, RunStatus)> {
+    run_scenarios_checked(selected, &exec_config(opts)).map_err(|e| {
+        let status = match &e {
+            EngineError::StrictFailure(_) => RunStatus {
+                cell_failures: true,
+                ..RunStatus::default()
+            },
+            EngineError::Environment(_) => RunStatus {
+                error: true,
+                ..RunStatus::default()
+            },
+        };
+        (e.to_string(), status)
+    })
 }
 
 fn cmd_all(opts: &Options) -> ExitCode {
@@ -153,11 +312,22 @@ fn cmd_all(opts: &Options) -> ExitCode {
         opts.jobs,
         if opts.smoke { " [smoke subset]" } else { "" }
     );
-    let mut reports = run_scenarios(&selected, opts.jobs);
+    let mut status = RunStatus::default();
+    let run = match run_checked(&selected, opts) {
+        Ok(run) => run,
+        Err((msg, st)) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(exit_code(st));
+        }
+    };
+    if run.resumed_cells > 0 {
+        eprintln!("resumed {} cell(s) from the journal", run.resumed_cells);
+    }
+    let mut reports = run.reports;
     attach_metrics(&mut reports);
     if let Err(e) = write_outputs(&reports, opts) {
         eprintln!("error: {e}");
-        return ExitCode::FAILURE;
+        status.error = true;
     }
 
     let mut t = pva_bench::report::Table::new(vec![
@@ -180,14 +350,20 @@ fn cmd_all(opts: &Options) -> ExitCode {
     }
     println!("{t}");
 
-    let mut ok = true;
+    if report_failures(&reports) > 0 {
+        status.cell_failures = true;
+        eprintln!(
+            "{} cell(s) quarantined; partial results written (exit code {})",
+            run.failed_cells, EXIT_CELL_FAILURES
+        );
+    }
     if let Some(dir) = &opts.verify_dir {
         let bad = verify(&reports, dir);
         if bad.is_empty() {
             let checked = reports.iter().filter(|r| r.golden).count();
             println!("verify: {checked} scenario(s) byte-identical to {dir}/");
         } else {
-            ok = false;
+            status.verify_mismatch = true;
             for b in &bad {
                 eprintln!("verify FAILED: {b}");
             }
@@ -197,32 +373,42 @@ fn cmd_all(opts: &Options) -> ExitCode {
         match gate_speedup(&reports, floor) {
             Ok(s) => println!("throughput gate: fast-path speedup {s:.2}x >= {floor:.2}x"),
             Err(e) => {
-                ok = false;
+                status.verify_mismatch = true;
                 eprintln!("error: {e}");
             }
         }
     }
-    if ok {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
-    }
+    ExitCode::from(exit_code(status))
 }
 
 fn cmd_one(name: &str, opts: &Options) -> ExitCode {
     let Some(s) = find(name) else {
         eprintln!("unknown scenario '{name}'; run `pva-bench list`");
-        return ExitCode::from(2);
+        return ExitCode::from(EXIT_USAGE);
     };
-    let mut reports = run_scenarios(&[&s], opts.jobs);
+    let mut status = RunStatus::default();
+    let run = match run_checked(&[&s], opts) {
+        Ok(run) => run,
+        Err((msg, st)) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(exit_code(st));
+        }
+    };
+    if run.resumed_cells > 0 {
+        eprintln!("resumed {} cell(s) from the journal", run.resumed_cells);
+    }
+    let mut reports = run.reports;
     attach_metrics(&mut reports);
     if let Err(e) = write_outputs(&reports, opts) {
         eprintln!("error: {e}");
-        return ExitCode::FAILURE;
+        status.error = true;
     }
     print!("{}", reports[0].text);
     let _ = std::io::stdout().flush();
-    ExitCode::SUCCESS
+    if report_failures(&reports) > 0 {
+        status.cell_failures = true;
+    }
+    ExitCode::from(exit_code(status))
 }
 
 fn cmd_list() -> ExitCode {
@@ -239,33 +425,119 @@ fn cmd_list() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Validates one journal file, printing a verdict line.
+fn validate_journal(f: &str) -> Result<String, String> {
+    match journal::load(std::path::Path::new(f))? {
+        None => Ok("empty journal (nothing to resume)".into()),
+        Some(r) => Ok(format!(
+            "journal for [{}]: {} cell(s), {} failure(s){}",
+            r.selection.join(", "),
+            r.cells.len(),
+            r.failures.len(),
+            if r.torn_tail {
+                ", torn trailing line (tolerated on resume)"
+            } else {
+                ""
+            }
+        )),
+    }
+}
+
 fn cmd_validate(files: &[String]) -> ExitCode {
     if files.is_empty() {
         usage();
     }
-    let mut ok = true;
+    let mut status = RunStatus::default();
     for f in files {
         let verdict = std::fs::read_to_string(f)
             .map_err(|e| e.to_string())
-            .and_then(|text| RunRecord::from_json(&text).map_err(|e| e.to_string()));
+            .and_then(|text| {
+                if text.trim_start().starts_with("{\"journal\"") {
+                    validate_journal(f)
+                } else {
+                    RunRecord::from_json(&text).map(|rec| {
+                        format!(
+                            "ok ({}, {} cells, {} cycles{}{})",
+                            rec.scenario,
+                            rec.cells.len(),
+                            rec.total_cycles,
+                            if rec.resumed > 0 {
+                                format!(", {} resumed", rec.resumed)
+                            } else {
+                                String::new()
+                            },
+                            if rec.failures.is_empty() {
+                                String::new()
+                            } else {
+                                format!(", {} FAILED cells", rec.failures.len())
+                            }
+                        )
+                    })
+                }
+            });
         match verdict {
-            Ok(rec) => println!(
-                "{f}: ok ({}, {} cells, {} cycles)",
-                rec.scenario,
-                rec.cells.len(),
-                rec.total_cycles
-            ),
+            Ok(line) => println!("{f}: {line}"),
             Err(e) => {
-                ok = false;
+                status.schema_invalid = true;
                 eprintln!("{f}: INVALID: {e}");
             }
         }
     }
-    if ok {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
+    ExitCode::from(exit_code(status))
+}
+
+/// Compares two run records canonically (wall-clock-derived fields —
+/// per-cell and total wall times, throughput, metrics, resumed counts —
+/// zeroed on both sides first).
+fn cmd_diff(a: &str, b: &str) -> ExitCode {
+    let load = |f: &str| -> Result<RunRecord, String> {
+        let text = std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?;
+        RunRecord::from_json(&text).map_err(|e| format!("{f}: {e}"))
+    };
+    let (ra, rb) = match (load(a), load(b)) {
+        (Ok(ra), Ok(rb)) => (ra, rb),
+        (a_res, b_res) => {
+            for r in [a_res, b_res] {
+                if let Err(e) = r {
+                    eprintln!("INVALID: {e}");
+                }
+            }
+            return ExitCode::from(EXIT_SCHEMA);
+        }
+    };
+    let (ca, cb) = (ra.canonical(), rb.canonical());
+    if ca == cb {
+        println!(
+            "identical (canonical): {} — {} cells, {} cycles",
+            ca.scenario,
+            ca.cells.len(),
+            ca.total_cycles
+        );
+        return ExitCode::SUCCESS;
     }
+    eprintln!("records differ (canonical comparison):");
+    if ca.scenario != cb.scenario {
+        eprintln!("  scenario: {} vs {}", ca.scenario, cb.scenario);
+    }
+    if ca.total_cycles != cb.total_cycles {
+        eprintln!("  total_cycles: {} vs {}", ca.total_cycles, cb.total_cycles);
+    }
+    if ca.cells.len() != cb.cells.len() {
+        eprintln!("  cells: {} vs {}", ca.cells.len(), cb.cells.len());
+    } else {
+        for (i, (x, y)) in ca.cells.iter().zip(&cb.cells).enumerate() {
+            if x != y {
+                eprintln!(
+                    "  cell {i} ({}/{}): cycles {} vs {}, bytes {} vs {}",
+                    x.system, x.label, x.cycles, y.cycles, x.bytes, y.bytes
+                );
+            }
+        }
+    }
+    if ca.failures != cb.failures {
+        eprintln!("  failures: {} vs {}", ca.failures.len(), cb.failures.len());
+    }
+    ExitCode::from(EXIT_VERIFY)
 }
 
 fn main() -> ExitCode {
@@ -274,8 +546,67 @@ fn main() -> ExitCode {
         None => usage(),
         Some("list") => cmd_list(),
         Some("validate") => cmd_validate(&args[1..]),
+        Some("diff") => match &args[1..] {
+            [a, b] => cmd_diff(a, b),
+            _ => usage(),
+        },
         Some("all") => cmd_all(&parse_options(&args[1..])),
         Some(name) if name.starts_with('-') => usage(),
         Some(name) => cmd_one(name, &parse_options(&args[1..])),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn status(
+        error: bool,
+        cell_failures: bool,
+        verify_mismatch: bool,
+        schema_invalid: bool,
+    ) -> RunStatus {
+        RunStatus {
+            error,
+            cell_failures,
+            verify_mismatch,
+            schema_invalid,
+        }
+    }
+
+    #[test]
+    fn exit_codes_are_distinct_and_documented() {
+        let codes = [
+            EXIT_OK,
+            EXIT_ERROR,
+            EXIT_USAGE,
+            EXIT_VERIFY,
+            EXIT_SCHEMA,
+            EXIT_CELL_FAILURES,
+        ];
+        let mut uniq = codes.to_vec();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), codes.len(), "codes must be distinct");
+        assert_eq!(codes, [0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn exit_code_mapping_and_precedence() {
+        assert_eq!(exit_code(status(false, false, false, false)), EXIT_OK);
+        assert_eq!(exit_code(status(true, false, false, false)), EXIT_ERROR);
+        assert_eq!(exit_code(status(false, false, true, false)), EXIT_VERIFY);
+        assert_eq!(exit_code(status(false, false, false, true)), EXIT_SCHEMA);
+        assert_eq!(
+            exit_code(status(false, true, false, false)),
+            EXIT_CELL_FAILURES
+        );
+        // Precedence: cell failures > schema > verify > error.
+        assert_eq!(
+            exit_code(status(true, true, true, true)),
+            EXIT_CELL_FAILURES
+        );
+        assert_eq!(exit_code(status(true, false, true, true)), EXIT_SCHEMA);
+        assert_eq!(exit_code(status(true, false, true, false)), EXIT_VERIFY);
     }
 }

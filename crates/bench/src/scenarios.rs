@@ -53,11 +53,94 @@ pub fn scenarios() -> Vec<Scenario> {
     ]
 }
 
-/// Looks a scenario up by name or alias.
+/// Development-only scenarios: resolvable by name through [`find`] but
+/// excluded from `pva-bench all`. Currently just `chaos`, the
+/// fault-injection grid the resilience harness and the CI kill/resume
+/// smoke drive (configured via the `PVA_BENCH_CHAOS` environment
+/// variable).
+pub fn dev_scenarios() -> Vec<Scenario> {
+    vec![chaos()]
+}
+
+/// Looks a scenario up by name or alias (registry first, then the dev
+/// scenarios).
 pub fn find(name: &str) -> Option<Scenario> {
     scenarios()
         .into_iter()
+        .chain(dev_scenarios())
         .find(|s| s.name == name || (!s.alias.is_empty() && s.alias == name))
+}
+
+// ---------------------------------------------------------------------
+// Dev scenario: chaos — deterministic cells with injectable faults.
+
+/// Builds the chaos grid from `PVA_BENCH_CHAOS`, a comma-separated
+/// spec: `cells=N` (grid size, default 8), `sleep_ms=M` (per-cell work,
+/// default 50), and any number of `panic=I` / `coop=I` / `hang=I`
+/// entries marking cell `I` as always-panicking, cooperatively hanging
+/// (spins on [`memsys::deadline::checkpoint`], so a `--cell-timeout`
+/// classifies it as a timeout), or hard-hanging (sleeps for an hour
+/// without checkpoints, tripping the watchdog).
+fn chaos_cells() -> Vec<CellSpec> {
+    let spec = std::env::var("PVA_BENCH_CHAOS").unwrap_or_default();
+    let mut count = 8usize;
+    let mut sleep_ms = 50u64;
+    let (mut panics, mut coops, mut hangs) = (Vec::new(), Vec::new(), Vec::new());
+    for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+        let (k, v) = part.split_once('=').unwrap_or((part, ""));
+        let n: u64 = v.trim().parse().unwrap_or(0);
+        match k.trim() {
+            "cells" => count = n as usize,
+            "sleep_ms" => sleep_ms = n,
+            "panic" => panics.push(n as usize),
+            "coop" => coops.push(n as usize),
+            "hang" => hangs.push(n as usize),
+            _ => {}
+        }
+    }
+    (0..count)
+        .map(|i| {
+            let (panic_me, coop_me, hang_me) =
+                (panics.contains(&i), coops.contains(&i), hangs.contains(&i));
+            CellSpec::new("chaos", format!("cell{i:02}"), move || {
+                if panic_me {
+                    panic!("chaos: injected panic in cell {i}");
+                }
+                if coop_me {
+                    // Hangs forever, but politely: a --cell-timeout
+                    // converts this into a structured Timeout.
+                    loop {
+                        memsys::deadline::checkpoint();
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                    }
+                }
+                if hang_me {
+                    // Never checkpoints; only the watchdog can reclaim it.
+                    std::thread::sleep(std::time::Duration::from_secs(3600));
+                }
+                std::thread::sleep(std::time::Duration::from_millis(sleep_ms));
+                CellData::cycles((i as u64 + 1) * 1000, i as u64)
+            })
+        })
+        .collect()
+}
+
+fn chaos() -> Scenario {
+    Scenario {
+        name: "chaos",
+        alias: "",
+        title: "dev: fault-injection cells for the resilience harness",
+        smoke: false,
+        golden: false,
+        build: chaos_cells,
+        render: |cells| {
+            let mut out = String::from("chaos cells\n");
+            for (i, c) in cells.iter().enumerate() {
+                let _ = writeln!(out, "  cell{i:02} cycles={} bytes={}", c.cycles, c.bytes);
+            }
+            out
+        },
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -1616,8 +1699,12 @@ fn sim_rate(c: &CellData, wall_ns: u64) -> f64 {
 }
 
 /// The fast-vs-reference speedup from a throughput scenario's cells.
+/// Returns 0.0 when the probe cell was quarantined (empty `aux`), so a
+/// `--min-speedup` gate fails rather than panics.
 pub fn throughput_speedup(cells: &[CellData]) -> f64 {
-    let c = &cells[0];
+    let Some(c) = cells.first().filter(|c| c.aux.len() >= 3) else {
+        return 0.0;
+    };
     sim_rate(c, c.aux[2]) / sim_rate(c, c.aux[1])
 }
 
@@ -1628,7 +1715,9 @@ pub fn throughput_speedup(cells: &[CellData]) -> f64 {
 /// jump-size histogram (bucket `i` counts bulk time-advances of
 /// `2^i..2^(i+1)-1` cycles; the last bucket is open-ended).
 pub fn throughput_metrics(cells: &[CellData]) -> Vec<(String, f64)> {
-    let c = &cells[0];
+    let Some(c) = cells.first().filter(|c| c.aux.len() >= 7 + JUMP_BUCKETS) else {
+        return Vec::new(); // probe cell quarantined
+    };
     let sweep_cycles = c.aux[0] / THROUGHPUT_REPS;
     let mut m = vec![
         ("sim_cycles_per_sec_reference".into(), sim_rate(c, c.aux[1])),
@@ -1746,6 +1835,17 @@ mod tests {
         assert_eq!(find("fig7_stride_sweep").unwrap().name, "fig7_stride_sweep");
         assert_eq!(find("throughput").unwrap().name, "throughput");
         assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn chaos_is_a_dev_scenario_outside_the_registry() {
+        assert!(find("chaos").is_some(), "resolvable by name");
+        assert!(
+            scenarios().iter().all(|s| s.name != "chaos"),
+            "but never part of `all`"
+        );
+        let dev = dev_scenarios();
+        assert!(dev.iter().all(|s| !s.smoke && !s.golden));
     }
 
     #[test]

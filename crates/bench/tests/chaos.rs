@@ -1,0 +1,347 @@
+//! Chaos harness: proves the resilient execution layer end to end.
+//!
+//! In-process: a kill-at-every-k-cells sweep truncates the write-ahead
+//! journal after k completed cells and resumes, requiring canonical
+//! record equality and byte-identical text at varying worker counts;
+//! torn trailing journal lines must be tolerated.
+//!
+//! Out-of-process: a child `pva-bench` running the `chaos` dev scenario
+//! is SIGKILLed mid-campaign, resumed with `--resume`, and its record
+//! compared against an uninterrupted reference — including through the
+//! `pva-bench diff` verb — plus checks of every documented exit code.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use pva_bench::engine::{run_scenarios_checked, ExecConfig, RunRecord, Scenario};
+use pva_bench::scenarios::find;
+
+fn must_find(name: &str) -> Scenario {
+    find(name).unwrap_or_else(|| panic!("scenario '{name}' not registered"))
+}
+
+/// Fresh per-test scratch directory under the target tmpdir.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pva-bench-chaos-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Truncates a journal to its header plus the first `k` entry lines —
+/// exactly the bytes a run killed after `k` checkpoints leaves behind.
+fn truncate_journal(path: &PathBuf, k: usize) {
+    let text = std::fs::read_to_string(path).expect("journal readable");
+    let keep: Vec<&str> = text.lines().take(1 + k).collect();
+    std::fs::write(path, format!("{}\n", keep.join("\n"))).expect("journal writable");
+}
+
+#[test]
+fn kill_at_every_k_cells_resumes_byte_identically() {
+    let names = [
+        "table2_kernels",
+        "ext_indirect",
+        "related_cvms",
+        "design_space",
+    ];
+    let scens: Vec<Scenario> = names.iter().map(|n| must_find(n)).collect();
+    let refs: Vec<&Scenario> = scens.iter().collect();
+
+    let reference = run_scenarios_checked(&refs, &ExecConfig::with_jobs(4)).expect("reference run");
+    assert_eq!(reference.failed_cells, 0);
+    let total_cells: usize = reference.reports.iter().map(|r| r.record.cells.len()).sum();
+    assert!(
+        total_cells > 10,
+        "sweep needs a real grid, got {total_cells}"
+    );
+
+    let dir = scratch("kill-sweep");
+    // One complete journaled run supplies the full journal to truncate.
+    let full = dir.join("full.jsonl");
+    let cfg = ExecConfig {
+        journal: Some(full.clone()),
+        ..ExecConfig::with_jobs(2)
+    };
+    run_scenarios_checked(&refs, &cfg).expect("journaled run");
+
+    for k in 0..=total_cells {
+        let journal = dir.join(format!("k{k}.jsonl"));
+        std::fs::copy(&full, &journal).expect("copy journal");
+        truncate_journal(&journal, k);
+        let jobs = [1, 2, 8][k % 3];
+        let cfg = ExecConfig {
+            journal: Some(journal),
+            resume: true,
+            ..ExecConfig::with_jobs(jobs)
+        };
+        let resumed =
+            run_scenarios_checked(&refs, &cfg).unwrap_or_else(|e| panic!("resume at k={k}: {e}"));
+        assert_eq!(
+            resumed.resumed_cells, k,
+            "k={k}: every journaled cell replays"
+        );
+        for (a, b) in reference.reports.iter().zip(&resumed.reports) {
+            assert_eq!(
+                a.text, b.text,
+                "{}: text differs after kill at k={k} (jobs={jobs})",
+                a.name
+            );
+            assert_eq!(
+                a.record.canonical(),
+                b.record.canonical(),
+                "{}: record differs after kill at k={k} (jobs={jobs})",
+                a.name
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_trailing_journal_line_is_tolerated_on_resume() {
+    let s = must_find("ext_indirect");
+    let dir = scratch("torn-tail");
+    let journal = dir.join("torn.jsonl");
+    let cfg = ExecConfig {
+        journal: Some(journal.clone()),
+        ..ExecConfig::with_jobs(2)
+    };
+    let reference = run_scenarios_checked(&[&s], &cfg).expect("journaled run");
+
+    // Chop the file mid-line: a crash between write() and the final
+    // newline leaves exactly this shape.
+    let bytes = std::fs::read(&journal).expect("journal readable");
+    let cut = bytes.len() - 7;
+    assert_ne!(bytes[cut], b'\n', "cut must land inside a line");
+    std::fs::write(&journal, &bytes[..cut]).expect("torn write");
+
+    let cfg = ExecConfig {
+        journal: Some(journal),
+        resume: true,
+        ..ExecConfig::with_jobs(1)
+    };
+    let resumed = run_scenarios_checked(&[&s], &cfg).expect("torn tail tolerated");
+    assert!(resumed.resumed_cells > 0, "intact prefix replays");
+    assert_eq!(reference.reports[0].text, resumed.reports[0].text);
+    assert_eq!(
+        reference.reports[0].record.canonical(),
+        resumed.reports[0].record.canonical()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Builds a `pva-bench` invocation of the chaos dev scenario with the
+/// given injection spec.
+fn bench_cmd(spec: &str, args: &[&str]) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_pva-bench"));
+    cmd.env("PVA_BENCH_CHAOS", spec).args(args);
+    cmd
+}
+
+#[test]
+fn sigkilled_child_campaign_resumes_byte_identically() {
+    let dir = scratch("sigkill");
+    let spec = "cells=8,sleep_ms=60";
+    let journal = dir.join("chaos.jsonl");
+    let journal_s = journal.to_str().unwrap();
+
+    // Uninterrupted reference record.
+    let ref_dir = dir.join("ref");
+    let out = bench_cmd(
+        spec,
+        &["chaos", "--jobs", "1", "--json", ref_dir.to_str().unwrap()],
+    )
+    .output()
+    .expect("reference child runs");
+    assert!(out.status.success(), "reference: {out:?}");
+
+    // Start a journaled run and SIGKILL it mid-campaign (~2-3 cells in).
+    let res_dir = dir.join("res");
+    let mut child = bench_cmd(
+        spec,
+        &[
+            "chaos",
+            "--jobs",
+            "1",
+            "--journal",
+            journal_s,
+            "--json",
+            res_dir.to_str().unwrap(),
+        ],
+    )
+    .spawn()
+    .expect("child starts");
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    child.kill().expect("SIGKILL");
+    let status = child.wait().expect("reaped");
+    assert!(!status.success(), "the kill must have landed");
+    assert!(
+        journal.exists(),
+        "the write-ahead journal survives the kill"
+    );
+
+    // Resume to completion, then compare records canonically.
+    let out = bench_cmd(
+        spec,
+        &[
+            "chaos",
+            "--jobs",
+            "1",
+            "--journal",
+            journal_s,
+            "--resume",
+            "--json",
+            res_dir.to_str().unwrap(),
+        ],
+    )
+    .output()
+    .expect("resume child runs");
+    assert!(out.status.success(), "resume: {out:?}");
+
+    let load = |p: PathBuf| {
+        RunRecord::from_json(&std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("{p:?}: {e}")))
+            .expect("record parses")
+    };
+    let a = load(ref_dir.join("BENCH_chaos.json"));
+    let b = load(res_dir.join("BENCH_chaos.json"));
+    assert_eq!(a.canonical(), b.canonical(), "resumed record must match");
+
+    // The diff verb agrees: canonical-identical records exit 0.
+    let out = bench_cmd(
+        spec,
+        &[
+            "diff",
+            ref_dir.join("BENCH_chaos.json").to_str().unwrap(),
+            res_dir.join("BENCH_chaos.json").to_str().unwrap(),
+        ],
+    )
+    .output()
+    .expect("diff runs");
+    assert_eq!(out.status.code(), Some(0), "diff: {out:?}");
+
+    // The journal itself passes `validate`.
+    let out = bench_cmd(spec, &["validate", journal_s])
+        .output()
+        .expect("validate runs");
+    assert_eq!(out.status.code(), Some(0), "validate: {out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("journal for [chaos]"),
+        "journal verdict: {out:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn injected_panic_exits_with_the_cell_failures_code() {
+    let dir = scratch("panic-code");
+    let out = bench_cmd(
+        "cells=3,sleep_ms=1,panic=1",
+        &["chaos", "--jobs", "1", "--retries", "1"],
+    )
+    .output()
+    .expect("child runs");
+    assert_eq!(out.status.code(), Some(5), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("chaos: injected panic in cell 1"),
+        "quarantine detail on stderr: {err}"
+    );
+    assert!(
+        err.contains("after 2 attempt(s)"),
+        "retry accounting on stderr: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn strict_mode_exits_with_the_cell_failures_code() {
+    let out = bench_cmd(
+        "cells=3,sleep_ms=1,panic=1",
+        &["chaos", "--jobs", "1", "--retries", "0", "--strict"],
+    )
+    .output()
+    .expect("child runs");
+    assert_eq!(out.status.code(), Some(5), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("strict"),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn hung_cell_is_quarantined_by_the_cooperative_deadline() {
+    // The `coop` cell spins on deadline checkpoints forever; a short
+    // --cell-timeout must classify it as a timeout, not hang the run.
+    let out = bench_cmd(
+        "cells=3,sleep_ms=1,coop=2",
+        &[
+            "chaos",
+            "--jobs",
+            "1",
+            "--retries",
+            "0",
+            "--cell-timeout",
+            "0.2",
+        ],
+    )
+    .output()
+    .expect("child runs");
+    assert_eq!(out.status.code(), Some(5), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("[timeout]"),
+        "classified as timeout: {out:?}"
+    );
+}
+
+#[test]
+fn documented_exit_codes_for_usage_and_schema_errors() {
+    // Usage error -> 2.
+    let out = Command::new(env!("CARGO_BIN_EXE_pva-bench"))
+        .arg("--definitely-not-a-flag")
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+
+    // Unparseable validate input -> 4.
+    let dir = scratch("exit-codes");
+    let garbage = dir.join("garbage.json");
+    std::fs::write(&garbage, "{not json").expect("write");
+    let out = Command::new(env!("CARGO_BIN_EXE_pva-bench"))
+        .args(["validate", garbage.to_str().unwrap()])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(4), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("line 1"),
+        "parse errors carry line context: {err}"
+    );
+
+    // diff of structurally different records -> 3.
+    let a = dir.join("a.json");
+    let b = dir.join("b.json");
+    let rec = |cycles: u64| {
+        format!(
+            "{{\"schema\": \"pva-bench-record-v1\", \"scenario\": \"x\", \"title\": \"x\", \
+             \"total_cycles\": {cycles}, \"total_bytes\": 0, \"wall_ns\": 0, \
+             \"sim_cycles_per_sec\": 0.0, \"metrics\": {{}}, \"cells\": []}}"
+        )
+    };
+    std::fs::write(&a, rec(1)).expect("write");
+    std::fs::write(&b, rec(2)).expect("write");
+    let out = Command::new(env!("CARGO_BIN_EXE_pva-bench"))
+        .args(["diff", a.to_str().unwrap(), b.to_str().unwrap()])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_without_journal_flag_is_a_usage_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_pva-bench"))
+        .args(["all", "--resume"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}

@@ -65,7 +65,7 @@ fn engine_records_round_trip_through_json() {
     let rec = &reports[0].record;
     let parsed = RunRecord::from_json(&rec.to_json()).expect("emitted record parses");
     assert_eq!(&parsed, rec);
-    assert_eq!(parsed.schema, "pva-bench-record-v1");
+    assert_eq!(parsed.schema, "pva-bench-record-v2");
     assert_eq!(parsed.scenario, "table2_kernels");
 }
 

@@ -39,6 +39,69 @@ fn ecc_off_campaign_detects_silent_corruption() {
 }
 
 #[test]
+fn refresh_storm_decays_rows_without_silent_corruption() {
+    let report = run_campaign(&CampaignConfig::smoke(0xC0FFEE));
+    let storm: Vec<_> = report
+        .cells
+        .iter()
+        .filter(|c| c.scenario == "refresh-storm")
+        .collect();
+    assert_eq!(storm.len(), 6, "every base kernel runs the storm");
+    let decayed: u64 = storm.iter().map(|c| c.decayed_words).sum();
+    assert!(
+        decayed > 0,
+        "refresh slip under streaming load must actually decay rows"
+    );
+    for c in &storm {
+        assert!(
+            !c.hung,
+            "{}: refresh pressure must not hang the cell",
+            c.kernel
+        );
+        assert_eq!(
+            c.device_silent + c.silent_mismatches,
+            0,
+            "{}: decay + ECC must never corrupt silently",
+            c.kernel
+        );
+    }
+}
+
+#[test]
+fn injected_panic_is_quarantined_and_siblings_survive() {
+    let mut cc = CampaignConfig::smoke(0xC0FFEE);
+    cc.inject_panic = Some("copy");
+    cc.max_attempts = 2;
+    let report = run_campaign(&cc);
+    assert!(
+        report.quarantined.iter().all(|q| q.kernel == "copy"),
+        "only the chaos kernel may be quarantined"
+    );
+    assert!(
+        !report.quarantined.is_empty(),
+        "the injected panic must be quarantined, not swallowed"
+    );
+    for q in &report.quarantined {
+        assert_eq!(q.attempts, 2, "every configured attempt is used");
+        assert!(
+            q.message.contains("[panic] chaos: injected campaign panic"),
+            "classified message, got: {}",
+            q.message
+        );
+    }
+    // Every non-chaos cell completed exactly as an uninjected run would.
+    let clean = run_campaign(&CampaignConfig::smoke(0xC0FFEE));
+    let key = |cells: &[pva_bench::campaign::CellOutcome]| {
+        cells
+            .iter()
+            .filter(|c| c.kernel != "copy")
+            .map(|c| (c.kernel, c.scenario, c.cycles, c.corrected, c.detected))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(key(&report.cells), key(&clean.cells));
+}
+
+#[test]
 fn campaign_is_reproducible_from_its_seed() {
     let a = run_campaign(&CampaignConfig::smoke(42));
     let b = run_campaign(&CampaignConfig::smoke(42));

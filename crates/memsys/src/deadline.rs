@@ -1,0 +1,149 @@
+//! Cooperative wall-clock deadlines for bounded simulation runs.
+//!
+//! The bench harness gives each scenario cell a wall-clock budget. A
+//! cell's worker thread arms the budget with [`with_deadline`]; the
+//! simulation entry points ([`PvaSystem::run_trace`] runs in bounded
+//! slices, campaign loops call [`checkpoint`] between operations) then
+//! observe it cooperatively: once the deadline passes, [`checkpoint`]
+//! unwinds with a [`DeadlineExceeded`] payload that the harness catches
+//! and records as a structured timeout instead of a hang.
+//!
+//! The deadline is thread-local, so concurrent cells on a worker pool
+//! cannot trip each other, and a nested `with_deadline` restores the
+//! outer deadline on exit (including on unwind).
+//!
+//! [`PvaSystem::run_trace`]: crate::PvaSystem
+
+use std::cell::Cell;
+use std::time::{Duration, Instant};
+
+thread_local! {
+    static DEADLINE: Cell<Option<Instant>> = const { Cell::new(None) };
+}
+
+/// Panic payload raised by [`checkpoint`] when the armed wall-clock
+/// deadline has passed. Harnesses downcast to this type to distinguish
+/// a cooperative timeout from a genuine panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineExceeded {
+    /// The configured budget that was exceeded.
+    pub limit: Duration,
+}
+
+impl std::fmt::Display for DeadlineExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "simulation exceeded its {:.3}s wall-clock deadline",
+            self.limit.as_secs_f64()
+        )
+    }
+}
+
+/// Runs `f` with a wall-clock deadline of `limit` from now armed on
+/// this thread, restoring the previous deadline (if any) afterwards —
+/// also on unwind, so a caught [`DeadlineExceeded`] leaves the thread
+/// clean for the next cell.
+pub fn with_deadline<R>(limit: Duration, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Instant>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            DEADLINE.with(|d| d.set(self.0));
+        }
+    }
+    let prev = DEADLINE.with(|d| d.replace(Some(Instant::now() + limit)));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Whether a deadline is armed on this thread.
+pub fn active() -> bool {
+    DEADLINE.with(|d| d.get().is_some())
+}
+
+/// Whether the armed deadline (if any) has passed.
+pub fn expired() -> bool {
+    DEADLINE
+        .with(|d| d.get())
+        .is_some_and(|t| Instant::now() >= t)
+}
+
+/// Remaining budget, if a deadline is armed ([`Duration::ZERO`] once
+/// expired).
+pub fn remaining() -> Option<Duration> {
+    DEADLINE
+        .with(|d| d.get())
+        .map(|t| t.saturating_duration_since(Instant::now()))
+}
+
+/// Unwinds with [`DeadlineExceeded`] if the armed deadline has passed;
+/// a no-op when no deadline is armed or time remains. Simulation loops
+/// call this at a granularity coarse enough to be free and fine enough
+/// to bound overshoot (between trace ops, or every few thousand
+/// simulated cycles).
+pub fn checkpoint() {
+    if let Some(t) = DEADLINE.with(|d| d.get()) {
+        let now = Instant::now();
+        if now >= t {
+            // `limit` is not recoverable from the thread-local (only the
+            // absolute expiry is stored); report the overshoot instead.
+            std::panic::panic_any(DeadlineExceeded {
+                limit: now.saturating_duration_since(t),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_by_default_and_checkpoint_is_inert() {
+        assert!(!active());
+        assert!(!expired());
+        assert!(remaining().is_none());
+        checkpoint(); // must not panic
+    }
+
+    #[test]
+    fn with_deadline_arms_and_restores() {
+        with_deadline(Duration::from_secs(60), || {
+            assert!(active());
+            assert!(!expired());
+            assert!(remaining().unwrap() > Duration::from_secs(30));
+            checkpoint(); // plenty of budget left
+        });
+        assert!(!active());
+    }
+
+    #[test]
+    fn expired_deadline_unwinds_with_typed_payload() {
+        let caught = std::panic::catch_unwind(|| {
+            with_deadline(Duration::ZERO, || {
+                std::thread::sleep(Duration::from_millis(2));
+                checkpoint();
+                unreachable!("checkpoint must unwind");
+            })
+        });
+        let payload = caught.expect_err("must unwind");
+        assert!(
+            payload.downcast_ref::<DeadlineExceeded>().is_some(),
+            "payload must be DeadlineExceeded"
+        );
+        // The guard restored the thread state despite the unwind.
+        assert!(!active());
+    }
+
+    #[test]
+    fn nested_deadlines_restore_the_outer_one() {
+        with_deadline(Duration::from_secs(60), || {
+            let outer = remaining().unwrap();
+            with_deadline(Duration::from_secs(5), || {
+                assert!(remaining().unwrap() <= Duration::from_secs(5));
+            });
+            assert!(remaining().unwrap() <= outer);
+            assert!(remaining().unwrap() > Duration::from_secs(5));
+        });
+    }
+}

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod cacheline;
+pub mod deadline;
 mod pva_systems;
 mod registry;
 mod serial_gather;
@@ -46,6 +47,7 @@ mod smc;
 mod trace;
 
 pub use cacheline::{CachelineConfig, CachelineSerial};
+pub use deadline::DeadlineExceeded;
 pub use pva_systems::PvaSystem;
 pub use registry::SystemRegistry;
 pub use serial_gather::{SerialGather, SerialGatherConfig};
