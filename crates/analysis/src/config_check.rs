@@ -7,18 +7,16 @@
 //! (say, `tRC < tRAS + tRP`) fails CI before any simulation runs.
 
 use pva_sim::PvaConfig;
-use sdram::SdramConfig;
+use sdram::{DevicePreset, SdramConfig};
 
-/// Every named `SdramConfig` preset the workspace ships.
+/// Every named `SdramConfig` preset the workspace ships: one entry per
+/// [`DevicePreset`], labelled with the preset's CLI slug so sweep
+/// failures are attributable to the exact device generation.
 pub fn sdram_presets() -> Vec<(&'static str, SdramConfig)> {
-    vec![
-        ("SdramConfig::default", SdramConfig::default()),
-        ("SdramConfig::sram_like", SdramConfig::sram_like()),
-        ("SdramConfig::with_refresh", SdramConfig::with_refresh()),
-        ("SdramConfig::edo_like", SdramConfig::edo_like()),
-        ("SdramConfig::sldram_like", SdramConfig::sldram_like()),
-        ("SdramConfig::drdram_like", SdramConfig::drdram_like()),
-    ]
+    DevicePreset::ALL
+        .into_iter()
+        .map(|p| (p.name(), SdramConfig::for_device(p)))
+        .collect()
 }
 
 /// Every named `PvaConfig` preset the workspace ships.
@@ -65,6 +63,18 @@ mod tests {
     #[test]
     fn shipped_presets_are_consistent() {
         assert_eq!(check(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn preset_list_covers_every_device_generation() {
+        let presets = sdram_presets();
+        assert_eq!(presets.len(), DevicePreset::ALL.len());
+        for preset in DevicePreset::ALL {
+            assert!(
+                presets.iter().any(|(label, _)| *label == preset.name()),
+                "missing {preset}"
+            );
+        }
     }
 
     #[test]

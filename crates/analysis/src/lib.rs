@@ -18,12 +18,15 @@
 //!    [`SdramConfig`](sdram::SdramConfig)/[`PvaConfig`](pva_sim::PvaConfig)
 //!    invariant rules over every shipped preset.
 //! 4. **Timing-protocol model checking** ([`protocol_check`]) — for
-//!    every shipped `SdramConfig` preset, exhaustively explores the
-//!    product automaton of bank state × restimer residuals, validating
-//!    each explored edge against a live [`sdram::Sdram`] device: no
-//!    command is accepted while a gating timer is unexpired, every
-//!    reachable state drains back to `Idle`, and the dense FSM lookup
-//!    agrees with the declarative table.
+//!    every shipped [`sdram::DevicePreset`], exhaustively explores the
+//!    product automaton of bank state × restimer × channel residuals,
+//!    validating each explored edge against a live [`sdram::Sdram`]
+//!    device: no command is accepted while a gating timer is unexpired,
+//!    every reachable state drains back to `Idle`, and the dense FSM
+//!    lookup agrees with the declarative table. A deterministic
+//!    multi-bank differential walk covers the cross-bank channel
+//!    couplings (tCCD_S between bank groups, tRRD/tFAW across banks)
+//!    the bank-0 exploration cannot reach.
 //! 5. **Wake-hint soundness** ([`wake_check`]) — statically
 //!    cross-checks the wake sources enumerated by the bank controller's
 //!    `compute_wake` against the actionable-state triggers in the rest
@@ -157,6 +160,20 @@ pub fn find_workspace_root() -> Result<std::path::PathBuf, String> {
     ))
 }
 
+/// [`find_workspace_root`] with the failing activity named in the
+/// diagnostic. Passes that run per device preset thread the preset
+/// slug through `context` (e.g. `"checking preset ddr3-1600"`), so a
+/// root-resolution failure in a sweep is attributable to the exact
+/// generation being checked rather than a bare "root not found".
+///
+/// # Errors
+///
+/// Returns the [`find_workspace_root`] diagnostic prefixed with
+/// `context` when no candidate contains the workspace markers.
+pub fn find_workspace_root_for(context: &str) -> Result<std::path::PathBuf, String> {
+    find_workspace_root().map_err(|e| format!("while {context}: {e}"))
+}
+
 /// Locates the workspace root, panicking when it cannot be found —
 /// the in-tree test-suite form of [`find_workspace_root`].
 ///
@@ -166,4 +183,19 @@ pub fn find_workspace_root() -> Result<std::path::PathBuf, String> {
 /// workspace.
 pub fn workspace_root() -> std::path::PathBuf {
     find_workspace_root().unwrap_or_else(|e| panic!("{e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contextual_root_resolution_agrees_with_the_plain_form() {
+        // In-tree both succeed; the contextual form must resolve to the
+        // same root (the context only decorates the error path).
+        let plain = find_workspace_root().expect("in-tree resolution");
+        let contextual =
+            find_workspace_root_for("checking preset sdr100").expect("in-tree resolution");
+        assert_eq!(plain, contextual);
+    }
 }

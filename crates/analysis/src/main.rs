@@ -29,7 +29,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let root = match pva_analysis::find_workspace_root() {
+    let root = match pva_analysis::find_workspace_root_for("locating the designated sources") {
         Ok(root) => root,
         Err(e) => {
             eprintln!("pva-analysis: {e}");

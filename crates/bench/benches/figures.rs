@@ -164,7 +164,7 @@ fn ablations_and_tech() {
     });
     bench("ablations/tech_edo_like_s16", || {
         let mut unit = PvaUnit::new(PvaConfig {
-            sdram: sdram::SdramConfig::edo_like(),
+            sdram: sdram::SdramConfig::for_device(sdram::DevicePreset::EdoLike),
             ..PvaConfig::default()
         })
         .expect("valid config");

@@ -2,15 +2,21 @@
 //!
 //! ```text
 //! pva-bench list
-//! pva-bench <scenario> [--jobs N] [--json DIR] [EXEC FLAGS]
+//! pva-bench <scenario> [--jobs N] [--json DIR] [--device PRESET] [EXEC FLAGS]
 //! pva-bench all [--smoke] [--jobs N] [--json DIR] [--out DIR] [--verify DIR]
-//!               [--min-speedup X] [EXEC FLAGS]
+//!               [--min-speedup X] [--device PRESET] [EXEC FLAGS]
 //! pva-bench validate FILE...
 //! pva-bench diff A.json B.json
 //!
 //! EXEC FLAGS: [--journal PATH] [--resume] [--cell-timeout SECS]
 //!             [--retries N] [--strict]
 //! ```
+//!
+//! `--device` narrows device-parameterized scenarios (currently the
+//! `techsweep` generation sweep) to one named [`sdram::DevicePreset`]
+//! — the per-generation CI smoke. It is exported to cells through the
+//! `PVA_BENCH_DEVICE` environment variable, so runs with the flag do
+//! not verify against the default-sweep goldens.
 //!
 //! A single scenario prints exactly what its legacy binary printed
 //! (goldens live in `results/`). `all` fans every cell of every
@@ -92,18 +98,30 @@ fn exit_code(s: RunStatus) -> u8 {
 fn usage() -> ! {
     eprintln!(
         "usage: pva-bench list\n\
-         \x20      pva-bench <scenario> [--jobs N] [--json DIR] [EXEC FLAGS]\n\
+         \x20      pva-bench <scenario> [--jobs N] [--json DIR] [--device PRESET]\n\
+         \x20                           [EXEC FLAGS]\n\
          \x20      pva-bench all [--smoke] [--jobs N] [--json DIR] [--out DIR]\n\
-         \x20                    [--verify DIR] [--min-speedup X] [EXEC FLAGS]\n\
+         \x20                    [--verify DIR] [--min-speedup X] [--device PRESET]\n\
+         \x20                    [EXEC FLAGS]\n\
          \x20      pva-bench validate FILE...\n\
          \x20      pva-bench diff A.json B.json\n\
          EXEC FLAGS: [--journal PATH] [--resume] [--cell-timeout SECS]\n\
          \x20           [--retries N] [--strict]\n\
          exit codes: 0 ok, 1 error, 2 usage, 3 verify/diff mismatch,\n\
          \x20           4 schema-invalid, 5 cell failures\n\
-         run `pva-bench list` for scenario names"
+         run `pva-bench list` for scenario names; --device takes one of: {}",
+        device_names()
     );
     std::process::exit(EXIT_USAGE as i32);
+}
+
+/// Comma-separated CLI slugs of every shipped device preset.
+fn device_names() -> String {
+    sdram::DevicePreset::ALL
+        .iter()
+        .map(|p| p.name())
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 struct Options {
@@ -165,6 +183,19 @@ fn parse_options(args: &[String]) -> Options {
                     eprintln!("--min-speedup takes a number");
                     std::process::exit(EXIT_USAGE as i32);
                 }))
+            }
+            "--device" => {
+                let name = value("--device");
+                let Some(preset) = sdram::DevicePreset::from_name(name.trim()) else {
+                    eprintln!(
+                        "--device: unknown preset '{name}' (expected one of: {})",
+                        device_names()
+                    );
+                    std::process::exit(EXIT_USAGE as i32);
+                };
+                // Cells read the selection from the environment (same
+                // channel the chaos grid uses for its spec).
+                std::env::set_var("PVA_BENCH_DEVICE", preset.name());
             }
             "--journal" => o.journal = Some(value("--journal")),
             "--resume" => o.resume = true,

@@ -15,13 +15,16 @@ use kernels::{
     run_cell, run_point, run_point_outcome, Alignment, Kernel, SystemKind, ARRAY_REGION, ELEMENTS,
     LINE_WORDS, STRIDES,
 };
-use memsys::{MemorySystem, PvaSystem, SerialGather, SmcLike, TraceOp, WORD_BYTES};
+use memsys::{
+    CachelineConfig, CachelineSerial, MemorySystem, PvaSystem, SerialGather, SerialGatherConfig,
+    SmcLike, TraceOp, WORD_BYTES,
+};
 use pva_core::{scaling_sweep, BankId, BitReversedVector, Geometry, IndirectVector, K1Pla, Vector};
 use pva_sim::{
     mixed_workload, run_indirect_gather, unit_complexity, CpuConfig, CpuModel, EventStats,
     HostRequest, OpKind, PvaConfig, JUMP_BUCKETS,
 };
-use sdram::SdramConfig;
+use sdram::{DevicePreset, SdramConfig};
 
 use crate::engine::{CellData, CellSpec, Scenario};
 use crate::report::Table;
@@ -46,6 +49,7 @@ pub fn scenarios() -> Vec<Scenario> {
         related_cvms(),
         related_smc(),
         tech_sweep(),
+        techsweep(),
         scaling_banks(),
         design_space(),
         cpu_sensitivity(),
@@ -1185,11 +1189,23 @@ fn gathered_reads(cfg: PvaConfig, stride: u64) -> u64 {
 
 fn tech_list() -> Vec<(&'static str, SdramConfig)> {
     vec![
-        ("edo-like (1 row buffer)", SdramConfig::edo_like()),
+        (
+            "edo-like (1 row buffer)",
+            SdramConfig::for_device(DevicePreset::EdoLike),
+        ),
         ("sdram (4 internal banks)", SdramConfig::default()),
-        ("sldram-like (8 banks)", SdramConfig::sldram_like()),
-        ("drdram-like (32 banks)", SdramConfig::drdram_like()),
-        ("ideal sram", SdramConfig::sram_like()),
+        (
+            "sldram-like (8 banks)",
+            SdramConfig::for_device(DevicePreset::SldramLike),
+        ),
+        (
+            "drdram-like (32 banks)",
+            SdramConfig::for_device(DevicePreset::DrdramLike),
+        ),
+        (
+            "ideal sram",
+            SdramConfig::for_device(DevicePreset::SramLike),
+        ),
     ]
 }
 
@@ -1275,6 +1291,166 @@ fn tech_sweep() -> Scenario {
                 out,
                 "and the core timings separate the technologies, SRAM bounding them below"
             );
+            out
+        },
+    }
+}
+
+// ---------------------------------------------------------------------
+// Technology-generation sweep: the fig-7 comparison per device preset.
+
+/// The generations the sweep runs by default: the paper's SDR part plus
+/// the two modern profiles whose channel constraints (tCCD/tRRD/tFAW)
+/// could plausibly erode the PVA's parallel-access advantage.
+const TECHSWEEP_DEFAULT: [DevicePreset; 3] = [
+    DevicePreset::Sdr100,
+    DevicePreset::Ddr3_1600,
+    DevicePreset::Hbm2Like,
+];
+
+/// Strides of the generation sweep — the fig-7 corners: dense, powers
+/// of two (cache-pathological), and relatively prime.
+const TECHSWEEP_STRIDES: [u64; 4] = [1, 4, 16, 19];
+
+/// The device generations this run covers. `PVA_BENCH_DEVICE` (set by
+/// `pva-bench --device`) narrows the sweep to a single preset — any
+/// shipped [`DevicePreset`], not just the default trio — which is how
+/// the CI smoke exercises every generation one at a time. An
+/// unrecognized value falls back to the default trio (the `--device`
+/// flag validates before setting the variable).
+fn techsweep_devices() -> Vec<DevicePreset> {
+    match std::env::var("PVA_BENCH_DEVICE") {
+        Ok(name) if !name.trim().is_empty() => DevicePreset::from_name(name.trim())
+            .map(|p| vec![p])
+            .unwrap_or_else(|| TECHSWEEP_DEFAULT.to_vec()),
+        _ => TECHSWEEP_DEFAULT.to_vec(),
+    }
+}
+
+/// One sweep point: (pva, cacheline, serial-gather) cycles for the
+/// kernel at the stride on one device generation. The PVA runs the
+/// full simulator under the preset's timing; the two serial baselines
+/// are the paper's closed-form comparators re-parameterized with the
+/// same generation's core timings (and the data-rate-scaled burst for
+/// the line-fill system, since DDR moves two words per clock).
+fn techsweep_point(preset: DevicePreset, kernel: Kernel, stride: u64) -> (u64, u64, u64) {
+    let sdram = SdramConfig::for_device(preset);
+    let bases = Alignment::Coincident.bases(kernel.array_count(), ARRAY_REGION);
+    let trace = kernel.trace(&bases, stride, ELEMENTS, LINE_WORDS);
+    let pva = PvaSystem::with_config(
+        "techsweep",
+        PvaConfig {
+            sdram,
+            ..PvaConfig::default()
+        },
+    )
+    .run_trace(&trace)
+    .cycles;
+    let data_rate = u64::from(sdram.data_rate.max(1));
+    let cacheline = CachelineSerial::new(CachelineConfig {
+        line_words: LINE_WORDS,
+        ras: u64::from(sdram.t_rcd),
+        cas: u64::from(sdram.t_cas),
+        // 16 bus transfers per 128-byte line, data_rate per clock.
+        burst: 16u64.div_ceil(data_rate),
+    })
+    .run_trace(&trace)
+    .cycles;
+    let serial = SerialGather::new(SerialGatherConfig {
+        t_rp: u64::from(sdram.t_rp),
+        t_rcd: u64::from(sdram.t_rcd),
+        t_cas: u64::from(sdram.t_cas),
+    })
+    .run_trace(&trace)
+    .cycles;
+    (pva, cacheline, serial)
+}
+
+fn techsweep() -> Scenario {
+    Scenario {
+        name: "techsweep",
+        alias: "gen",
+        title: "Technology-generation sweep: fig-7 kernels per device preset",
+        smoke: true,
+        golden: true,
+        build: || {
+            let mut cells = Vec::new();
+            for preset in techsweep_devices() {
+                for &k in &FIG7_KERNELS {
+                    for &s in &TECHSWEEP_STRIDES {
+                        cells.push(CellSpec::new(
+                            preset.name(),
+                            format!("{}/s{}", k.name(), s),
+                            move || {
+                                let (pva, cacheline, serial) = techsweep_point(preset, k, s);
+                                CellData::with_aux(
+                                    pva + cacheline + serial,
+                                    0,
+                                    vec![pva, cacheline, serial],
+                                )
+                            },
+                        ));
+                    }
+                }
+            }
+            cells
+        },
+        render: |cells| {
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "Technology-generation sweep — fig-7 kernels x strides per device"
+            );
+            let _ = writeln!(
+                out,
+                "(coincident alignment; cycles per 1024-element kernel)"
+            );
+            let mut idx = 0;
+            for preset in techsweep_devices() {
+                let cfg = SdramConfig::for_device(preset);
+                let _ = writeln!(out, "\n{} — {}", preset.name(), preset.title());
+                let _ = writeln!(
+                    out,
+                    "channel constraints: tCCD_L/S {}/{}, tRRD {}, tFAW {}\n",
+                    cfg.t_ccd_l, cfg.t_ccd_s, cfg.t_rrd, cfg.t_faw
+                );
+                let mut t = Table::new(vec![
+                    "kernel",
+                    "stride",
+                    "pva",
+                    "cacheline",
+                    "serial-gather",
+                    "cache/pva",
+                    "serial/pva",
+                ]);
+                let (mut min_up, mut max_up) = (f64::INFINITY, 0.0f64);
+                for &k in &FIG7_KERNELS {
+                    for &s in &TECHSWEEP_STRIDES {
+                        let c = &cells[idx];
+                        idx += 1;
+                        let (pva, cacheline, serial) = (c.aux[0], c.aux[1], c.aux[2]);
+                        let up = cacheline as f64 / pva as f64;
+                        min_up = min_up.min(up);
+                        max_up = max_up.max(up);
+                        t.row(vec![
+                            k.name().to_string(),
+                            s.to_string(),
+                            pva.to_string(),
+                            cacheline.to_string(),
+                            serial.to_string(),
+                            format!("{up:.2}x"),
+                            format!("{:.2}x", serial as f64 / pva as f64),
+                        ]);
+                    }
+                }
+                let _ = writeln!(out, "{t}");
+                let verdict = if min_up >= 1.0 {
+                    "the PVA advantage survives this generation"
+                } else {
+                    "the PVA advantage does NOT survive every point of this generation"
+                };
+                let _ = writeln!(out, "vs cacheline: {min_up:.2}x-{max_up:.2}x — {verdict}");
+            }
             out
         },
     }
@@ -1826,7 +2002,20 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(before, names.len(), "duplicate scenario name or alias");
-        assert_eq!(all.len(), 19);
+        assert_eq!(all.len(), 20);
+    }
+
+    #[test]
+    fn techsweep_covers_the_default_generations() {
+        // The default sweep must include the paper's SDR part (the
+        // equivalence anchor) plus at least two later generations.
+        assert!(TECHSWEEP_DEFAULT.contains(&DevicePreset::Sdr100));
+        assert!(TECHSWEEP_DEFAULT.len() >= 3);
+        let cells = (find("techsweep").unwrap().build)();
+        assert_eq!(
+            cells.len(),
+            TECHSWEEP_DEFAULT.len() * FIG7_KERNELS.len() * TECHSWEEP_STRIDES.len()
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Configuration of the PVA unit model.
 
 use pva_core::Geometry;
-use sdram::SdramConfig;
+use sdram::{DevicePreset, SdramConfig};
 
 /// Row-management predictor policy (§5.2.2 "Row Management Algorithm").
 ///
@@ -191,7 +191,7 @@ impl PvaConfig {
     /// §6.1.
     pub fn sram_backend() -> Self {
         PvaConfig {
-            sdram: SdramConfig::sram_like(),
+            sdram: SdramConfig::for_device(DevicePreset::SramLike),
             ..PvaConfig::default()
         }
     }

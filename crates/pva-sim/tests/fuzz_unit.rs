@@ -8,7 +8,7 @@ use std::collections::HashMap;
 
 use pva_core::{Geometry, SplitMix64, Vector};
 use pva_sim::{HostRequest, PvaConfig, PvaUnit, RowPolicy};
-use sdram::SdramConfig;
+use sdram::{DevicePreset, SdramConfig};
 
 const CASES: u64 = 48;
 
@@ -149,7 +149,7 @@ fn refresh_config_is_correct() {
     for _ in 0..CASES {
         let reqs = reqs(&mut r, 1, 8);
         let cfg = PvaConfig {
-            sdram: SdramConfig::with_refresh(),
+            sdram: SdramConfig::for_device(DevicePreset::SdrRefresh),
             ..PvaConfig::default()
         };
         run_both(&reqs, cfg);
@@ -169,7 +169,7 @@ fn combined_exotic_config_is_correct() {
                 ranks: 2,
                 log2_rows: 4,
                 log2_cols: 6,
-                ..SdramConfig::with_refresh()
+                ..SdramConfig::for_device(DevicePreset::SdrRefresh)
             },
             fhc_latency: 13,
             ..PvaConfig::default()

@@ -4,11 +4,11 @@
 
 use pva_core::Vector;
 use pva_sim::{HostRequest, PvaConfig, PvaUnit};
-use sdram::SdramConfig;
+use sdram::{DevicePreset, SdramConfig};
 
 fn refresh_config() -> PvaConfig {
     PvaConfig {
-        sdram: SdramConfig::with_refresh(),
+        sdram: SdramConfig::for_device(DevicePreset::SdrRefresh),
         ..PvaConfig::default()
     }
 }

@@ -6,7 +6,7 @@
 //! — so the two implementations cross-validate each other in property
 //! tests ("the SDRAM model never violates a timing constraint").
 
-use crate::config::SdramConfig;
+use crate::config::{SdramConfig, MAX_BANK_GROUPS};
 use crate::device::SdramCmd;
 
 /// A recorded timing violation.
@@ -34,6 +34,19 @@ struct RefreshHistory {
     busy_until: Option<u64>,
 }
 
+/// Channel-level history for the modern-generation constraints
+/// (tCCD/tRRD/tFAW) — absolute timestamps, like [`BankHistory`], so the
+/// check mechanism stays independent of the device's restimers.
+#[derive(Debug, Clone, Copy, Default)]
+struct ChannelHistory {
+    /// First cycle each bank group may accept its next CAS.
+    next_cas_ok: [u64; MAX_BANK_GROUPS as usize],
+    /// Cycle of the most recent ACTIVATE on any bank.
+    last_activate: Option<u64>,
+    /// Cycles of the four most recent ACTIVATEs (for the tFAW window).
+    recent_activates: [Option<u64>; 4],
+}
+
 /// Observes `(cycle, command)` pairs and accumulates violations.
 ///
 /// # Examples
@@ -52,6 +65,7 @@ pub struct TimingAuditor {
     config: SdramConfig,
     banks: Vec<BankHistory>,
     refresh: RefreshHistory,
+    channel: ChannelHistory,
     last_cmd_cycle: Option<u64>,
     violations: Vec<Violation>,
 }
@@ -63,6 +77,7 @@ impl TimingAuditor {
             config,
             banks: vec![BankHistory::default(); config.internal_banks as usize],
             refresh: RefreshHistory::default(),
+            channel: ChannelHistory::default(),
             last_cmd_cycle: None,
             violations: Vec::new(),
         }
@@ -107,6 +122,30 @@ impl TimingAuditor {
                         }
                     }
                 }
+                if cfg.t_rrd > 0 {
+                    if let Some(t) = self.channel.last_activate {
+                        if cycle < t + cfg.t_rrd as u64 {
+                            broken.push("tRRD");
+                        }
+                    }
+                }
+                if cfg.t_faw > 0 {
+                    let window_start = cycle.saturating_sub(cfg.t_faw as u64 - 1);
+                    let in_window = self
+                        .channel
+                        .recent_activates
+                        .iter()
+                        .flatten()
+                        .filter(|&&t| t >= window_start)
+                        .count();
+                    if in_window >= 4 {
+                        broken.push("tFAW");
+                    }
+                }
+                self.channel.last_activate = Some(cycle);
+                // Shift the new ACTIVATE into the four-entry window.
+                self.channel.recent_activates.rotate_right(1);
+                self.channel.recent_activates[0] = Some(cycle);
                 let h = &mut self.banks[bank as usize];
                 h.last_activate = Some(cycle);
                 h.row_open = Some(row);
@@ -129,6 +168,16 @@ impl TimingAuditor {
                 } else if let Some(t) = h.last_activate {
                     if cycle < t + cfg.t_rcd as u64 {
                         broken.push("tRCD");
+                    }
+                }
+                if cfg.t_ccd_l > 0 || cfg.t_ccd_s > 0 {
+                    let group = cfg.bank_group_of(bank) as usize;
+                    if cycle < self.channel.next_cas_ok[group] {
+                        broken.push("tCCD");
+                    }
+                    for (g, ok_at) in self.channel.next_cas_ok.iter_mut().enumerate() {
+                        let spacing = if g == group { cfg.t_ccd_l } else { cfg.t_ccd_s };
+                        *ok_at = (*ok_at).max(cycle + spacing as u64);
                     }
                 }
                 let h = &mut self.banks[bank as usize];
@@ -417,6 +466,107 @@ mod tests {
         a.observe(0, &SdramCmd::Activate { bank: 2, row: 1 });
         a.observe(5, &SdramCmd::Precharge { bank: 2 });
         a.observe(20, &SdramCmd::Refresh);
+        a.assert_clean();
+    }
+
+    fn ddr3() -> SdramConfig {
+        SdramConfig::for_device(crate::config::DevicePreset::Ddr3_1600)
+    }
+
+    fn read(bank: u32) -> SdramCmd {
+        SdramCmd::Read {
+            bank,
+            col: 0,
+            auto_precharge: false,
+            tag: 0,
+        }
+    }
+
+    #[test]
+    fn detects_tccd_same_and_cross_group() {
+        // DDR3 profile: tCCD_L = 5 (same group), tCCD_S = 4 (cross).
+        // Banks 0 and 2 share group 0; bank 1 is group 1.
+        let cfg = ddr3();
+        let mut a = TimingAuditor::new(cfg);
+        a.observe(0, &SdramCmd::Activate { bank: 0, row: 1 });
+        a.observe(6, &SdramCmd::Activate { bank: 2, row: 1 });
+        a.observe(17, &read(0));
+        a.observe(21, &read(2)); // same group 4 < tCCD_L = 5
+        assert_eq!(rules(&a), ["tCCD"]);
+
+        let mut a = TimingAuditor::new(cfg);
+        a.observe(0, &SdramCmd::Activate { bank: 0, row: 1 });
+        a.observe(6, &SdramCmd::Activate { bank: 1, row: 1 });
+        a.observe(17, &read(0));
+        a.observe(20, &read(1)); // cross group 3 < tCCD_S = 4
+        assert_eq!(rules(&a), ["tCCD"]);
+
+        let mut a = TimingAuditor::new(cfg);
+        a.observe(0, &SdramCmd::Activate { bank: 0, row: 1 });
+        a.observe(6, &SdramCmd::Activate { bank: 1, row: 1 });
+        a.observe(17, &read(0));
+        a.observe(21, &read(1)); // cross group at exactly tCCD_S
+        a.assert_clean();
+    }
+
+    #[test]
+    fn detects_trrd() {
+        let cfg = ddr3(); // tRRD = 6
+        let mut a = TimingAuditor::new(cfg);
+        a.observe(0, &SdramCmd::Activate { bank: 0, row: 1 });
+        a.observe(5, &SdramCmd::Activate { bank: 1, row: 1 });
+        assert_eq!(rules(&a), ["tRRD"]);
+
+        let mut a = TimingAuditor::new(cfg);
+        a.observe(0, &SdramCmd::Activate { bank: 0, row: 1 });
+        a.observe(6, &SdramCmd::Activate { bank: 1, row: 1 });
+        a.assert_clean();
+    }
+
+    #[test]
+    fn detects_tfaw() {
+        let cfg = ddr3(); // tRRD = 6, tFAW = 26
+                          // Four ACTIVATEs at the tRRD floor (0, 6, 12, 18); a fifth at
+                          // cycle 24 lands inside the 26-cycle window of the first.
+        let mut a = TimingAuditor::new(cfg);
+        for (i, c) in [0u64, 6, 12, 18].iter().enumerate() {
+            a.observe(
+                *c,
+                &SdramCmd::Activate {
+                    bank: i as u32,
+                    row: 1,
+                },
+            );
+        }
+        a.observe(24, &SdramCmd::Activate { bank: 4, row: 1 });
+        assert_eq!(rules(&a), ["tFAW"]);
+
+        // At cycle 26 the first ACTIVATE has left the window.
+        let mut a = TimingAuditor::new(cfg);
+        for (i, c) in [0u64, 6, 12, 18].iter().enumerate() {
+            a.observe(
+                *c,
+                &SdramCmd::Activate {
+                    bank: i as u32,
+                    row: 1,
+                },
+            );
+        }
+        a.observe(26, &SdramCmd::Activate { bank: 4, row: 1 });
+        a.assert_clean();
+    }
+
+    #[test]
+    fn sdr_profile_never_trips_channel_rules() {
+        // The SDR part leaves every channel parameter at 0: back-to-back
+        // CAS and ACTIVATE streams stay clean.
+        let mut a = TimingAuditor::new(SdramConfig::default());
+        a.observe(0, &SdramCmd::Activate { bank: 0, row: 1 });
+        a.observe(1, &SdramCmd::Activate { bank: 1, row: 1 });
+        a.observe(2, &SdramCmd::Activate { bank: 2, row: 1 });
+        a.observe(3, &SdramCmd::Activate { bank: 3, row: 1 });
+        a.observe(4, &read(0));
+        a.observe(5, &read(1));
         a.assert_clean();
     }
 

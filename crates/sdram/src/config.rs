@@ -46,6 +46,39 @@ pub struct SdramConfig {
     /// carries its own internal banks and row buffers; high local-
     /// address bits select the rank (chip select).
     pub ranks: u32,
+    /// Number of bank groups the internal banks are divided into
+    /// (DDR4/HBM-style topology). `1` models a flat SDR/DDR3 device
+    /// with no group distinction; must be a power of two, at most
+    /// [`MAX_BANK_GROUPS`] and at most `internal_banks`. Consecutive
+    /// internal banks alternate groups (`bank & (bank_groups - 1)`),
+    /// so page-interleaved streams cross groups and see `tCCD_S`.
+    pub bank_groups: u32,
+    /// Words transferred per column command (burst length). `1` models
+    /// the paper's SDR part (one word per CAS); `8` models a BL8
+    /// DDR3/DDR4-class device. Bus occupancy of a burst is
+    /// [`SdramConfig::burst_cycles`] and is enforced through `tCCD`
+    /// (which must cover it).
+    pub burst_words: u32,
+    /// Data transfers per memory-clock cycle: `1` for single data rate,
+    /// `2` for DDR-style devices. Only the ratio to `burst_words`
+    /// matters to the model (it sets the burst's bus occupancy).
+    pub data_rate: u32,
+    /// Minimum CAS-to-CAS spacing within the *same* bank group
+    /// (`tCCD_L`); `0` disables the constraint (SDR parts issue a CAS
+    /// per cycle).
+    pub t_ccd_l: u32,
+    /// Minimum CAS-to-CAS spacing across *different* bank groups
+    /// (`tCCD_S`); `0` disables the constraint. Must not exceed
+    /// `t_ccd_l`.
+    pub t_ccd_s: u32,
+    /// Minimum ACTIVATE-to-ACTIVATE spacing between *different* banks
+    /// of the device (`tRRD`); `0` disables the constraint. (Same-bank
+    /// spacing is `tRC`.)
+    pub t_rrd: u32,
+    /// Four-activate window (`tFAW`): at most four ACTIVATEs may issue
+    /// within any window of this many cycles; `0` disables the
+    /// constraint.
+    pub t_faw: u32,
     /// Cycles an AUTO REFRESH occupies the whole device (`tRFC`).
     pub t_rfc: u32,
     /// Average interval between required refresh commands in cycles
@@ -73,6 +106,13 @@ impl Default for SdramConfig {
             log2_cols: 9, // 512-word pages
             log2_rows: 13,
             ranks: 1,
+            bank_groups: 1,
+            burst_words: 1,
+            data_rate: 1,
+            t_ccd_l: 0,
+            t_ccd_s: 0,
+            t_rrd: 0,
+            t_faw: 0,
             t_rfc: 8,
             refresh_interval: 0,
             ecc: false,
@@ -81,83 +121,280 @@ impl Default for SdramConfig {
     }
 }
 
+/// Upper bound on [`SdramConfig::bank_groups`]: the per-group channel
+/// timers live in fixed-size hardware-style arrays
+/// (see [`crate::ChannelTimers`]).
+pub const MAX_BANK_GROUPS: u32 = 8;
+
+/// A named device generation the workspace ships a timing profile for.
+///
+/// The typed form of the old ad-hoc `SdramConfig::{sram_like, ...}`
+/// constructors: every shipped profile is an enum variant, so sweeps
+/// (`pva-bench --device`, the analysis passes) can iterate
+/// [`DevicePreset::ALL`] instead of maintaining hand-written lists.
+///
+/// # Examples
+///
+/// ```
+/// use sdram::{DevicePreset, SdramConfig};
+///
+/// // The SDR profile is the paper's prototype device, bit-identical
+/// // to `SdramConfig::default()`.
+/// assert_eq!(SdramConfig::for_device(DevicePreset::Sdr100), SdramConfig::default());
+/// // Modern generations carry channel constraints the SDR part lacks.
+/// let ddr3 = SdramConfig::for_device(DevicePreset::Ddr3_1600);
+/// assert_eq!(ddr3.burst_words, 8);
+/// assert!(ddr3.t_faw > 0);
+/// assert_eq!(DevicePreset::from_name("ddr3-1600"), Some(DevicePreset::Ddr3_1600));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DevicePreset {
+    /// The paper's prototype: Micron 256 Mbit SDR SDRAM at 100 MHz
+    /// (identical to `SdramConfig::default()`).
+    Sdr100,
+    /// Idealized uniform-latency device modeling SRAM comparators.
+    SramLike,
+    /// The SDR part with periodic AUTO REFRESH enabled.
+    SdrRefresh,
+    /// EDO-like conventional DRAM (§2.3.2): one row buffer, slower core.
+    EdoLike,
+    /// SLDRAM-like analogue (§2.3.4): 8 internal banks.
+    SldramLike,
+    /// Direct-Rambus-like analogue (§2.3.5): 32 internal banks.
+    DrdramLike,
+    /// A DDR3-1600-class profile at the 800 MHz command clock: BL8,
+    /// two bank groups with a tCCD_L/tCCD_S split (DDR4-style), tRRD
+    /// and tFAW activate throttling, periodic refresh.
+    Ddr3_1600,
+    /// An LPDDR/HBM-class short-channel profile: many banks in four
+    /// groups, short core timings, BL4 at double data rate.
+    Hbm2Like,
+}
+
+impl DevicePreset {
+    /// Every shipped device generation, oldest first.
+    pub const ALL: [DevicePreset; 8] = [
+        DevicePreset::EdoLike,
+        DevicePreset::Sdr100,
+        DevicePreset::SdrRefresh,
+        DevicePreset::SldramLike,
+        DevicePreset::DrdramLike,
+        DevicePreset::Ddr3_1600,
+        DevicePreset::Hbm2Like,
+        DevicePreset::SramLike,
+    ];
+
+    /// The CLI slug (`pva-bench --device <name>`).
+    pub const fn name(self) -> &'static str {
+        match self {
+            DevicePreset::Sdr100 => "sdr100",
+            DevicePreset::SramLike => "sram",
+            DevicePreset::SdrRefresh => "sdr-refresh",
+            DevicePreset::EdoLike => "edo",
+            DevicePreset::SldramLike => "sldram",
+            DevicePreset::DrdramLike => "drdram",
+            DevicePreset::Ddr3_1600 => "ddr3-1600",
+            DevicePreset::Hbm2Like => "hbm2",
+        }
+    }
+
+    /// A one-line human description for tables and `--device` listings.
+    pub const fn title(self) -> &'static str {
+        match self {
+            DevicePreset::Sdr100 => "SDR-100 (paper prototype, 4 banks)",
+            DevicePreset::SramLike => "ideal SRAM (uniform latency)",
+            DevicePreset::SdrRefresh => "SDR-100 with periodic refresh",
+            DevicePreset::EdoLike => "EDO-like (1 row buffer)",
+            DevicePreset::SldramLike => "SLDRAM-like (8 banks)",
+            DevicePreset::DrdramLike => "DRDRAM-like (32 banks)",
+            DevicePreset::Ddr3_1600 => "DDR3-1600-class (BL8, 2 groups)",
+            DevicePreset::Hbm2Like => "HBM-class (16 banks, 4 groups)",
+        }
+    }
+
+    /// Parses a CLI slug back to its preset.
+    pub fn from_name(s: &str) -> Option<DevicePreset> {
+        DevicePreset::ALL.into_iter().find(|p| p.name() == s)
+    }
+
+    /// The timing profile of this generation — equivalent to
+    /// [`SdramConfig::for_device`].
+    pub fn config(self) -> SdramConfig {
+        let base = SdramConfig::default();
+        match self {
+            DevicePreset::Sdr100 => base,
+            DevicePreset::SramLike => SdramConfig {
+                t_rcd: 0,
+                t_cas: 1,
+                t_rp: 0,
+                t_ras: 0,
+                t_rc: 0,
+                t_wr: 0,
+                internal_banks: 1,
+                log2_cols: 22,
+                log2_rows: 0,
+                t_rfc: 0,
+                ..base
+            },
+            DevicePreset::SdrRefresh => SdramConfig {
+                refresh_interval: 781,
+                ..base
+            },
+            DevicePreset::EdoLike => SdramConfig {
+                t_rcd: 3,
+                t_cas: 2,
+                t_rp: 3,
+                t_ras: 6,
+                t_rc: 9,
+                internal_banks: 1,
+                ..base
+            },
+            DevicePreset::SldramLike => SdramConfig {
+                internal_banks: 8,
+                ..base
+            },
+            DevicePreset::DrdramLike => SdramConfig {
+                t_rcd: 3,
+                t_cas: 4,
+                t_rp: 3,
+                t_ras: 7,
+                t_rc: 10,
+                internal_banks: 32,
+                log2_rows: 11,
+                ..base
+            },
+            // DDR3-1600 speed bin at the 800 MHz command clock:
+            // tRCD/tCL/tRP 13.75 ns ≈ 11 cycles, tRAS 35 ns = 28,
+            // tRC 48.75 ns = 39, tWR 15 ns = 12, tRFC(4Gb) 160 ns = 128,
+            // tREFI 7.8 µs = 6240, tRRD 7.5 ns = 6, tFAW 32.5 ns = 26.
+            // The tCCD_L/tCCD_S split over two bank groups is the
+            // DDR4-refinement the sweep is asking about: BL8 occupies
+            // the bus for 4 command-clock cycles, so tCCD_S = 4 is the
+            // burst back-to-back floor and tCCD_L = 5 adds the
+            // same-group penalty.
+            DevicePreset::Ddr3_1600 => SdramConfig {
+                t_rcd: 11,
+                t_cas: 11,
+                t_rp: 11,
+                t_ras: 28,
+                t_rc: 39,
+                t_wr: 12,
+                internal_banks: 8,
+                bank_groups: 2,
+                burst_words: 8,
+                data_rate: 2,
+                t_ccd_l: 5,
+                t_ccd_s: 4,
+                t_rrd: 6,
+                t_faw: 26,
+                t_rfc: 128,
+                refresh_interval: 6240,
+                ..base
+            },
+            // HBM-class short channel: low absolute latency, many small
+            // banks in four groups, BL4 at double data rate (2-cycle
+            // bursts), tight tRRD/tFAW, small 256-word rows.
+            DevicePreset::Hbm2Like => SdramConfig {
+                t_rcd: 7,
+                t_cas: 7,
+                t_rp: 7,
+                t_ras: 17,
+                t_rc: 24,
+                t_wr: 8,
+                internal_banks: 16,
+                bank_groups: 4,
+                log2_cols: 8,
+                burst_words: 4,
+                data_rate: 2,
+                t_ccd_l: 4,
+                t_ccd_s: 2,
+                t_rrd: 4,
+                t_faw: 15,
+                t_rfc: 120,
+                refresh_interval: 3900,
+                ..base
+            },
+        }
+    }
+}
+
+impl fmt::Display for DevicePreset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 impl SdramConfig {
+    /// The timing profile of a shipped device generation — the typed
+    /// replacement for the old ad-hoc preset constructors.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdram::{DevicePreset, SdramConfig};
+    /// let cfg = SdramConfig::for_device(DevicePreset::SldramLike);
+    /// assert_eq!(cfg.internal_banks, 8);
+    /// ```
+    pub fn for_device(preset: DevicePreset) -> Self {
+        preset.config()
+    }
+
     /// An idealized uniform-latency configuration used to model SRAM in
     /// the comparator experiments: every access is a one-cycle read or
     /// write with no activate/precharge overhead.
+    #[deprecated(note = "use SdramConfig::for_device(DevicePreset::SramLike)")]
     pub fn sram_like() -> Self {
-        SdramConfig {
-            t_rcd: 0,
-            t_cas: 1,
-            t_rp: 0,
-            t_ras: 0,
-            t_rc: 0,
-            t_wr: 0,
-            internal_banks: 1,
-            log2_cols: 22,
-            log2_rows: 0,
-            ranks: 1,
-            t_rfc: 0,
-            refresh_interval: 0,
-            ecc: false,
-            fault: FaultConfig::none(),
-        }
+        Self::for_device(DevicePreset::SramLike)
     }
 
     /// The default SDRAM with periodic refresh enabled: one AUTO REFRESH
     /// every 781 cycles (64 ms / 8192 rows at 100 MHz), 8-cycle tRFC.
+    #[deprecated(note = "use SdramConfig::for_device(DevicePreset::SdrRefresh)")]
     pub fn with_refresh() -> Self {
-        SdramConfig {
-            refresh_interval: 781,
-            ..SdramConfig::default()
-        }
+        Self::for_device(DevicePreset::SdrRefresh)
     }
 
     /// An EDO-like conventional DRAM analogue (§2.3.2): a single row
     /// buffer (no internal banking to overlap) and slower core timings.
-    /// Used by the technology-sweep bench to show how the PVA's
-    /// scheduling benefit depends on internal-bank overlap.
+    #[deprecated(note = "use SdramConfig::for_device(DevicePreset::EdoLike)")]
     pub fn edo_like() -> Self {
-        SdramConfig {
-            t_rcd: 3,
-            t_cas: 2,
-            t_rp: 3,
-            t_ras: 6,
-            t_rc: 9,
-            internal_banks: 1,
-            ..SdramConfig::default()
-        }
+        Self::for_device(DevicePreset::EdoLike)
     }
 
     /// An SLDRAM-like analogue (§2.3.4): deeper internal banking (8
     /// banks) at SDRAM-class latencies.
+    #[deprecated(note = "use SdramConfig::for_device(DevicePreset::SldramLike)")]
     pub fn sldram_like() -> Self {
-        SdramConfig {
-            internal_banks: 8,
-            ..SdramConfig::default()
-        }
+        Self::for_device(DevicePreset::SldramLike)
     }
 
     /// A Direct-Rambus-like analogue (§2.3.5): many internal banks (32)
     /// with slightly longer access latency; the core runs slower than
     /// the channel, which this single-rate model folds into tCAS.
+    #[deprecated(note = "use SdramConfig::for_device(DevicePreset::DrdramLike)")]
     pub fn drdram_like() -> Self {
-        SdramConfig {
-            t_rcd: 3,
-            t_cas: 4,
-            t_rp: 3,
-            t_ras: 7,
-            t_rc: 10,
-            internal_banks: 32,
-            log2_rows: 11,
-            ..SdramConfig::default()
-        }
+        Self::for_device(DevicePreset::DrdramLike)
     }
 
     /// Total row buffers the controller must track:
     /// `ranks * internal_banks`.
     pub fn total_row_buffers(&self) -> u32 {
         self.ranks * self.internal_banks
+    }
+
+    /// Memory-clock cycles one burst occupies the data bus:
+    /// `ceil(burst_words / data_rate)`. `1` for the SDR part.
+    pub fn burst_cycles(&self) -> u32 {
+        self.burst_words.div_ceil(self.data_rate.max(1))
+    }
+
+    /// The bank group an effective row-buffer index belongs to.
+    ///
+    /// Consecutive internal banks alternate groups (a bit mask, like the
+    /// hardware wiring), so the page-interleaved address map spreads
+    /// adjacent pages across groups and streams see `tCCD_S`.
+    pub fn bank_group_of(&self, bank: u32) -> u32 {
+        bank & (self.bank_groups - 1)
     }
 
     /// Total capacity behind the controller in words (all ranks).
@@ -207,6 +444,44 @@ impl SdramConfig {
                 t_ras: self.t_ras,
                 t_rp: self.t_rp,
             });
+        }
+        if self.bank_groups == 0
+            || !self.bank_groups.is_power_of_two()
+            || self.bank_groups > MAX_BANK_GROUPS
+            || self.bank_groups > self.internal_banks
+        {
+            // Group selection is a `bank_groups - 1` bit mask and the
+            // per-group channel timers live in a MAX_BANK_GROUPS array.
+            errs.push(ConfigError::BankGroupsInvalid {
+                bank_groups: self.bank_groups,
+                internal_banks: self.internal_banks,
+            });
+        }
+        if self.burst_words == 0 || self.data_rate == 0 {
+            errs.push(ConfigError::ZeroBurstGeometry {
+                burst_words: self.burst_words,
+                data_rate: self.data_rate,
+            });
+        }
+        if self.t_ccd_l < self.t_ccd_s {
+            // tCCD_S is the *relaxed* (cross-group) spacing; a stricter
+            // cross-group than same-group constraint is not a device.
+            errs.push(ConfigError::CcdInversion {
+                t_ccd_l: self.t_ccd_l,
+                t_ccd_s: self.t_ccd_s,
+            });
+        }
+        if self.burst_words > 0 && self.data_rate > 0 {
+            let burst = self.burst_cycles();
+            if burst > 1 && self.t_ccd_s < burst {
+                // Burst bus occupancy is enforced solely through tCCD;
+                // a tCCD_S shorter than the burst would let two bursts
+                // overlap on the data bus.
+                errs.push(ConfigError::BurstNeedsCcd {
+                    burst_cycles: burst,
+                    t_ccd_s: self.t_ccd_s,
+                });
+            }
         }
         if self.refresh_interval > 0 && self.t_rfc == 0 {
             errs.push(ConfigError::RefreshWithoutRfc);
@@ -404,6 +679,40 @@ pub enum ConfigError {
         /// Number of row buffers (`ranks * internal_banks`).
         banks: u32,
     },
+    /// `bank_groups` must be a nonzero power of two no larger than
+    /// [`MAX_BANK_GROUPS`] or `internal_banks`: group selection is a
+    /// bit mask and the channel timers are a fixed-size array.
+    BankGroupsInvalid {
+        /// Configured `bank_groups`.
+        bank_groups: u32,
+        /// Configured `internal_banks`.
+        internal_banks: u32,
+    },
+    /// `burst_words` and `data_rate` must both be at least 1 — a zero
+    /// burst transfers nothing and a zero data rate never transfers it.
+    ZeroBurstGeometry {
+        /// Configured `burst_words`.
+        burst_words: u32,
+        /// Configured `data_rate`.
+        data_rate: u32,
+    },
+    /// `t_ccd_l` must be at least `t_ccd_s`: same-group CAS spacing is
+    /// the strict one; the cross-group constraint is the relaxation.
+    CcdInversion {
+        /// Configured `t_ccd_l`.
+        t_ccd_l: u32,
+        /// Configured `t_ccd_s`.
+        t_ccd_s: u32,
+    },
+    /// Bursts longer than one cycle require `t_ccd_s` to cover the
+    /// burst's bus occupancy ([`SdramConfig::burst_cycles`]), since the
+    /// model enforces data-bus occupancy solely through tCCD.
+    BurstNeedsCcd {
+        /// Bus occupancy of one burst in cycles.
+        burst_cycles: u32,
+        /// Configured `t_ccd_s`.
+        t_ccd_s: u32,
+    },
     /// `fault.retention_cycles` does not exceed `refresh_interval`:
     /// every row would decay between consecutive refreshes, so the
     /// device could never retain data even when refreshed on schedule.
@@ -466,6 +775,40 @@ impl fmt::Display for ConfigError {
                 write!(
                     f,
                     "hard_failed_bank = {bank} but the device has only {banks} row buffers"
+                )
+            }
+            ConfigError::BankGroupsInvalid {
+                bank_groups,
+                internal_banks,
+            } => {
+                write!(
+                    f,
+                    "bank_groups = {bank_groups} must be a nonzero power of two, \
+                     at most {MAX_BANK_GROUPS} and at most internal_banks = {internal_banks}"
+                )
+            }
+            ConfigError::ZeroBurstGeometry {
+                burst_words,
+                data_rate,
+            } => {
+                write!(
+                    f,
+                    "burst_words = {burst_words} and data_rate = {data_rate} must both be >= 1"
+                )
+            }
+            ConfigError::CcdInversion { t_ccd_l, t_ccd_s } => {
+                write!(
+                    f,
+                    "t_ccd_l = {t_ccd_l} must be at least t_ccd_s = {t_ccd_s}"
+                )
+            }
+            ConfigError::BurstNeedsCcd {
+                burst_cycles,
+                t_ccd_s,
+            } => {
+                write!(
+                    f,
+                    "t_ccd_s = {t_ccd_s} does not cover the {burst_cycles}-cycle burst bus occupancy"
                 )
             }
             ConfigError::RetentionWithinRefreshInterval {
@@ -547,16 +890,82 @@ mod tests {
 
     #[test]
     fn all_presets_validate_clean() {
-        for (name, cfg) in [
-            ("default", SdramConfig::default()),
-            ("sram_like", SdramConfig::sram_like()),
-            ("with_refresh", SdramConfig::with_refresh()),
-            ("edo_like", SdramConfig::edo_like()),
-            ("sldram_like", SdramConfig::sldram_like()),
-            ("drdram_like", SdramConfig::drdram_like()),
-        ] {
-            assert_eq!(cfg.check(), vec![], "preset {name} must be consistent");
+        for preset in DevicePreset::ALL {
+            let cfg = SdramConfig::for_device(preset);
+            assert_eq!(cfg.check(), vec![], "preset {preset} must be consistent");
         }
+    }
+
+    #[test]
+    fn preset_names_round_trip_and_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for preset in DevicePreset::ALL {
+            assert!(
+                seen.insert(preset.name()),
+                "duplicate slug {}",
+                preset.name()
+            );
+            assert_eq!(DevicePreset::from_name(preset.name()), Some(preset));
+            assert!(!preset.title().is_empty());
+        }
+        assert_eq!(DevicePreset::from_name("no-such-device"), None);
+    }
+
+    #[test]
+    fn sdr_preset_is_bit_identical_to_default() {
+        assert_eq!(
+            SdramConfig::for_device(DevicePreset::Sdr100),
+            SdramConfig::default()
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_their_presets() {
+        assert_eq!(
+            SdramConfig::sram_like(),
+            SdramConfig::for_device(DevicePreset::SramLike)
+        );
+        assert_eq!(
+            SdramConfig::with_refresh(),
+            SdramConfig::for_device(DevicePreset::SdrRefresh)
+        );
+        assert_eq!(
+            SdramConfig::edo_like(),
+            SdramConfig::for_device(DevicePreset::EdoLike)
+        );
+        assert_eq!(
+            SdramConfig::sldram_like(),
+            SdramConfig::for_device(DevicePreset::SldramLike)
+        );
+        assert_eq!(
+            SdramConfig::drdram_like(),
+            SdramConfig::for_device(DevicePreset::DrdramLike)
+        );
+    }
+
+    #[test]
+    fn burst_cycles_rounds_up() {
+        let ddr3 = SdramConfig::for_device(DevicePreset::Ddr3_1600);
+        assert_eq!(ddr3.burst_cycles(), 4); // BL8 at DDR
+        let odd = SdramConfig {
+            burst_words: 5,
+            data_rate: 2,
+            t_ccd_s: 3,
+            t_ccd_l: 3,
+            ..SdramConfig::default()
+        };
+        assert_eq!(odd.burst_cycles(), 3);
+        assert_eq!(SdramConfig::default().burst_cycles(), 1);
+    }
+
+    #[test]
+    fn bank_group_mapping_alternates_groups() {
+        let ddr3 = SdramConfig::for_device(DevicePreset::Ddr3_1600);
+        let groups: Vec<u32> = (0..4).map(|b| ddr3.bank_group_of(b)).collect();
+        assert_eq!(groups, vec![0, 1, 0, 1]);
+        // Flat devices put every bank in group 0.
+        assert_eq!(SdramConfig::default().bank_group_of(3), 0);
     }
 
     #[test]
@@ -597,6 +1006,60 @@ mod tests {
                     t_rc: 6,
                     t_ras: 5,
                     t_rp: 2,
+                },
+            ),
+            (
+                SdramConfig {
+                    bank_groups: 3,
+                    ..base()
+                },
+                ConfigError::BankGroupsInvalid {
+                    bank_groups: 3,
+                    internal_banks: 4,
+                },
+            ),
+            (
+                SdramConfig {
+                    bank_groups: 8,
+                    ..base()
+                },
+                ConfigError::BankGroupsInvalid {
+                    bank_groups: 8,
+                    internal_banks: 4,
+                },
+            ),
+            (
+                SdramConfig {
+                    burst_words: 0,
+                    ..base()
+                },
+                ConfigError::ZeroBurstGeometry {
+                    burst_words: 0,
+                    data_rate: 1,
+                },
+            ),
+            (
+                SdramConfig {
+                    t_ccd_l: 2,
+                    t_ccd_s: 3,
+                    ..base()
+                },
+                ConfigError::CcdInversion {
+                    t_ccd_l: 2,
+                    t_ccd_s: 3,
+                },
+            ),
+            (
+                SdramConfig {
+                    burst_words: 4,
+                    data_rate: 1,
+                    t_ccd_l: 4,
+                    t_ccd_s: 3,
+                    ..base()
+                },
+                ConfigError::BurstNeedsCcd {
+                    burst_cycles: 4,
+                    t_ccd_s: 3,
                 },
             ),
             (

@@ -23,7 +23,7 @@ use crate::ecc;
 use crate::fault::FaultEngine;
 use crate::fsm::{self, BankEvent, BankState, CmdClass};
 use crate::protocol::TimerId;
-use crate::restimer::BankTimers;
+use crate::restimer::{BankTimers, ChannelTimers};
 
 /// A command presented to the SDRAM at a clock edge (§2.3.3: "it is more
 /// appropriate to consider these as commands issued to an SDRAM chip at
@@ -242,6 +242,9 @@ pub struct Sdram {
     config: SdramConfig,
     rows: Vec<RowState>,
     timers: Vec<BankTimers>,
+    /// Device-wide channel timers (tCCD/tRRD/tFAW); permanently open on
+    /// generations that leave the parameters at 0.
+    channel: ChannelTimers,
     /// Written words, keyed by device-local address.
     overlay: FastMap<u64, u64>,
     /// SEC-DED check bytes of written words (only kept when
@@ -303,6 +306,7 @@ impl Sdram {
             config,
             rows: vec![RowState::Closed; n],
             timers: vec![BankTimers::new(); n],
+            channel: ChannelTimers::new(),
             overlay: FastMap::default(),
             check_overlay: FastMap::default(),
             decayed: FastMap::default(),
@@ -441,6 +445,18 @@ impl Sdram {
                 if !timers.rc.available(self.now) {
                     return Err(IssueError::TimingViolation { bank, timer: "tRC" });
                 }
+                if !self.channel.rrd_available(self.now) {
+                    return Err(IssueError::TimingViolation {
+                        bank,
+                        timer: "tRRD",
+                    });
+                }
+                if !self.channel.faw_available(self.now) {
+                    return Err(IssueError::TimingViolation {
+                        bank,
+                        timer: "tFAW",
+                    });
+                }
                 Ok(())
             }
             SdramCmd::Read { bank, .. } | SdramCmd::Write { bank, .. } => {
@@ -452,6 +468,13 @@ impl Sdram {
                     return Err(IssueError::TimingViolation {
                         bank,
                         timer: "tRCD",
+                    });
+                }
+                let group = self.config.bank_group_of(bank) as usize;
+                if !self.channel.can_cas(self.now, group) {
+                    return Err(IssueError::TimingViolation {
+                        bank,
+                        timer: "tCCD",
                     });
                 }
                 Ok(())
@@ -517,7 +540,15 @@ impl Sdram {
                 t.rcd.arm(now, cfg.t_rcd as u64);
                 t.ras.arm(now, cfg.t_ras as u64);
                 t.rc.arm(now, cfg.t_rc as u64);
-                self.note_armed(now.saturating_add(cfg.t_rcd.max(cfg.t_ras).max(cfg.t_rc) as u64));
+                self.channel
+                    .note_activate(now, cfg.t_rrd as u64, cfg.t_faw as u64);
+                let longest = cfg
+                    .t_rcd
+                    .max(cfg.t_ras)
+                    .max(cfg.t_rc)
+                    .max(cfg.t_rrd)
+                    .max(cfg.t_faw);
+                self.note_armed(now.saturating_add(longest as u64));
                 self.stats.activates += 1;
             }
             SdramCmd::Read {
@@ -557,6 +588,7 @@ impl Sdram {
                     self.in_flight.insert(pos, ready);
                 }
                 self.stats.reads += 1;
+                self.note_cas(bank);
                 let class = if auto_precharge {
                     CmdClass::ReadAuto
                 } else {
@@ -586,6 +618,7 @@ impl Sdram {
                     self.store_word(local, data);
                 }
                 self.stats.writes += 1;
+                self.note_cas(bank);
                 let class = if auto_precharge {
                     CmdClass::WriteAuto
                 } else {
@@ -640,6 +673,21 @@ impl Sdram {
         self.timer_deadline = self.timer_deadline.max(until);
     }
 
+    /// Records an accepted CAS on the channel: `bank`'s group is armed
+    /// for `tCCD_L`, every other group for `tCCD_S`. No-op on
+    /// generations with tCCD disabled (both parameters 0).
+    fn note_cas(&mut self, bank: u32) {
+        let cfg = self.config;
+        if cfg.t_ccd_l == 0 && cfg.t_ccd_s == 0 {
+            return;
+        }
+        let group = cfg.bank_group_of(bank) as usize;
+        let now = self.now;
+        self.channel
+            .note_cas(now, group, cfg.t_ccd_l as u64, cfg.t_ccd_s as u64);
+        self.note_armed(now.saturating_add(cfg.t_ccd_l as u64));
+    }
+
     /// Whether a command was accepted at the current clock edge.
     pub const fn command_issued_this_cycle(&self) -> bool {
         self.issued_this_cycle
@@ -678,6 +726,9 @@ impl Sdram {
                     }
                 }
             }
+            if let Some(at) = self.channel.next_expiry_after(self.now) {
+                consider(at);
+            }
         }
         if self.refresh_busy > 0 {
             consider(self.now + self.refresh_busy as u64);
@@ -694,16 +745,23 @@ impl Sdram {
     }
 
     /// First cycle an ACTIVATE on internal bank `bank` is timing-legal
-    /// (tRP and tRC both expired; may be in the past).
+    /// (bank's tRP and tRC plus the channel's tRRD and tFAW all
+    /// expired; may be in the past).
     pub fn activate_ready_at(&self, bank: u32) -> u64 {
-        self.timers[bank as usize].activate_ready_at()
+        self.timers[bank as usize]
+            .activate_ready_at()
+            .max(self.channel.activate_ready_at())
     }
 
     /// First cycle a READ/WRITE on internal bank `bank` is timing-legal
-    /// (tRCD expired; may be in the past). The row must also be open —
-    /// a state change, not a timer, so not reported here.
+    /// (tRCD plus the bank group's tCCD gate expired; may be in the
+    /// past). The row must also be open — a state change, not a timer,
+    /// so not reported here.
     pub fn access_ready_at(&self, bank: u32) -> u64 {
-        self.timers[bank as usize].access_ready_at()
+        let group = self.config.bank_group_of(bank) as usize;
+        self.timers[bank as usize]
+            .access_ready_at()
+            .max(self.channel.cas_ready_at(group))
     }
 
     /// First cycle a PRECHARGE on internal bank `bank` is timing-legal
@@ -731,6 +789,32 @@ impl Sdram {
     /// the device-wide counterpart of [`Sdram::timer_remaining`].
     pub const fn refresh_busy_remaining(&self) -> u64 {
         self.refresh_busy as u64
+    }
+
+    /// Residual cycles of bank group `group`'s tCCD gate (0 when
+    /// expired) — channel introspection for the protocol checker.
+    pub fn channel_cas_remaining(&self, group: u32) -> u64 {
+        self.channel
+            .cas_ready_at(group as usize)
+            .saturating_sub(self.now)
+    }
+
+    /// Residual cycles of the channel's tRRD gate (0 when expired).
+    pub fn channel_rrd_remaining(&self) -> u64 {
+        self.channel.rrd_ready_at().saturating_sub(self.now)
+    }
+
+    /// Residual cycles of the four tFAW window slots, sorted ascending
+    /// (all 0 when the window admits four immediate ACTIVATEs) —
+    /// order-independent channel introspection for the protocol
+    /// checker's state alignment.
+    pub fn channel_faw_remaining(&self) -> [u64; 4] {
+        let mut rem = self.channel.faw_slots();
+        for slot in &mut rem {
+            *slot = slot.saturating_sub(self.now);
+        }
+        rem.sort_unstable();
+        rem
     }
 
     /// The earliest future cycle at which the refresh machinery changes

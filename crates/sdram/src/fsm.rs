@@ -21,7 +21,12 @@
 //! tRAS/tWR holding up a precharge inside `Active`) remain the job of
 //! the [restimers](crate::Restimer); the table is necessary, not
 //! sufficient, for issue legality — exactly the split between the FSM
-//! PLA and the restimer counters in the §5.2.5 hardware.
+//! PLA and the restimer counters in the §5.2.5 hardware. The same
+//! split covers the channel-level constraints of modern device
+//! generations (tCCD/tRRD/tFAW, see [`crate::ChannelTimers`] and the
+//! [`crate::DeviceTiming`] tables): they are pure timing and never add
+//! bank states, so this table is identical for every
+//! [`crate::DevicePreset`].
 
 /// Observable state of one internal bank.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -9,8 +9,11 @@
 //!
 //! * [`Sdram`] — the device state machine (one per external bank).
 //! * [`SdramCmd`] — the clock-edge command set.
-//! * [`SdramConfig`] — timing/geometry parameters.
-//! * [`Restimer`] / [`BankTimers`] — the §5.2.5 timing counters.
+//! * [`SdramConfig`] / [`DevicePreset`] — timing/geometry parameters
+//!   and the shipped device generations (SDR through DDR3-1600 and
+//!   HBM-class profiles), all behind the [`DeviceTiming`] trait.
+//! * [`Restimer`] / [`BankTimers`] / [`ChannelTimers`] — the §5.2.5
+//!   timing counters, per bank and per channel.
 //! * [`TimingAuditor`] — an independent checker used to cross-validate
 //!   the device in tests.
 //! * [`FaultConfig`] / [`ecc`] — deterministic fault injection and the
@@ -46,9 +49,9 @@ pub mod protocol;
 mod restimer;
 
 pub use audit::{TimingAuditor, Violation};
-pub use config::{ConfigError, InternalAddr, SdramConfig};
+pub use config::{ConfigError, DevicePreset, InternalAddr, SdramConfig, MAX_BANK_GROUPS};
 pub use device::{background_pattern, IssueError, ReadReturn, Sdram, SdramCmd, SdramStats};
 pub use fault::{FaultConfig, PPM};
 pub use fsm::{BankEvent, BankState, CmdClass, Outcome, TRANSITIONS};
-pub use protocol::{DeadlineModel, TimerId};
-pub use restimer::{BankTimers, Restimer};
+pub use protocol::{ChannelTimerId, DeadlineModel, DeviceTiming, TimerId};
+pub use restimer::{BankTimers, ChannelTimers, Restimer};

@@ -14,7 +14,7 @@
 //! (or vice versa) turns into a checker finding, not a silent
 //! divergence.
 
-use crate::config::SdramConfig;
+use crate::config::{DevicePreset, SdramConfig};
 use crate::fsm::CmdClass;
 
 /// One of the five per-internal-bank restimers of [`crate::BankTimers`].
@@ -72,6 +72,66 @@ pub const fn gates(class: CmdClass) -> &'static [TimerId] {
     }
 }
 
+/// One of the channel-level (device-wide) restimers of
+/// [`crate::ChannelTimers`] — the modern-generation constraints that
+/// the SDR part leaves disabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChannelTimerId {
+    /// CAS after CAS, same or cross bank group (`tCCD_L`/`tCCD_S`,
+    /// merged per group into one gate named `tCCD`).
+    Ccd,
+    /// ACTIVATE after any bank's ACTIVATE (`tRRD`).
+    Rrd,
+    /// Four-activate window (`tFAW`).
+    Faw,
+}
+
+impl ChannelTimerId {
+    /// Every channel timer.
+    pub const ALL: [ChannelTimerId; 3] = [
+        ChannelTimerId::Ccd,
+        ChannelTimerId::Rrd,
+        ChannelTimerId::Faw,
+    ];
+
+    /// The timing-parameter name, matching the
+    /// [`IssueError::TimingViolation`](crate::IssueError::TimingViolation)
+    /// payload.
+    pub const fn name(self) -> &'static str {
+        match self {
+            ChannelTimerId::Ccd => "tCCD",
+            ChannelTimerId::Rrd => "tRRD",
+            ChannelTimerId::Faw => "tFAW",
+        }
+    }
+}
+
+/// The channel-level timers that must admit a command of `class` before
+/// it may issue, in the order the device checks (and reports) them.
+/// The CAS gate is evaluated against the issuing bank's group.
+pub const fn channel_gates(class: CmdClass) -> &'static [ChannelTimerId] {
+    match class {
+        CmdClass::Activate => &[ChannelTimerId::Rrd, ChannelTimerId::Faw],
+        CmdClass::Read | CmdClass::ReadAuto | CmdClass::Write | CmdClass::WriteAuto => {
+            &[ChannelTimerId::Ccd]
+        }
+        CmdClass::Precharge | CmdClass::Refresh => &[],
+    }
+}
+
+/// The channel timers an accepted command of `class` arms: an ACTIVATE
+/// arms `tRRD` and consumes a `tFAW` slot; a CAS arms the per-group
+/// `tCCD` gates (own group for `tCCD_L`, the rest for `tCCD_S`).
+pub const fn channel_arms(class: CmdClass) -> &'static [ChannelTimerId] {
+    match class {
+        CmdClass::Activate => &[ChannelTimerId::Rrd, ChannelTimerId::Faw],
+        CmdClass::Read | CmdClass::ReadAuto | CmdClass::Write | CmdClass::WriteAuto => {
+            &[ChannelTimerId::Ccd]
+        }
+        CmdClass::Precharge | CmdClass::Refresh => &[],
+    }
+}
+
 /// The deadline semantics of one configuration: how many cycles each
 /// accepted command arms each restimer for. Extracted from
 /// [`SdramConfig`] so a checker can be handed a deliberately corrupted
@@ -90,6 +150,16 @@ pub struct DeadlineModel {
     pub t_wr: u64,
     /// Cycles an AUTO REFRESH occupies the whole device.
     pub t_rfc: u64,
+    /// CAS → CAS delay within one bank group (`tCCD_L`, 0 = disabled).
+    pub t_ccd_l: u64,
+    /// CAS → CAS delay across bank groups (`tCCD_S`, 0 = disabled).
+    pub t_ccd_s: u64,
+    /// ACTIVATE → ACTIVATE delay across banks (`tRRD`, 0 = disabled).
+    pub t_rrd: u64,
+    /// Four-activate window (`tFAW`, 0 = disabled).
+    pub t_faw: u64,
+    /// Number of bank groups the CAS gates are split into.
+    pub bank_groups: u32,
 }
 
 impl DeadlineModel {
@@ -102,6 +172,11 @@ impl DeadlineModel {
             t_rc: config.t_rc as u64,
             t_wr: config.t_wr as u64,
             t_rfc: config.t_rfc as u64,
+            t_ccd_l: config.t_ccd_l as u64,
+            t_ccd_s: config.t_ccd_s as u64,
+            t_rrd: config.t_rrd as u64,
+            t_faw: config.t_faw as u64,
+            bank_groups: config.bank_groups,
         }
     }
 
@@ -150,6 +225,137 @@ impl DeadlineModel {
             self.t_rfc
         }
     }
+
+    /// The nominal arming duration of one channel timer. The CAS gate
+    /// depends on whether the next CAS targets the *same* bank group
+    /// (`tCCD_L`) or a different one (`tCCD_S`); `same_group` selects
+    /// which spacing is being asked about.
+    pub const fn channel_duration(&self, timer: ChannelTimerId, same_group: bool) -> u64 {
+        match timer {
+            ChannelTimerId::Ccd => {
+                if same_group {
+                    self.t_ccd_l
+                } else {
+                    self.t_ccd_s
+                }
+            }
+            ChannelTimerId::Rrd => self.t_rrd,
+            ChannelTimerId::Faw => self.t_faw,
+        }
+    }
+}
+
+/// The composable device-timing interface: everything a scheduler, a
+/// wake-hint computation, or a model checker needs to know about one
+/// DRAM generation, expressed as data rather than code.
+///
+/// The per-command *gate* and *arm* tables plus the [`DeadlineModel`]
+/// durations are the single source of truth: `device.rs` consults the
+/// same tables operationally (through its restimers), and the
+/// `pva-analysis` protocol pass explores the product automaton per
+/// [`DevicePreset`] to prove the two never disagree. A timing parameter
+/// added to the device but not the tables (or vice versa) becomes a
+/// checker finding, not a silent divergence.
+///
+/// [`SdramConfig`] implements the trait directly, so every shipped
+/// [`DevicePreset`] — from the paper's SDR part to the DDR3-1600 and
+/// HBM-class profiles — is a `DeviceTiming` with no adapter layer.
+pub trait DeviceTiming {
+    /// The deadline semantics (arming durations) of this device.
+    fn deadlines(&self) -> DeadlineModel;
+
+    /// The per-bank timers that must be expired before a command of
+    /// `class` may issue on its internal bank.
+    fn bank_gates(&self, class: CmdClass) -> &'static [TimerId] {
+        gates(class)
+    }
+
+    /// The per-bank timers an accepted command of `class` arms.
+    fn bank_arms(&self, class: CmdClass) -> &'static [TimerId] {
+        DeadlineModel::arms(class)
+    }
+
+    /// The channel-level timers that must admit a command of `class`.
+    fn channel_gates(&self, class: CmdClass) -> &'static [ChannelTimerId] {
+        channel_gates(class)
+    }
+
+    /// The channel-level timers an accepted command of `class` arms.
+    fn channel_arms(&self, class: CmdClass) -> &'static [ChannelTimerId] {
+        channel_arms(class)
+    }
+
+    /// Words transferred per column command (burst length).
+    fn burst_words(&self) -> u32;
+
+    /// Data transfers per memory-clock cycle (1 = SDR, 2 = DDR).
+    fn data_rate(&self) -> u32;
+
+    /// Memory-clock cycles one burst occupies the data bus.
+    fn burst_cycles(&self) -> u32 {
+        self.burst_words().div_ceil(self.data_rate().max(1))
+    }
+
+    /// Number of bank groups the internal banks are divided into.
+    fn bank_groups(&self) -> u32;
+
+    /// The bank group an effective row-buffer index belongs to.
+    fn bank_group_of(&self, bank: u32) -> u32 {
+        bank & (self.bank_groups() - 1)
+    }
+
+    /// Average interval between required refresh commands (0 = refresh
+    /// disabled).
+    fn refresh_interval(&self) -> u64;
+
+    /// Cycles an accepted AUTO REFRESH occupies the device.
+    fn refresh_busy(&self) -> u64 {
+        self.deadlines().refresh_busy()
+    }
+}
+
+impl DeviceTiming for SdramConfig {
+    fn deadlines(&self) -> DeadlineModel {
+        DeadlineModel::of(self)
+    }
+
+    fn burst_words(&self) -> u32 {
+        self.burst_words
+    }
+
+    fn data_rate(&self) -> u32 {
+        self.data_rate
+    }
+
+    fn bank_groups(&self) -> u32 {
+        self.bank_groups
+    }
+
+    fn refresh_interval(&self) -> u64 {
+        self.refresh_interval
+    }
+}
+
+impl DeviceTiming for DevicePreset {
+    fn deadlines(&self) -> DeadlineModel {
+        DeadlineModel::of(&self.config())
+    }
+
+    fn burst_words(&self) -> u32 {
+        self.config().burst_words
+    }
+
+    fn data_rate(&self) -> u32 {
+        self.config().data_rate
+    }
+
+    fn bank_groups(&self) -> u32 {
+        self.config().bank_groups
+    }
+
+    fn refresh_interval(&self) -> u64 {
+        self.config().refresh_interval
+    }
 }
 
 #[cfg(test)]
@@ -179,9 +385,63 @@ mod tests {
 
     #[test]
     fn refresh_busy_is_at_least_one() {
-        let mut cfg = SdramConfig::sram_like();
+        let mut cfg = SdramConfig::for_device(DevicePreset::SramLike);
         cfg.t_rfc = 0;
         assert_eq!(DeadlineModel::of(&cfg).refresh_busy(), 1);
+    }
+
+    #[test]
+    fn channel_tables_cover_every_class() {
+        // ACTIVATEs face tRRD/tFAW, column commands face tCCD; the
+        // classes that arm a gate are exactly the ones gated by it.
+        assert_eq!(
+            channel_gates(CmdClass::Activate),
+            &[ChannelTimerId::Rrd, ChannelTimerId::Faw]
+        );
+        assert_eq!(channel_gates(CmdClass::Read), &[ChannelTimerId::Ccd]);
+        assert_eq!(channel_gates(CmdClass::WriteAuto), &[ChannelTimerId::Ccd]);
+        assert!(channel_gates(CmdClass::Precharge).is_empty());
+        assert!(channel_gates(CmdClass::Refresh).is_empty());
+        for class in [
+            CmdClass::Activate,
+            CmdClass::Read,
+            CmdClass::ReadAuto,
+            CmdClass::Write,
+            CmdClass::WriteAuto,
+            CmdClass::Precharge,
+            CmdClass::Refresh,
+        ] {
+            assert_eq!(channel_arms(class), channel_gates(class));
+        }
+    }
+
+    #[test]
+    fn device_timing_trait_mirrors_the_config() {
+        let ddr3 = SdramConfig::for_device(DevicePreset::Ddr3_1600);
+        let timing: &dyn DeviceTiming = &ddr3;
+        assert_eq!(timing.deadlines(), DeadlineModel::of(&ddr3));
+        assert_eq!(timing.burst_cycles(), ddr3.burst_cycles());
+        assert_eq!(timing.bank_groups(), 2);
+        assert_eq!(timing.bank_group_of(3), ddr3.bank_group_of(3));
+        assert_eq!(timing.refresh_interval(), ddr3.refresh_interval);
+        assert_eq!(timing.bank_gates(CmdClass::Read), gates(CmdClass::Read));
+        assert_eq!(
+            timing.bank_arms(CmdClass::Activate),
+            DeadlineModel::arms(CmdClass::Activate)
+        );
+        // The preset itself is also a DeviceTiming.
+        let preset: &dyn DeviceTiming = &DevicePreset::Ddr3_1600;
+        assert_eq!(preset.deadlines(), DeadlineModel::of(&ddr3));
+        assert_eq!(preset.burst_cycles(), 4);
+    }
+
+    #[test]
+    fn channel_durations_select_the_group_spacing() {
+        let m = DeadlineModel::of(&SdramConfig::for_device(DevicePreset::Ddr3_1600));
+        assert_eq!(m.channel_duration(ChannelTimerId::Ccd, true), m.t_ccd_l);
+        assert_eq!(m.channel_duration(ChannelTimerId::Ccd, false), m.t_ccd_s);
+        assert_eq!(m.channel_duration(ChannelTimerId::Rrd, true), m.t_rrd);
+        assert_eq!(m.channel_duration(ChannelTimerId::Faw, false), m.t_faw);
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //! ```
 
 /// A single timing-parameter deadline.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct Restimer {
     name: &'static str,
     /// First cycle the resource is available again.
@@ -158,6 +158,160 @@ impl Default for BankTimers {
     }
 }
 
+/// Channel-level (device-wide) restimers for modern-generation
+/// constraints: per-bank-group CAS-to-CAS spacing (`tCCD_L`/`tCCD_S`),
+/// ACTIVATE-to-ACTIVATE spacing across banks (`tRRD`), and the
+/// four-activate window (`tFAW`).
+///
+/// These live beside the per-bank [`BankTimers`]: a command must pass
+/// both its bank's gates and the channel's. The SDR part disables them
+/// all (every parameter 0), so the channel set stays permanently
+/// available and the device behaves exactly as before.
+///
+/// `tFAW` is held as a ring of four expiry slots, mirroring the
+/// hardware's four window counters: an ACTIVATE is legal when at least
+/// one slot has expired, and issuing one re-arms the *earliest* slot
+/// for a full window. Slots start expired, so the first four ACTIVATEs
+/// are never throttled.
+#[derive(Debug, Clone)]
+pub struct ChannelTimers {
+    /// One merged CAS gate per bank group, all named `tCCD`: a CAS to
+    /// group `g` arms group `g` for `tCCD_L` and every other group for
+    /// `tCCD_S`, so each timer holds the deadline its group must wait
+    /// for regardless of which constraint produced it.
+    cas_group: [Restimer; crate::config::MAX_BANK_GROUPS as usize],
+    /// Gates ACTIVATE after any bank's ACTIVATE (`tRRD`).
+    rrd: Restimer,
+    /// Four-activate-window expiry slots (`tFAW`).
+    faw: [u64; 4],
+}
+
+impl ChannelTimers {
+    /// Creates a fully-available channel timer set.
+    pub const fn new() -> Self {
+        ChannelTimers {
+            cas_group: [Restimer::new("tCCD"); crate::config::MAX_BANK_GROUPS as usize],
+            rrd: Restimer::new("tRRD"),
+            faw: [0; 4],
+        }
+    }
+
+    /// Whether a READ/WRITE to bank group `group` may issue at `now`.
+    pub const fn can_cas(&self, now: u64, group: usize) -> bool {
+        self.cas_group[group].available(now)
+    }
+
+    /// First cycle a READ/WRITE to bank group `group` is channel-legal.
+    pub const fn cas_ready_at(&self, group: usize) -> u64 {
+        self.cas_group[group].expires_at()
+    }
+
+    /// Records a CAS to bank group `group` at cycle `now`: the group
+    /// itself waits `t_ccd_l`, every other group `t_ccd_s`.
+    pub fn note_cas(&mut self, now: u64, group: usize, t_ccd_l: u64, t_ccd_s: u64) {
+        for (g, timer) in self.cas_group.iter_mut().enumerate() {
+            timer.arm(now, if g == group { t_ccd_l } else { t_ccd_s });
+        }
+    }
+
+    /// Whether the tRRD gate alone admits an ACTIVATE at `now`.
+    pub const fn rrd_available(&self, now: u64) -> bool {
+        self.rrd.available(now)
+    }
+
+    /// Whether the tFAW window alone admits an ACTIVATE at `now`
+    /// (at least one of the four slots has expired).
+    pub fn faw_available(&self, now: u64) -> bool {
+        self.faw_ready_at() <= now
+    }
+
+    /// Whether an ACTIVATE may issue at `now` (both tRRD and tFAW).
+    pub fn can_activate(&self, now: u64) -> bool {
+        self.rrd_available(now) && self.faw_available(now)
+    }
+
+    /// First cycle the tFAW window admits another ACTIVATE: the
+    /// earliest slot's expiry.
+    pub fn faw_ready_at(&self) -> u64 {
+        let mut earliest = self.faw[0];
+        for &slot in &self.faw[1..] {
+            earliest = earliest.min(slot);
+        }
+        earliest
+    }
+
+    /// First cycle an ACTIVATE is channel-legal (tRRD and tFAW both
+    /// expired).
+    pub fn activate_ready_at(&self) -> u64 {
+        self.rrd.expires_at().max(self.faw_ready_at())
+    }
+
+    /// Records an ACTIVATE at cycle `now`: arms tRRD and consumes the
+    /// earliest tFAW slot for a full window. Zero parameters leave the
+    /// respective gate permanently open.
+    pub fn note_activate(&mut self, now: u64, t_rrd: u64, t_faw: u64) {
+        self.rrd.arm(now, t_rrd);
+        if t_faw > 0 {
+            let mut idx = 0;
+            for (i, &slot) in self.faw.iter().enumerate() {
+                if slot < self.faw[idx] {
+                    idx = i;
+                }
+            }
+            self.faw[idx] = now.saturating_add(t_faw);
+        }
+    }
+
+    /// First cycle the tRRD gate opens (may be in the past).
+    pub const fn rrd_ready_at(&self) -> u64 {
+        self.rrd.expires_at()
+    }
+
+    /// The raw tFAW window expiry slots (unordered) — introspection for
+    /// the protocol checker's state alignment.
+    pub const fn faw_slots(&self) -> [u64; 4] {
+        self.faw
+    }
+
+    /// The earliest channel-timer expiry strictly after `now`, if any —
+    /// the channel's contribution to the device's resource wake hint.
+    pub fn next_expiry_after(&self, now: u64) -> Option<u64> {
+        let mut wake: Option<u64> = None;
+        let mut consider = |at: u64| {
+            if at > now {
+                wake = Some(wake.map_or(at, |w: u64| w.min(at)));
+            }
+        };
+        consider(self.rrd.expires_at());
+        for timer in &self.cas_group {
+            consider(timer.expires_at());
+        }
+        for &slot in &self.faw {
+            consider(slot);
+        }
+        wake
+    }
+
+    /// The latest expiry across every channel timer — the first cycle
+    /// at which the whole channel is guaranteed unconstrained.
+    pub fn all_expired_at(&self) -> u64 {
+        let mut latest = self.rrd.expires_at();
+        for timer in &self.cas_group {
+            latest = latest.max(timer.expires_at());
+        }
+        for &slot in &self.faw {
+            latest = latest.max(slot);
+        }
+        latest
+    }
+}
+
+impl Default for ChannelTimers {
+    fn default() -> Self {
+        ChannelTimers::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,5 +386,59 @@ mod tests {
         let mut t = Restimer::new("tRP");
         t.arm(0, 2);
         assert_eq!(t.to_string(), "tRP(until 2)");
+    }
+
+    #[test]
+    fn channel_ccd_distinguishes_same_and_cross_group() {
+        let mut ch = ChannelTimers::new();
+        ch.note_cas(0, 0, 5, 4); // tCCD_L=5, tCCD_S=4
+        assert!(!ch.can_cas(4, 0) && ch.can_cas(5, 0)); // same group: tCCD_L
+        assert!(!ch.can_cas(3, 1) && ch.can_cas(4, 1)); // other group: tCCD_S
+        assert_eq!(ch.cas_ready_at(0), 5);
+        assert_eq!(ch.cas_ready_at(1), 4);
+    }
+
+    #[test]
+    fn channel_rrd_spaces_activates() {
+        let mut ch = ChannelTimers::new();
+        assert!(ch.can_activate(0));
+        ch.note_activate(0, 6, 0);
+        assert!(!ch.can_activate(5) && ch.can_activate(6));
+        assert_eq!(ch.activate_ready_at(), 6);
+    }
+
+    #[test]
+    fn channel_faw_admits_four_then_throttles() {
+        let mut ch = ChannelTimers::new();
+        // Four back-to-back ACTIVATEs pass (slots start expired)...
+        for i in 0..4u64 {
+            assert!(ch.faw_available(i), "activate {i} must pass");
+            ch.note_activate(i, 0, 26);
+        }
+        // ...the fifth must wait for the first slot's window to expire.
+        assert!(!ch.faw_available(4));
+        assert!(!ch.faw_available(25));
+        assert!(ch.faw_available(26)); // 0 + tFAW
+        assert_eq!(ch.faw_ready_at(), 26);
+        ch.note_activate(26, 0, 26);
+        // The next earliest slot is the ACTIVATE from cycle 1.
+        assert_eq!(ch.faw_ready_at(), 27);
+    }
+
+    #[test]
+    fn zero_parameters_leave_channel_open() {
+        let mut ch = ChannelTimers::new();
+        ch.note_cas(0, 0, 0, 0);
+        ch.note_activate(0, 0, 0);
+        assert!(ch.can_cas(0, 0) && ch.can_activate(0));
+        assert_eq!(ch.all_expired_at(), 0);
+    }
+
+    #[test]
+    fn all_expired_at_covers_every_gate() {
+        let mut ch = ChannelTimers::new();
+        ch.note_cas(0, 1, 5, 4);
+        ch.note_activate(0, 6, 26);
+        assert_eq!(ch.all_expired_at(), 26);
     }
 }

@@ -4,7 +4,7 @@
 //! goes quiescent, and a wrap in any internal countdown would let a
 //! stale timer gate (or fail to gate) a later command.
 
-use sdram::{Sdram, SdramCmd, SdramConfig};
+use sdram::{DevicePreset, Sdram, SdramCmd, SdramConfig};
 
 fn device() -> Sdram {
     Sdram::new(SdramConfig::default())
@@ -96,7 +96,7 @@ fn advance_saturates_at_the_end_of_time() {
 
 #[test]
 fn advance_preserves_refresh_accounting_across_huge_jumps() {
-    let mut d = Sdram::new(SdramConfig::with_refresh());
+    let mut d = Sdram::new(SdramConfig::for_device(DevicePreset::SdrRefresh));
     // A jump of many whole refresh intervals leaves refresh overdue —
     // not wrapped back to "recently refreshed".
     d.advance(1 << 40);

@@ -1,9 +1,9 @@
 //! AUTO REFRESH semantics of the SDRAM device (§2.2).
 
-use sdram::{IssueError, Sdram, SdramCmd, SdramConfig};
+use sdram::{DevicePreset, IssueError, Sdram, SdramCmd, SdramConfig};
 
 fn refreshing() -> Sdram {
-    Sdram::new(SdramConfig::with_refresh())
+    Sdram::new(SdramConfig::for_device(DevicePreset::SdrRefresh))
 }
 
 #[test]
@@ -79,7 +79,7 @@ fn decaying(retention: u64) -> Sdram {
             retention_cycles: retention,
             ..FaultConfig::none()
         },
-        ..SdramConfig::with_refresh()
+        ..SdramConfig::for_device(DevicePreset::SdrRefresh)
     })
 }
 
@@ -224,7 +224,7 @@ fn ecc_corrects_single_bit_decay() {
             retention_cycles: 2_000,
             ..FaultConfig::none()
         },
-        ..SdramConfig::with_refresh()
+        ..SdramConfig::for_device(DevicePreset::SdrRefresh)
     });
     write_row0(&mut d, 3, 0xCAFE);
     for _ in 0..3_000 {
@@ -243,7 +243,7 @@ fn retention_shorter_than_refresh_interval_is_rejected() {
             retention_cycles: 100, // < interval 781
             ..FaultConfig::none()
         },
-        ..SdramConfig::with_refresh()
+        ..SdramConfig::for_device(DevicePreset::SdrRefresh)
     };
     assert!(Sdram::try_new(cfg).is_err());
 }
