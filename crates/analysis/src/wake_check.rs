@@ -82,6 +82,21 @@ pub const WAKE_RULES: &[WakeRule] = &[
         source: "precharge_ready_at",
         why: "a context blocked behind another row becomes actionable when tRAS/tWR expire",
     },
+    WakeRule {
+        trigger: "should_defer_activate",
+        source: "channel_next_expiry",
+        why: "the tFAW slot count behind activate deferral changes when a channel gate expires",
+    },
+    WakeRule {
+        trigger: "last_cas_group",
+        source: "channel_next_expiry",
+        why: "the group-interleave preference's candidate set changes when a tCCD gate expires",
+    },
+    WakeRule {
+        trigger: "coalesce_run",
+        source: "next_data_at",
+        why: "a coalesced burst's later beats reach the pins on the data-return schedule",
+    },
 ];
 
 /// Extracts the brace-balanced body of `fn <name>` from stripped

@@ -97,6 +97,35 @@ fn dropped_wake_arm_is_caught() {
 }
 
 #[test]
+fn dropped_channel_wake_arm_is_caught() {
+    // Seeded defect: compute_wake forgets the channel-gate wake arm the
+    // generation-aware policy depends on. `channel_next_expiry` occurs
+    // exactly once in the controller (inside compute_wake), so renaming
+    // it models deleting the arm; the triggers (`should_defer_activate`
+    // and `last_cas_group` in the scheduling path) survive, so the
+    // static pass must report both uncovered triggers.
+    let root = pva_analysis::find_workspace_root().expect("workspace root");
+    let pristine = std::fs::read_to_string(root.join(wake_check::CONTROLLER_SRC))
+        .expect("controller source readable");
+    assert_eq!(
+        wake_check::check_source(&pristine),
+        Vec::<String>::new(),
+        "the pristine controller must pass before mutating it"
+    );
+    let mutated = pristine.replace("channel_next_expiry", "channel_next_expiry_gone");
+    assert_ne!(mutated, pristine, "the wake source must exist to delete");
+    let findings = wake_check::check_source(&mutated);
+    for trigger in ["should_defer_activate", "last_cas_group"] {
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.contains(trigger) && f.contains("channel_next_expiry")),
+            "a dropped channel wake arm must be reported for `{trigger}`, got: {findings:?}"
+        );
+    }
+}
+
+#[test]
 fn missing_designated_file_is_a_finding() {
     // The lint driver must not silently skip a designated file that has
     // gone missing (renamed without updating DESIGNATED, or a broken

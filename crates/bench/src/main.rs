@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! pva-bench list
-//! pva-bench <scenario> [--jobs N] [--json DIR] [--device PRESET] [EXEC FLAGS]
+//! pva-bench <scenario> [--jobs N] [--json DIR] [--out DIR] [--verify DIR]
+//!                      [--device PRESET] [EXEC FLAGS]
 //! pva-bench all [--smoke] [--jobs N] [--json DIR] [--out DIR] [--verify DIR]
 //!               [--min-speedup X] [--device PRESET] [EXEC FLAGS]
 //! pva-bench validate FILE...
@@ -15,8 +16,9 @@
 //! `--device` narrows device-parameterized scenarios (currently the
 //! `techsweep` generation sweep) to one named [`sdram::DevicePreset`]
 //! — the per-generation CI smoke. It is exported to cells through the
-//! `PVA_BENCH_DEVICE` environment variable, so runs with the flag do
-//! not verify against the default-sweep goldens.
+//! `PVA_BENCH_DEVICE` environment variable; such runs write and verify
+//! per-preset goldens (`techsweep.<preset>.txt`) instead of the
+//! default-sweep `techsweep.txt`.
 //!
 //! A single scenario prints exactly what its legacy binary printed
 //! (goldens live in `results/`). `all` fans every cell of every
@@ -47,7 +49,9 @@ use pva_bench::engine::{
 };
 use pva_bench::journal;
 use pva_bench::resilient::ExecPolicy;
-use pva_bench::scenarios::{find, scenarios, throughput_metrics, throughput_speedup};
+use pva_bench::scenarios::{
+    find, scenarios, techsweep_metrics, throughput_metrics, throughput_speedup,
+};
 
 /// Everything went fine.
 const EXIT_OK: u8 = 0;
@@ -98,8 +102,8 @@ fn exit_code(s: RunStatus) -> u8 {
 fn usage() -> ! {
     eprintln!(
         "usage: pva-bench list\n\
-         \x20      pva-bench <scenario> [--jobs N] [--json DIR] [--device PRESET]\n\
-         \x20                           [EXEC FLAGS]\n\
+         \x20      pva-bench <scenario> [--jobs N] [--json DIR] [--out DIR]\n\
+         \x20                           [--verify DIR] [--device PRESET] [EXEC FLAGS]\n\
          \x20      pva-bench all [--smoke] [--jobs N] [--json DIR] [--out DIR]\n\
          \x20                    [--verify DIR] [--min-speedup X] [--device PRESET]\n\
          \x20                    [EXEC FLAGS]\n\
@@ -241,13 +245,31 @@ fn exec_config(o: &Options) -> ExecConfig {
 }
 
 /// Attaches scenario-specific derived metrics to the structured
-/// records (currently: the throughput scenario's fast-path speedup).
-/// Scenarios with quarantined cells keep empty metrics.
+/// records (the throughput scenario's fast-path speedup; the techsweep
+/// scenario's generation-aware scheduler counters). Scenarios with
+/// quarantined cells keep empty metrics.
 fn attach_metrics(reports: &mut [ScenarioReport]) {
     if let Some(r) = reports.iter_mut().find(|r| r.name == "throughput") {
         if r.record.failures.is_empty() {
             r.record.metrics = throughput_metrics(&r.data);
         }
+    }
+    if let Some(r) = reports.iter_mut().find(|r| r.name == "techsweep") {
+        if r.record.failures.is_empty() {
+            r.record.metrics = techsweep_metrics(&r.data);
+        }
+    }
+}
+
+/// File stem of a report's rendered-text output and golden. A
+/// device-narrowed run (`--device`) of the device-sensitive techsweep
+/// scenario renders a different table per preset, so each preset gets
+/// its own golden (`techsweep.<preset>.txt`); JSON records keep the
+/// plain name — CI already separates them by directory.
+fn text_stem(name: &str) -> String {
+    match std::env::var("PVA_BENCH_DEVICE") {
+        Ok(d) if name == "techsweep" && !d.is_empty() => format!("{name}.{d}"),
+        _ => name.to_string(),
     }
 }
 
@@ -263,19 +285,19 @@ fn write_outputs(reports: &[ScenarioReport], opts: &Options) -> Result<(), Strin
     if let Some(dir) = &opts.out_dir {
         std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
         for r in reports {
-            let path = format!("{dir}/{}.txt", r.name);
+            let path = format!("{dir}/{}.txt", text_stem(r.name));
             std::fs::write(&path, &r.text).map_err(|e| format!("writing {path}: {e}"))?;
         }
     }
     Ok(())
 }
 
-/// Diffs rendered text against `<dir>/<name>.txt` goldens; returns the
+/// Diffs rendered text against `<dir>/<stem>.txt` goldens; returns the
 /// names that mismatched.
 fn verify(reports: &[ScenarioReport], dir: &str) -> Vec<String> {
     let mut bad = Vec::new();
     for r in reports.iter().filter(|r| r.golden) {
-        let path = format!("{dir}/{}.txt", r.name);
+        let path = format!("{dir}/{}.txt", text_stem(r.name));
         match std::fs::read_to_string(&path) {
             Ok(golden) if golden == r.text => {}
             Ok(_) => bad.push(format!("{} (differs from {path})", r.name)),
@@ -438,6 +460,19 @@ fn cmd_one(name: &str, opts: &Options) -> ExitCode {
     let _ = std::io::stdout().flush();
     if report_failures(&reports) > 0 {
         status.cell_failures = true;
+    }
+    if let Some(dir) = &opts.verify_dir {
+        let bad = verify(&reports, dir);
+        if bad.is_empty() {
+            if reports.iter().any(|r| r.golden) {
+                println!("verify: byte-identical to {dir}/");
+            }
+        } else {
+            status.verify_mismatch = true;
+            for b in &bad {
+                eprintln!("verify FAILED: {b}");
+            }
+        }
     }
     ExitCode::from(exit_code(status))
 }

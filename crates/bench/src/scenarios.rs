@@ -1328,24 +1328,33 @@ fn techsweep_devices() -> Vec<DevicePreset> {
 }
 
 /// One sweep point: (pva, cacheline, serial-gather) cycles for the
-/// kernel at the stride on one device generation. The PVA runs the
-/// full simulator under the preset's timing; the two serial baselines
-/// are the paper's closed-form comparators re-parameterized with the
-/// same generation's core timings (and the data-rate-scaled burst for
-/// the line-fill system, since DDR moves two words per clock).
-fn techsweep_point(preset: DevicePreset, kernel: Kernel, stride: u64) -> (u64, u64, u64) {
+/// kernel at the stride on one device generation, plus the
+/// generation-aware scheduler's counters (group switches, coalesced
+/// bursts, deferred activates, CAS commands) from the PVA run. The PVA
+/// runs the full simulator under the preset's timing; the two serial
+/// baselines are the paper's closed-form comparators re-parameterized
+/// with the same generation's core timings (and the data-rate-scaled
+/// burst for the line-fill system, since DDR moves two words per
+/// clock).
+fn techsweep_point(preset: DevicePreset, kernel: Kernel, stride: u64) -> (u64, u64, u64, [u64; 4]) {
     let sdram = SdramConfig::for_device(preset);
     let bases = Alignment::Coincident.bases(kernel.array_count(), ARRAY_REGION);
     let trace = kernel.trace(&bases, stride, ELEMENTS, LINE_WORDS);
-    let pva = PvaSystem::with_config(
+    let mut system = PvaSystem::with_config(
         "techsweep",
         PvaConfig {
             sdram,
             ..PvaConfig::default()
         },
-    )
-    .run_trace(&trace)
-    .cycles;
+    );
+    let pva = system.run_trace(&trace).cycles;
+    let sched = system.scheduler_stats();
+    let counters = [
+        sched.group_switches,
+        sched.coalesced_bursts,
+        sched.deferred_activates,
+        system.cas_commands(),
+    ];
     let data_rate = u64::from(sdram.data_rate.max(1));
     let cacheline = CachelineSerial::new(CachelineConfig {
         line_words: LINE_WORDS,
@@ -1363,7 +1372,7 @@ fn techsweep_point(preset: DevicePreset, kernel: Kernel, stride: u64) -> (u64, u
     })
     .run_trace(&trace)
     .cycles;
-    (pva, cacheline, serial)
+    (pva, cacheline, serial, counters)
 }
 
 fn techsweep() -> Scenario {
@@ -1382,12 +1391,15 @@ fn techsweep() -> Scenario {
                             preset.name(),
                             format!("{}/s{}", k.name(), s),
                             move || {
-                                let (pva, cacheline, serial) = techsweep_point(preset, k, s);
-                                CellData::with_aux(
-                                    pva + cacheline + serial,
-                                    0,
-                                    vec![pva, cacheline, serial],
-                                )
+                                let (pva, cacheline, serial, sched) = techsweep_point(preset, k, s);
+                                // aux[0..3] feed the rendered table;
+                                // aux[3..7] are the scheduler counters
+                                // (group switches, coalesced bursts,
+                                // deferred activates, CAS commands)
+                                // consumed by `techsweep_metrics`.
+                                let mut aux = vec![pva, cacheline, serial];
+                                aux.extend(sched);
+                                CellData::with_aux(pva + cacheline + serial, 0, aux)
                             },
                         ));
                     }
@@ -1882,6 +1894,34 @@ pub fn throughput_speedup(cells: &[CellData]) -> f64 {
         return 0.0;
     };
     sim_rate(c, c.aux[2]) / sim_rate(c, c.aux[1])
+}
+
+/// Derived metrics of the `techsweep` scenario: the generation-aware
+/// scheduler's counters summed over every (device, kernel, stride)
+/// cell — bank-group switch rate per CAS, coalesced bursts, and
+/// tFAW-deferred activates. Cells that predate the counter aux columns
+/// (or were quarantined) contribute nothing.
+pub fn techsweep_metrics(cells: &[CellData]) -> Vec<(String, f64)> {
+    let mut switches = 0u64;
+    let mut coalesced = 0u64;
+    let mut deferred = 0u64;
+    let mut cas = 0u64;
+    for c in cells.iter().filter(|c| c.aux.len() >= 7) {
+        switches += c.aux[3];
+        coalesced += c.aux[4];
+        deferred += c.aux[5];
+        cas += c.aux[6];
+    }
+    if cas == 0 {
+        return Vec::new();
+    }
+    vec![
+        // pva-lint: allow(nonconst-div): metric over a checked nonzero total
+        ("group_switch_rate".into(), switches as f64 / cas as f64),
+        ("coalesced_bursts".into(), coalesced as f64),
+        ("tfaw_deferred_activates".into(), deferred as f64),
+        ("cas_commands".into(), cas as f64),
+    ]
 }
 
 /// Derived figures for the throughput scenario's `BENCH_*.json` record:

@@ -7,7 +7,7 @@
 //!   SRAM"); comparing the two measures how well the scheduler hides
 //!   SDRAM's activate/precharge overheads (§6.3.1 / figure 11).
 
-use pva_sim::{EventStats, HostRequest, OpKind, PvaConfig, PvaUnit};
+use pva_sim::{BcStats, EventStats, HostRequest, OpKind, PvaConfig, PvaUnit};
 
 use crate::trace::{MemorySystem, RunOutcome, RunStats, TraceOp, WORD_BYTES};
 
@@ -20,6 +20,12 @@ pub struct PvaSystem {
     /// the first run, and for the reference model, which has no event
     /// queue).
     events: EventStats,
+    /// Bank-controller counters of the most recent run, summed over
+    /// all controllers (all zero before the first run).
+    bc: BcStats,
+    /// CAS commands (reads + writes) the devices accepted in the most
+    /// recent run — the denominator for per-CAS scheduler rates.
+    cas_commands: u64,
 }
 
 impl PvaSystem {
@@ -29,6 +35,8 @@ impl PvaSystem {
             config: PvaConfig::default(),
             name: "pva-sdram",
             events: EventStats::default(),
+            bc: BcStats::default(),
+            cas_commands: 0,
         }
     }
 
@@ -38,6 +46,8 @@ impl PvaSystem {
             config: PvaConfig::sram_backend(),
             name: "pva-sram",
             events: EventStats::default(),
+            bc: BcStats::default(),
+            cas_commands: 0,
         }
     }
 
@@ -47,6 +57,8 @@ impl PvaSystem {
             config,
             name,
             events: EventStats::default(),
+            bc: BcStats::default(),
+            cas_commands: 0,
         }
     }
 
@@ -60,6 +72,21 @@ impl PvaSystem {
     /// All zero for the reference model.
     pub const fn event_stats(&self) -> &EventStats {
         &self.events
+    }
+
+    /// Bank-controller counters from the most recent run, summed over
+    /// all controllers — includes the generation-aware scheduler's
+    /// group switches, coalesced bursts, and deferred activates.
+    pub const fn scheduler_stats(&self) -> &BcStats {
+        &self.bc
+    }
+
+    /// CAS commands (read + write bursts) the devices accepted in the
+    /// most recent run. With burst coalescing one CAS can carry
+    /// several elements, so this runs below the element count on
+    /// BL4/BL8 parts.
+    pub const fn cas_commands(&self) -> u64 {
+        self.cas_commands
     }
 }
 
@@ -112,12 +139,14 @@ impl MemorySystem for PvaSystem {
         // Elements from the bank controllers (includes retried reads —
         // those words crossed the pins too); row traffic from the
         // summed device stats.
-        let elements: u64 = unit
-            .bc_stats()
-            .iter()
-            .map(|bc| bc.elements_read + bc.elements_written)
-            .sum();
+        let mut bc = BcStats::default();
+        for s in &unit.bc_stats() {
+            bc.merge(s);
+        }
+        self.bc = bc;
+        let elements: u64 = bc.elements_read + bc.elements_written;
         let sdram = unit.sdram_stats();
+        self.cas_commands = sdram.reads + sdram.writes;
         let outcome = RunOutcome {
             cycles: unit.now(),
             bytes_transferred: elements * WORD_BYTES,

@@ -56,6 +56,11 @@ const REMAP_ROW_BIT: u64 = 1 << 40;
 /// keeping the delay bounded and overflow-free.
 const MAX_BACKOFF_SHIFT: u32 = 10;
 
+/// Longest element run one CAS burst may cover (BL8 is the longest
+/// burst any shipped generation declares); bounds the stack buffer the
+/// scheduler assembles burst items in.
+const MAX_COALESCE: usize = 8;
+
 /// A poisoned read awaiting re-issue: the element is re-expanded as a
 /// one-element vector context once `not_before` passes.
 #[derive(Debug, Clone, Copy)]
@@ -165,6 +170,38 @@ pub struct BcStats {
     /// Accesses remapped away from a hard-failed internal bank into its
     /// spare (graceful degradation).
     pub remapped_accesses: u64,
+    /// CAS commands whose bank group differed from the previous CAS on
+    /// this channel (the short tCCD_S gate applied instead of tCCD_L).
+    /// Always 0 on 1-group parts.
+    pub group_switches: u64,
+    /// CAS bursts that covered more than one element (BL4/BL8
+    /// coalescing of adjacent same-row elements). Always 0 on
+    /// burst-length-1 parts.
+    pub coalesced_bursts: u64,
+    /// Cycles phase A held ACTIVATEs back from the tFAW window's last
+    /// free slot so a timing-legal CAS could issue instead. Always 0
+    /// when tFAW is 0.
+    pub deferred_activates: u64,
+}
+
+impl BcStats {
+    /// Adds `other`'s counters into `self` — aggregation across the
+    /// controllers of a multi-bank system.
+    pub fn merge(&mut self, other: &BcStats) {
+        self.requests_queued += other.requests_queued;
+        self.elements_read += other.elements_read;
+        self.elements_written += other.elements_written;
+        self.turnarounds += other.turnarounds;
+        self.busy_cycles += other.busy_cycles;
+        self.row_hits += other.row_hits;
+        self.activates += other.activates;
+        self.read_retries += other.read_retries;
+        self.retries_exhausted += other.retries_exhausted;
+        self.remapped_accesses += other.remapped_accesses;
+        self.group_switches += other.group_switches;
+        self.coalesced_bursts += other.coalesced_bursts;
+        self.deferred_activates += other.deferred_activates;
+    }
 }
 
 /// One bank controller: parallelizing logic + scheduler + one SDRAM
@@ -181,6 +218,11 @@ pub struct BankController {
     device: Sdram,
     /// Last data-transfer direction on this bank's data bus.
     data_polarity: Option<OpKind>,
+    /// Bank group of the last CAS accepted by this controller's device
+    /// (`None` before the first). The generation-aware issue policy
+    /// prefers CAS candidates from a *different* group, so the
+    /// channel's short tCCD_S gate applies instead of tCCD_L.
+    last_cas_group: Option<u32>,
     /// Turnaround dead cycles remaining.
     turnaround_left: u32,
     /// One-bit autoprecharge predictor per internal bank (§5.2.2).
@@ -207,6 +249,8 @@ pub struct BankController {
     /// Scratch for [`schedule`](BankController::schedule)'s per-VC
     /// target list (reused across cycles when `fast_sim` is on).
     targets_scratch: Vec<(u32, u64, u64)>,
+    /// Scratch for the per-cycle issue-window index list.
+    window_scratch: Vec<usize>,
     /// Per-cycle `row_hits` increment of the last tick, when that tick
     /// changed *nothing but* the row-hit counter (a blocked access
     /// observing its open row). Such a tick replays identically — same
@@ -248,6 +292,7 @@ impl BankController {
             vcs: VecDeque::new(),
             device,
             data_polarity: None,
+            last_cas_group: None,
             turnaround_left: 0,
             autoprecharge_predict: vec![false; ib],
             last_row: vec![None; ib],
@@ -258,6 +303,7 @@ impl BankController {
             vec_meta: FastMap::default(),
             wake_hint: None,
             targets_scratch: Vec::new(),
+            window_scratch: Vec::new(),
             replay_row_hits: 0,
             fhc_pending: 0,
             events: Vec::new(),
@@ -650,6 +696,21 @@ impl BankController {
                 consider(at);
             }
         }
+        // Channel-gate expiries (tCCD per bank group, tRRD, the tFAW
+        // window slots). The per-context arms above already fold each
+        // context's *own* channel gates into access_ready_at /
+        // activate_ready_at; this arm additionally covers the
+        // generation-aware policy's channel-global decisions — the
+        // tFAW slot count behind `should_defer_activate` and the group
+        // preference around `last_cas_group` — whose inputs change
+        // exactly when a channel gate expires. `None` on SDR-era parts
+        // (the channel timers never arm), so the event schedule there
+        // is untouched.
+        if let Some(at) = self.device.channel_next_expiry() {
+            if at > now {
+                consider(at);
+            }
+        }
         if let Some(at) = self.device.next_refresh_wake() {
             consider(at);
         }
@@ -753,94 +814,386 @@ impl BankController {
     /// target list can live outside `self` during the borrow.
     fn schedule_with(&mut self, targets: &[(u32, u64, u64)], txns: &mut TransactionTable) {
         // Polarity rule of §5.2.4: a VC may issue a read/write only if no
-        // older VC carries the opposite direction. Computed up front:
-        // phase A must know which VCs can actually consume an open row.
-        let limit = self.polarity_window().unwrap_or(0);
-        let window = if self.config.options.out_of_order {
-            limit
-        } else {
-            1.min(limit)
-        };
+        // older VC carries the opposite direction (channel-aware parts
+        // relax this for provably disjoint contexts — see
+        // `build_issue_window`). Computed up front: phase A must know
+        // which VCs can actually consume an open row.
+        let mut win = std::mem::take(&mut self.window_scratch);
+        win.clear();
+        self.build_issue_window(&mut win);
+        self.schedule_in_window(targets, &win, txns);
+        self.window_scratch = win;
+    }
+
+    /// [`schedule_with`](BankController::schedule_with) continued, with
+    /// the issue window materialized as VC indices (oldest first).
+    fn schedule_in_window(
+        &mut self,
+        targets: &[(u32, u64, u64)],
+        window: &[usize],
+        txns: &mut TransactionTable,
+    ) {
+        // tFAW-aware activate pacing (generation-aware policy): decided
+        // once per cycle, before phase A runs.
+        let defer = self.gen_aware() && self.should_defer_activate(targets, window);
+        let mut defer_counted = false;
 
         // Phase A: row opens / precharges for blocked VCs ("promote row
         // opens and precharges above read and write operations, as long
         // as they do not conflict with the open rows being used by some
-        // other VC").
+        // other VC"). Window members go first: they can consume a row
+        // this cycle, and when the polarity anchor has bypassed the
+        // oldest VC this ordering is what keeps an out-of-window VC
+        // from re-activating the row the window just precharged (a
+        // livelock otherwise). With the classic prefix window the
+        // order is exactly age order, as before.
         if self.config.options.promote_opens || self.first_ready(targets, window).is_none() {
+            for &i in window {
+                if self.try_row_management(i, targets, window, defer, &mut defer_counted) {
+                    return;
+                }
+            }
             for i in 0..self.vcs.len() {
-                let (ib, row, _) = targets[i];
-                match self.device.open_row(ib) {
-                    None => {
-                        // issue() validates and rejects without side
-                        // effects, so one call both checks and commits.
-                        let cmd = SdramCmd::Activate { bank: ib, row };
-                        if self.device.issue(cmd).is_ok() {
-                            // Predictor is set on the very first operation
-                            // of a new vector context (§5.2.2), using the
-                            // last row open *before* this activate.
-                            if !self.vcs[i].first_op_done {
-                                self.set_predictor(i, ib, row);
-                                self.vcs[i].first_op_done = true;
-                            }
-                            self.last_row[ib as usize] = Some(row);
-                            self.stats.activates += 1;
-                            self.log_op(CmdClass::Activate, ib, row);
-                            return;
-                        }
-                    }
-                    Some(open) if open != row => {
-                        // bank_hit_predict: some other VC that can
-                        // actually issue (inside the polarity window)
-                        // currently targets the open row — do not close
-                        // it. VCs outside the window cannot consume the
-                        // row yet, and honouring their hits could
-                        // deadlock against the polarity rule.
-                        let other_hits = (0..window)
-                            .any(|j| j != i && targets[j].0 == ib && targets[j].1 == open);
-                        let cmd = SdramCmd::Precharge { bank: ib };
-                        if !other_hits && self.device.issue(cmd).is_ok() {
-                            self.log_op(CmdClass::Precharge, ib, open);
-                            return;
-                        }
-                    }
-                    Some(_) => {}
+                if window.contains(&i) {
+                    continue;
+                }
+                if self.try_row_management(i, targets, window, defer, &mut defer_counted) {
+                    return;
                 }
             }
         }
 
-        // Phase B: reads/writes within the polarity window.
-        for i in 0..window {
-            let (ib, row, col) = targets[i];
-            if self.device.open_row(ib) != Some(row) {
-                continue;
-            }
-            let kind = self.vcs[i].kind;
-            // Bus turnaround on polarity reversal (§5.2.5).
-            if let Some(p) = self.data_polarity {
-                if p != kind && self.config.turnaround_cycles > 0 {
-                    self.turnaround_left = self.config.turnaround_cycles;
-                    self.stats.turnarounds += 1;
-                    self.data_polarity = Some(kind);
+        // Phase B: reads/writes within the polarity window. On
+        // multi-group parts the generation-aware policy tries CAS
+        // candidates whose bank group differs from the last CAS first
+        // (`last_cas_group`): a group switch is gated by the short
+        // tCCD_S, a repeat by the long tCCD_L. On 1-group parts (and
+        // before the first CAS) every candidate is equally preferred
+        // and the passes collapse to arrival order.
+        let switch_from = if self.gen_aware() && self.config.sdram.bank_groups > 1 {
+            self.last_cas_group
+        } else {
+            None
+        };
+        if let Some(last) = switch_from {
+            for &i in window {
+                if self.config.sdram.bank_group_of(targets[i].0) != last
+                    && self.try_issue_access(i, targets, txns)
+                {
                     return;
                 }
             }
-            let last_for_vc = self.vcs[i].remaining == 1;
-            // The next element's mapping feeds both the row-management
-            // decision and the context advance below — computed once.
-            let next = if last_for_vc {
-                None
+            for &i in window {
+                if self.config.sdram.bank_group_of(targets[i].0) == last
+                    && self.try_issue_access(i, targets, txns)
+                {
+                    return;
+                }
+            }
+            return;
+        }
+        for &i in window {
+            if self.try_issue_access(i, targets, txns) {
+                return;
+            }
+        }
+    }
+
+    /// One phase-A attempt on context `i`: open its row if the bank is
+    /// closed, or precharge a conflicting row no window VC still uses.
+    /// Returns whether a command was issued (the cycle's slot is
+    /// spent).
+    fn try_row_management(
+        &mut self,
+        i: usize,
+        targets: &[(u32, u64, u64)],
+        window: &[usize],
+        defer: bool,
+        defer_counted: &mut bool,
+    ) -> bool {
+        let (ib, row, _) = targets[i];
+        match self.device.open_row(ib) {
+            None => {
+                // Don't burn the tFAW window's last free slot while a
+                // timing-legal CAS is waiting: phase B issues the CAS
+                // this cycle, the activate follows once a slot frees.
+                if defer {
+                    if !*defer_counted {
+                        self.stats.deferred_activates += 1;
+                        *defer_counted = true;
+                    }
+                    return false;
+                }
+                // issue() validates and rejects without side effects,
+                // so one call both checks and commits.
+                let cmd = SdramCmd::Activate { bank: ib, row };
+                if self.device.issue(cmd).is_ok() {
+                    // Predictor is set on the very first operation of a
+                    // new vector context (§5.2.2), using the last row
+                    // open *before* this activate.
+                    if !self.vcs[i].first_op_done {
+                        self.set_predictor(i, ib, row);
+                        self.vcs[i].first_op_done = true;
+                    }
+                    self.last_row[ib as usize] = Some(row);
+                    self.stats.activates += 1;
+                    self.log_op(CmdClass::Activate, ib, row);
+                    return true;
+                }
+            }
+            Some(open) if open != row => {
+                // bank_hit_predict: some other VC that can actually
+                // issue (inside the polarity window) currently targets
+                // the open row — do not close it. VCs outside the
+                // window cannot consume the row yet, and honouring
+                // their hits could deadlock against the polarity rule.
+                let other_hits = window
+                    .iter()
+                    .any(|&j| j != i && targets[j].0 == ib && targets[j].1 == open);
+                let cmd = SdramCmd::Precharge { bank: ib };
+                if !other_hits && self.device.issue(cmd).is_ok() {
+                    self.log_op(CmdClass::Precharge, ib, open);
+                    return true;
+                }
+            }
+            Some(_) => {}
+        }
+        false
+    }
+
+    /// Materializes the issue window for this cycle: the VC indices
+    /// (oldest first) the polarity rule permits to read/write.
+    ///
+    /// Base rule (§5.2.4): the oldest-prefix of one polarity — a VC may
+    /// not issue while an older VC carries the opposite direction. With
+    /// `out_of_order` off the window is just the oldest VC.
+    ///
+    /// Channel-aware extension (FR-FCFS-style, after Rixner et al.): on
+    /// parts that declare channel structure, an opposite-polarity VC
+    /// does not end the window when every access it still owes is
+    /// provably disjoint from the candidates behind it — tested
+    /// conservatively on word-address bounding ranges, so reordering
+    /// across it commutes. This is what lets alternating read/write
+    /// streams (dense copy) batch same-polarity accesses: the row stays
+    /// open across the batch and the bus turns around once per batch
+    /// instead of once per vector. SDR-era parts declare no channel
+    /// structure and keep strict arrival order, bit-identical to the
+    /// goldens.
+    fn build_issue_window(&self, win: &mut Vec<usize>) {
+        let Some(front) = self.vcs.front().map(|vc| vc.kind) else {
+            return;
+        };
+        if !self.config.options.out_of_order {
+            win.push(0);
+            return;
+        }
+        if !(self.gen_aware() && self.config.sdram.declares_channel_structure()) {
+            win.extend((0..self.vcs.len()).take_while(|&i| self.vcs[i].kind == front));
+            return;
+        }
+        // Polarity anchor: stay on the bus's current direction while
+        // admissible work of that direction exists — this is what turns
+        // an alternating R/W arrival stream into same-polarity batches.
+        // Starvation is bounded: a bypassed context holds its
+        // transaction slot, so a persistently skipped polarity
+        // eventually owns every slot and forces the anchor over.
+        if let Some(p) = self.data_polarity {
+            self.window_walk(p, win);
+            if !win.is_empty() {
+                return;
+            }
+        }
+        if self.data_polarity != Some(front) {
+            self.window_walk(front, win);
+        }
+    }
+
+    /// One pass of the channel-aware window walk for a given anchor
+    /// polarity: collect anchor-polarity VCs oldest-first, skipping
+    /// opposite-polarity VCs whose remaining accesses are provably
+    /// (range-)disjoint from every candidate admitted after them.
+    fn window_walk(&self, anchor: OpKind, win: &mut Vec<usize>) {
+        // Bounding ranges of the opposite-polarity VCs skipped so far.
+        // A later anchor-polarity VC joins the window only if it
+        // overlaps none of them (ranges are inclusive; `skipped` is
+        // bounded by the transaction-id space, so no allocation).
+        let mut skipped = [(0u64, 0u64); 16];
+        let mut n_skipped = 0usize;
+        for (i, vc) in self.vcs.iter().enumerate() {
+            let range = Self::addr_range(vc);
+            if vc.kind == anchor {
+                let disjoint = skipped[..n_skipped]
+                    .iter()
+                    .all(|&(lo, hi)| range.1 < lo || hi < range.0);
+                if disjoint {
+                    win.push(i);
+                } else {
+                    // A real hazard: nothing younger may bypass either.
+                    break;
+                }
             } else {
-                let vc = &self.vcs[i];
-                let next_addr = match &vc.indices {
-                    Some(idx) => vc.base + vc.stride * idx[vc.pos + 1],
-                    None => vc.addr + vc.addr_step,
-                };
-                Some((next_addr, self.target_of_addr(next_addr)))
+                if n_skipped == skipped.len() {
+                    break;
+                }
+                skipped[n_skipped] = range;
+                n_skipped += 1;
+            }
+        }
+    }
+
+    /// Inclusive word-address bounding range of every element a context
+    /// still owes. Exact for strided contexts (an arithmetic
+    /// progression); for index-list contexts the remaining indices are
+    /// scanned (bounded by the command length).
+    fn addr_range(vc: &VectorContext) -> (u64, u64) {
+        match &vc.indices {
+            Some(idx) => {
+                let (mut lo, mut hi) = (u64::MAX, 0u64);
+                for &e in &idx[vc.pos..] {
+                    let a = vc.base + vc.stride * e;
+                    lo = lo.min(a);
+                    hi = hi.max(a);
+                }
+                (lo, hi)
+            }
+            None => (vc.addr, vc.addr + vc.addr_step * (vc.remaining - 1)),
+        }
+    }
+
+    /// Whether the generation-aware issue policy is enabled. The policy
+    /// additionally degenerates to arrival order wherever the device
+    /// declares no channel structure (1 bank group, burst length 1,
+    /// tFAW 0) — the SDR-era presets — which the golden-identity tests
+    /// pin.
+    const fn gen_aware(&self) -> bool {
+        self.config.options.generation_aware
+    }
+
+    /// Whether phase A should hold ACTIVATEs back this cycle: the tFAW
+    /// window has exactly one slot free (an activate now closes the
+    /// window for the rest of its span) while some context inside the
+    /// polarity window has a CAS that is timing-legal right now.
+    /// Deferring lets the CAS through this cycle; the activate stream
+    /// loses at most the one cycle it must eventually spend waiting on
+    /// the window anyway. Never true when tFAW is 0 (the slots read 0
+    /// free... all four free) or while tRRD gates activates regardless.
+    fn should_defer_activate(&self, targets: &[(u32, u64, u64)], window: &[usize]) -> bool {
+        if self.config.sdram.t_faw == 0 || self.device.channel_rrd_remaining() > 0 {
+            return false;
+        }
+        let free = self
+            .device
+            .channel_faw_remaining()
+            .iter()
+            .filter(|&&r| r == 0)
+            .count();
+        if free != 1 {
+            return false;
+        }
+        let now = self.device.now();
+        window.iter().any(|&i| {
+            let (ib, row, _) = targets[i];
+            self.device.open_row(ib) == Some(row) && self.device.access_ready_at(ib) <= now
+        })
+    }
+
+    /// Length of the run of elements, starting at context `i`'s cursor,
+    /// that one CAS burst can cover: successive elements must stay in
+    /// internal bank `ib`, row `row`, and occupy strictly consecutive
+    /// columns from `col`. Always 1 unless the generation-aware policy
+    /// is on and the part bursts more than one word; index-list
+    /// (block-interleave) contexts issue per word.
+    fn coalesce_run(&self, i: usize, ib: u32, row: u64, col: u64) -> u64 {
+        let vc = &self.vcs[i];
+        if !self.gen_aware() || vc.indices.is_some() {
+            return 1;
+        }
+        let max =
+            u64::from(self.config.sdram.burst_words.min(MAX_COALESCE as u32)).min(vc.remaining);
+        let mut k = 1;
+        let mut addr = vc.addr;
+        while k < max {
+            addr += vc.addr_step;
+            if self.target_of_addr(addr) != (ib, row, col + k) {
+                break;
+            }
+            k += 1;
+        }
+        k
+    }
+
+    /// One phase-B attempt on context `i`: start a turnaround, issue a
+    /// (possibly burst-coalesced) CAS and advance the context, or
+    /// decline. Returns whether the scheduling pass is done for this
+    /// cycle (`false` = nothing happened, try the next candidate).
+    fn try_issue_access(
+        &mut self,
+        i: usize,
+        targets: &[(u32, u64, u64)],
+        txns: &mut TransactionTable,
+    ) -> bool {
+        let (ib, row, col) = targets[i];
+        if self.device.open_row(ib) != Some(row) {
+            return false;
+        }
+        let kind = self.vcs[i].kind;
+        // Bus turnaround on polarity reversal (§5.2.5).
+        if let Some(p) = self.data_polarity {
+            if p != kind && self.config.turnaround_cycles > 0 {
+                self.turnaround_left = self.config.turnaround_cycles;
+                self.stats.turnarounds += 1;
+                self.data_polarity = Some(kind);
+                return true;
+            }
+        }
+        // Burst coalescing: adjacent same-row elements whose columns
+        // are consecutive ride one CAS on BL4/BL8 parts. `k == 1`
+        // everywhere else and takes the original single-word path.
+        let k = self.coalesce_run(i, ib, row, col);
+        let last_for_vc = self.vcs[i].remaining == k;
+        // The element after the run feeds both the row-management
+        // decision and the context advance below — computed once.
+        let next = if last_for_vc {
+            None
+        } else {
+            let vc = &self.vcs[i];
+            let next_addr = match &vc.indices {
+                Some(idx) => vc.base + vc.stride * idx[vc.pos + 1],
+                None => vc.addr + vc.addr_step * k,
             };
-            let next_same_row = next.map(|(_, t)| t.0 == ib && t.1 == row);
-            let auto = self.decide_auto_precharge(i, ib, row, targets, next_same_row);
-            let txn = self.vcs[i].txn;
-            let element = self.vcs[i].element;
+            Some((next_addr, self.target_of_addr(next_addr)))
+        };
+        let next_same_row = next.map(|(_, t)| t.0 == ib && t.1 == row);
+        let auto = self.decide_auto_precharge(i, ib, row, targets, next_same_row);
+        let txn = self.vcs[i].txn;
+        let element = self.vcs[i].element;
+        let issued = if k > 1 {
+            // One CAS burst covering the whole run; per-word tags
+            // (reads) or data (writes) assembled on the stack.
+            let vc = &self.vcs[i];
+            let mut items = [(0u64, 0u64); MAX_COALESCE];
+            for (j, slot) in items[..k as usize].iter_mut().enumerate() {
+                let e = element + vc.index_delta * j as u64;
+                slot.0 = col + j as u64;
+                slot.1 = match kind {
+                    OpKind::Read => tag_of(txn, e),
+                    OpKind::Write => vc
+                        .write_line
+                        .as_ref()
+                        .expect("write context carries its line")[e as usize],
+                };
+            }
+            match kind {
+                OpKind::Read => self
+                    .device
+                    .issue_read_burst(ib, auto, &items[..k as usize])
+                    .is_ok(),
+                OpKind::Write => self
+                    .device
+                    .issue_write_burst(ib, auto, &items[..k as usize])
+                    .is_ok(),
+            }
+        } else {
             let cmd = match kind {
                 OpKind::Read => SdramCmd::Read {
                     bank: ib,
@@ -861,57 +1214,65 @@ impl BankController {
                     }
                 }
             };
-            let class = CmdClass::of(&cmd).expect("read/write is never a NOP");
-            if self.device.issue(cmd).is_err() {
-                continue; // tRCD still pending; try a younger VC.
-            }
-            if !self.vcs[i].first_op_done {
-                self.set_predictor(i, ib, row);
-                self.vcs[i].first_op_done = true;
-            }
-            self.data_polarity = Some(kind);
-            // Device rows from `map` are narrow; only remapped targets
-            // carry the spare-region bit.
-            if row & REMAP_ROW_BIT != 0 {
-                self.stats.remapped_accesses += 1;
-            }
-            match kind {
-                OpKind::Read => {
-                    self.stats.elements_read += 1;
-                    self.log_op(class, ib, row);
-                }
-                OpKind::Write => {
-                    self.stats.elements_written += 1;
-                    txns.commit_writes(txn, 1);
-                    self.log_op(class, ib, row);
-                }
-            }
-            // Advance the context: shift-and-add for word interleave,
-            // next list entry for block interleave.
-            let vc = &mut self.vcs[i];
-            vc.remaining -= 1;
-            if vc.remaining == 0 {
-                self.vcs.remove(i);
-            } else {
-                let (next_addr, target) = next.expect("non-last element has a next");
-                vc.addr = next_addr;
-                vc.target = target;
-                if let Some(idx) = &vc.indices {
-                    vc.pos += 1;
-                    vc.element = idx[vc.pos];
-                } else {
-                    vc.element += vc.index_delta;
-                }
-            }
-            return;
+            self.device.issue(cmd).is_ok()
+        };
+        if !issued {
+            return false; // tRCD/tCCD still pending; try a younger VC.
         }
-    }
-
-    /// Index bound of the oldest-prefix of VCs sharing one polarity
-    /// (`None` when there are no VCs).
-    fn polarity_window(&self) -> Option<usize> {
-        let first = self.vcs.front()?.kind;
-        Some(self.vcs.iter().take_while(|vc| vc.kind == first).count())
+        let class = match (kind, auto) {
+            (OpKind::Read, false) => CmdClass::Read,
+            (OpKind::Read, true) => CmdClass::ReadAuto,
+            (OpKind::Write, false) => CmdClass::Write,
+            (OpKind::Write, true) => CmdClass::WriteAuto,
+        };
+        if !self.vcs[i].first_op_done {
+            self.set_predictor(i, ib, row);
+            self.vcs[i].first_op_done = true;
+        }
+        self.data_polarity = Some(kind);
+        // Channel bookkeeping for the group-interleave preference.
+        let group = self.config.sdram.bank_group_of(ib);
+        if self.last_cas_group.is_some_and(|prev| prev != group) {
+            self.stats.group_switches += 1;
+        }
+        self.last_cas_group = Some(group);
+        if k > 1 {
+            self.stats.coalesced_bursts += 1;
+        }
+        // Device rows from `map` are narrow; only remapped targets
+        // carry the spare-region bit.
+        if row & REMAP_ROW_BIT != 0 {
+            self.stats.remapped_accesses += k;
+        }
+        match kind {
+            OpKind::Read => {
+                self.stats.elements_read += k;
+                self.log_op(class, ib, row);
+            }
+            OpKind::Write => {
+                self.stats.elements_written += k;
+                txns.commit_writes(txn, k);
+                self.log_op(class, ib, row);
+            }
+        }
+        // Advance the context past the run: shift-and-add for word
+        // interleave, next list entry for block interleave.
+        let vc = &mut self.vcs[i];
+        vc.remaining -= k;
+        if vc.remaining == 0 {
+            self.vcs.remove(i);
+        } else {
+            let (next_addr, target) = next.expect("non-last element has a next");
+            vc.addr = next_addr;
+            vc.target = target;
+            if let Some(idx) = &vc.indices {
+                vc.pos += 1;
+                vc.element = idx[vc.pos];
+            } else {
+                vc.element += vc.index_delta * k;
+            }
+        }
+        true
     }
 
     /// First VC whose target row is open *and* which the polarity rule
@@ -919,8 +1280,8 @@ impl BankController {
     /// promotion is disabled. A "ready" VC outside the polarity window
     /// cannot actually issue, so it must not suppress row management
     /// (doing so deadlocks).
-    fn first_ready(&self, targets: &[(u32, u64, u64)], window: usize) -> Option<usize> {
-        (0..window).find(|&i| {
+    fn first_ready(&self, targets: &[(u32, u64, u64)], window: &[usize]) -> Option<usize> {
+        window.iter().copied().find(|&i| {
             let (ib, row, _) = targets[i];
             self.device.open_row(ib) == Some(row)
         })

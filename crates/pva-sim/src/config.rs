@@ -59,6 +59,16 @@ pub struct SchedulerOptions {
     /// this request" when the four-bit hit history equals `h` (1 = hit,
     /// most recent in the low bit).
     pub precharge_policy_reg: u16,
+    /// Generation-aware issue policy for parts that declare channel
+    /// constraints (bank groups, tCCD_L/tCCD_S, tFAW) or a burst length
+    /// above one: prefer CAS candidates whose bank group differs from
+    /// the last CAS (the short tCCD_S gate applies instead of tCCD_L),
+    /// defer an ACTIVATE that would burn the last tFAW slot while a CAS
+    /// is ready to go, and coalesce adjacent same-row elements into one
+    /// CAS burst. Provably inert on 1-group, burst-length-1 parts (the
+    /// SDR-era presets): every decision point degenerates to the
+    /// arrival-order policy, which the golden-identity tests pin.
+    pub generation_aware: bool,
 }
 
 impl Default for SchedulerOptions {
@@ -69,6 +79,7 @@ impl Default for SchedulerOptions {
             bypass_paths: true,
             row_policy: RowPolicy::default(),
             precharge_policy_reg: default_precharge_policy(),
+            generation_aware: true,
         }
     }
 }

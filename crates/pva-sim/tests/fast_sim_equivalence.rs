@@ -7,6 +7,7 @@
 use kernels::{Alignment, Kernel, ARRAY_REGION, LINE_WORDS, STRIDES};
 use pva_core::{PvaError, Vector};
 use pva_sim::{HostRequest, OpKind, PvaConfig, PvaUnit, RunResult};
+use sdram::{DevicePreset, SdramConfig};
 
 fn run_with(cfg: PvaConfig, requests: &[HostRequest]) -> Result<RunResult, PvaError> {
     let mut unit = PvaUnit::new(cfg).expect("valid config");
@@ -282,6 +283,126 @@ fn fig7_kernel_stride_sweep_matches() {
                 &format!("{kernel}/s{stride}"),
             );
         }
+    }
+}
+
+/// A config on the named channel-declaring device preset. These are the
+/// parts where the generation-aware policy actually reorders, defers and
+/// coalesces, so the fast path has new wake sources (the channel-gate
+/// expiry arm) to get wrong.
+fn preset_cfg(preset: DevicePreset) -> PvaConfig {
+    PvaConfig {
+        sdram: SdramConfig::for_device(preset),
+        ..PvaConfig::default()
+    }
+}
+
+#[test]
+fn generation_parts_kernel_sweep_matches() {
+    // The scheduler's channel-aware decisions (group-interleaved CAS,
+    // tFAW deferral, burst coalescing) must not desynchronize the
+    // next-event fast path from the reference stepper on the parts that
+    // enable them.
+    const ELEMENTS: u64 = 256;
+    for preset in [DevicePreset::Ddr3_1600, DevicePreset::Hbm2Like] {
+        for kernel in [Kernel::Copy, Kernel::Saxpy, Kernel::Scale] {
+            for stride in [1u64, 16, 19] {
+                let bases = Alignment::BankStagger.bases(kernel.array_count(), ARRAY_REGION);
+                let trace = kernel.trace(&bases, stride, ELEMENTS, LINE_WORDS);
+                assert_identical(
+                    preset_cfg(preset),
+                    &requests_of(&trace),
+                    &format!("{}/{kernel}/s{stride}", preset.name()),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn generation_parts_fault_campaign_matches() {
+    // Fault handling interleaves retries and backoff timers with the
+    // channel gates; both models must walk the identical schedule.
+    for preset in [DevicePreset::Ddr3_1600, DevicePreset::Hbm2Like] {
+        let mut cfg = preset_cfg(preset);
+        cfg.sdram.fault.transient_ppm = 50_000;
+        // Must exceed these presets' refresh intervals (6240 / 3900).
+        cfg.sdram.fault.retention_cycles = 8_000;
+        cfg.sdram.fault.hard_failed_bank = Some(1);
+        cfg.sdram.fault.seed = 23;
+        let reqs: Vec<HostRequest> = (0..6u64)
+            .map(|i| {
+                let base = i * 512 * 16;
+                if i % 3 == 2 {
+                    write(base, 8, 32)
+                } else {
+                    read(base, 8, 32)
+                }
+            })
+            .collect();
+        assert_identical(cfg, &reqs, &format!("{} faults", preset.name()));
+    }
+}
+
+/// Runs `requests` with the generation-aware policy toggled and returns
+/// both results for identity comparison.
+fn run_policy_pair(cfg: PvaConfig, requests: &[HostRequest]) -> (RunResult, RunResult) {
+    let mut on = cfg;
+    on.options.generation_aware = true;
+    let mut off = cfg;
+    off.options.generation_aware = false;
+    (
+        run_with(on, requests).expect("policy-on run succeeds"),
+        run_with(off, requests).expect("policy-off run succeeds"),
+    )
+}
+
+#[test]
+fn generation_policy_is_inert_on_sdr_parts() {
+    // On 1-group, burst-length-1 parts every generation-aware decision
+    // degenerates to the arrival-order policy: no group to prefer, no
+    // tFAW to pace, nothing to coalesce, and the polarity window never
+    // extends (the extension is gated on declared channel structure).
+    // The committed goldens pin this for the bench kernels; this test
+    // pins it for the simulator directly, fault paths included.
+    let kernel_reqs = {
+        let bases = Alignment::BankStagger.bases(2, ARRAY_REGION);
+        requests_of(&Kernel::Copy.trace(&bases, 1, 256, LINE_WORDS))
+    };
+    let mut faulty = PvaConfig::default();
+    faulty.sdram.fault.transient_ppm = 50_000;
+    faulty.sdram.fault.seed = 23;
+    let cases: Vec<(PvaConfig, Vec<HostRequest>, &str)> = vec![
+        (PvaConfig::default(), kernel_reqs, "sdr copy s1"),
+        (
+            PvaConfig::default(),
+            (0..8u64)
+                .map(|i| {
+                    let base = i * 512 * 16;
+                    if i % 2 == 0 {
+                        read(base, 16, 32)
+                    } else {
+                        write(base, 16, 32)
+                    }
+                })
+                .collect(),
+            "sdr rw mix",
+        ),
+        (
+            faulty,
+            vec![read(0, 1, 32), read(1 << 16, 19, 32)],
+            "sdr faults",
+        ),
+    ];
+    for (cfg, reqs, label) in cases {
+        assert!(
+            !cfg.sdram.declares_channel_structure(),
+            "{label}: the identity claim only holds for SDR-era parts"
+        );
+        let (on, off) = run_policy_pair(cfg, &reqs);
+        assert_eq!(on.cycles, off.cycles, "{label}: cycles");
+        assert_eq!(on.completions, off.completions, "{label}: completions");
+        assert_eq!(on.sdram, off.sdram, "{label}: device stats");
     }
 }
 

@@ -339,43 +339,6 @@ impl SdramConfig {
         preset.config()
     }
 
-    /// An idealized uniform-latency configuration used to model SRAM in
-    /// the comparator experiments: every access is a one-cycle read or
-    /// write with no activate/precharge overhead.
-    #[deprecated(note = "use SdramConfig::for_device(DevicePreset::SramLike)")]
-    pub fn sram_like() -> Self {
-        Self::for_device(DevicePreset::SramLike)
-    }
-
-    /// The default SDRAM with periodic refresh enabled: one AUTO REFRESH
-    /// every 781 cycles (64 ms / 8192 rows at 100 MHz), 8-cycle tRFC.
-    #[deprecated(note = "use SdramConfig::for_device(DevicePreset::SdrRefresh)")]
-    pub fn with_refresh() -> Self {
-        Self::for_device(DevicePreset::SdrRefresh)
-    }
-
-    /// An EDO-like conventional DRAM analogue (§2.3.2): a single row
-    /// buffer (no internal banking to overlap) and slower core timings.
-    #[deprecated(note = "use SdramConfig::for_device(DevicePreset::EdoLike)")]
-    pub fn edo_like() -> Self {
-        Self::for_device(DevicePreset::EdoLike)
-    }
-
-    /// An SLDRAM-like analogue (§2.3.4): deeper internal banking (8
-    /// banks) at SDRAM-class latencies.
-    #[deprecated(note = "use SdramConfig::for_device(DevicePreset::SldramLike)")]
-    pub fn sldram_like() -> Self {
-        Self::for_device(DevicePreset::SldramLike)
-    }
-
-    /// A Direct-Rambus-like analogue (§2.3.5): many internal banks (32)
-    /// with slightly longer access latency; the core runs slower than
-    /// the channel, which this single-rate model folds into tCAS.
-    #[deprecated(note = "use SdramConfig::for_device(DevicePreset::DrdramLike)")]
-    pub fn drdram_like() -> Self {
-        Self::for_device(DevicePreset::DrdramLike)
-    }
-
     /// Total row buffers the controller must track:
     /// `ranks * internal_banks`.
     pub fn total_row_buffers(&self) -> u32 {
@@ -395,6 +358,20 @@ impl SdramConfig {
     /// adjacent pages across groups and streams see `tCCD_S`.
     pub fn bank_group_of(&self, bank: u32) -> u32 {
         bank & (self.bank_groups - 1)
+    }
+
+    /// Whether this part declares any post-SDR channel structure —
+    /// bank groups, multi-word bursts, or the tCCD/tRRD/tFAW channel
+    /// gates. The generation-aware scheduling policy keys off this:
+    /// on parts that declare nothing (the SDR-era presets) it keeps
+    /// strict arrival order, which is what the goldens pin.
+    pub fn declares_channel_structure(&self) -> bool {
+        self.bank_groups > 1
+            || self.burst_words > 1
+            || self.t_ccd_l > 0
+            || self.t_ccd_s > 0
+            || self.t_rrd > 0
+            || self.t_faw > 0
     }
 
     /// Total capacity behind the controller in words (all ranks).
@@ -916,31 +893,6 @@ mod tests {
         assert_eq!(
             SdramConfig::for_device(DevicePreset::Sdr100),
             SdramConfig::default()
-        );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_their_presets() {
-        assert_eq!(
-            SdramConfig::sram_like(),
-            SdramConfig::for_device(DevicePreset::SramLike)
-        );
-        assert_eq!(
-            SdramConfig::with_refresh(),
-            SdramConfig::for_device(DevicePreset::SdrRefresh)
-        );
-        assert_eq!(
-            SdramConfig::edo_like(),
-            SdramConfig::for_device(DevicePreset::EdoLike)
-        );
-        assert_eq!(
-            SdramConfig::sldram_like(),
-            SdramConfig::for_device(DevicePreset::SldramLike)
-        );
-        assert_eq!(
-            SdramConfig::drdram_like(),
-            SdramConfig::for_device(DevicePreset::DrdramLike)
         );
     }
 

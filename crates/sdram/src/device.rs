@@ -647,6 +647,157 @@ impl Sdram {
         Ok(())
     }
 
+    /// Issues one READ CAS that bursts over `items` consecutive columns
+    /// of `bank`'s open row — the BL4/BL8 access of later SDRAM
+    /// generations, where a single column command streams several words
+    /// over successive data beats.
+    ///
+    /// Legality is exactly that of a single READ at `items[0]` (the
+    /// burst occupies one command-bus slot and arms the channel's tCCD
+    /// gates once); each word is read through the same fault and ECC
+    /// layers as an individual READ and lands `j / data_rate` beats
+    /// after the first word's CAS latency. Counts as one `reads`
+    /// command in [`SdramStats`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects exactly when a single READ on `bank` would be rejected;
+    /// the device is unchanged on error.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `items` is empty or longer than the
+    /// configured burst length.
+    pub fn issue_read_burst(
+        &mut self,
+        bank: u32,
+        auto_precharge: bool,
+        items: &[(u64, u64)],
+    ) -> Result<(), IssueError> {
+        debug_assert!(!items.is_empty(), "a burst carries at least one word");
+        debug_assert!(
+            items.len() as u32 <= self.config.burst_words,
+            "burst longer than the device burst length"
+        );
+        self.can_issue(&SdramCmd::Read {
+            bank,
+            col: items[0].0,
+            auto_precharge,
+            tag: items[0].1,
+        })?;
+        let row = match self.rows[bank as usize] {
+            RowState::Open { row } => row,
+            RowState::Closed => unreachable!("validated open"),
+        };
+        let beat_rate = self.config.data_rate.max(1) as u64;
+        for (j, &(col, tag)) in items.iter().enumerate() {
+            debug_assert_eq!(col, items[0].0 + j as u64, "burst columns are consecutive");
+            let local = self.local_addr(bank, row, col);
+            let (data, poisoned) = self.read_word(bank, local);
+            let ready = ReadReturn {
+                tag,
+                data,
+                // pva-lint: allow(nonconst-div): data_rate is a small config constant; words share beats on DDR parts
+                at_cycle: self.now + self.config.t_cas as u64 + j as u64 / beat_rate,
+                poisoned,
+            };
+            if self
+                .in_flight
+                .back()
+                .is_none_or(|r| r.at_cycle <= ready.at_cycle)
+            {
+                self.in_flight.push_back(ready);
+            } else {
+                let pos = self
+                    .in_flight
+                    .iter()
+                    .position(|r| r.at_cycle > ready.at_cycle)
+                    .unwrap_or(self.in_flight.len());
+                self.in_flight.insert(pos, ready);
+            }
+        }
+        self.stats.reads += 1;
+        self.note_cas(bank);
+        let class = if auto_precharge {
+            CmdClass::ReadAuto
+        } else {
+            CmdClass::Read
+        };
+        self.apply_bank_event(bank, class, row);
+        if auto_precharge {
+            self.auto_precharge(bank);
+        }
+        self.issued_this_cycle = true;
+        Ok(())
+    }
+
+    /// Issues one WRITE CAS that bursts `items` (column, data) pairs
+    /// into consecutive columns of `bank`'s open row — the write half
+    /// of [`issue_read_burst`](Sdram::issue_read_burst). Counts as one
+    /// `writes` command; tWR is armed from the burst's last data beat.
+    ///
+    /// # Errors
+    ///
+    /// Rejects exactly when a single WRITE on `bank` would be rejected;
+    /// the device is unchanged on error.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `items` is empty or longer than the
+    /// configured burst length.
+    pub fn issue_write_burst(
+        &mut self,
+        bank: u32,
+        auto_precharge: bool,
+        items: &[(u64, u64)],
+    ) -> Result<(), IssueError> {
+        debug_assert!(!items.is_empty(), "a burst carries at least one word");
+        debug_assert!(
+            items.len() as u32 <= self.config.burst_words,
+            "burst longer than the device burst length"
+        );
+        self.can_issue(&SdramCmd::Write {
+            bank,
+            col: items[0].0,
+            data: items[0].1,
+            auto_precharge,
+        })?;
+        let row = match self.rows[bank as usize] {
+            RowState::Open { row } => row,
+            RowState::Closed => unreachable!("validated open"),
+        };
+        for (j, &(col, data)) in items.iter().enumerate() {
+            debug_assert_eq!(col, items[0].0 + j as u64, "burst columns are consecutive");
+            let local = self.local_addr(bank, row, col);
+            if self.config.fault.hard_failed_bank == Some(bank) {
+                self.stats.dropped_writes += 1;
+            } else {
+                self.store_word(local, data);
+            }
+        }
+        self.stats.writes += 1;
+        self.note_cas(bank);
+        let class = if auto_precharge {
+            CmdClass::WriteAuto
+        } else {
+            CmdClass::Write
+        };
+        self.apply_bank_event(bank, class, row);
+        let now = self.now;
+        // tWR runs from the last data beat of the burst, not the CAS.
+        let beat_rate = self.config.data_rate.max(1) as u64;
+        // pva-lint: allow(nonconst-div): data_rate is a small config constant; words share beats on DDR parts
+        let last_beat = (items.len() as u64 - 1) / beat_rate;
+        let wait = last_beat + self.config.t_wr as u64;
+        self.timers[bank as usize].wr.arm(now, wait);
+        self.note_armed(now.saturating_add(wait));
+        if auto_precharge {
+            self.auto_precharge(bank);
+        }
+        self.issued_this_cycle = true;
+        Ok(())
+    }
+
     /// Advances the device one clock cycle.
     pub fn tick(&mut self) {
         self.now += 1;
@@ -797,6 +948,20 @@ impl Sdram {
         self.channel
             .cas_ready_at(group as usize)
             .saturating_sub(self.now)
+    }
+
+    /// The earliest future expiry among the channel gates (tCCD per
+    /// bank group, tRRD, the tFAW window slots), or `None` when every
+    /// gate is already open. Generation-aware schedulers use this as a
+    /// wake source: a command deferred on a channel constraint becomes
+    /// issuable no earlier than this cycle. Permanently `None` on
+    /// generations that leave the channel parameters at 0 (the timers
+    /// never arm).
+    pub fn channel_next_expiry(&self) -> Option<u64> {
+        if self.now >= self.timer_deadline {
+            return None;
+        }
+        self.channel.next_expiry_after(self.now)
     }
 
     /// Residual cycles of the channel's tRRD gate (0 when expired).

@@ -195,6 +195,60 @@ fn auditor_agrees_with_a_legal_ddr3_stream() {
 }
 
 #[test]
+fn read_burst_staggers_beats_on_the_data_rate() {
+    // One CAS, k words: beat j lands at tCAS + j / data_rate. On the
+    // DDR3 part (data_rate 2) an 8-word burst spans four bus cycles.
+    let mut d = ddr3();
+    open_rows(&mut d, &[0]);
+    let items: Vec<(u64, u64)> = (0..8).map(|j| (j, 100 + j)).collect();
+    let issued_at = d.now();
+    d.issue_read_burst(0, false, &items).unwrap();
+    assert_eq!(d.stats().reads, 1, "a burst counts as one CAS");
+    let t_cas = u64::from(d.config().t_cas);
+    tick_to(&mut d, issued_at + t_cas + 4);
+    let mut got = Vec::new();
+    while let Some(r) = d.pop_ready() {
+        got.push((r.tag, r.at_cycle));
+    }
+    assert_eq!(got.len(), 8, "every burst beat returns");
+    for (j, &(tag, at)) in got.iter().enumerate() {
+        assert_eq!(tag, 100 + j as u64, "beats return in column order");
+        assert_eq!(
+            at,
+            issued_at + t_cas + j as u64 / 2,
+            "beat {j} lands on the DDR schedule"
+        );
+    }
+}
+
+#[test]
+fn write_burst_round_trips_through_single_reads() {
+    let mut d = ddr3();
+    open_rows(&mut d, &[0]);
+    let items: Vec<(u64, u64)> = (0..8).map(|j| (j, 0xBEEF_0000 + j)).collect();
+    d.issue_write_burst(0, false, &items).unwrap();
+    assert_eq!(d.stats().writes, 1, "a burst counts as one CAS");
+    // Read each column back individually; the burst must have stored
+    // every word at its own column.
+    for (col, data) in items {
+        let ready = d.access_ready_at(0).max(d.now());
+        tick_to(&mut d, ready);
+        d.issue(SdramCmd::Read {
+            bank: 0,
+            col,
+            auto_precharge: false,
+            tag: col,
+        })
+        .unwrap();
+        let data_at = d.next_data_at().unwrap();
+        tick_to(&mut d, data_at);
+        let r = d.pop_ready().expect("read data ready");
+        assert_eq!(r.data, data, "column {col} holds the burst word");
+        d.tick();
+    }
+}
+
+#[test]
 fn sdr_profile_is_unconstrained_by_channel_gates() {
     // The SDR part (all channel parameters 0) must accept back-to-back
     // CAS commands exactly as before this redesign.
